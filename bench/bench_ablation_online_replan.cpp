@@ -1,0 +1,48 @@
+// Extension ablation: online re-planning frequency.  §V-C's complexity
+// discussion says the planner "should be scheduled more frequently" as
+// requests accumulate; this bench sweeps the replanning window over a
+// Poisson request stream and shows the tradeoff between per-window planning
+// quality (larger windows pipeline better) and responsiveness.
+#include <cstdio>
+
+#include "models/model_zoo.h"
+#include "sim/online.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+int main() {
+  std::printf("== Ablation: online replanning window (Kirin 990) ==\n\n");
+  Rng rng(271828);
+
+  // 24 requests arriving as a Poisson process, mean inter-arrival 40 ms.
+  std::vector<OnlineRequest> stream;
+  double t = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    stream.push_back({&zoo_model(all_model_ids()[rng.index(kNumZooModels)]), t});
+    t += -40.0 * std::log(1.0 - rng.uniform(0.0, 0.999));
+  }
+
+  Table table({"Window", "Replans", "Makespan (ms)", "Mean completion (ms)",
+               "p90 completion (ms)"});
+  for (std::size_t window : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{6}, std::size_t{8}, std::size_t{12}}) {
+    OnlineOptions opts;
+    opts.replan_window = window;
+    opts.planning_overhead_ms = 1.0;
+    const OnlineResult r = run_online(Soc::kirin990(), stream, opts);
+    const Summary s = summarize(r.completion_ms);
+    table.add_row({std::to_string(window), std::to_string(r.replans),
+                   Table::fmt(r.timeline.makespan_ms(), 1), Table::fmt(s.mean, 1),
+                   Table::fmt(s.p90, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nSmall windows dispatch eagerly (good early-request latency, weak"
+      "\npipelines); large windows plan better pipelines but hold requests"
+      "\nback — the O(|M|^3|H|) mitigation term also grows with the window,"
+      "\nwhich is the paper's argument for frequent re-planning.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Fig. 13 (appendix D): batching lightweight models.  On mobile
+// processors the per-request latency grows almost linearly with batch size
+// (limited on-chip memory -> narrow hardware waves), while a desktop CUDA
+// GPU stays flat until its wide wave capacity is filled.  Batching lets a
+// stream of lightweight requests align with heavyweight pipeline stages.
+#include <cstdio>
+
+#include "models/model_zoo.h"
+#include "soc/cost_model.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+int main() {
+  std::printf("== Fig 13: batch-size scaling of lightweight models ==\n\n");
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+
+  std::vector<std::pair<std::string, Processor>> procs;
+  for (const Processor& p : soc.processors()) {
+    if (p.kind == ProcKind::kNpu || p.kind == ProcKind::kCpuBig ||
+        p.kind == ProcKind::kGpu) {
+      procs.push_back({p.name + " (" + to_string(p.kind) + ")", p});
+    }
+  }
+  procs.push_back({"RTX (CUDA_GPU)", Soc::desktop_cuda_gpu()});
+
+  for (ModelId id : {ModelId::kMobileNetV2, ModelId::kSqueezeNet}) {
+    const Model& m = zoo_model(id);
+    std::printf("---- %s ----\n", to_string(id));
+    std::vector<std::string> headers = {"batch"};
+    for (const auto& [name, p] : procs) headers.push_back(name + " (ms)");
+    Table table(headers);
+
+    const std::vector<int> batches = {1, 2, 4, 8, 16, 32};
+    std::vector<std::vector<double>> series(procs.size());
+    for (int b : batches) {
+      std::vector<std::string> row = {std::to_string(b)};
+      for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        const double ms = cost.model_batch_ms(m, procs[pi].second, b);
+        series[pi].push_back(ms);
+        row.push_back(Table::fmt(ms, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+
+    // The Fig-13 y-axis: rate of change of latency with batch size.
+    std::printf("latency growth rate (ms per extra sample, affine fit):\n");
+    std::vector<double> xs(batches.begin(), batches.end());
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+      const LinearFit fit = fit_linear(xs, series[pi]);
+      std::printf("  %-22s slope %.3f ms/sample, R^2 %.3f\n",
+                  procs[pi].first.c_str(), fit.slope, fit.r2);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: mobile processors scale ~affinely (R^2 ~ 1, positive"
+      "\nslope) due to limited on-chip memory, while the desktop CUDA GPU is"
+      "\nnearly flat across this batch range — mobile batching trades latency"
+      "\nfor alignment, it does not get desktop-style free throughput.\n");
+  return 0;
+}

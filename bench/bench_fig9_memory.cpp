@@ -1,0 +1,72 @@
+// Reproduces Fig. 9: memory-controller frequency and available-memory
+// traces while pipelines of size-stratified models execute on Kirin 990.
+#include <cstdio>
+
+#include "core/planner.h"
+#include "models/model_zoo.h"
+#include "sim/memory_sim.h"
+#include "sim/pipeline_sim.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+namespace {
+
+void run_pipeline(const char* label, const std::vector<ModelId>& ids) {
+  const Soc soc = Soc::kirin990();
+  std::vector<const Model*> models;
+  for (ModelId id : ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(soc, models);
+  const PlannerReport report = Hetero2PipePlanner(eval).plan();
+  const Timeline timeline = simulate_plan(report.plan, eval);
+  const auto samples = trace_memory(timeline, report.plan, eval,
+                                    timeline.makespan_ms() / 24.0);
+
+  std::printf("---- %s ----\n", label);
+  Table table({"t (ms)", "mem freq (MHz)", "bw demand (GB/s)", "resident (MB)",
+               "available (MB)"});
+  for (const MemorySample& s : samples) {
+    table.add_row({Table::fmt(s.time_ms, 0), Table::fmt(s.mem_freq_mhz, 0),
+                   Table::fmt(s.bw_demand_gbps, 2),
+                   Table::fmt(s.resident_bytes / 1048576.0, 0),
+                   Table::fmt(s.available_bytes / 1048576.0, 0)});
+  }
+  table.print();
+  std::printf("peak resident: %.0f MB of %.0f MB available\n\n",
+              peak_resident_bytes(samples) / 1048576.0,
+              soc.available_bytes() / 1048576.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 9: memory frequency & footprint during pipelines ==\n\n");
+
+  // Paper stratification: large >300 MB (BERT, ViT, YOLOv4), medium
+  // 100-300 MB (InceptionV4, ResNet50, AlexNet), light <100 MB
+  // (SqueezeNet, MobileNetV2, GoogLeNet).
+  run_pipeline("3-stage pipeline of LARGE models (BERT, ViT, YOLOv4)",
+               {ModelId::kBERT, ModelId::kViT, ModelId::kYOLOv4});
+  run_pipeline("3-stage pipeline of MEDIUM models (InceptionV4, ResNet50, AlexNet)",
+               {ModelId::kInceptionV4, ModelId::kResNet50, ModelId::kAlexNet});
+  run_pipeline("3-stage pipeline of LIGHT models (SqueezeNet, MobileNetV2, GoogLeNet)",
+               {ModelId::kSqueezeNet, ModelId::kMobileNetV2, ModelId::kGoogLeNet});
+
+  // Single-stage NPU-only execution does not saturate the bus (Fig 9's
+  // first phase): show the governor staying low.
+  const Soc soc = Soc::kirin990();
+  std::vector<const Model*> solo = {&zoo_model(ModelId::kResNet50)};
+  const StaticEvaluator eval(soc, solo);
+  PlannerOptions opts;
+  opts.num_stages = 1;  // NPU only (processor 0)
+  const PlannerReport report = Hetero2PipePlanner(eval, opts).plan();
+  const Timeline t = simulate_plan(report.plan, eval);
+  const auto samples = trace_memory(t, report.plan, eval, t.makespan_ms() / 6.0);
+  double max_mhz = 0.0;
+  for (const auto& s : samples) max_mhz = std::max(max_mhz, s.mem_freq_mhz);
+  std::printf("Single-stage NPU execution: peak mem frequency %.0f MHz "
+              "(max state %.0f MHz) — dedicated NPU path leaves the bus calm,\n"
+              "while the CPU/GPU pipelines above drive it to the top state.\n",
+              max_mhz, soc.mem_states().back().mhz);
+  return 0;
+}

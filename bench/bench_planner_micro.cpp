@@ -1,0 +1,101 @@
+// Planner micro-benchmarks (google-benchmark): verifies the complexity
+// claims of Sec. V — O(nK) horizontal DP, O(|M|^3) Kuhn-Munkres, and the
+// end-to-end planner cost O(|M|(nK + n + K) + |M|^3 |H|).
+#include <benchmark/benchmark.h>
+
+#include "core/lap.h"
+#include "core/partition.h"
+#include "core/planner.h"
+#include "models/model_zoo.h"
+#include "util/rng.h"
+
+using namespace h2p;
+
+namespace {
+
+// ---- horizontal DP ----------------------------------------------------------
+
+void BM_PartitionParametric(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t K = 4;
+  Rng rng(1);
+  std::vector<double> layers(n);
+  for (double& v : layers) v = rng.uniform(0.1, 5.0);
+  const StageCostFn cost = [&](std::size_t k, std::size_t i, std::size_t j) {
+    double sum = 0.0;
+    for (std::size_t l = i; l <= j; ++l) sum += layers[l];
+    return sum / static_cast<double>(k + 1);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_minmax(cost, n, K));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_PartitionParametric)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_PartitionReferenceDp(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t K = 4;
+  Rng rng(2);
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + rng.uniform(0.1, 5.0);
+  const StageCostFn cost = [&](std::size_t k, std::size_t i, std::size_t j) {
+    return (prefix[j + 1] - prefix[i]) / static_cast<double>(k + 1);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_minmax_reference(cost, n, K));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_PartitionReferenceDp)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// ---- Kuhn-Munkres -----------------------------------------------------------
+
+void BM_KuhnMunkres(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.uniform(0.0, 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lap(cost));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_KuhnMunkres)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+// ---- end-to-end planner -----------------------------------------------------
+
+void BM_PlannerEndToEnd(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const Soc soc = Soc::kirin990();
+  Rng rng(4);
+  std::vector<const Model*> models;
+  for (std::size_t i = 0; i < m; ++i) {
+    models.push_back(&zoo_model(all_model_ids()[rng.index(kNumZooModels)]));
+  }
+  const StaticEvaluator eval(soc, models);
+  for (auto _ : state) {
+    Hetero2PipePlanner planner(eval);
+    benchmark::DoNotOptimize(planner.plan());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+BENCHMARK(BM_PlannerEndToEnd)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+// ---- cost-table construction ------------------------------------------------
+
+void BM_CostTableBuild(benchmark::State& state) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  const Model& m = zoo_model(ModelId::kBERT);  // largest layer count
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CostTable(m, cost));
+  }
+}
+BENCHMARK(BM_CostTableBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Reproduces Table II: solo vs co-execution times and slowdown percentages
+// for the paper's named pairs (SqueezeNet + BERT, ViT + BERT) split across
+// the CPU big cluster and the GPU, measured by the discrete-event simulator.
+#include <cstdio>
+
+#include "core/bubbles.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline_sim.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+namespace {
+
+struct PairSpec {
+  ModelId on_cpu;
+  ModelId on_gpu;
+};
+
+void run_pair(const Soc& soc, const PairSpec& spec, Table& table) {
+  // The paper measures steady co-execution: both sides loop back-to-back,
+  // so the shorter model is replicated until both streams span the same
+  // window.  Each replica is an independent request (FIFO on its proc).
+  std::vector<const Model*> models = {&zoo_model(spec.on_cpu),
+                                      &zoo_model(spec.on_gpu)};
+  const StaticEvaluator eval(soc, models);
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const auto gpu = static_cast<std::size_t>(soc.find(ProcKind::kGpu));
+
+  auto whole_task = [&](std::size_t table_idx, std::size_t proc,
+                        std::size_t sim_model_idx) {
+    const std::size_t n = eval.model(table_idx).num_layers();
+    SimTask t;
+    t.model_idx = sim_model_idx;
+    t.seq_in_model = 0;
+    t.proc_idx = proc;
+    t.solo_ms = eval.table(table_idx).exec_ms(proc, 0, n - 1);
+    t.sensitivity = eval.table(table_idx).mem_sensitivity(proc, 0, n - 1);
+    t.intensity = eval.table(table_idx).intensity(proc, 0, n - 1);
+    return t;
+  };
+
+  const double solo_a = whole_task(0, cpu_b, 0).solo_ms;
+  const double solo_b = whole_task(1, gpu, 0).solo_ms;
+  const auto reps_a = static_cast<std::size_t>(std::max(1.0, solo_b / solo_a));
+  const auto reps_b = static_cast<std::size_t>(std::max(1.0, solo_a / solo_b));
+
+  std::vector<SimTask> tasks;
+  std::size_t sim_idx = 0;
+  for (std::size_t r = 0; r < reps_a; ++r) tasks.push_back(whole_task(0, cpu_b, sim_idx++));
+  const std::size_t first_b = sim_idx;
+  for (std::size_t r = 0; r < reps_b; ++r) tasks.push_back(whole_task(1, gpu, sim_idx++));
+  const Timeline co = simulate(soc, tasks, {true});
+
+  auto emit = [&](ModelId id, const char* proc_name, double solo,
+                  std::size_t begin, std::size_t count) {
+    double avg = 0.0;
+    for (std::size_t r = 0; r < count; ++r) avg += co.tasks[begin + r].duration_ms();
+    avg /= static_cast<double>(count);
+    table.add_row({to_string(id), proc_name, Table::fmt(solo, 2),
+                   Table::fmt(avg, 2),
+                   Table::fmt((avg / solo - 1.0) * 100.0, 2) + "%"});
+  };
+  emit(spec.on_cpu, "CPU_B", solo_a, 0, reps_a);
+  emit(spec.on_gpu, "GPU", solo_b, first_b, reps_b);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table II: co-execution slowdown of named pairs (Kirin 990) ==\n\n");
+  const Soc soc = Soc::kirin990();
+  Table table({"Model", "Processor", "Solo-Exec (ms)", "Co-Exec (ms)", "Slowdown"});
+
+  run_pair(soc, {ModelId::kSqueezeNet, ModelId::kBERT}, table);
+  run_pair(soc, {ModelId::kViT, ModelId::kBERT}, table);
+  // The paper's §III headline pair: YOLOv4 + BERT -> ~18-21% on CPU-GPU.
+  run_pair(soc, {ModelId::kYOLOv4, ModelId::kBERT}, table);
+  table.print();
+
+  std::printf(
+      "\nShape check vs paper Table II: tens-of-percent slowdowns on the"
+      "\nCPU-GPU pair; SqueezeNet (tiny, memory-bound) suffers the largest"
+      "\nrelative slowdown despite being ~70x smaller than ViT (Obs. 3);"
+      "\nslowdowns are broadly consistent on both sides (Obs. 1).\n");
+
+  // Observation 1 companion numbers: pairs involving the NPU.
+  std::printf("\n-- NPU pairs barely contend (Obs. 1 / Sec. III) --\n");
+  std::vector<const Model*> models = {&zoo_model(ModelId::kYOLOv4),
+                                      &zoo_model(ModelId::kBERT)};
+  const StaticEvaluator eval(soc, models);
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const auto npu = static_cast<std::size_t>(soc.find(ProcKind::kNpu));
+  SimTask a;
+  a.model_idx = 0;
+  a.proc_idx = cpu_b;
+  a.solo_ms = eval.table(0).exec_ms(cpu_b, 0, eval.model(0).num_layers() - 1);
+  a.sensitivity = eval.table(0).mem_sensitivity(cpu_b, 0, eval.model(0).num_layers() - 1);
+  a.intensity = eval.table(0).intensity(cpu_b, 0, eval.model(0).num_layers() - 1);
+  SimTask b;
+  b.model_idx = 1;
+  b.proc_idx = npu;
+  const std::size_t nb = eval.model(1).num_layers();
+  // Use a supported sub-range so the NPU runs natively (encoder FFN matmuls).
+  b.solo_ms = a.solo_ms;  // equal-length co-run window
+  b.sensitivity = 0.6;
+  b.intensity = eval.table(1).intensity(cpu_b, 0, nb - 1);
+  const Timeline co = simulate(soc, {a, b}, {true});
+  std::printf("CPU_B victim with NPU aggressor: %.2f%% slowdown (paper: 3-4.5%%)\n",
+              (co.tasks[0].duration_ms() / a.solo_ms - 1.0) * 100.0);
+  return 0;
+}

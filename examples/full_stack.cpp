@@ -1,0 +1,69 @@
+// Full stack: the Hetero2Pipe planner's decisions driving *real tensor
+// computation*.  Requests are planned at zoo scale (cost model + DES), the
+// resulting slice boundaries are transferred onto executable miniature
+// networks, and the threaded tensor pipeline streams actual fp32 tensors
+// through the stages — verifying the outputs against serial execution.
+#include <cstdio>
+
+#include "core/planner.h"
+#include "engine/tensor_pipeline.h"
+#include "engine/zoo_nets.h"
+#include "sim/pipeline_sim.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+int main() {
+  const Soc soc = Soc::kirin990();
+  const std::vector<ModelId> ids = {ModelId::kResNet50, ModelId::kBERT,
+                                    ModelId::kSqueezeNet, ModelId::kMobileNetV2,
+                                    ModelId::kYOLOv4};
+
+  // 1) Plan at zoo scale.
+  std::vector<const Model*> models;
+  for (ModelId id : ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(soc, models);
+  const PlannerReport report = Hetero2PipePlanner(eval).plan();
+  const Timeline sim = simulate_plan(report.plan, eval);
+  std::printf("=== planner (zoo scale) ===\n%s", report.plan.to_string().c_str());
+  std::printf("simulated makespan: %.1f ms\n\n", sim.makespan_ms());
+
+  // 2) Transfer the slicing onto executable miniatures and run real tensors.
+  std::vector<TensorNet> nets;
+  nets.reserve(ids.size());
+  for (std::size_t slot = 0; slot < report.plan.models.size(); ++slot) {
+    const ModelId id = ids[report.plan.models[slot].model_index];
+    nets.push_back(make_tiny_net(id, 1000 + slot));
+  }
+  std::vector<TensorRequest> requests;
+  std::vector<Tensor> expected;
+  for (std::size_t slot = 0; slot < nets.size(); ++slot) {
+    const ModelPlan& mp = report.plan.models[slot];
+    const ModelId id = ids[mp.model_index];
+    Tensor input = make_tiny_input(id, 2000 + slot);
+    expected.push_back(nets[slot].run(input));
+    requests.push_back({&nets[slot], std::move(input),
+                        boundaries_from_plan(mp, eval.model(mp.model_index).num_layers(),
+                                             nets[slot].num_ops())});
+  }
+
+  const TensorPipelineResult result =
+      run_tensor_pipeline(std::move(requests), soc.num_processors());
+
+  std::printf("=== tensor pipeline (real fp32 execution, %zu stages) ===\n",
+              soc.num_processors());
+  Table table({"Slot", "Net", "Output shape", "Checksum", "Matches serial"});
+  bool all_ok = true;
+  for (std::size_t slot = 0; slot < nets.size(); ++slot) {
+    const bool ok = result.outputs[slot].allclose(expected[slot], 1e-4f);
+    all_ok &= ok;
+    table.add_row({std::to_string(slot), nets[slot].name(),
+                   result.outputs[slot].shape_str(),
+                   Table::fmt(result.outputs[slot].checksum(), 4),
+                   ok ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\npipelined execution %s serial reference (wall %.2f ms)\n",
+              all_ok ? "MATCHES" : "DIVERGES FROM", result.wall_ms);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Planner playground: compare every scheme in the repo on a model sequence
+// given on the command line (default: one of each kind), on all three SoCs.
+//
+//   ./planner_playground [model ...]
+//   models: alexnet vgg16 googlenet inceptionv4 resnet50 yolov4
+//           mobilenetv2 squeezenet bert vit
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "baselines/annealing.h"
+#include "baselines/band.h"
+#include "baselines/dart.h"
+#include "baselines/exhaustive.h"
+#include "baselines/mnn_serial.h"
+#include "baselines/pipeit.h"
+#include "baselines/ulayer.h"
+#include "core/planner.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline_sim.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+namespace {
+
+std::optional<ModelId> parse_model(const std::string& name) {
+  for (ModelId id : all_model_ids()) {
+    std::string lower = to_string(id);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<ModelId> ids;
+  for (int i = 1; i < argc; ++i) {
+    const auto id = parse_model(argv[i]);
+    if (!id) {
+      std::fprintf(stderr, "unknown model: %s\n", argv[i]);
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+  if (ids.empty()) {
+    ids = {ModelId::kYOLOv4, ModelId::kBERT, ModelId::kResNet50,
+           ModelId::kSqueezeNet, ModelId::kViT};
+  }
+
+  std::printf("sequence:");
+  for (ModelId id : ids) std::printf(" %s", to_string(id));
+  std::printf("\n\n");
+
+  for (const Soc& soc :
+       {Soc::kirin990(), Soc::snapdragon778g(), Soc::snapdragon870()}) {
+    std::vector<const Model*> models;
+    for (ModelId id : ids) models.push_back(&zoo_model(id));
+    const StaticEvaluator eval(soc, models);
+
+    Table table({"Scheme", "Latency (ms)", "Throughput (inf/s)", "Bubbles (ms)"});
+    auto add = [&](const char* name, const Timeline& t) {
+      table.add_row({name, Table::fmt(t.makespan_ms(), 1),
+                     Table::fmt(t.throughput_per_s(), 2),
+                     Table::fmt(t.total_bubble_ms(), 1)});
+    };
+
+    add("MNN (serial CPU_B)", run_mnn_serial(eval));
+    add("Pipe-it (big+small)", run_pipeit(eval));
+    add("uLayer (intra-op CPU+GPU)", run_ulayer(eval));
+    add("DART (data-parallel CPU/GPU)", run_dart(eval));
+    add("Band (greedy + fallback)", run_band(eval));
+
+    const PlannerReport no_ct =
+        Hetero2PipePlanner(eval, PlannerOptions::no_ct()).plan();
+    add("Hetero2Pipe (No C/T)", simulate_plan(no_ct.plan, eval));
+
+    const PlannerReport full = Hetero2PipePlanner(eval).plan();
+    add("Hetero2Pipe", simulate_plan(full.plan, eval));
+
+    if (ids.size() <= 6) {
+      add("Exhaustive (reference)",
+          simulate_plan(exhaustive_search(eval).plan, eval));
+    }
+    AnnealingOptions ao;
+    ao.iterations = 2000;
+    add("Simulated annealing",
+        simulate_plan(simulated_annealing(eval, ao).plan, eval));
+
+    std::printf("---- %s ----\n", soc.name().c_str());
+    table.print();
+    std::printf("\nHetero2Pipe plan:\n%s\n", full.plan.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Continuous video analytics (appendix D's use case): a stream of
+// lightweight per-frame classifications (MobileNetV2 / SqueezeNet) runs
+// alongside heavyweight periodic jobs (BERT audio transcript analysis,
+// YOLOv4 keyframe detection).  Demonstrates (1) the batching workaround
+// that aligns lightweight requests with heavy pipeline stages, and (2) the
+// real threaded runtime executor running the plan with work stealing.
+#include <cstdio>
+
+#include "core/planner.h"
+#include "models/model_zoo.h"
+#include "runtime/executor.h"
+#include "sim/pipeline_sim.h"
+#include "soc/cost_model.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+int main() {
+  std::printf("=== Continuous video analytics on Kirin 990 ===\n\n");
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+
+  // 1) Batching: how many MobileNetV2 frames fit the duration of one BERT
+  //    stage on each processor? (the appendix-D alignment trick)
+  const Model& light = zoo_model(ModelId::kMobileNetV2);
+  const Model& heavy = zoo_model(ModelId::kBERT);
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const double heavy_stage_ms = cost.model_solo_ms(heavy, cpu_b) / 3.0;
+
+  Table batching({"Processor", "1-frame (ms)", "batch aligned to BERT stage",
+                  "batched latency (ms)"});
+  for (const Processor& p : soc.processors()) {
+    if (p.kind == ProcKind::kCpuSmall) continue;
+    int batch = 1;
+    while (batch < 64 && cost.model_batch_ms(light, p, batch + 1) < heavy_stage_ms) {
+      ++batch;
+    }
+    batching.add_row({p.name, Table::fmt(cost.model_batch_ms(light, p, 1), 2),
+                      std::to_string(batch),
+                      Table::fmt(cost.model_batch_ms(light, p, batch), 2)});
+  }
+  batching.print();
+  std::printf("(one BERT pipeline stage ~ %.1f ms)\n\n", heavy_stage_ms);
+
+  // 2) Plan a mixed window: 1 detection keyframe + 1 transcript job +
+  //    4 frame classifications, then execute it on the real threaded
+  //    runtime with work-stealing deques.
+  std::vector<const Model*> window = {
+      &zoo_model(ModelId::kYOLOv4),      &zoo_model(ModelId::kBERT),
+      &zoo_model(ModelId::kMobileNetV2), &zoo_model(ModelId::kSqueezeNet),
+      &zoo_model(ModelId::kMobileNetV2), &zoo_model(ModelId::kSqueezeNet),
+  };
+  const StaticEvaluator eval(soc, window);
+  const PlannerReport report = Hetero2PipePlanner(eval).plan();
+  const Timeline sim = simulate_plan(report.plan, eval);
+  std::printf("planned window: %.1f ms simulated makespan, %zu slices\n",
+              sim.makespan_ms(), sim.tasks.size());
+
+  const auto jobs = PipelineExecutor::jobs_from_plan(report.plan, eval);
+  PipelineExecutor exec(soc.num_processors(), {/*us_per_sim_ms=*/5.0, true});
+  const RuntimeResult rt = exec.run(jobs);
+
+  std::size_t stolen = 0;
+  for (const RuntimeRecord& r : rt.records) stolen += r.stolen;
+  std::printf("threaded runtime: %zu jobs on %zu workers, wall %.2f ms "
+              "(scaled 1:200), %zu executed via work stealing\n",
+              rt.records.size(), soc.num_processors(), rt.wall_ms, stolen);
+  std::printf("\nEvery frame classified while the detector and transcript "
+              "jobs pipeline across NPU/CPU/GPU — no serial backlog.\n");
+  return 0;
+}

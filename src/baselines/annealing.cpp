@@ -1,0 +1,76 @@
+#include "baselines/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace h2p {
+
+AnnealingResult simulated_annealing(const StaticEvaluator& eval,
+                                    const AnnealingOptions& options) {
+  AnnealingResult result;
+  const std::size_t m = eval.num_models();
+  const std::size_t K = eval.soc().num_processors();
+
+  PipelinePlan current = horizontal_plan(eval, K);
+  double current_cost = eval.makespan_ms(current);
+  PipelinePlan best = current;
+  double best_cost = current_cost;
+
+  Rng rng(options.seed);
+  double temp = options.initial_temp;
+
+  for (int iter = 0; iter < options.iterations; ++iter, temp *= options.cooling) {
+    PipelinePlan neighbour = current;
+    if (m >= 2 && rng.chance(0.5)) {
+      // Swap two requests in the sequence.
+      const std::size_t a = rng.index(m);
+      std::size_t b = rng.index(m);
+      if (a == b) b = (b + 1) % m;
+      std::swap(neighbour.models[a], neighbour.models[b]);
+    } else {
+      // Nudge one stage boundary of one model by one layer.
+      const std::size_t slot = rng.index(m);
+      ModelPlan& mp = neighbour.models[slot];
+      const std::size_t n = eval.model(mp.model_index).num_layers();
+      if (n == 0 || K < 2) continue;
+      // boundaries b[0]=0..b[K]=n; pick k in [1, K-1].
+      std::vector<std::size_t> b(K + 1, 0);
+      b[K] = n;
+      std::size_t cursor = 0;
+      for (std::size_t k = 0; k < K; ++k) {
+        b[k] = cursor;
+        if (!mp.slices[k].empty()) cursor = mp.slices[k].end;
+      }
+      const std::size_t k = 1 + rng.index(K - 1);
+      const int dir = rng.chance(0.5) ? 1 : -1;
+      if (dir > 0 && b[k] < b[k + 1]) {
+        ++b[k];
+      } else if (dir < 0 && b[k] > b[k - 1]) {
+        --b[k];
+      } else {
+        continue;
+      }
+      for (std::size_t s = 0; s < K; ++s) mp.slices[s] = Slice{b[s], b[s + 1]};
+    }
+
+    const double cost = eval.makespan_ms(neighbour);
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temp, 1e-6))) {
+      current = std::move(neighbour);
+      current_cost = cost;
+      ++result.accepted_moves;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+  }
+
+  result.plan = std::move(best);
+  result.static_makespan_ms = best_cost;
+  return result;
+}
+
+}  // namespace h2p

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+
+namespace h2p {
+
+struct AnnealingOptions {
+  int iterations = 4000;
+  double initial_temp = 50.0;   // in ms of makespan degradation accepted
+  double cooling = 0.995;       // geometric schedule
+  std::uint64_t seed = 42;
+};
+
+struct AnnealingResult {
+  PipelinePlan plan;
+  double static_makespan_ms = 0.0;
+  int accepted_moves = 0;
+};
+
+/// Simulated-annealing planner (the Fig-8 meta-heuristic comparator).
+/// State = request ordering + per-model stage boundaries; neighbourhood =
+/// {swap two requests, move one boundary by one layer}; objective = static
+/// contention-aware makespan.
+AnnealingResult simulated_annealing(const StaticEvaluator& eval,
+                                    const AnnealingOptions& options = {});
+
+}  // namespace h2p

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "core/bubbles.h"
+#include "sim/pipeline_sim.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+/// One Band dispatch decision (exposed for tests).
+struct BandDispatch {
+  std::size_t model_idx = 0;
+  std::size_t proc_idx = 0;       // primary processor chosen greedily
+  bool npu_fallback = false;      // second subgraph forwarded off the NPU
+  std::size_t fallback_proc = 0;  // where the unsupported remainder went
+  std::size_t fallback_layer = 0; // first forwarded layer
+};
+
+/// Band baseline (§VI-A / MobiSys'22): greedy coordinator that sends each
+/// request, at its ready time, to the processor with the earliest estimated
+/// finish (availability + solo execution).  Requests whose operators the
+/// NPU cannot run are split at the first unsupported operator and the
+/// remainder falls back to the next-best processor.  No pipeline planning,
+/// no contention awareness — the estimates ignore co-execution slowdown,
+/// which the simulator then applies.
+std::vector<BandDispatch> band_dispatch(const StaticEvaluator& eval);
+
+Timeline run_band(const StaticEvaluator& eval);
+
+}  // namespace h2p

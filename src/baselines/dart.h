@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/bubbles.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+/// DART baseline (RTSS'19 / Table I): pipelined *data parallelism* on
+/// CPU/GPU — whole requests are dispatched round-robin-by-readiness across
+/// the two general-purpose processors, each request executing entirely on
+/// one of them.  No model slicing, no NPU, no contention awareness; the
+/// parallelism is across requests only.  This sits between MNN (one
+/// processor) and Band (all processors) and isolates how much of
+/// Hetero2Pipe's win comes from model-level slicing rather than plain
+/// request-level parallelism.
+Timeline run_dart(const StaticEvaluator& eval);
+
+}  // namespace h2p

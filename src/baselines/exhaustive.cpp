@@ -1,0 +1,47 @@
+#include "baselines/exhaustive.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/work_stealing.h"
+#include "sim/pipeline_sim.h"
+
+namespace h2p {
+
+ExhaustiveResult exhaustive_search(const StaticEvaluator& eval,
+                                   std::size_t max_permutations) {
+  ExhaustiveResult result;
+  const std::size_t m = eval.num_models();
+  const std::size_t K = eval.soc().num_processors();
+
+  const PipelinePlan base = horizontal_plan(eval, K);
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+
+  double best = -1.0;
+  do {
+    PipelinePlan candidate;
+    candidate.num_stages = K;
+    candidate.models.reserve(m);
+    for (std::size_t slot = 0; slot < m; ++slot) {
+      candidate.models.push_back(base.models[order[slot]]);
+    }
+    vertical_align(candidate, eval, {});
+
+    const Timeline t = simulate_plan(candidate, eval);
+    ++result.evaluated;
+    if (best < 0.0 || t.makespan_ms() < best) {
+      best = t.makespan_ms();
+      result.plan = candidate;
+      result.makespan_ms = best;
+    }
+    if (result.evaluated >= max_permutations) {
+      result.truncated = std::next_permutation(order.begin(), order.end());
+      return result;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  return result;
+}
+
+}  // namespace h2p

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+struct ExhaustiveResult {
+  PipelinePlan plan;
+  double makespan_ms = 0.0;     // DES makespan of the best plan found
+  std::size_t evaluated = 0;    // number of candidate plans simulated
+  bool truncated = false;       // permutation budget exhausted
+};
+
+/// Vertical-direction exhaustive search (the Fig-8 ablation's optimality
+/// reference): enumerate request orderings (up to `max_permutations`), apply
+/// the Algorithm-1 horizontal slicing plus work stealing to each, and keep
+/// the ordering whose discrete-event makespan is smallest.  Exponential in
+/// |M| — only usable on small sequences, which is exactly why the paper
+/// needs the polynomial planner.
+ExhaustiveResult exhaustive_search(const StaticEvaluator& eval,
+                                   std::size_t max_permutations = 5040);
+
+}  // namespace h2p

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "core/bubbles.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+/// Vanilla MNN baseline (§VI-A): the canonical CPU-centric implementation —
+/// every request executes serially, in order, on the CPU big cluster.
+Timeline run_mnn_serial(const StaticEvaluator& eval);
+
+/// Closed form for the same quantity (sum of CPU_Big solo times).
+double mnn_serial_latency_ms(const StaticEvaluator& eval);
+
+}  // namespace h2p

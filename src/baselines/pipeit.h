@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/bubbles.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+/// Pipe-it baseline (§VI-A): a two-stage pipeline across the CPU big and
+/// small clusters only (the paper's adaptation uses the fastest core
+/// combination — all four big, all four small — to avoid intra-cluster
+/// cache incoherence).  Per-model split point found by local search
+/// (Table I lists Pipe-it's algorithm as local search, not DP); no
+/// contention awareness, no NPU/GPU.
+Timeline run_pipeit(const StaticEvaluator& eval);
+
+/// The split point local search (exposed for tests): returns the boundary b
+/// such that stage 1 = [0, b) on CPU big, stage 2 = [b, n) on CPU small,
+/// minimizing the max stage time for one model.
+std::size_t pipeit_split(const StaticEvaluator& eval, std::size_t model_idx);
+
+}  // namespace h2p

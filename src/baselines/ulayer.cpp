@@ -1,0 +1,84 @@
+#include "baselines/ulayer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/pipeline_sim.h"
+
+namespace h2p {
+namespace {
+
+struct Procs {
+  std::size_t cpu;
+  std::size_t gpu;
+};
+
+Procs find_procs(const StaticEvaluator& eval) {
+  const int cpu = eval.soc().find(ProcKind::kCpuBig);
+  const int gpu = eval.soc().find(ProcKind::kGpu);
+  if (cpu < 0 || gpu < 0) {
+    throw std::runtime_error("run_ulayer: Soc lacks CPU big cluster or GPU");
+  }
+  return {static_cast<std::size_t>(cpu), static_cast<std::size_t>(gpu)};
+}
+
+}  // namespace
+
+std::vector<ULayerSplit> ulayer_splits(const StaticEvaluator& eval,
+                                       std::size_t model_idx) {
+  const Procs procs = find_procs(eval);
+  const Model& model = eval.model(model_idx);
+  const CostModel& cost = eval.cost_model();
+  const Processor& cpu = eval.soc().processor(procs.cpu);
+  const Processor& gpu = eval.soc().processor(procs.gpu);
+
+  std::vector<ULayerSplit> splits;
+  splits.reserve(model.num_layers());
+  for (const Layer& layer : model.layers()) {
+    const double t_cpu = cost.layer_time_ms(layer, cpu);
+    const double t_gpu = cost.layer_time_ms(layer, gpu);
+    ULayerSplit s;
+    // Channel-proportional split balancing the two partial executions:
+    // share r on the CPU costs ~ r * t_cpu, (1 - r) on the GPU.
+    s.cpu_share = t_gpu / std::max(t_cpu + t_gpu, 1e-12);
+    const double part = std::max(s.cpu_share * t_cpu, (1.0 - s.cpu_share) * t_gpu);
+    // Both halves of the output tensor cross the bus to be merged, and the
+    // next layer re-reads the merged tensor on both devices.
+    s.merge_ms = cost.copy_ms(layer.output_bytes, gpu);
+    s.layer_ms = part + s.merge_ms;
+    splits.push_back(s);
+  }
+  return splits;
+}
+
+Timeline run_ulayer(const StaticEvaluator& eval) {
+  const Procs procs = find_procs(eval);
+  std::vector<SimTask> tasks;
+
+  for (std::size_t i = 0; i < eval.num_models(); ++i) {
+    const Model& model = eval.model(i);
+    if (model.num_layers() == 0) continue;
+    const auto splits = ulayer_splits(eval, i);
+    double total_ms = 0.0;
+    for (const ULayerSplit& s : splits) total_ms += s.layer_ms;
+
+    // Both processors are occupied lock-step for the whole cooperative
+    // execution (same seq: no chain dependency between the halves) and
+    // aggress on each other across the bus with the model's own CPU/GPU
+    // contention signatures.
+    const std::size_t n = model.num_layers();
+    for (const std::size_t proc : {procs.cpu, procs.gpu}) {
+      SimTask t;
+      t.model_idx = i;
+      t.seq_in_model = 0;
+      t.proc_idx = proc;
+      t.solo_ms = total_ms;
+      t.sensitivity = eval.table(i).mem_sensitivity(proc, 0, n - 1);
+      t.intensity = eval.table(i).intensity(proc, 0, n - 1);
+      tasks.push_back(t);
+    }
+  }
+  return simulate(eval.soc(), std::move(tasks), {});
+}
+
+}  // namespace h2p

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/bubbles.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+/// Per-layer split decision of the intra-operator baseline.
+struct ULayerSplit {
+  double cpu_share = 0.5;    // fraction of output channels on the CPU
+  double layer_ms = 0.0;     // max(cpu part, gpu part) + merge overhead
+  double merge_ms = 0.0;     // per-layer synchronization / tensor merge
+};
+
+/// muLayer-style intra-operator partitioning baseline (EuroSys'19 /
+/// Table I): every layer is split channel-wise across the CPU big cluster
+/// and the GPU, which run it cooperatively and must merge the two partial
+/// output tensors before the next layer starts.
+///
+/// This is the alternative parallelism the paper argues against for
+/// multi-DNN streams (§II-A): "the intermediate results from different
+/// processors are deemed to be merged with additional overhead of
+/// significant communication/memory copy per split" — and the two
+/// processors co-run continuously, paying the CPU-GPU bus coupling on
+/// every layer.  Models in the request stream execute serially (no
+/// pipelining across requests).
+std::vector<ULayerSplit> ulayer_splits(const StaticEvaluator& eval,
+                                       std::size_t model_idx);
+
+Timeline run_ulayer(const StaticEvaluator& eval);
+
+}  // namespace h2p

@@ -1,0 +1,25 @@
+#include "contention/classifier.h"
+
+#include "util/stats.h"
+
+namespace h2p {
+
+void ContentionClassifier::fit(std::span<const double> intensities) {
+  if (intensities.empty()) return;
+  threshold_ = percentile(intensities, percentile_);
+  fitted_ = true;
+}
+
+bool ContentionClassifier::is_high(double intensity) const {
+  return intensity >= threshold_;
+}
+
+std::vector<bool> ContentionClassifier::classify(
+    std::span<const double> intensities) const {
+  std::vector<bool> out;
+  out.reserve(intensities.size());
+  for (double v : intensities) out.push_back(is_high(v));
+  return out;
+}
+
+}  // namespace h2p

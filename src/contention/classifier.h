@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace h2p {
+
+/// Splits inference requests into high (H) and low (L) contention classes
+/// by a percentile threshold over their contention intensities (§V-B).
+class ContentionClassifier {
+ public:
+  /// `percentile` in [0, 1]: intensities at or above this sample percentile
+  /// are classified high.  The paper uses "a percentage threshold"; 0.5
+  /// (median split) is the default used in the evaluation.
+  explicit ContentionClassifier(double percentile = 0.5) : percentile_(percentile) {}
+
+  /// Learn the threshold from a population of intensities.
+  void fit(std::span<const double> intensities);
+
+  /// Set the threshold directly.
+  void set_threshold(double t) { threshold_ = t; fitted_ = true; }
+
+  [[nodiscard]] bool is_high(double intensity) const;
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  /// Classify a whole sequence: true = high contention.
+  [[nodiscard]] std::vector<bool> classify(std::span<const double> intensities) const;
+
+ private:
+  double percentile_;
+  double threshold_ = 0.5;
+  bool fitted_ = false;
+};
+
+}  // namespace h2p

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// One co-running workload as the slowdown model sees it.
+struct Aggressor {
+  std::size_t proc_idx = 0;
+  double intensity = 0.0;  // contention intensity in [0, 1]
+};
+
+/// Shared-memory-bus slowdown model (Eq. 2's T^co term).
+///
+///   slowdown(victim p) = 1 + sum_q gamma(p, q) * I_q * S_p
+///
+/// where gamma is the Soc's processor-pair coupling, I_q the aggressor's
+/// contention intensity and S_p the victim's memory sensitivity (its
+/// memory-bound execution-time share).  This construction yields
+/// Observation 1 by design: the coupling term gamma * product is symmetric
+/// up to each side's sensitivity, so a pair with similar memory-boundedness
+/// sees similar slowdowns, and any pair involving the NPU sees almost none.
+class ContentionModel {
+ public:
+  explicit ContentionModel(const Soc& soc) : soc_(&soc) {}
+
+  /// Multiplicative slowdown factor (>= 1) for a victim on `victim_proc`
+  /// with memory sensitivity `victim_sensitivity`, given concurrent
+  /// aggressors.  Capped: a saturated bus cannot slow a task indefinitely.
+  [[nodiscard]] double slowdown(std::size_t victim_proc, double victim_sensitivity,
+                                std::span<const Aggressor> aggressors) const;
+
+  /// Static full-overlap pairwise co-execution estimate used by Table II:
+  /// returns {slowdown_a, slowdown_b}.
+  struct PairResult {
+    double slowdown_a = 1.0;
+    double slowdown_b = 1.0;
+  };
+  [[nodiscard]] PairResult pairwise(std::size_t proc_a, double sens_a, double int_a,
+                                    std::size_t proc_b, double sens_b,
+                                    double int_b) const;
+
+  /// Fine-grained per-core contention inside one CPU cluster (Fig 10):
+  /// splitting a cluster between two workloads causes conflicting L2
+  /// evictions far beyond cross-cluster bus contention.  `cores_each` is the
+  /// number of cores given to each of the two co-located workloads.
+  [[nodiscard]] static double intra_cluster_slowdown(double sens_a, double int_b,
+                                                     int cores_a, int cores_b);
+
+  static constexpr double kMaxSlowdown = 2.5;
+  /// A victim's vulnerability never drops to zero: cache pollution and
+  /// row-buffer conflicts tax compute-bound workloads too.
+  static constexpr double kVulnerabilityFloor = 0.35;
+
+ private:
+  const Soc* soc_;
+};
+
+}  // namespace h2p

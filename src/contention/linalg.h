@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace h2p {
+
+/// Small dense row-major matrix — just enough linear algebra for the
+/// closed-form ridge solution of Eq. (1).  Not a general BLAS; dimensions in
+/// this codebase are tiny (features x features).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix scaled(double s) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error on a (numerically) singular system.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+}  // namespace h2p

@@ -1,0 +1,61 @@
+#include "contention/ridge.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace h2p {
+
+void RidgeRegression::fit(const std::vector<std::vector<double>>& x,
+                          std::span<const double> y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::runtime_error("RidgeRegression::fit: empty or mismatched data");
+  }
+  const std::size_t n = x.size();
+  const std::size_t d_in = x.front().size();
+  const std::size_t d = d_in + (include_bias_ ? 1 : 0);
+
+  Matrix xm(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (x[r].size() != d_in) throw std::runtime_error("RidgeRegression::fit: ragged X");
+    for (std::size_t c = 0; c < d_in; ++c) xm.at(r, c) = x[r][c];
+    if (include_bias_) xm.at(r, d_in) = 1.0;
+  }
+
+  const Matrix xt = xm.transpose();
+  Matrix gram = xt * xm;
+  for (std::size_t i = 0; i < d_in; ++i) gram.at(i, i) += alpha_;
+  if (include_bias_) gram.at(d_in, d_in) += 1e-9;  // keep solvable, unpenalized
+
+  std::vector<double> rhs(d, 0.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t r = 0; r < n; ++r) rhs[c] += xt.at(c, r) * y[r];
+  }
+  weights_ = solve(gram, rhs);
+}
+
+double RidgeRegression::predict(std::span<const double> features) const {
+  assert(fitted());
+  const std::size_t d_in = weights_.size() - (include_bias_ ? 1 : 0);
+  assert(features.size() == d_in);
+  double acc = include_bias_ ? weights_.back() : 0.0;
+  for (std::size_t i = 0; i < d_in; ++i) acc += weights_[i] * features[i];
+  return acc;
+}
+
+double RidgeRegression::r2(const std::vector<std::vector<double>>& x,
+                           std::span<const double> y) const {
+  if (x.empty()) return 0.0;
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = predict(x[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  if (ss_tot <= 0.0) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace h2p

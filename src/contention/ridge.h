@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "contention/linalg.h"
+
+namespace h2p {
+
+/// Ridge regression with the closed-form solution of Eq. (1):
+///   W = (X^T X + alpha I)^-1 X^T Y
+/// used to map PMU features {IPC, cache-miss rate, backend stalls} to a
+/// model's contention intensity, so new inference requests can be scored
+/// without profiling every co-execution combination.
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double alpha = 1e-2, bool include_bias = true)
+      : alpha_(alpha), include_bias_(include_bias) {}
+
+  /// Fit on n samples of d features; y has n entries.  The bias column, when
+  /// present, is not regularized.
+  void fit(const std::vector<std::vector<double>>& x, std::span<const double> y);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] bool fitted() const { return !weights_.empty(); }
+
+  /// Coefficient of determination on a dataset.
+  [[nodiscard]] double r2(const std::vector<std::vector<double>>& x,
+                          std::span<const double> y) const;
+
+ private:
+  double alpha_;
+  bool include_bias_;
+  std::vector<double> weights_;  // [d] or [d+1] with bias last
+};
+
+}  // namespace h2p

@@ -1,0 +1,181 @@
+#include "core/bubbles.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/partition.h"
+#include "soc/perf_counters.h"
+
+namespace h2p {
+
+StaticEvaluator::StaticEvaluator(const Soc& soc, std::vector<const Model*> models)
+    : soc_(&soc), models_(std::move(models)), cost_(soc), contention_(soc) {
+  tables_.reserve(models_.size());
+  model_intensity_.reserve(models_.size());
+  const int cpu_b = soc.find(ProcKind::kCpuBig);
+  const std::size_t intensity_proc = cpu_b >= 0 ? static_cast<std::size_t>(cpu_b) : 0;
+  for (const Model* m : models_) {
+    assert(m != nullptr);
+    tables_.emplace_back(*m, cost_);
+    model_intensity_.push_back(true_contention_intensity(*m, intensity_proc, cost_));
+  }
+}
+
+double StaticEvaluator::stage_solo_ms(const ModelPlan& mp, std::size_t k) const {
+  const Slice& s = mp.slices[k];
+  if (s.empty()) return 0.0;
+  const CostTable& t = tables_[mp.model_index];
+  double ms = t.exec_ms(k, s.begin, s.end - 1);
+  if (s.begin > 0) ms += t.boundary_copy_ms(k, s.begin);
+  return ms;
+}
+
+double StaticEvaluator::stage_intensity(const ModelPlan& mp, std::size_t k) const {
+  const Slice& s = mp.slices[k];
+  if (s.empty()) return 0.0;
+  return tables_[mp.model_index].intensity(k, s.begin, s.end - 1);
+}
+
+double StaticEvaluator::stage_sensitivity(const ModelPlan& mp, std::size_t k) const {
+  const Slice& s = mp.slices[k];
+  if (s.empty()) return 0.0;
+  return tables_[mp.model_index].mem_sensitivity(k, s.begin, s.end - 1);
+}
+
+double StaticEvaluator::model_intensity(std::size_t idx) const {
+  return model_intensity_[idx];
+}
+
+std::vector<std::vector<double>> StaticEvaluator::stage_times(
+    const PipelinePlan& plan, bool with_contention) const {
+  const std::size_t m = plan.models.size();
+  const std::size_t K = plan.num_stages;
+  std::vector<std::vector<double>> times(m, std::vector<double>(K, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < K; ++k) {
+      times[i][k] = stage_solo_ms(plan.models[i], k);
+    }
+  }
+  if (!with_contention || m == 0) return times;
+
+  // Apply co-execution slowdown column by column: column j holds the slices
+  // { (i, k) : i + k = j } that the wavefront runs concurrently.
+  for (std::size_t j = 0; j + 1 <= m + K - 1; ++j) {
+    std::vector<std::pair<std::size_t, std::size_t>> members;  // (slot, stage)
+    std::vector<Aggressor> aggr;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (j < k) continue;
+      const std::size_t i = j - k;
+      if (i >= m) continue;
+      if (plan.models[i].slices[k].empty()) continue;
+      members.emplace_back(i, k);
+      aggr.push_back(Aggressor{k, stage_intensity(plan.models[i], k)});
+    }
+    if (members.size() < 2) continue;
+    for (std::size_t idx = 0; idx < members.size(); ++idx) {
+      const auto [i, k] = members[idx];
+      // Everyone except the victim itself aggresses.
+      std::vector<Aggressor> others;
+      others.reserve(aggr.size() - 1);
+      for (std::size_t a = 0; a < aggr.size(); ++a) {
+        if (a != idx) others.push_back(aggr[a]);
+      }
+      const double factor =
+          contention_.slowdown(k, stage_sensitivity(plan.models[i], k), others);
+      times[i][k] *= factor;
+    }
+  }
+  return times;
+}
+
+double StaticEvaluator::makespan_ms(const PipelinePlan& plan,
+                                    bool with_contention) const {
+  const auto times = stage_times(plan, with_contention);
+  const std::size_t m = plan.models.size();
+  const std::size_t K = plan.num_stages;
+  if (m == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j + 1 <= m + K - 1; ++j) {
+    double colmax = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (j < k) continue;
+      const std::size_t i = j - k;
+      if (i >= m) continue;
+      colmax = std::max(colmax, times[i][k]);
+    }
+    total += colmax;
+  }
+  return total;
+}
+
+double StaticEvaluator::total_bubble_ms(const PipelinePlan& plan,
+                                        bool with_contention) const {
+  const auto times = stage_times(plan, with_contention);
+  const std::size_t m = plan.models.size();
+  const std::size_t K = plan.num_stages;
+  if (m == 0) return 0.0;
+  double bubbles = 0.0;
+  for (std::size_t j = 0; j + 1 <= m + K - 1; ++j) {
+    double colmax = 0.0;
+    std::vector<double> col;
+    // A column occupies every stage k in [0, K): stages with no slice (ramp
+    // up / drain / empty slices) idle for the whole column (Eq. 3).
+    for (std::size_t k = 0; k < K; ++k) {
+      double t = 0.0;
+      if (j >= k && j - k < m) t = times[j - k][k];
+      col.push_back(t);
+      colmax = std::max(colmax, t);
+    }
+    for (double t : col) bubbles += colmax - t;
+  }
+  return bubbles;
+}
+
+double StaticEvaluator::resident_bytes(const ModelPlan& mp) const {
+  // Weights plus runtime workspace: MNN-style backends keep im2col/GEMM
+  // scratch and rearranged weight copies alive, empirically ~1.8x the raw
+  // weight bytes (this reproduces Fig 9's ~2 GB footprint for a 3-large-
+  // model pipeline), plus the largest live activation.
+  constexpr double kWorkspaceFactor = 1.8;
+  const Model& m = model(mp.model_index);
+  double bytes = 0.0;
+  double peak_act = 0.0;
+  for (const Slice& s : mp.slices) {
+    if (s.empty()) continue;
+    bytes += m.range_param_bytes(s.begin, s.end - 1);
+    peak_act = std::max(peak_act, m.peak_activation_bytes(s.begin, s.end - 1));
+  }
+  return kWorkspaceFactor * bytes + peak_act;
+}
+
+bool StaticEvaluator::satisfies_memory(const PipelinePlan& plan) const {
+  const std::size_t m = plan.models.size();
+  const std::size_t K = plan.num_stages;
+  // Constraint (6): every wavefront column's concurrent residents must fit.
+  for (std::size_t j = 0; j + 1 <= m + K - 1; ++j) {
+    double resident = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (j < k) continue;
+      const std::size_t i = j - k;
+      if (i >= m) continue;
+      resident += resident_bytes(plan.models[i]);
+    }
+    if (resident > soc_->available_bytes()) return false;
+  }
+  return true;
+}
+
+PipelinePlan horizontal_plan(const StaticEvaluator& eval, std::size_t num_stages) {
+  PipelinePlan plan;
+  plan.num_stages = num_stages;
+  plan.models.reserve(eval.num_models());
+  for (std::size_t i = 0; i < eval.num_models(); ++i) {
+    ModelPlan mp;
+    mp.model_index = i;
+    mp.slices = partition_model(eval.table(i), num_stages).slices;
+    plan.models.push_back(std::move(mp));
+  }
+  return plan;
+}
+
+}  // namespace h2p

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "contention/contention_model.h"
+#include "core/plan.h"
+#include "models/model.h"
+#include "soc/cost_model.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// Static (planning-time) evaluation of a pipeline plan.
+///
+/// Owns the per-model cost tables and the contention model for one request
+/// sequence on one Soc, and evaluates plans under the synchronous-wavefront
+/// abstraction the paper's Def. 3 uses: in column j, the slices
+/// { M_k^i : i + k = j } execute concurrently; the column takes as long as
+/// its slowest member and every faster member idles (a pipeline bubble,
+/// Eq. 3).  The discrete-event simulator (sim/) is the asynchronous ground
+/// truth; this evaluator is what the planner itself optimizes against.
+class StaticEvaluator {
+ public:
+  StaticEvaluator(const Soc& soc, std::vector<const Model*> models);
+
+  [[nodiscard]] const Soc& soc() const { return *soc_; }
+  [[nodiscard]] std::size_t num_models() const { return models_.size(); }
+  [[nodiscard]] const Model& model(std::size_t idx) const { return *models_[idx]; }
+  [[nodiscard]] const CostTable& table(std::size_t idx) const { return tables_[idx]; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] const ContentionModel& contention() const { return contention_; }
+
+  /// Solo time of one stage of a model plan (exec + inbound copy; Eq. 2
+  /// terms 1 + 2).  Empty slices cost zero.
+  [[nodiscard]] double stage_solo_ms(const ModelPlan& mp, std::size_t k) const;
+
+  /// Contention intensity / memory sensitivity of one stage's slice.
+  [[nodiscard]] double stage_intensity(const ModelPlan& mp, std::size_t k) const;
+  [[nodiscard]] double stage_sensitivity(const ModelPlan& mp, std::size_t k) const;
+
+  /// Whole-model contention intensity measured on the CPU big cluster —
+  /// the proxy the classifier thresholds on (§III).
+  [[nodiscard]] double model_intensity(std::size_t idx) const;
+
+  /// Stage-time grid times[slot][k], with the co-execution slowdown of each
+  /// wavefront column applied when `with_contention`.
+  [[nodiscard]] std::vector<std::vector<double>> stage_times(
+      const PipelinePlan& plan, bool with_contention) const;
+
+  /// Sum over wavefront columns of the column maximum — the static makespan.
+  [[nodiscard]] double makespan_ms(const PipelinePlan& plan,
+                                   bool with_contention = true) const;
+
+  /// Eq. 3 summed over all columns: total idle time under the wavefront
+  /// abstraction (includes the ramp-up head and drain tail).
+  [[nodiscard]] double total_bubble_ms(const PipelinePlan& plan,
+                                       bool with_contention = true) const;
+
+  /// Resident bytes of one model while it is in flight (weights of all
+  /// non-empty slices + its largest activation) — constraint (6).
+  [[nodiscard]] double resident_bytes(const ModelPlan& mp) const;
+
+  /// True if no wavefront column exceeds the Soc's available memory.
+  [[nodiscard]] bool satisfies_memory(const PipelinePlan& plan) const;
+
+ private:
+  const Soc* soc_;
+  std::vector<const Model*> models_;
+  CostModel cost_;
+  ContentionModel contention_;
+  std::vector<CostTable> tables_;
+  std::vector<double> model_intensity_;
+};
+
+/// Build the default horizontal plan: every model sliced by Algorithm 1 in
+/// the original order (no reordering, no stealing).  The entry point the
+/// planner, baselines and tests share.
+PipelinePlan horizontal_plan(const StaticEvaluator& eval, std::size_t num_stages);
+
+}  // namespace h2p

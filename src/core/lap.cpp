@@ -1,0 +1,79 @@
+#include "core/lap.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace h2p {
+
+LapResult solve_lap(const std::vector<std::vector<double>>& cost) {
+  LapResult result;
+  const std::size_t n = cost.size();
+  if (n == 0) return result;
+  const std::size_t m = cost.front().size();
+  if (m < n) throw std::invalid_argument("solve_lap: requires rows <= cols");
+  for (const auto& row : cost) {
+    if (row.size() != m) throw std::invalid_argument("solve_lap: ragged matrix");
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-indexed potentials, standard shortest-augmenting-path formulation.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> match(m + 1, 0);  // match[col] = row occupying it
+  std::vector<int> way(m + 1, 0);
+
+  for (std::size_t r = 1; r <= n; ++r) {
+    match[0] = static_cast<int>(r);
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = static_cast<std::size_t>(match[j0]);
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[static_cast<std::size_t>(match[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = static_cast<std::size_t>(way[j0]);
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.row_to_col.assign(n, -1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (match[j] == 0) continue;
+    const std::size_t r = static_cast<std::size_t>(match[j]) - 1;
+    const double c = cost[r][j - 1];
+    if (c >= kLapForbidden * 0.5) {
+      result.fully_feasible = false;
+      continue;  // leave row unmatched rather than pay the sentinel
+    }
+    result.row_to_col[r] = static_cast<int>(j - 1);
+    result.total_cost += c;
+  }
+  return result;
+}
+
+}  // namespace h2p

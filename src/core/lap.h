@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+namespace h2p {
+
+/// Sentinel cost for forbidden assignments (Eq. 10's infinite entries).
+inline constexpr double kLapForbidden = 1e50;
+
+struct LapResult {
+  /// row_to_col[r] = assigned column for row r, or -1 when the row could
+  /// only be matched through a forbidden edge.
+  std::vector<int> row_to_col;
+  double total_cost = 0.0;  // over feasible assignments only
+  bool fully_feasible = true;
+};
+
+/// Kuhn–Munkres / Jonker-Volgenant style Linear Assignment solver (P3) in
+/// O(n^2 m): shortest augmenting paths with dual potentials.  Requires
+/// rows <= cols; every row gets matched (forbidden matches are reported as
+/// -1 in the result rather than silently paying the sentinel).
+LapResult solve_lap(const std::vector<std::vector<double>>& cost);
+
+}  // namespace h2p

@@ -1,0 +1,183 @@
+#include "core/mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "contention/classifier.h"
+#include "core/lap.h"
+
+namespace h2p {
+namespace {
+
+std::vector<bool> labels_in_order(const std::vector<bool>& high,
+                                  const std::vector<std::size_t>& order) {
+  std::vector<bool> labels(order.size());
+  for (std::size_t p = 0; p < order.size(); ++p) labels[p] = high[order[p]];
+  return labels;
+}
+
+/// A pair of consecutive H positions closer than K (a "hot gap"): Property 3
+/// says it needs K - d low-contention requests inserted between them.
+struct HotGap {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  [[nodiscard]] std::size_t deficiency(std::size_t K) const {
+    const std::size_t d = right - left;
+    return d < K ? K - d : 0;
+  }
+};
+
+std::vector<HotGap> hot_gaps(const std::vector<bool>& labels, std::size_t K) {
+  std::vector<std::size_t> hs;
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    if (labels[p]) hs.push_back(p);
+  }
+  std::vector<HotGap> gaps;
+  for (std::size_t a = 1; a < hs.size(); ++a) {
+    if (hs[a] - hs[a - 1] < K) gaps.push_back({hs[a - 1], hs[a]});
+  }
+  return gaps;
+}
+
+/// Total Property-3 deficiency: sum over consecutive H pairs of the number
+/// of L insertions still required.  Zero iff no window violation remains.
+std::size_t total_deficiency(const std::vector<bool>& labels, std::size_t K) {
+  std::size_t total = 0;
+  for (const HotGap& g : hot_gaps(labels, K)) total += g.deficiency(K);
+  return total;
+}
+
+/// Relocate the element at position `from` to sit just before position `to`
+/// (list removal + reinsertion, everything in between shifts by one).
+void relocate(std::vector<std::size_t>& order, std::size_t from, std::size_t to) {
+  if (from == to) return;
+  const std::size_t value = order[from];
+  order.erase(order.begin() + static_cast<std::ptrdiff_t>(from));
+  if (to > from) --to;
+  order.insert(order.begin() + static_cast<std::ptrdiff_t>(to), value);
+}
+
+}  // namespace
+
+bool has_window_violation(const std::vector<bool>& labels, std::size_t K) {
+  std::size_t last_h = labels.size();  // sentinel: none yet
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    if (!labels[p]) continue;
+    if (last_h != labels.size() && p - last_h < K) return true;
+    last_h = p;
+  }
+  return false;
+}
+
+std::vector<std::size_t> mitigate_order(const std::vector<bool>& high, std::size_t K,
+                                        int* relocations, double* displacement_cost,
+                                        bool* fully_mitigated) {
+  const std::size_t n = high.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  int moves = 0;
+  double total_cost = 0.0;
+  bool resolved = true;
+  if (K <= 1 || n < 2) {
+    if (relocations) *relocations = 0;
+    if (displacement_cost) *displacement_cost = 0.0;
+    if (fully_mitigated) *fully_mitigated = true;
+    return order;
+  }
+
+  // Each accepted relocation strictly reduces the total Property-3
+  // deficiency (checked explicitly), so K * n rounds always suffice.
+  for (std::size_t round = 0; round < K * n + 1; ++round) {
+    const std::vector<bool> labels = labels_in_order(high, order);
+    const std::vector<HotGap> gaps = hot_gaps(labels, K);
+    if (gaps.empty()) break;
+    const std::size_t deficiency_before = total_deficiency(labels, K);
+
+    std::vector<std::size_t> l_pos;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!labels[p]) l_pos.push_back(p);
+    }
+    if (l_pos.empty()) {
+      resolved = false;
+      break;
+    }
+
+    // P3: rows = hot gaps needing an L inserted between their H pair,
+    // cols = candidate L donors.  Cost = displacement distance (Eq. 10);
+    // a donor already sitting inside the gap cannot widen it (infinite
+    // cost), matching the paper's in-window exclusion.  KM needs
+    // rows <= cols; surplus gaps wait for the next round.
+    std::vector<HotGap> rows(gaps);
+    if (rows.size() > l_pos.size()) rows.resize(l_pos.size());
+
+    std::vector<std::vector<double>> cost(rows.size(),
+                                          std::vector<double>(l_pos.size()));
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < l_pos.size(); ++c) {
+        const std::size_t i = l_pos[c];
+        if (i > rows[r].left && i < rows[r].right) {
+          cost[r][c] = kLapForbidden;
+        } else {
+          const std::size_t j = rows[r].right;  // insertion slot
+          cost[r][c] = static_cast<double>((i > j) ? i - j : j - i);
+        }
+      }
+    }
+
+    const LapResult lap = solve_lap(cost);
+    std::vector<std::pair<double, std::pair<std::size_t, std::size_t>>> inserts;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (lap.row_to_col[r] < 0) continue;
+      const std::size_t i = l_pos[static_cast<std::size_t>(lap.row_to_col[r])];
+      inserts.push_back(
+          {cost[r][static_cast<std::size_t>(lap.row_to_col[r])], {i, rows[r].right}});
+    }
+    std::sort(inserts.begin(), inserts.end());
+
+    // Apply cheapest-first; a relocation shifts everything between donor
+    // and insertion point, so each one is accepted only if it strictly
+    // reduces the global deficiency (this also rejects donors whose removal
+    // would collapse another gap — Alg. 2's feasibility rule).
+    bool any_applied = false;
+    for (const auto& [c, move] : inserts) {
+      const auto [from, to] = move;
+      std::vector<std::size_t> trial = order;
+      relocate(trial, from, to);
+      if (total_deficiency(labels_in_order(high, trial), K) <
+          total_deficiency(labels_in_order(high, order), K)) {
+        order = std::move(trial);
+        total_cost += c;
+        ++moves;
+        any_applied = true;
+        break;  // positions are stale after a relocation: rebuild next round
+      }
+    }
+    if (!any_applied) {
+      resolved = false;  // Alg. 2's "no sufficient L" stop condition
+      break;
+    }
+    (void)deficiency_before;
+  }
+
+  if (fully_mitigated) {
+    *fully_mitigated = resolved && !has_window_violation(labels_in_order(high, order), K);
+  }
+  if (relocations) *relocations = moves;
+  if (displacement_cost) *displacement_cost = total_cost;
+  return order;
+}
+
+MitigationResult mitigate_contention(std::span<const double> intensities,
+                                     std::size_t K, double classifier_percentile) {
+  MitigationResult result;
+  ContentionClassifier classifier(classifier_percentile);
+  classifier.fit(intensities);
+  result.high.reserve(intensities.size());
+  for (double v : intensities) result.high.push_back(classifier.is_high(v));
+  result.order = mitigate_order(result.high, K, &result.relocations,
+                                &result.displacement_cost, &result.fully_mitigated);
+  return result;
+}
+
+}  // namespace h2p

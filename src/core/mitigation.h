@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace h2p {
+
+/// Result of the Algorithm-2 contention-mitigation pass.
+struct MitigationResult {
+  /// order[slot] = original request index (the re-arranged input sequence).
+  std::vector<std::size_t> order;
+  /// Classifier output per *original* request index.
+  std::vector<bool> high;
+  int relocations = 0;
+  double displacement_cost = 0.0;  // sum of |j - i| over applied moves
+  /// False when the paper's stop condition "no sufficient L" was hit with
+  /// residual H-H overlap remaining.
+  bool fully_mitigated = true;
+};
+
+/// True if any two high-contention requests sit within the same contention
+/// window (Def. 4): positions closer than K apart.
+bool has_window_violation(const std::vector<bool>& high_in_order, std::size_t K);
+
+/// Algorithm 2 on explicit H/L labels: re-order the sequence by swapping
+/// low-contention requests into clustered-H slots, choosing the swaps with a
+/// Kuhn–Munkres assignment minimizing total displacement (P3 / Eq. 10).
+/// Swaps that would create a *new* H cluster are forbidden (infinite cost).
+std::vector<std::size_t> mitigate_order(const std::vector<bool>& high, std::size_t K,
+                                        int* relocations = nullptr,
+                                        double* displacement_cost = nullptr,
+                                        bool* fully_mitigated = nullptr);
+
+/// Full pass: classify intensities into H/L by percentile threshold, then
+/// mitigate.  `classifier_percentile` is the H/L split point (§V-B).
+MitigationResult mitigate_contention(std::span<const double> intensities,
+                                     std::size_t K,
+                                     double classifier_percentile = 0.5);
+
+}  // namespace h2p

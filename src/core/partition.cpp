@@ -1,0 +1,151 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace h2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Greedy feasibility probe: can the chain be tiled into K stages with every
+/// stage cost <= budget?  With monotone range costs, maximal prefix
+/// extension per stage is optimal, so the probe is exact.
+bool feasible(const StageCostFn& cost, std::size_t n, std::size_t K, double budget,
+              std::vector<Slice>* out) {
+  std::size_t cursor = 0;
+  std::vector<Slice> slices(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    std::size_t end = cursor;
+    // Extend the stage while it stays within budget.  Binary search the
+    // farthest end (monotone in `end`), O(log n) oracle calls per stage.
+    std::size_t lo = cursor, hi = n;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi + 1) / 2;
+      if (cost(k, cursor, mid - 1) <= budget) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    end = lo;
+    slices[k] = Slice{cursor, end};
+    cursor = end;
+    if (cursor == n) {
+      for (std::size_t k2 = k + 1; k2 < K; ++k2) slices[k2] = Slice{n, n};
+      break;
+    }
+  }
+  if (cursor != n) return false;
+  if (out) *out = std::move(slices);
+  return true;
+}
+
+double max_stage_cost(const StageCostFn& cost, const std::vector<Slice>& slices) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < slices.size(); ++k) {
+    if (slices[k].empty()) continue;
+    worst = std::max(worst, cost(k, slices[k].begin, slices[k].end - 1));
+  }
+  return worst;
+}
+
+}  // namespace
+
+PartitionResult partition_minmax(const StageCostFn& cost, std::size_t n,
+                                 std::size_t K) {
+  PartitionResult result;
+  if (K == 0) return result;
+  if (n == 0) {
+    result.slices.assign(K, Slice{0, 0});
+    return result;
+  }
+
+  // Upper bound: everything on stage 0; lower bound: 0.
+  double hi = cost(0, 0, n - 1);
+  for (std::size_t k = 1; k < K; ++k) hi = std::min(hi, cost(k, 0, n - 1));
+  double lo = 0.0;
+
+  std::vector<Slice> best;
+  if (!feasible(cost, n, K, hi, &best)) {
+    // Costs can be stage-dependent such that no single stage fits within the
+    // cheapest whole-model cost; fall back to doubling.
+    hi = std::max(hi, 1e-6);
+    while (!feasible(cost, n, K, hi, &best)) {
+      hi *= 2.0;
+      if (hi > 1e18) break;
+    }
+  }
+
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<Slice> probe;
+    if (feasible(cost, n, K, mid, &probe)) {
+      hi = mid;
+      best = std::move(probe);
+    } else {
+      lo = mid;
+    }
+  }
+
+  result.slices = std::move(best);
+  result.bottleneck_ms = max_stage_cost(cost, result.slices);
+  return result;
+}
+
+PartitionResult partition_minmax_reference(const StageCostFn& cost, std::size_t n,
+                                           std::size_t K) {
+  PartitionResult result;
+  if (K == 0) return result;
+  if (n == 0) {
+    result.slices.assign(K, Slice{0, 0});
+    return result;
+  }
+
+  // dp[k][e] = optimal bottleneck for placing the first e layers on stages
+  // [0, k]; e in [0, n].  choice[k][e] = begin of stage k's slice.
+  std::vector<std::vector<double>> dp(K, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<std::size_t>> choice(K, std::vector<std::size_t>(n + 1, 0));
+
+  for (std::size_t e = 0; e <= n; ++e) {
+    dp[0][e] = (e == 0) ? 0.0 : cost(0, 0, e - 1);
+    choice[0][e] = 0;
+  }
+  for (std::size_t k = 1; k < K; ++k) {
+    for (std::size_t e = 0; e <= n; ++e) {
+      for (std::size_t b = 0; b <= e; ++b) {
+        const double stage = (b == e) ? 0.0 : cost(k, b, e - 1);
+        const double cand = std::max(dp[k - 1][b], stage);
+        if (cand < dp[k][e]) {
+          dp[k][e] = cand;
+          choice[k][e] = b;
+        }
+      }
+    }
+  }
+
+  result.slices.assign(K, Slice{});
+  std::size_t e = n;
+  for (std::size_t k = K; k-- > 0;) {
+    const std::size_t b = (k == 0) ? 0 : choice[k][e];
+    result.slices[k] = Slice{b, e};
+    e = b;
+  }
+  result.bottleneck_ms = dp[K - 1][n];
+  return result;
+}
+
+StageCostFn stage_cost_fn(const CostTable& table) {
+  return [&table](std::size_t k, std::size_t i, std::size_t j) {
+    double t = table.exec_ms(k, i, j);
+    if (i > 0) t += table.boundary_copy_ms(k, i);
+    return t;
+  };
+}
+
+PartitionResult partition_model(const CostTable& table, std::size_t num_stages) {
+  return partition_minmax(stage_cost_fn(table), table.num_layers(), num_stages);
+}
+
+}  // namespace h2p

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/plan.h"
+#include "soc/cost_model.h"
+
+namespace h2p {
+
+/// Cost oracle for horizontal partitioning: time of layers [i, j] (inclusive)
+/// as pipeline stage k.  Must be non-negative and monotone in the range
+/// (Property 2): widening a range never makes it cheaper.
+using StageCostFn =
+    std::function<double(std::size_t k, std::size_t i, std::size_t j)>;
+
+struct PartitionResult {
+  std::vector<Slice> slices;   // one per stage, tiling [0, n)
+  double bottleneck_ms = 0.0;  // max stage cost (the P1 objective)
+};
+
+/// Algorithm 1 — horizontal model partitioning.
+///
+/// Finds boundaries 0 <= b_1 <= ... <= b_{K-1} <= n minimizing the maximum
+/// stage cost, stage k spanning [b_k, b_{k+1}).  Empty stages are allowed
+/// (a model can skip a processor).  Exploits Property-2 monotonicity via
+/// parametric search: binary-search the bottleneck T and greedily test
+/// feasibility in O(nK) per probe, exactly the prefix-sum + monotonicity
+/// speed-up the paper describes (O(nK) vs the naive O(n^2 K)).
+PartitionResult partition_minmax(const StageCostFn& cost, std::size_t num_layers,
+                                 std::size_t num_stages);
+
+/// Reference O(n^2 K) dynamic program over the same recurrence
+/// (S*(j,k) = min_i max{S*(i-1,k-1), T_k(i,j)}); used to validate the
+/// parametric solver in the property tests.
+PartitionResult partition_minmax_reference(const StageCostFn& cost,
+                                           std::size_t num_layers,
+                                           std::size_t num_stages);
+
+/// Convenience: partition one model over the Soc's processors using the
+/// cost table's stage costs (exec + inbound boundary copy).
+PartitionResult partition_model(const CostTable& table, std::size_t num_stages);
+
+/// The stage-cost oracle `partition_model` uses (exposed for reuse by the
+/// work-stealing pass and the baselines).
+StageCostFn stage_cost_fn(const CostTable& table);
+
+}  // namespace h2p

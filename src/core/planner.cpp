@@ -1,0 +1,101 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "contention/classifier.h"
+#include "sim/pipeline_sim.h"
+
+namespace h2p {
+
+PlannerReport Hetero2PipePlanner::plan() const {
+  PlannerReport report;
+  const std::size_t K =
+      opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
+
+  // Step 1 — horizontal: independent Algorithm-1 slicings.
+  PipelinePlan pipeline = horizontal_plan(*eval_, K);
+
+  // Step 2a — contention mitigation (Algorithm 2).
+  std::vector<double> intensities;
+  intensities.reserve(eval_->num_models());
+  for (std::size_t i = 0; i < eval_->num_models(); ++i) {
+    intensities.push_back(eval_->model_intensity(i));
+  }
+  MitigationResult mitigation;
+  if (opts_.contention_mitigation) {
+    mitigation =
+        mitigate_contention(intensities, K, opts_.classifier_percentile);
+  } else {
+    mitigation.order.resize(eval_->num_models());
+    for (std::size_t i = 0; i < mitigation.order.size(); ++i) mitigation.order[i] = i;
+    ContentionClassifier classifier(opts_.classifier_percentile);
+    classifier.fit(intensities);
+    for (double v : intensities) mitigation.high.push_back(classifier.is_high(v));
+  }
+
+  // Stamp H/L labels on the horizontal plans.
+  for (ModelPlan& mp : pipeline.models) {
+    mp.high_contention = mitigation.high[mp.model_index];
+  }
+
+  // Step 2b — vertical alignment by work stealing (Algorithm 3) + tail,
+  // applied to the mitigated order.  The LAP reordering minimizes
+  // displacement, not makespan, so the planner keeps whichever of
+  // {original, mitigated} order evaluates better after alignment.
+  // The local-search passes score candidates with the discrete-event
+  // simulator: the static wavefront objective undervalues whole-model
+  // parallelism (a collapsed model overlaps neighbouring columns in
+  // reality), and the DES on a handful of tasks is cheap.
+  const PlanScorer des_scorer = [this](const PipelinePlan& p) {
+    double score = simulate_plan(p, *eval_).makespan_ms();
+    // Constraint (6): a layout whose concurrent residents overflow free
+    // memory would swap on a real device ("substantial performance
+    // slowdown", §VI-D) — penalize it so the local search prefers
+    // feasible layouts whenever one is reachable.
+    if (!eval_->satisfies_memory(p)) score *= 1.5;
+    return score;
+  };
+
+  auto finalize = [&](const std::vector<std::size_t>& order, int* moves) {
+    PipelinePlan candidate;
+    candidate.num_stages = K;
+    candidate.models.reserve(pipeline.models.size());
+    for (std::size_t slot = 0; slot < order.size(); ++slot) {
+      candidate.models.push_back(pipeline.models[order[slot]]);
+    }
+    if (opts_.work_stealing) {
+      WorkStealingOptions ws;
+      ws.tail_optimization = opts_.tail_optimization;
+      *moves = vertical_align(candidate, *eval_, ws, des_scorer);
+    } else if (opts_.tail_optimization) {
+      optimize_tail(candidate, *eval_, des_scorer);
+    }
+    return candidate;
+  };
+
+  int moves_mitigated = 0;
+  PipelinePlan best = finalize(mitigation.order, &moves_mitigated);
+  report.layers_stolen = moves_mitigated;
+  if (opts_.contention_mitigation && mitigation.relocations > 0) {
+    std::vector<std::size_t> identity(pipeline.models.size());
+    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    int moves_identity = 0;
+    PipelinePlan original = finalize(identity, &moves_identity);
+    if (des_scorer(original) + 1e-9 < des_scorer(best)) {
+      best = std::move(original);
+      report.layers_stolen = moves_identity;
+    }
+  }
+  PipelinePlan pipeline_final = std::move(best);
+  pipeline = std::move(pipeline_final);
+
+  report.static_makespan_ms = eval_->makespan_ms(pipeline, /*with_contention=*/true);
+  report.static_bubble_ms = eval_->total_bubble_ms(pipeline, /*with_contention=*/true);
+  report.memory_ok = eval_->satisfies_memory(pipeline);
+  report.mitigation = std::move(mitigation);
+  report.plan = std::move(pipeline);
+  return report;
+}
+
+}  // namespace h2p

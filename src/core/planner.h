@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/bubbles.h"
+#include "core/mitigation.h"
+#include "core/plan.h"
+#include "core/work_stealing.h"
+
+namespace h2p {
+
+/// Knobs for the two-step planner.  Disabling `contention_mitigation` and
+/// `tail_optimization` together yields the paper's "No C/T" ablation.
+struct PlannerOptions {
+  bool contention_mitigation = true;
+  bool work_stealing = true;
+  bool tail_optimization = true;
+  /// H/L split percentile for the contention classifier (§V-B).
+  double classifier_percentile = 0.7;
+  /// Pipeline depth; 0 uses every processor of the Soc.
+  std::size_t num_stages = 0;
+
+  static PlannerOptions no_ct() {
+    PlannerOptions o;
+    o.contention_mitigation = false;
+    o.tail_optimization = false;
+    return o;
+  }
+};
+
+/// Planner output plus the intermediate artifacts the benches report.
+struct PlannerReport {
+  PipelinePlan plan;
+  MitigationResult mitigation;
+  double static_makespan_ms = 0.0;
+  double static_bubble_ms = 0.0;
+  int layers_stolen = 0;
+  /// Constraint (6): false when some wavefront column's resident weights +
+  /// activations exceed the device's free memory — the caller should shrink
+  /// the request window (or shed large models) before executing.
+  bool memory_ok = true;
+};
+
+/// Hetero2Pipe: the paper's two-step pipeline planner.
+///
+///  1. Horizontal (P1): slice every model independently with the
+///     Algorithm-1 dynamic program over the Soc's processor chain.
+///  2. Vertical (P2): classify contention intensity, re-order the request
+///     sequence via linear assignment (Algorithm 2), then align stage
+///     times across the pipeline by work stealing (Algorithm 3) and
+///     squeeze the drain tail.
+class Hetero2PipePlanner {
+ public:
+  Hetero2PipePlanner(const StaticEvaluator& eval, PlannerOptions opts = {})
+      : eval_(&eval), opts_(opts) {}
+
+  [[nodiscard]] PlannerReport plan() const;
+
+  [[nodiscard]] const PlannerOptions& options() const { return opts_; }
+
+ private:
+  const StaticEvaluator* eval_;
+  PlannerOptions opts_;
+};
+
+}  // namespace h2p

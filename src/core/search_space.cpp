@@ -1,0 +1,96 @@
+#include "core/search_space.h"
+
+#include <algorithm>
+
+namespace h2p {
+
+double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+namespace {
+
+/// D_b / D_s of Eq. 13: contiguous compositions of `cores` into `stages`
+/// groups (stars and bars).
+double compositions(std::size_t cores, std::size_t stages) {
+  if (stages == 0 || stages > cores) return 0.0;
+  return binomial(cores - 1, stages - 1);
+}
+
+}  // namespace
+
+double count_processor_pipelines(std::size_t cpu_cores, std::size_t big_cores,
+                                 std::size_t depth) {
+  // Eq. 12, read literally: for every split of the CPU stages into P_b big
+  // and P_s small stages, each (D_b, D_s) core-composition pair contributes
+  //   4 * D_b * D_s  — both clusters active, 4 attachments of {GPU, NPU}
+  //                    (none / GPU / NPU / both) around the CPU chain, and
+  //   3 * D_b + 3 * D_s — bookkeeping for the single-cluster chains that
+  //                    this (P_b, P_s) pair also enables with an accelerator.
+  // The trailing "+1" (GPU+NPU-only pipeline) is added once in the total.
+  //
+  // Depth accounting: the CPU chain itself has P' = P - 2 stages after
+  // reserving the GPU and NPU stages, per the paper.
+  if (depth < 2) return 0.0;
+  const std::size_t small_cores = cpu_cores - big_cores;
+  const std::size_t p_cpu = depth - 2;
+  if (p_cpu == 0) return 1.0;  // the GPU + NPU pipeline
+
+  double total = 0.0;
+  for (std::size_t p_b = 1; p_b < p_cpu; ++p_b) {
+    const std::size_t p_s = p_cpu - p_b;
+    const double d_b = compositions(big_cores, p_b);
+    const double d_s = compositions(small_cores, p_s);
+    if (d_b > 0.0 && d_s > 0.0) {
+      total += 4.0 * d_b * d_s + 3.0 * d_b + 3.0 * d_s;
+    }
+  }
+  return total;
+}
+
+double count_total_pipelines(std::size_t cpu_cores, std::size_t big_cores) {
+  // Closed form of the paper's Appendix-A example (449 for 8 cores, 4 big):
+  // sum the Eq.-12 terms over every (P_b, P_s) pair with both clusters used,
+  // plus the lone GPU+NPU pipeline.
+  const std::size_t small_cores = cpu_cores - big_cores;
+  double total = 1.0;  // GPU + NPU only
+  for (std::size_t p_b = 1; p_b <= big_cores; ++p_b) {
+    for (std::size_t p_s = 1; p_s <= small_cores; ++p_s) {
+      const double d_b = compositions(big_cores, p_b);
+      const double d_s = compositions(small_cores, p_s);
+      total += 4.0 * d_b * d_s + 3.0 * d_b + 3.0 * d_s;
+    }
+  }
+  return total;
+}
+
+double count_split_points(std::size_t num_layers, std::size_t cpu_cores,
+                          std::size_t big_cores) {
+  // Eq. 14: sum over pipeline depth of (layer split choices) x (processor
+  // pipelines at that depth).  Depth for a (P_b, P_s) pair with both
+  // accelerators attached is P_b + P_s + 2.
+  if (num_layers == 0) return 0.0;
+  const std::size_t small_cores = cpu_cores - big_cores;
+  // GPU + NPU only: depth 2.
+  double total = binomial(num_layers - 1, 1);
+  for (std::size_t p_b = 1; p_b <= big_cores; ++p_b) {
+    for (std::size_t p_s = 1; p_s <= small_cores; ++p_s) {
+      const double d_b = compositions(big_cores, p_b);
+      const double d_s = compositions(small_cores, p_s);
+      const std::size_t depth_both = p_b + p_s + 2;
+      const std::size_t depth_single = p_b + p_s + 1;
+      total += 4.0 * d_b * d_s * binomial(num_layers - 1, depth_both - 1);
+      total += 3.0 * (d_b + d_s) * binomial(num_layers - 1, depth_single - 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace h2p

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+namespace h2p {
+
+/// Appendix-A search-space accounting (Eqs. 12-14).
+///
+/// A consumer SoC has C CPU cores (C_b big), one GPU and one NPU; the GPU
+/// and NPU are indivisible.  `count_processor_pipelines` counts the feasible
+/// processor-pipeline configurations S_P for one pipeline depth P, and
+/// `count_total_pipelines` sums them over P (the paper's example: 449 for an
+/// 8-core CPU + GPU + NPU, P in [2, 10]).
+
+/// Binomial coefficient with the usual zero conventions; saturates instead
+/// of overflowing.
+double binomial(std::size_t n, std::size_t k);
+
+/// S_P of Eq. 12: configurations at exactly P stages, with P' = P - 2 stages
+/// shared between the big (C_b cores) and small (C - C_b cores) clusters.
+double count_processor_pipelines(std::size_t cpu_cores, std::size_t big_cores,
+                                 std::size_t depth);
+
+/// Sum of S_P for P in [2, C + 2].
+double count_total_pipelines(std::size_t cpu_cores, std::size_t big_cores);
+
+/// Eq. 14 for a single model with n layers: sum over P of C(n-1, P-1) * S_P
+/// — the number of distinct (split-point, processor-pipeline) choices.
+double count_split_points(std::size_t num_layers, std::size_t cpu_cores,
+                          std::size_t big_cores);
+
+}  // namespace h2p

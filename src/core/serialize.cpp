@@ -1,0 +1,152 @@
+#include "core/serialize.h"
+
+#include <stdexcept>
+
+namespace h2p {
+namespace {
+
+const char* proc_kind_name(ProcKind k) { return to_string(k); }
+
+ProcKind proc_kind_from(const std::string& s) {
+  for (ProcKind k : {ProcKind::kNpu, ProcKind::kCpuBig, ProcKind::kGpu,
+                     ProcKind::kCpuSmall, ProcKind::kDesktopGpu}) {
+    if (s == to_string(k)) return k;
+  }
+  throw std::runtime_error("soc_from_json: unknown processor kind " + s);
+}
+
+}  // namespace
+
+Json soc_to_json(const Soc& soc) {
+  Json j = Json::object();
+  j["name"] = Json::string(soc.name());
+  j["bus_bw_gbps"] = Json::number(soc.bus_bw_gbps());
+  j["mem_capacity_bytes"] = Json::number(soc.mem_capacity_bytes());
+  j["available_bytes"] = Json::number(soc.available_bytes());
+
+  Json procs = Json::array();
+  for (const Processor& p : soc.processors()) {
+    Json pj = Json::object();
+    pj["name"] = Json::string(p.name);
+    pj["kind"] = Json::string(proc_kind_name(p.kind));
+    pj["peak_gflops"] = Json::number(p.peak_gflops);
+    pj["mem_bw_gbps"] = Json::number(p.mem_bw_gbps);
+    pj["l2_bytes"] = Json::number(p.l2_bytes);
+    pj["launch_overhead_ms"] = Json::number(p.launch_overhead_ms);
+    pj["batch_capacity"] = Json::number(p.batch_capacity);
+    pj["copy_in_latency_ms"] = Json::number(p.copy_in_latency_ms);
+    pj["tdp_watts"] = Json::number(p.tdp_watts);
+    procs.push_back(std::move(pj));
+  }
+  j["processors"] = std::move(procs);
+
+  Json states = Json::array();
+  for (const MemFreqState& s : soc.mem_states()) {
+    Json sj = Json::object();
+    sj["mhz"] = Json::number(s.mhz);
+    sj["bw_gbps"] = Json::number(s.bw_gbps);
+    states.push_back(std::move(sj));
+  }
+  j["mem_states"] = std::move(states);
+  return j;
+}
+
+Soc soc_from_json(const Json& j) {
+  std::vector<Processor> procs;
+  const Json& pj = j.at("processors");
+  for (std::size_t i = 0; i < pj.size(); ++i) {
+    const Json& p = pj.at(i);
+    Processor proc;
+    proc.name = p.at("name").as_string();
+    proc.kind = proc_kind_from(p.at("kind").as_string());
+    proc.peak_gflops = p.at("peak_gflops").as_number();
+    proc.mem_bw_gbps = p.at("mem_bw_gbps").as_number();
+    proc.l2_bytes = p.at("l2_bytes").as_number();
+    proc.launch_overhead_ms = p.at("launch_overhead_ms").as_number();
+    proc.batch_capacity = static_cast<int>(p.at("batch_capacity").as_number());
+    proc.copy_in_latency_ms = p.at("copy_in_latency_ms").as_number();
+    proc.tdp_watts = p.at("tdp_watts").as_number();
+    procs.push_back(std::move(proc));
+  }
+
+  std::vector<MemFreqState> states;
+  const Json& sj = j.at("mem_states");
+  for (std::size_t i = 0; i < sj.size(); ++i) {
+    states.push_back(MemFreqState{sj.at(i).at("mhz").as_number(),
+                                  sj.at(i).at("bw_gbps").as_number()});
+  }
+
+  return Soc(j.at("name").as_string(), std::move(procs),
+             j.at("bus_bw_gbps").as_number(),
+             j.at("mem_capacity_bytes").as_number(),
+             j.at("available_bytes").as_number(), std::move(states));
+}
+
+Json plan_to_json(const PipelinePlan& plan) {
+  Json j = Json::object();
+  j["num_stages"] = Json::number(static_cast<double>(plan.num_stages));
+  Json models = Json::array();
+  for (const ModelPlan& mp : plan.models) {
+    Json mj = Json::object();
+    mj["model_index"] = Json::number(static_cast<double>(mp.model_index));
+    mj["high_contention"] = Json::boolean(mp.high_contention);
+    Json slices = Json::array();
+    for (const Slice& s : mp.slices) {
+      Json sj = Json::array();
+      sj.push_back(Json::number(static_cast<double>(s.begin)));
+      sj.push_back(Json::number(static_cast<double>(s.end)));
+      slices.push_back(std::move(sj));
+    }
+    mj["slices"] = std::move(slices);
+    models.push_back(std::move(mj));
+  }
+  j["models"] = std::move(models);
+  return j;
+}
+
+PipelinePlan plan_from_json(const Json& j) {
+  PipelinePlan plan;
+  plan.num_stages = static_cast<std::size_t>(j.at("num_stages").as_number());
+  const Json& models = j.at("models");
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const Json& mj = models.at(i);
+    ModelPlan mp;
+    mp.model_index = static_cast<std::size_t>(mj.at("model_index").as_number());
+    mp.high_contention = mj.at("high_contention").as_bool();
+    const Json& slices = mj.at("slices");
+    for (std::size_t k = 0; k < slices.size(); ++k) {
+      mp.slices.push_back(
+          Slice{static_cast<std::size_t>(slices.at(k).at(0).as_number()),
+                static_cast<std::size_t>(slices.at(k).at(1).as_number())});
+    }
+    if (mp.slices.size() != plan.num_stages) {
+      throw std::runtime_error("plan_from_json: slice count != num_stages");
+    }
+    plan.models.push_back(std::move(mp));
+  }
+  return plan;
+}
+
+Json timeline_to_json(const Timeline& timeline) {
+  Json j = Json::object();
+  j["num_procs"] = Json::number(static_cast<double>(timeline.num_procs));
+  j["num_models"] = Json::number(static_cast<double>(timeline.num_models));
+  j["makespan_ms"] = Json::number(timeline.makespan_ms());
+  j["throughput_per_s"] = Json::number(timeline.throughput_per_s());
+  j["total_bubble_ms"] = Json::number(timeline.total_bubble_ms());
+  Json tasks = Json::array();
+  for (const TaskRecord& t : timeline.tasks) {
+    Json tj = Json::object();
+    tj["model"] = Json::number(static_cast<double>(t.model_idx));
+    tj["seq"] = Json::number(static_cast<double>(t.seq_in_model));
+    tj["proc"] = Json::number(static_cast<double>(t.proc_idx));
+    tj["start_ms"] = Json::number(t.start_ms);
+    tj["end_ms"] = Json::number(t.end_ms);
+    tj["solo_ms"] = Json::number(t.solo_ms);
+    tasks.push_back(std::move(tj));
+  }
+  j["tasks"] = std::move(tasks);
+  return j;
+}
+
+}  // namespace h2p

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/plan.h"
+#include "sim/trace.h"
+#include "soc/soc.h"
+#include "util/json.h"
+
+namespace h2p {
+
+/// JSON round-tripping for the tooling surface (CLI, saved plans, custom
+/// device descriptions).  Formats are stable and human-editable.
+
+Json soc_to_json(const Soc& soc);
+/// Parses a device description; throws std::runtime_error on missing or
+/// ill-typed fields.
+Soc soc_from_json(const Json& j);
+
+Json plan_to_json(const PipelinePlan& plan);
+PipelinePlan plan_from_json(const Json& j);
+
+/// One-way: timelines are results, not inputs.
+Json timeline_to_json(const Timeline& timeline);
+
+}  // namespace h2p

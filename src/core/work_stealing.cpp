@@ -1,0 +1,166 @@
+#include "core/work_stealing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace h2p {
+namespace {
+
+/// slices <-> boundary representation: b[0]=0 <= b[1] <= ... <= b[K] = n,
+/// stage k spans [b[k], b[k+1]).
+std::vector<std::size_t> to_boundaries(const ModelPlan& mp, std::size_t n) {
+  const std::size_t K = mp.slices.size();
+  std::vector<std::size_t> b(K + 1, 0);
+  b[K] = n;
+  std::size_t cursor = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    b[k] = cursor;
+    if (!mp.slices[k].empty()) cursor = mp.slices[k].end;
+  }
+  b[K] = n;
+  return b;
+}
+
+void from_boundaries(ModelPlan& mp, const std::vector<std::size_t>& b) {
+  const std::size_t K = mp.slices.size();
+  for (std::size_t k = 0; k < K; ++k) mp.slices[k] = Slice{b[k], b[k + 1]};
+}
+
+double profile_distance(const ModelPlan& mp, const StaticEvaluator& eval,
+                        std::span<const double> target) {
+  double d = 0.0;
+  for (std::size_t k = 0; k < mp.slices.size(); ++k) {
+    d += std::fabs(eval.stage_solo_ms(mp, k) - target[k]);
+  }
+  return d;
+}
+
+}  // namespace
+
+int align_to_profile(ModelPlan& mp, const StaticEvaluator& eval,
+                     std::span<const double> target, std::size_t max_moves) {
+  const std::size_t K = mp.slices.size();
+  const std::size_t n = eval.model(mp.model_index).num_layers();
+  if (K < 2 || n == 0) return 0;
+
+  std::vector<std::size_t> b = to_boundaries(mp, n);
+  from_boundaries(mp, b);  // normalize empties into canonical form
+
+  int moves = 0;
+  double current = profile_distance(mp, eval, target);
+  for (std::size_t iter = 0; iter < max_moves; ++iter) {
+    double best = current;
+    std::size_t best_k = 0;
+    int best_dir = 0;
+    for (std::size_t k = 1; k < K; ++k) {
+      for (int dir : {-1, +1}) {
+        const std::size_t nb = b[k] + static_cast<std::size_t>(dir);
+        if (dir < 0 && b[k] == 0) continue;
+        if (dir < 0 && b[k] - 1 < b[k - 1]) continue;
+        if (dir > 0 && b[k] + 1 > b[k + 1]) continue;
+        std::vector<std::size_t> trial = b;
+        trial[k] = nb;
+        ModelPlan probe = mp;
+        from_boundaries(probe, trial);
+        const double d = profile_distance(probe, eval, target);
+        if (d + 1e-12 < best) {
+          best = d;
+          best_k = k;
+          best_dir = dir;
+        }
+      }
+    }
+    if (best_dir == 0) break;
+    b[best_k] += static_cast<std::size_t>(best_dir);
+    from_boundaries(mp, b);
+    current = best;
+    ++moves;
+  }
+  return moves;
+}
+
+int vertical_align(PipelinePlan& plan, const StaticEvaluator& eval,
+                   const WorkStealingOptions& opts, const PlanScorer& scorer) {
+  const std::size_t K = plan.num_stages;
+  const std::size_t m = plan.models.size();
+  if (K < 2 || m < 2) return 0;
+
+  int total_moves = 0;
+  for (std::size_t u = 0; u < m; u += K) {  // slide the CW by step K
+    const std::size_t end = std::min(u + K, m);
+    if (end - u < 2) break;
+
+    // Critical path: the member with the largest total processing time.
+    std::size_t ic = u;
+    double worst = -1.0;
+    for (std::size_t i = u; i < end; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < K; ++k) sum += eval.stage_solo_ms(plan.models[i], k);
+      if (sum > worst) {
+        worst = sum;
+        ic = i;
+      }
+    }
+
+    std::vector<double> target(K, 0.0);
+    for (std::size_t k = 0; k < K; ++k) {
+      target[k] = eval.stage_solo_ms(plan.models[ic], k);
+    }
+
+    // Work-steal right (models after the critical path) then left (before),
+    // mirroring Algorithm 3's two inner loops.
+    for (std::size_t i = ic + 1; i < end; ++i) {
+      total_moves += align_to_profile(plan.models[i], eval, target,
+                                      opts.max_moves_per_model);
+    }
+    for (std::size_t i = ic; i-- > u;) {
+      total_moves += align_to_profile(plan.models[i], eval, target,
+                                      opts.max_moves_per_model);
+    }
+  }
+
+  if (opts.tail_optimization) optimize_tail(plan, eval, scorer);
+  return total_moves;
+}
+
+bool optimize_tail(PipelinePlan& plan, const StaticEvaluator& eval,
+                   const PlanScorer& scorer) {
+  const std::size_t K = plan.num_stages;
+  const std::size_t m = plan.models.size();
+  if (K < 2 || m == 0) return false;
+  const PlanScorer score = scorer ? scorer : PlanScorer([&eval](const PipelinePlan& p) {
+    return eval.makespan_ms(p, /*with_contention=*/true);
+  });
+
+  // §V-C phase 2: local search re-allocating workloads, tail-first (the
+  // drain columns benefit most), then over the rest of the sequence — each
+  // model's candidate set is the K single-processor collapses, accepted
+  // only when the static contention-aware makespan strictly improves.
+  bool changed = false;
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::size_t i = m - 1 - t;
+    const std::size_t n = eval.model(plan.models[i].model_index).num_layers();
+    double best = score(plan);
+    std::vector<Slice> best_slices = plan.models[i].slices;
+
+    // Exhaustive over the K single-processor collapses (§V-C: "the search
+    // space is only K").
+    for (std::size_t s = 0; s < K; ++s) {
+      std::vector<Slice> collapsed(K, Slice{0, 0});
+      collapsed[s] = Slice{0, n};
+      plan.models[i].slices = collapsed;
+      const double cand = score(plan);
+      if (cand + 1e-9 < best) {
+        best = cand;
+        best_slices = collapsed;
+        changed = true;
+      }
+    }
+    plan.models[i].slices = best_slices;
+  }
+  return changed;
+}
+
+}  // namespace h2p

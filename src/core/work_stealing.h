@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+
+namespace h2p {
+
+/// Plan objective used by the local-search passes: lower is better.
+/// Defaults to the static contention-aware makespan; the planner plugs in
+/// the discrete-event simulator for higher-fidelity scoring.
+using PlanScorer = std::function<double(const PipelinePlan&)>;
+
+struct WorkStealingOptions {
+  /// Run the tail-bubble local search after the sliding-window pass.
+  bool tail_optimization = true;
+  /// Cap on boundary moves per model alignment (safety valve; the greedy
+  /// converges in O(n K) moves).
+  std::size_t max_moves_per_model = 1024;
+};
+
+/// Re-partition one model so its stage-time profile approaches `target`
+/// (the critical path's profile), by stealing layers across adjacent stage
+/// boundaries — Algorithm 3's inner loop, minimizing the Eq. 11 distance
+/// sum |T_k - T_k^{i_c}| greedily one layer at a time.
+/// Returns the number of layers moved.
+int align_to_profile(ModelPlan& mp, const StaticEvaluator& eval,
+                     std::span<const double> target,
+                     std::size_t max_moves = 1024);
+
+/// Algorithm 3: slide a contention window of size K over the sequence; in
+/// each window find the critical-path model and align every other member's
+/// stages to it by work stealing.  Mutates the plan in place and returns
+/// the total number of layer moves.
+int vertical_align(PipelinePlan& plan, const StaticEvaluator& eval,
+                   const WorkStealingOptions& opts = {},
+                   const PlanScorer& scorer = {});
+
+/// Tail-bubble optimization (§V-C phase 2): local search re-allocating
+/// workloads, sweeping models tail-first and exhaustively trying the K
+/// single-processor collapses for each (the search space is only K);
+/// a candidate is kept only when `scorer` strictly improves.  Returns true
+/// if the plan changed.
+bool optimize_tail(PipelinePlan& plan, const StaticEvaluator& eval,
+                   const PlanScorer& scorer = {});
+
+}  // namespace h2p

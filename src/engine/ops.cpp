@@ -1,0 +1,292 @@
+#include "engine/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2p {
+namespace {
+
+int out_spatial(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& input, const Tensor& weights, int stride, int pad) {
+  if (input.rank() != 3) shape_error("conv2d", "input must be [C,H,W]");
+  if (weights.rank() != 4) shape_error("conv2d", "weights must be [O,I,k,k]");
+  const int in_c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const int out_c = weights.dim(0), k = weights.dim(2);
+  if (weights.dim(1) != in_c) shape_error("conv2d", "channel mismatch");
+  if (weights.dim(3) != k) shape_error("conv2d", "kernel must be square");
+  if (stride < 1) shape_error("conv2d", "stride must be >= 1");
+  const int oh = out_spatial(h, k, stride, pad);
+  const int ow = out_spatial(w, k, stride, pad);
+  if (oh <= 0 || ow <= 0) shape_error("conv2d", "kernel larger than input");
+
+  Tensor out({out_c, oh, ow});
+  const float* wdat = weights.data();
+  for (int oc = 0; oc < out_c; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (int ic = 0; ic < in_c; ++ic) {
+          for (int ky = 0; ky < k; ++ky) {
+            const int iy = oy * stride + ky - pad;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < k; ++kx) {
+              const int ix = ox * stride + kx - pad;
+              if (ix < 0 || ix >= w) continue;
+              const std::size_t widx =
+                  ((static_cast<std::size_t>(oc) * in_c + ic) * k + ky) * k + kx;
+              acc += input.at3(ic, iy, ix) * wdat[widx];
+            }
+          }
+        }
+        out.at3(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor depthwise_conv2d(const Tensor& input, const Tensor& weights, int stride,
+                        int pad) {
+  if (input.rank() != 3) shape_error("depthwise_conv2d", "input must be [C,H,W]");
+  if (weights.rank() != 3) shape_error("depthwise_conv2d", "weights must be [C,k,k]");
+  const int c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  if (weights.dim(0) != c) shape_error("depthwise_conv2d", "channel mismatch");
+  const int k = weights.dim(1);
+  const int oh = out_spatial(h, k, stride, pad);
+  const int ow = out_spatial(w, k, stride, pad);
+  if (oh <= 0 || ow <= 0) shape_error("depthwise_conv2d", "kernel larger than input");
+
+  Tensor out({c, oh, ow});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= w) continue;
+            acc += input.at3(ch, iy, ix) * weights.at3(ch, ky, kx);
+          }
+        }
+        out.at3(ch, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2) shape_error("matmul", "operands must be rank 2");
+  const int m = a.dim(0), ka = a.dim(1), kb = b.dim(0), n = b.dim(1);
+  if (ka != kb) shape_error("matmul", "inner dimensions differ");
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < ka; ++kk) {
+      const float av = a.at2(i, kk);
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) out.at2(i, j) += av * b.at2(kk, j);
+    }
+  }
+  return out;
+}
+
+Tensor fully_connected(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias) {
+  if (input.rank() != 1) shape_error("fully_connected", "input must be rank 1");
+  if (weights.rank() != 2) shape_error("fully_connected", "weights must be [N,K]");
+  const int k = input.dim(0), n = weights.dim(0);
+  if (weights.dim(1) != k) shape_error("fully_connected", "K mismatch");
+  if (bias.rank() != 1 || bias.dim(0) != n) shape_error("fully_connected", "bias mismatch");
+  Tensor out({n});
+  for (int i = 0; i < n; ++i) {
+    float acc = bias[static_cast<std::size_t>(i)];
+    for (int j = 0; j < k; ++j) {
+      acc += weights.at2(i, j) * input[static_cast<std::size_t>(j)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+namespace {
+
+template <typename F>
+Tensor elementwise(const Tensor& input, F&& f) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = f(out[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& input) {
+  return elementwise(input, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& input, float slope) {
+  return elementwise(input, [slope](float v) { return v > 0.0f ? v : slope * v; });
+}
+
+Tensor gelu(const Tensor& input) {
+  return elementwise(input, [](float v) {
+    const float c = 0.7978845608f;  // sqrt(2/pi)
+    return 0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+  });
+}
+
+Tensor mish(const Tensor& input) {
+  return elementwise(input, [](float v) {
+    return v * std::tanh(std::log1p(std::exp(std::min(v, 20.0f))));
+  });
+}
+
+namespace {
+
+Tensor pool(const Tensor& input, int window, bool take_max) {
+  if (input.rank() != 3) shape_error("pool", "input must be [C,H,W]");
+  if (window < 1) shape_error("pool", "window must be >= 1");
+  const int c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const int oh = h / window, ow = w / window;
+  if (oh == 0 || ow == 0) shape_error("pool", "window larger than input");
+  Tensor out({c, oh, ow});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float best = take_max ? -1e30f : 0.0f;
+        for (int ky = 0; ky < window; ++ky) {
+          for (int kx = 0; kx < window; ++kx) {
+            const float v = input.at3(ch, oy * window + ky, ox * window + kx);
+            if (take_max) {
+              best = std::max(best, v);
+            } else {
+              best += v;
+            }
+          }
+        }
+        out.at3(ch, oy, ox) = take_max ? best : best / (window * window);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor max_pool(const Tensor& input, int window) { return pool(input, window, true); }
+Tensor avg_pool(const Tensor& input, int window) { return pool(input, window, false); }
+
+Tensor softmax(const Tensor& input) {
+  if (input.rank() != 2) shape_error("softmax", "input must be [M,N]");
+  Tensor out = input;
+  const int m = input.dim(0), n = input.dim(1);
+  for (int i = 0; i < m; ++i) {
+    float mx = -1e30f;
+    for (int j = 0; j < n; ++j) mx = std::max(mx, out.at2(i, j));
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      out.at2(i, j) = std::exp(out.at2(i, j) - mx);
+      sum += out.at2(i, j);
+    }
+    for (int j = 0; j < n; ++j) out.at2(i, j) /= sum;
+  }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  if (input.rank() != 2) shape_error("layer_norm", "input must be [M,N]");
+  const int m = input.dim(0), n = input.dim(1);
+  if (gamma.rank() != 1 || gamma.dim(0) != n || beta.rank() != 1 || beta.dim(0) != n) {
+    shape_error("layer_norm", "gamma/beta must be [N]");
+  }
+  Tensor out = input;
+  for (int i = 0; i < m; ++i) {
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += out.at2(i, j);
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      const float d = out.at2(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int j = 0; j < n; ++j) {
+      out.at2(i, j) = (out.at2(i, j) - mean) * inv * gamma[static_cast<std::size_t>(j)] +
+                      beta[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) shape_error("add", "shape mismatch");
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] += b[i];
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 3 || b.rank() != 3) shape_error("concat_channels", "inputs must be [C,H,W]");
+  if (a.dim(1) != b.dim(1) || a.dim(2) != b.dim(2)) {
+    shape_error("concat_channels", "spatial dims differ");
+  }
+  Tensor out({a.dim(0) + b.dim(0), a.dim(1), a.dim(2)});
+  std::copy(a.data(), a.data() + a.numel(), out.data());
+  std::copy(b.data(), b.data() + b.numel(), out.data() + a.numel());
+  return out;
+}
+
+Tensor embedding(const Tensor& table, const Tensor& ids) {
+  if (table.rank() != 2 || ids.rank() != 1) shape_error("embedding", "table [V,D], ids [S]");
+  const int v = table.dim(0), d = table.dim(1), s = ids.dim(0);
+  Tensor out({s, d});
+  for (int i = 0; i < s; ++i) {
+    const int id = static_cast<int>(ids[static_cast<std::size_t>(i)]);
+    if (id < 0 || id >= v) shape_error("embedding", "token id out of range");
+    for (int j = 0; j < d; ++j) out.at2(i, j) = table.at2(id, j);
+  }
+  return out;
+}
+
+Tensor upsample2x(const Tensor& input) {
+  if (input.rank() != 3) shape_error("upsample2x", "input must be [C,H,W]");
+  const int c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  Tensor out({c, 2 * h, 2 * w});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < 2 * h; ++y) {
+      for (int x = 0; x < 2 * w; ++x) {
+        out.at3(ch, y, x) = input.at3(ch, y / 2, x / 2);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v) {
+  if (q.rank() != 2 || k.rank() != 2 || v.rank() != 2) {
+    shape_error("attention", "q/k/v must be [S,D]");
+  }
+  if (q.shape() != k.shape() || k.shape() != v.shape()) {
+    shape_error("attention", "q/k/v shapes must match");
+  }
+  const int s = k.dim(0), d = k.dim(1);
+  // scores = q k^T / sqrt(d)
+  Tensor kt({d, s});
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < d; ++j) kt.at2(j, i) = k.at2(i, j);
+  }
+  Tensor scores = matmul(q, kt);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (std::size_t i = 0; i < scores.numel(); ++i) scores[i] *= scale;
+  return matmul(softmax(scores), v);
+}
+
+}  // namespace h2p

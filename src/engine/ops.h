@@ -1,0 +1,59 @@
+#pragma once
+
+#include "engine/tensor.h"
+
+namespace h2p {
+
+/// Reference operator kernels (fp32, NCHW for spatial ops).  These are the
+/// clean-room stand-ins for the MNN backend kernels: correct, shape-checked
+/// and deliberately naive — the cost model, not these loops, provides the
+/// device latency numbers.  All functions allocate and return their output.
+
+/// weights: [out_c, in_c, k, k]; input: [in_c, H, W]; zero padding `pad`,
+/// square stride.
+Tensor conv2d(const Tensor& input, const Tensor& weights, int stride = 1,
+              int pad = 0);
+
+/// weights: [C, k, k]; channel-wise convolution.
+Tensor depthwise_conv2d(const Tensor& input, const Tensor& weights,
+                        int stride = 1, int pad = 0);
+
+/// a: [M, K], b: [K, N] -> [M, N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// input: [K], weights: [N, K], bias: [N] -> [N].
+Tensor fully_connected(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias);
+
+Tensor relu(const Tensor& input);
+Tensor leaky_relu(const Tensor& input, float slope = 0.1f);
+Tensor gelu(const Tensor& input);  // tanh approximation
+Tensor mish(const Tensor& input);
+
+/// input: [C, H, W], square window, stride = window.
+Tensor max_pool(const Tensor& input, int window);
+Tensor avg_pool(const Tensor& input, int window);
+
+/// Row-wise softmax over the last axis of a [M, N] tensor.
+Tensor softmax(const Tensor& input);
+
+/// Per-row layer norm of a [M, N] tensor with learned scale/shift [N].
+Tensor layer_norm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
+                  float eps = 1e-5f);
+
+/// Elementwise sum (residual connection); shapes must match.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Channel concat of two [C, H, W] tensors.
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+/// table: [V, D]; ids: length-S integer contents in a float tensor -> [S, D].
+Tensor embedding(const Tensor& table, const Tensor& ids);
+
+/// Nearest-neighbour 2x upsample of [C, H, W].
+Tensor upsample2x(const Tensor& input);
+
+/// Single-head scaled-dot-product attention: q,k,v: [S, D].
+Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v);
+
+}  // namespace h2p

@@ -1,0 +1,89 @@
+#include "engine/tensor.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+
+namespace h2p {
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  std::size_t n = 1;
+  for (int d : shape_) {
+    if (d <= 0) shape_error("Tensor", "non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, fill);
+}
+
+int Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) shape_error("Tensor::dim", "axis out of range");
+  return shape_[i];
+}
+
+void Tensor::check_rank(std::size_t expected) const {
+  if (shape_.size() != expected) {
+    shape_error("Tensor", "rank " + std::to_string(shape_.size()) +
+                              " != expected " + std::to_string(expected));
+  }
+}
+
+float& Tensor::at2(int r, int c) {
+  check_rank(2);
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+float Tensor::at2(int r, int c) const {
+  const_cast<Tensor*>(this)->check_rank(2);
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+float& Tensor::at3(int c, int h, int w) {
+  check_rank(3);
+  return data_[(static_cast<std::size_t>(c) * shape_[1] + h) * shape_[2] + w];
+}
+float Tensor::at3(int c, int h, int w) const {
+  const_cast<Tensor*>(this)->check_rank(3);
+  return data_[(static_cast<std::size_t>(c) * shape_[1] + h) * shape_[2] + w];
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+void Tensor::fill_random(std::uint64_t seed, float lo, float hi) {
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) / static_cast<double>(1ull << 53);
+    data_[i] = lo + static_cast<float>(u) * (hi - lo);
+  }
+}
+
+double Tensor::checksum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v);
+  return acc;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ',';
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+void shape_error(const std::string& op, const std::string& detail) {
+  throw std::invalid_argument(op + ": " + detail);
+}
+
+}  // namespace h2p

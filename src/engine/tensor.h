@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace h2p {
+
+/// Dense row-major float tensor — the payload that actually flows through
+/// the pipeline runtime.  Deliberately minimal: shape + contiguous storage,
+/// no views, no broadcasting; the reference kernels in engine/ops.h do all
+/// indexing explicitly.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] int dim(std::size_t i) const;
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  // Convenience indexers for the common layouts.
+  float& at2(int r, int c);                      // [rows, cols]
+  [[nodiscard]] float at2(int r, int c) const;
+  float& at3(int c, int h, int w);               // [C, H, W]
+  [[nodiscard]] float at3(int c, int h, int w) const;
+
+  /// Elementwise equality within tolerance (max-abs difference).
+  [[nodiscard]] bool allclose(const Tensor& other, float atol = 1e-5f) const;
+
+  /// Deterministic pseudo-random fill (splitmix-style hash of the index),
+  /// so tests and examples reproduce without threading an RNG through.
+  void fill_random(std::uint64_t seed, float lo = -1.0f, float hi = 1.0f);
+
+  /// Order-independent checksum for smoke checks.
+  [[nodiscard]] double checksum() const;
+
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  void check_rank(std::size_t expected) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Throws std::invalid_argument with a readable message.
+[[noreturn]] void shape_error(const std::string& op, const std::string& detail);
+
+}  // namespace h2p

@@ -1,0 +1,77 @@
+#include "engine/tensor_net.h"
+
+#include <stdexcept>
+
+#include "engine/ops.h"
+
+namespace h2p {
+
+TensorNet& TensorNet::add(std::string op_name,
+                          std::function<Tensor(const Tensor&)> fn) {
+  ops_.push_back(TensorOp{std::move(op_name), std::move(fn)});
+  return *this;
+}
+
+Tensor TensorNet::run(const Tensor& input) const {
+  return run_range(input, 0, ops_.size());
+}
+
+Tensor TensorNet::run_range(const Tensor& input, std::size_t begin,
+                            std::size_t end) const {
+  if (begin > end || end > ops_.size()) {
+    throw std::out_of_range("TensorNet::run_range: bad slice");
+  }
+  Tensor cursor = input;
+  for (std::size_t i = begin; i < end; ++i) cursor = ops_[i].fn(cursor);
+  return cursor;
+}
+
+TensorNet make_demo_cnn(std::uint64_t seed, int channels, int hw) {
+  (void)hw;
+  TensorNet net("demo_cnn");
+
+  Tensor w1({channels, 3, 3, 3});
+  w1.fill_random(seed + 1, -0.3f, 0.3f);
+  net.add("conv3x3", [w1](const Tensor& x) { return conv2d(x, w1, 1, 1); });
+  net.add("relu1", [](const Tensor& x) { return relu(x); });
+
+  Tensor wd({channels, 3, 3});
+  wd.fill_random(seed + 2, -0.3f, 0.3f);
+  net.add("dwconv", [wd](const Tensor& x) { return depthwise_conv2d(x, wd, 1, 1); });
+  net.add("relu2", [](const Tensor& x) { return relu(x); });
+  net.add("pool", [](const Tensor& x) { return max_pool(x, 2); });
+
+  Tensor w2({channels * 2, channels, 1, 1});
+  w2.fill_random(seed + 3, -0.3f, 0.3f);
+  net.add("conv1x1", [w2](const Tensor& x) { return conv2d(x, w2); });
+  return net;
+}
+
+TensorNet make_demo_transformer(std::uint64_t seed, int seq, int dim) {
+  (void)seq;
+  TensorNet net("demo_transformer");
+
+  Tensor wq({dim, dim}), wk({dim, dim}), wv({dim, dim});
+  wq.fill_random(seed + 1, -0.2f, 0.2f);
+  wk.fill_random(seed + 2, -0.2f, 0.2f);
+  wv.fill_random(seed + 3, -0.2f, 0.2f);
+  net.add("attention", [wq, wk, wv](const Tensor& x) {
+    return attention(matmul(x, wq), matmul(x, wk), matmul(x, wv));
+  });
+
+  Tensor g1({dim}, 1.0f), b1({dim}, 0.0f);
+  net.add("ln1", [g1, b1](const Tensor& x) { return layer_norm(x, g1, b1); });
+
+  Tensor wff1({dim, dim * 4}), wff2({dim * 4, dim});
+  wff1.fill_random(seed + 4, -0.2f, 0.2f);
+  wff2.fill_random(seed + 5, -0.2f, 0.2f);
+  net.add("ffn1", [wff1](const Tensor& x) { return matmul(x, wff1); });
+  net.add("gelu", [](const Tensor& x) { return gelu(x); });
+  net.add("ffn2", [wff2](const Tensor& x) { return matmul(x, wff2); });
+
+  Tensor g2({dim}, 1.0f), b2({dim}, 0.0f);
+  net.add("ln2", [g2, b2](const Tensor& x) { return layer_norm(x, g2, b2); });
+  return net;
+}
+
+}  // namespace h2p

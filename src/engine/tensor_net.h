@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/tensor.h"
+
+namespace h2p {
+
+/// One executable operator in a tensor network: a pure function from the
+/// previous activation to the next (weights are captured in the closure).
+struct TensorOp {
+  std::string name;
+  std::function<Tensor(const Tensor&)> fn;
+};
+
+/// A runnable chain of tensor operators — the execution-level counterpart
+/// of the planner-level `Model`.  Slicing semantics match Def. 1: a slice
+/// [i, j) executes ops i..j-1 and hands its output tensor to the next
+/// stage.
+class TensorNet {
+ public:
+  explicit TensorNet(std::string name) : name_(std::move(name)) {}
+
+  TensorNet& add(std::string op_name, std::function<Tensor(const Tensor&)> fn);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+  [[nodiscard]] const TensorOp& op(std::size_t i) const { return ops_[i]; }
+
+  /// Serial reference execution.
+  [[nodiscard]] Tensor run(const Tensor& input) const;
+
+  /// Execute only ops [begin, end).
+  [[nodiscard]] Tensor run_range(const Tensor& input, std::size_t begin,
+                                 std::size_t end) const;
+
+ private:
+  std::string name_;
+  std::vector<TensorOp> ops_;
+};
+
+/// Deterministic demo networks for the runtime examples/tests.
+/// A small CNN: conv3x3 -> relu -> dwconv -> relu -> pool -> conv1x1.
+TensorNet make_demo_cnn(std::uint64_t seed, int channels = 8, int hw = 16);
+/// A transformer block: attention -> layernorm -> ffn(gelu) -> layernorm.
+TensorNet make_demo_transformer(std::uint64_t seed, int seq = 12, int dim = 16);
+
+}  // namespace h2p

@@ -1,0 +1,90 @@
+#include "engine/tensor_pipeline.h"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/spsc_queue.h"
+
+namespace h2p {
+namespace {
+
+struct Job {
+  std::size_t request_idx;
+  Tensor tensor;
+};
+
+}  // namespace
+
+std::vector<std::size_t> even_boundaries(std::size_t num_ops,
+                                         std::size_t num_stages) {
+  std::vector<std::size_t> b(num_stages + 1, 0);
+  for (std::size_t k = 0; k <= num_stages; ++k) {
+    b[k] = k * num_ops / num_stages;
+  }
+  b[num_stages] = num_ops;
+  return b;
+}
+
+TensorPipelineResult run_tensor_pipeline(std::vector<TensorRequest> requests,
+                                         std::size_t num_stages) {
+  TensorPipelineResult result;
+  const std::size_t n = requests.size();
+  if (num_stages == 0) throw std::invalid_argument("run_tensor_pipeline: 0 stages");
+  for (const TensorRequest& r : requests) {
+    if (r.net == nullptr) throw std::invalid_argument("run_tensor_pipeline: null net");
+    if (r.boundaries.size() != num_stages + 1 || r.boundaries.front() != 0 ||
+        r.boundaries.back() != r.net->num_ops()) {
+      throw std::invalid_argument("run_tensor_pipeline: bad boundaries");
+    }
+    for (std::size_t k = 0; k < num_stages; ++k) {
+      if (r.boundaries[k] > r.boundaries[k + 1]) {
+        throw std::invalid_argument("run_tensor_pipeline: boundaries not monotone");
+      }
+    }
+  }
+  result.outputs.resize(n);
+  if (n == 0) return result;
+
+  // queues[k] feeds stage k; the final stage writes straight into outputs.
+  std::vector<std::unique_ptr<SpscQueue<std::unique_ptr<Job>>>> queues;
+  for (std::size_t k = 0; k <= num_stages; ++k) {
+    queues.push_back(std::make_unique<SpscQueue<std::unique_ptr<Job>>>(n + 1));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    queues[0]->push(std::make_unique<Job>(Job{i, std::move(requests[i].input)}));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(num_stages);
+  for (std::size_t k = 0; k < num_stages; ++k) {
+    workers.emplace_back([&, k] {
+      for (std::size_t processed = 0; processed < n;) {
+        auto job = queues[k]->pop();
+        if (!job) {
+          std::this_thread::yield();
+          continue;
+        }
+        const TensorRequest& req = requests[(*job)->request_idx];
+        (*job)->tensor = req.net->run_range((*job)->tensor, req.boundaries[k],
+                                            req.boundaries[k + 1]);
+        if (k + 1 < num_stages) {
+          while (!queues[k + 1]->push(std::move(*job))) std::this_thread::yield();
+        } else {
+          result.outputs[(*job)->request_idx] = std::move((*job)->tensor);
+        }
+        ++processed;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.wall_ms = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count() /
+                   1.0e6;
+  return result;
+}
+
+}  // namespace h2p

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/tensor.h"
+#include "engine/tensor_net.h"
+
+namespace h2p {
+
+/// One inference request for the tensor pipeline.
+struct TensorRequest {
+  const TensorNet* net = nullptr;
+  Tensor input;
+  /// Stage boundaries: boundaries[k]..boundaries[k+1] is stage k's op
+  /// range; size must be num_stages + 1 with boundaries.front() == 0 and
+  /// boundaries.back() == net->num_ops().  Empty stages are fine.
+  std::vector<std::size_t> boundaries;
+};
+
+struct TensorPipelineResult {
+  std::vector<Tensor> outputs;  // per request, in request order
+  double wall_ms = 0.0;
+};
+
+/// Threaded tensor pipeline: one worker per stage, adjacent stages linked by
+/// SPSC queues, real activation tensors flowing through.  This is the
+/// execution-level proof of the planner's model: slicing a chain at layer
+/// boundaries and streaming requests through the stages computes exactly
+/// the serial result while stages of *different* requests overlap in time.
+TensorPipelineResult run_tensor_pipeline(std::vector<TensorRequest> requests,
+                                         std::size_t num_stages);
+
+/// Convenience: evenly split every request's ops into `num_stages` ranges.
+std::vector<std::size_t> even_boundaries(std::size_t num_ops,
+                                         std::size_t num_stages);
+
+}  // namespace h2p

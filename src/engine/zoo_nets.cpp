@@ -1,0 +1,173 @@
+#include "engine/zoo_nets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/ops.h"
+
+namespace h2p {
+namespace {
+
+Tensor rand_tensor(std::vector<int> shape, std::uint64_t seed, float scale = 0.3f) {
+  Tensor t(std::move(shape));
+  t.fill_random(seed, -scale, scale);
+  return t;
+}
+
+}  // namespace
+
+TensorNet make_tiny_squeezenet(std::uint64_t seed) {
+  TensorNet net("tiny_squeezenet");
+  const int c = 8, hw = 12;
+  (void)hw;
+  Tensor stem = rand_tensor({c, 3, 3, 3}, seed + 1);
+  net.add("stem", [stem](const Tensor& x) { return conv2d(x, stem, 1, 1); });
+  net.add("relu0", [](const Tensor& x) { return relu(x); });
+  // Two fire modules: squeeze 1x1 -> (expand1x1 || expand3x3) -> concat.
+  for (int f = 0; f < 2; ++f) {
+    const int in_c = (f == 0) ? c : 2 * c;
+    Tensor sq = rand_tensor({c / 2, in_c, 1, 1}, seed + 10 + f);
+    Tensor e1 = rand_tensor({c, c / 2, 1, 1}, seed + 20 + f);
+    Tensor e3 = rand_tensor({c, c / 2, 3, 3}, seed + 30 + f);
+    net.add("fire" + std::to_string(f), [sq, e1, e3](const Tensor& x) {
+      const Tensor s = relu(conv2d(x, sq));
+      return concat_channels(relu(conv2d(s, e1)), relu(conv2d(s, e3, 1, 1)));
+    });
+  }
+  net.add("pool", [](const Tensor& x) { return max_pool(x, 2); });
+  Tensor head = rand_tensor({4, 2 * c, 1, 1}, seed + 40);
+  net.add("conv_head", [head](const Tensor& x) { return conv2d(x, head); });
+  net.add("gap", [](const Tensor& x) { return avg_pool(x, x.dim(1)); });
+  return net;
+}
+
+TensorNet make_tiny_resnet(std::uint64_t seed) {
+  TensorNet net("tiny_resnet");
+  const int c = 8;
+  Tensor stem = rand_tensor({c, 3, 3, 3}, seed + 1);
+  net.add("stem", [stem](const Tensor& x) { return conv2d(x, stem, 1, 1); });
+  net.add("relu0", [](const Tensor& x) { return relu(x); });
+  for (int b = 0; b < 3; ++b) {
+    Tensor w1 = rand_tensor({c, c, 3, 3}, seed + 10 + b, 0.15f);
+    Tensor w2 = rand_tensor({c, c, 3, 3}, seed + 20 + b, 0.15f);
+    net.add("res" + std::to_string(b), [w1, w2](const Tensor& x) {
+      return relu(add(conv2d(relu(conv2d(x, w1, 1, 1)), w2, 1, 1), x));
+    });
+  }
+  net.add("pool", [](const Tensor& x) { return avg_pool(x, 2); });
+  return net;
+}
+
+TensorNet make_tiny_mobilenet(std::uint64_t seed) {
+  TensorNet net("tiny_mobilenet");
+  const int c = 8;
+  Tensor stem = rand_tensor({c, 3, 3, 3}, seed + 1);
+  net.add("stem", [stem](const Tensor& x) { return conv2d(x, stem, 1, 1); });
+  for (int b = 0; b < 2; ++b) {
+    Tensor expand = rand_tensor({2 * c, c, 1, 1}, seed + 10 + b);
+    Tensor dw = rand_tensor({2 * c, 3, 3}, seed + 20 + b);
+    Tensor project = rand_tensor({c, 2 * c, 1, 1}, seed + 30 + b);
+    net.add("ir" + std::to_string(b) + ".expand",
+            [expand](const Tensor& x) { return relu(conv2d(x, expand)); });
+    net.add("ir" + std::to_string(b) + ".dw",
+            [dw](const Tensor& x) { return relu(depthwise_conv2d(x, dw, 1, 1)); });
+    net.add("ir" + std::to_string(b) + ".project",
+            [project](const Tensor& x) { return conv2d(x, project); });
+  }
+  net.add("pool", [](const Tensor& x) { return avg_pool(x, 2); });
+  return net;
+}
+
+TensorNet make_tiny_yolo(std::uint64_t seed) {
+  TensorNet net("tiny_yolo");
+  const int c = 8;
+  Tensor stem = rand_tensor({c, 3, 3, 3}, seed + 1);
+  net.add("stem", [stem](const Tensor& x) { return conv2d(x, stem, 1, 1); });
+  net.add("mish0", [](const Tensor& x) { return mish(x); });
+  Tensor down = rand_tensor({2 * c, c, 3, 3}, seed + 2);
+  net.add("csp_down", [down](const Tensor& x) { return conv2d(x, down, 2, 1); });
+  net.add("mish1", [](const Tensor& x) { return mish(x); });
+  Tensor neck = rand_tensor({c, 2 * c, 1, 1}, seed + 3);
+  net.add("neck", [neck](const Tensor& x) { return conv2d(x, neck); });
+  net.add("leaky", [](const Tensor& x) { return leaky_relu(x); });
+  net.add("upsample", [](const Tensor& x) { return upsample2x(x); });
+  Tensor head = rand_tensor({6, c, 1, 1}, seed + 4);
+  net.add("head", [head](const Tensor& x) { return conv2d(x, head); });
+  return net;
+}
+
+TensorNet make_tiny_transformer(std::uint64_t seed) {
+  return make_demo_transformer(seed);
+}
+
+TensorNet make_tiny_net(ModelId id, std::uint64_t seed) {
+  switch (id) {
+    case ModelId::kSqueezeNet:
+    case ModelId::kGoogLeNet:
+    case ModelId::kInceptionV4:
+      return make_tiny_squeezenet(seed);
+    case ModelId::kResNet50:
+    case ModelId::kFaceNet:
+      return make_tiny_resnet(seed);
+    case ModelId::kMobileNetV2:
+      return make_tiny_mobilenet(seed);
+    case ModelId::kYOLOv4:
+      return make_tiny_yolo(seed);
+    case ModelId::kBERT:
+    case ModelId::kViT:
+    case ModelId::kGPT2Decoder:
+      return make_tiny_transformer(seed);
+    case ModelId::kAlexNet:
+    case ModelId::kVGG16:
+    case ModelId::kAgeGenderNet:
+    default:
+      return make_demo_cnn(seed);
+  }
+}
+
+Tensor make_tiny_input(ModelId id, std::uint64_t seed) {
+  switch (id) {
+    case ModelId::kBERT:
+    case ModelId::kViT:
+    case ModelId::kGPT2Decoder: {
+      Tensor x({12, 16});
+      x.fill_random(seed, -0.5f, 0.5f);
+      return x;
+    }
+    case ModelId::kAlexNet:
+    case ModelId::kVGG16:
+    case ModelId::kAgeGenderNet: {
+      Tensor x({3, 16, 16});
+      x.fill_random(seed);
+      return x;
+    }
+    default: {
+      Tensor x({3, 12, 12});
+      x.fill_random(seed);
+      return x;
+    }
+  }
+}
+
+std::vector<std::size_t> boundaries_from_plan(const ModelPlan& plan,
+                                              std::size_t planner_layers,
+                                              std::size_t num_ops) {
+  const std::size_t K = plan.slices.size();
+  std::vector<std::size_t> b(K + 1, 0);
+  b[K] = num_ops;
+  std::size_t cursor_layers = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    b[k] = planner_layers
+               ? (cursor_layers * num_ops + planner_layers / 2) / planner_layers
+               : 0;
+    if (!plan.slices[k].empty()) cursor_layers = plan.slices[k].end;
+  }
+  // Clamp into a monotone tiling (rounding can momentarily invert).
+  for (std::size_t k = 1; k <= K; ++k) b[k] = std::max(b[k], b[k - 1]);
+  for (std::size_t k = K; k-- > 0;) b[k] = std::min(b[k], b[k + 1]);
+  b[0] = 0;
+  b[K] = num_ops;
+  return b;
+}
+
+}  // namespace h2p

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/plan.h"
+#include "engine/tensor_net.h"
+#include "models/model_zoo.h"
+
+namespace h2p {
+
+/// Executable miniatures of the zoo archetypes: numerically real networks
+/// (tiny dimensions, deterministic weights) whose op chains mirror the
+/// planner-level models closely enough that a PipelinePlan's slice
+/// boundaries transfer onto them.  These are demonstration vehicles — the
+/// cost model, not their wall time, stands in for device latency.
+
+/// conv-relu / fire-module chain (SqueezeNet archetype).
+TensorNet make_tiny_squeezenet(std::uint64_t seed);
+/// conv stem + fused residual bottlenecks (ResNet archetype).
+TensorNet make_tiny_resnet(std::uint64_t seed);
+/// expand/dw/project inverted residuals (MobileNetV2 archetype).
+TensorNet make_tiny_mobilenet(std::uint64_t seed);
+/// conv-mish backbone + upsample neck (YOLOv4 archetype).
+TensorNet make_tiny_yolo(std::uint64_t seed);
+/// embedding-free transformer encoder stack (BERT/ViT/GPT archetype).
+TensorNet make_tiny_transformer(std::uint64_t seed);
+
+/// A runnable miniature for any zoo id (archetype dispatch) and a matching
+/// deterministic input tensor.
+TensorNet make_tiny_net(ModelId id, std::uint64_t seed);
+Tensor make_tiny_input(ModelId id, std::uint64_t seed);
+
+/// Rescale a planner slicing (over the full model's layer indices) onto a
+/// tiny net's op chain: boundary fractions are preserved, rounding keeps
+/// the tiling exact.  Returns num_stages + 1 boundaries.
+std::vector<std::size_t> boundaries_from_plan(const ModelPlan& plan,
+                                              std::size_t planner_layers,
+                                              std::size_t num_ops);
+
+}  // namespace h2p

@@ -1,0 +1,88 @@
+#include "models/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h2p {
+
+std::size_t GraphModel::add(Layer layer, std::vector<std::size_t> inputs) {
+  for (std::size_t dep : inputs) {
+    if (dep >= nodes_.size()) {
+      throw std::out_of_range("GraphModel::add: dependency on unknown node");
+    }
+  }
+  nodes_.push_back(Node{std::move(layer), std::move(inputs)});
+  return nodes_.size() - 1;
+}
+
+bool GraphModel::is_valid_dag() const {
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    for (std::size_t dep : nodes_[id].inputs) {
+      if (dep >= id) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> GraphModel::topological_order() const {
+  const std::size_t n = nodes_.size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> consumers(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    indegree[id] = nodes_[id].inputs.size();
+    for (std::size_t dep : nodes_[id].inputs) consumers[dep].push_back(id);
+  }
+
+  // LIFO ready stack: after a node finishes, its newly enabled consumers
+  // are visited next, keeping each branch contiguous in the output.
+  std::vector<std::size_t> ready;
+  for (std::size_t id = n; id-- > 0;) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (std::size_t c : consumers[id]) {
+      if (--indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != n) {
+    throw std::runtime_error("GraphModel::topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+double GraphModel::critical_path_flops() const {
+  std::vector<double> longest(nodes_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    double in_best = 0.0;
+    for (std::size_t dep : nodes_[id].inputs) {
+      in_best = std::max(in_best, longest[dep]);
+    }
+    longest[id] = in_best + nodes_[id].layer.flops;
+    best = std::max(best, longest[id]);
+  }
+  return best;
+}
+
+double GraphModel::total_flops() const {
+  double total = 0.0;
+  for (const Node& node : nodes_) total += node.layer.flops;
+  return total;
+}
+
+Model GraphModel::linearize() const {
+  if (!is_valid_dag()) {
+    throw std::runtime_error("GraphModel::linearize: not a valid DAG");
+  }
+  std::vector<Layer> chain;
+  chain.reserve(nodes_.size());
+  for (std::size_t id : topological_order()) chain.push_back(nodes_[id].layer);
+  return Model(name_, std::move(chain));
+}
+
+}  // namespace h2p

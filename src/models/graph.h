@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "models/layer.h"
+#include "models/model.h"
+
+namespace h2p {
+
+/// Directed-acyclic operator graph — the form real frameworks (MNN, ONNX)
+/// hand the planner before slicing.  Branchy architectures (Inception
+/// cells, residual blocks, detection necks) are authored as DAGs and then
+/// *linearized* into the chain form Def. 1 slices on: a topological order
+/// in which every branch's layers are contiguous with their merge point.
+class GraphModel {
+ public:
+  explicit GraphModel(std::string name) : name_(std::move(name)) {}
+
+  /// Add an operator depending on the given producer nodes; returns its id.
+  /// Dependencies must refer to already-added nodes (ids are topological by
+  /// construction, which keeps the graph acyclic by construction too).
+  std::size_t add(Layer layer, std::vector<std::size_t> inputs = {});
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t id) const { return nodes_[id].layer; }
+  [[nodiscard]] const std::vector<std::size_t>& inputs(std::size_t id) const {
+    return nodes_[id].inputs;
+  }
+
+  /// Kahn topological order, breaking ties toward the most-recently enabled
+  /// node so branch bodies stay contiguous (depth-first-flavoured).
+  [[nodiscard]] std::vector<std::size_t> topological_order() const;
+
+  /// True when every dependency points backwards (always holds for graphs
+  /// built through add(); guards hand-patched graphs).
+  [[nodiscard]] bool is_valid_dag() const;
+
+  /// Critical-path FLOPs: the heaviest dependency chain — a lower bound on
+  /// intra-model parallel speedup arguments.
+  [[nodiscard]] double critical_path_flops() const;
+
+  /// Sum of all node FLOPs.
+  [[nodiscard]] double total_flops() const;
+
+  /// Linearize into the chain Model the pipeline planner consumes.
+  [[nodiscard]] Model linearize() const;
+
+ private:
+  struct Node {
+    Layer layer;
+    std::vector<std::size_t> inputs;
+  };
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace h2p

@@ -1,0 +1,267 @@
+#include "models/layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2p {
+namespace {
+
+constexpr double kF32 = 4.0;  // bytes per element
+
+double act_bytes(double elements) { return elements * kF32; }
+
+}  // namespace
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2D: return "Conv2D";
+    case LayerKind::kDepthwiseConv2D: return "DWConv2D";
+    case LayerKind::kFullyConnected: return "FC";
+    case LayerKind::kMatMul: return "MatMul";
+    case LayerKind::kAttention: return "Attention";
+    case LayerKind::kLayerNorm: return "LayerNorm";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kPool: return "Pool";
+    case LayerKind::kReLU: return "ReLU";
+    case LayerKind::kGELU: return "GELU";
+    case LayerKind::kMish: return "Mish";
+    case LayerKind::kLeakyReLU: return "LeakyReLU";
+    case LayerKind::kSoftmax: return "Softmax";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kConcat: return "Concat";
+    case LayerKind::kEmbedding: return "Embedding";
+    case LayerKind::kUpsample: return "Upsample";
+  }
+  return "?";
+}
+
+double Layer::arithmetic_intensity() const {
+  const double traffic = naive_traffic_bytes();
+  if (traffic <= 0.0) return 0.0;
+  return flops / traffic;
+}
+
+bool npu_supports(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2D:
+    case LayerKind::kDepthwiseConv2D:
+    case LayerKind::kFullyConnected:
+    case LayerKind::kMatMul:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kPool:
+    case LayerKind::kReLU:
+    case LayerKind::kSoftmax:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+      return true;
+    case LayerKind::kAttention:
+    case LayerKind::kLayerNorm:
+    case LayerKind::kGELU:
+    case LayerKind::kMish:
+    case LayerKind::kLeakyReLU:
+    case LayerKind::kEmbedding:
+    case LayerKind::kUpsample:
+      return false;
+  }
+  return false;
+}
+
+Layer make_conv2d(std::string name, int in_c, int out_c, int kernel, int out_h,
+                  int out_w, int groups, double locality) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv2D;
+  const double spatial = static_cast<double>(out_h) * out_w;
+  const double k2 = static_cast<double>(kernel) * kernel;
+  l.flops = 2.0 * k2 * (static_cast<double>(in_c) / groups) * out_c * spatial;
+  l.param_bytes = k2 * (static_cast<double>(in_c) / groups) * out_c * kF32;
+  // Input spatial size approximated by output size (stride folded into dims).
+  l.input_bytes = act_bytes(static_cast<double>(in_c) * spatial);
+  l.output_bytes = act_bytes(static_cast<double>(out_c) * spatial);
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  l.locality = locality;
+  return l;
+}
+
+Layer make_depthwise(std::string name, int channels, int kernel, int out_h,
+                     int out_w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kDepthwiseConv2D;
+  const double spatial = static_cast<double>(out_h) * out_w;
+  const double k2 = static_cast<double>(kernel) * kernel;
+  l.flops = 2.0 * k2 * channels * spatial;
+  l.param_bytes = k2 * channels * kF32;
+  l.input_bytes = act_bytes(static_cast<double>(channels) * spatial);
+  l.output_bytes = l.input_bytes;
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  // Depthwise convolutions are bandwidth-bound: almost no reuse per weight.
+  l.locality = 0.45;
+  return l;
+}
+
+Layer make_fully_connected(std::string name, int in_features, int out_features) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kFullyConnected;
+  l.flops = 2.0 * static_cast<double>(in_features) * out_features;
+  l.param_bytes = static_cast<double>(in_features) * out_features * kF32;
+  l.input_bytes = act_bytes(in_features);
+  l.output_bytes = act_bytes(out_features);
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  // Batch-1 FC is a GEMV: every weight read exactly once -> memory bound.
+  l.locality = 0.15;
+  return l;
+}
+
+Layer make_matmul(std::string name, int m, int k, int n, double locality) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kMatMul;
+  l.flops = 2.0 * static_cast<double>(m) * k * n;
+  l.param_bytes = static_cast<double>(k) * n * kF32;
+  l.input_bytes = act_bytes(static_cast<double>(m) * k);
+  l.output_bytes = act_bytes(static_cast<double>(m) * n);
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  l.locality = locality;
+  return l;
+}
+
+Layer make_attention(std::string name, int seq_len, int dim, int heads) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAttention;
+  const double s = seq_len, d = dim;
+  // QKV projections + output projection: 4 GEMMs of [s,d]x[d,d];
+  // score/value GEMMs: 2 x [s,d]x[d,s] per full dim across heads.
+  l.flops = 2.0 * (4.0 * s * d * d + 2.0 * s * s * d);
+  l.param_bytes = 4.0 * d * d * kF32;
+  l.input_bytes = act_bytes(s * d);
+  l.output_bytes = act_bytes(s * d);
+  // Attention keeps Q/K/V plus the s x s score matrix per head live.
+  l.working_set_bytes = l.param_bytes + 4.0 * s * d * kF32 +
+                        static_cast<double>(heads) * (s / 1.0) * s * kF32;
+  l.locality = 0.35;
+  return l;
+}
+
+Layer make_layer_norm(std::string name, int seq_len, int dim) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLayerNorm;
+  const double elems = static_cast<double>(seq_len) * dim;
+  l.flops = 8.0 * elems;  // mean/var/normalize/affine passes
+  l.param_bytes = 2.0 * dim * kF32;
+  l.input_bytes = act_bytes(elems);
+  l.output_bytes = act_bytes(elems);
+  l.working_set_bytes = l.input_bytes + l.output_bytes;
+  l.locality = 0.4;  // two streaming passes, no reuse
+  return l;
+}
+
+Layer make_batch_norm(std::string name, int channels, int h, int w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kBatchNorm;
+  const double elems = static_cast<double>(channels) * h * w;
+  l.flops = 2.0 * elems;
+  l.param_bytes = 4.0 * channels * kF32;
+  l.input_bytes = act_bytes(elems);
+  l.output_bytes = act_bytes(elems);
+  l.working_set_bytes = l.input_bytes;
+  l.locality = 0.6;
+  return l;
+}
+
+Layer make_pool(std::string name, int channels, int out_h, int out_w, int kernel) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kPool;
+  const double spatial = static_cast<double>(out_h) * out_w;
+  l.flops = static_cast<double>(kernel) * kernel * channels * spatial;
+  l.input_bytes = act_bytes(channels * spatial * kernel * kernel / 4.0);
+  l.output_bytes = act_bytes(channels * spatial);
+  l.working_set_bytes = l.input_bytes;
+  l.locality = 0.7;
+  return l;
+}
+
+Layer make_activation(std::string name, LayerKind kind, double elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = kind;
+  // Transcendental activations (GELU/Mish) cost several FLOPs per element.
+  const double per_elem =
+      (kind == LayerKind::kGELU || kind == LayerKind::kMish) ? 12.0 : 1.0;
+  l.flops = per_elem * elements;
+  l.input_bytes = act_bytes(elements);
+  l.output_bytes = act_bytes(elements);
+  l.working_set_bytes = l.input_bytes;
+  l.locality = 0.8;
+  return l;
+}
+
+Layer make_add(std::string name, double elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAdd;
+  l.flops = elements;
+  l.input_bytes = 2.0 * act_bytes(elements);
+  l.output_bytes = act_bytes(elements);
+  l.working_set_bytes = l.input_bytes;
+  l.locality = 0.5;  // pure streaming
+  return l;
+}
+
+Layer make_concat(std::string name, double elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConcat;
+  l.flops = elements * 0.5;  // copy cost modelled as pseudo-FLOPs
+  l.input_bytes = act_bytes(elements);
+  l.output_bytes = act_bytes(elements);
+  l.working_set_bytes = l.input_bytes + l.output_bytes;
+  l.locality = 0.3;  // scattered copies, no compute reuse
+  return l;
+}
+
+Layer make_softmax(std::string name, double elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kSoftmax;
+  l.flops = 5.0 * elements;
+  l.input_bytes = act_bytes(elements);
+  l.output_bytes = act_bytes(elements);
+  l.working_set_bytes = l.input_bytes;
+  l.locality = 0.7;
+  return l;
+}
+
+Layer make_embedding(std::string name, int vocab, int dim, int seq_len) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kEmbedding;
+  l.flops = static_cast<double>(seq_len) * dim;  // gather
+  l.param_bytes = static_cast<double>(vocab) * dim * kF32;
+  l.input_bytes = act_bytes(seq_len);
+  l.output_bytes = act_bytes(static_cast<double>(seq_len) * dim);
+  // Only the touched rows move, not the whole table.
+  l.working_set_bytes = l.output_bytes * 2.0;
+  l.locality = 0.2;  // random row gathers
+  return l;
+}
+
+Layer make_upsample(std::string name, int channels, int out_h, int out_w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kUpsample;
+  const double out_elems = static_cast<double>(channels) * out_h * out_w;
+  l.flops = out_elems;
+  l.input_bytes = act_bytes(out_elems / 4.0);
+  l.output_bytes = act_bytes(out_elems);
+  l.working_set_bytes = l.output_bytes;
+  l.locality = 0.5;
+  return l;
+}
+
+}  // namespace h2p

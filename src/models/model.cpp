@@ -1,0 +1,103 @@
+#include "models/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2p {
+
+Model::Model(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  build_prefix_sums();
+}
+
+void Model::build_prefix_sums() {
+  const std::size_t n = layers_.size();
+  prefix_flops_.assign(n + 1, 0.0);
+  prefix_params_.assign(n + 1, 0.0);
+  prefix_traffic_.assign(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_flops_[i + 1] = prefix_flops_[i] + layers_[i].flops;
+    prefix_params_[i + 1] = prefix_params_[i] + layers_[i].param_bytes;
+    prefix_traffic_[i + 1] = prefix_traffic_[i] + layers_[i].naive_traffic_bytes();
+  }
+}
+
+double Model::total_flops() const { return prefix_flops_.back(); }
+double Model::total_param_bytes() const { return prefix_params_.back(); }
+
+double Model::range_flops(std::size_t i, std::size_t j) const {
+  if (j < i || j >= layers_.size()) return 0.0;
+  return prefix_flops_[j + 1] - prefix_flops_[i];
+}
+
+double Model::range_param_bytes(std::size_t i, std::size_t j) const {
+  if (j < i || j >= layers_.size()) return 0.0;
+  return prefix_params_[j + 1] - prefix_params_[i];
+}
+
+double Model::range_traffic_bytes(std::size_t i, std::size_t j) const {
+  if (j < i || j >= layers_.size()) return 0.0;
+  return prefix_traffic_[j + 1] - prefix_traffic_[i];
+}
+
+double Model::boundary_bytes(std::size_t i) const {
+  if (layers_.empty()) return 0.0;
+  if (i == 0) return layers_.front().input_bytes;
+  if (i >= layers_.size()) return layers_.back().output_bytes;
+  return layers_[i - 1].output_bytes;
+}
+
+double Model::peak_activation_bytes(std::size_t i, std::size_t j) const {
+  double peak = 0.0;
+  for (std::size_t k = i; k <= j && k < layers_.size(); ++k) {
+    peak = std::max(peak, layers_[k].input_bytes + layers_[k].output_bytes);
+  }
+  return peak;
+}
+
+double Model::range_locality(std::size_t i, std::size_t j) const {
+  double traffic = 0.0, weighted = 0.0;
+  for (std::size_t k = i; k <= j && k < layers_.size(); ++k) {
+    const double t = layers_[k].naive_traffic_bytes();
+    traffic += t;
+    weighted += t * layers_[k].locality;
+  }
+  if (traffic <= 0.0) return 1.0;
+  return weighted / traffic;
+}
+
+double Model::max_working_set_bytes(std::size_t i, std::size_t j) const {
+  double peak = 0.0;
+  for (std::size_t k = i; k <= j && k < layers_.size(); ++k) {
+    peak = std::max(peak, layers_[k].working_set_bytes);
+  }
+  return peak;
+}
+
+std::size_t Model::first_npu_unsupported(std::size_t i, std::size_t j) const {
+  for (std::size_t k = i; k <= j && k < layers_.size(); ++k) {
+    if (!npu_supports(layers_[k].kind)) return k;
+  }
+  return j + 1;
+}
+
+bool Model::fully_npu_supported() const {
+  if (layers_.empty()) return true;
+  return first_npu_unsupported(0, layers_.size() - 1) == layers_.size();
+}
+
+Model make_batched_model(const Model& base, int batch) {
+  if (batch <= 1) return base;
+  const double b = batch;
+  std::vector<Layer> layers(base.layers().begin(), base.layers().end());
+  for (Layer& l : layers) {
+    l.flops *= b;
+    l.input_bytes *= b;
+    l.output_bytes *= b;
+    // Weights stay shared; the live working set grows with the activations.
+    l.working_set_bytes = l.param_bytes + (l.working_set_bytes - l.param_bytes) * b;
+  }
+  return Model(base.name() + "@b" + std::to_string(batch), std::move(layers));
+}
+
+}  // namespace h2p

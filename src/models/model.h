@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "models/layer.h"
+
+namespace h2p {
+
+/// A network in linearized (topologically ordered) form: a chain of
+/// sliceable units.  Pipeline slicing (Def. 1) splits the chain at layer
+/// boundaries; prefix sums make any [i, j] range query O(1), which is what
+/// lets Algorithm 1 run in O(nK).
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, std::vector<Layer> layers);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return layers_[i]; }
+  [[nodiscard]] std::span<const Layer> layers() const { return layers_; }
+
+  // ---- whole-model aggregates --------------------------------------------
+  [[nodiscard]] double total_flops() const;
+  [[nodiscard]] double total_param_bytes() const;
+
+  // ---- O(1) range queries over [i, j] inclusive ---------------------------
+  [[nodiscard]] double range_flops(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double range_param_bytes(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double range_traffic_bytes(std::size_t i, std::size_t j) const;
+
+  /// Bytes crossing the boundary *into* layer i (the tensor a downstream
+  /// pipeline stage must receive); layer 0 returns the network input size.
+  [[nodiscard]] double boundary_bytes(std::size_t i) const;
+
+  /// Largest single activation in [i, j] (peak-memory accounting).
+  [[nodiscard]] double peak_activation_bytes(std::size_t i, std::size_t j) const;
+
+  /// Traffic-weighted mean locality of [i, j]; drives the cost model's
+  /// DRAM-vs-cache split for a slice.
+  [[nodiscard]] double range_locality(std::size_t i, std::size_t j) const;
+
+  /// Largest layer working set in [i, j] (cache-fit test).
+  [[nodiscard]] double max_working_set_bytes(std::size_t i, std::size_t j) const;
+
+  /// First layer index in [i, j] whose operator the NPU cannot run, or
+  /// j + 1 when the whole range is supported.
+  [[nodiscard]] std::size_t first_npu_unsupported(std::size_t i, std::size_t j) const;
+
+  /// True if every operator in the model is NPU-runnable.
+  [[nodiscard]] bool fully_npu_supported() const;
+
+ private:
+  void build_prefix_sums();
+
+  std::string name_;
+  std::vector<Layer> layers_;
+  // prefix[i] = sum over layers [0, i-1]
+  std::vector<double> prefix_flops_;
+  std::vector<double> prefix_params_;
+  std::vector<double> prefix_traffic_;
+};
+
+/// Appendix-D batching: a batched request behaves like the same network
+/// with every activation tensor (and the compute on it) scaled by the batch
+/// size while the weights are shared.  On mobile processors (hardware batch
+/// capacity ~1) this yields the paper's affine latency growth, and it lets
+/// the planner align a batch of lightweight requests with one heavyweight
+/// pipeline stage.
+Model make_batched_model(const Model& base, int batch);
+
+}  // namespace h2p

@@ -1,0 +1,538 @@
+#include "models/model_zoo.h"
+
+#include <array>
+#include <cassert>
+#include <string>
+
+namespace h2p {
+namespace {
+
+// ---- fused-block helpers ---------------------------------------------------
+
+/// Inception-style block: parallel 1x1 / 3x3 / 5x5 / pool-proj branches fused
+/// into one unit.  Compared to a dense 3x3 conv of the same in/out shape, the
+/// fragmented branches have fewer FLOPs per byte and poor cache behaviour —
+/// this is the micro-architectural root of Observation 3 (GoogLeNet's
+/// outsized contention footprint).
+Layer make_inception_block(std::string name, int in_c, int out_c, int h, int w,
+                           double density = 0.20) {
+  Layer l = make_conv2d(std::move(name), in_c, out_c, 3, h, w);
+  l.flops *= density;
+  l.param_bytes *= density;
+  // Four parallel branches re-read the input and the concat physically
+  // copies every branch output: internal activation traffic is ~2.5x the
+  // fused in/out tensors.
+  l.input_bytes *= 2.5;
+  l.output_bytes *= 2.5;
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  l.locality = 0.20;
+  return l;
+}
+
+/// SqueezeNet Fire module (squeeze 1x1 -> expand 1x1 + 3x3, concat), fused.
+Layer make_fire_module(std::string name, int in_c, int squeeze_c, int expand_c,
+                       int h, int w) {
+  const double spatial = static_cast<double>(h) * w;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv2D;
+  const double sq_flops = 2.0 * in_c * squeeze_c * spatial;
+  const double e1_flops = 2.0 * squeeze_c * expand_c * spatial;
+  const double e3_flops = 2.0 * 9.0 * squeeze_c * expand_c * spatial;
+  l.flops = sq_flops + e1_flops + e3_flops;
+  l.param_bytes = (static_cast<double>(in_c) * squeeze_c +
+                   static_cast<double>(squeeze_c) * expand_c +
+                   9.0 * squeeze_c * expand_c) * 4.0;
+  // The squeeze/expand/concat chain re-reads the squeeze output for both
+  // expand branches and physically copies both outputs into the concat:
+  // internal traffic is ~2.5x the fused in/out tensors, with almost no
+  // weight reuse — the module is memory-hungry despite tiny FLOPs
+  // (Observation 3's surprising outlier).
+  l.input_bytes = 2.5 * in_c * spatial * 4.0;
+  l.output_bytes = 2.5 * 2.0 * expand_c * spatial * 4.0;
+  l.working_set_bytes = l.param_bytes + l.input_bytes + 2.0 * l.output_bytes;
+  l.locality = 0.15;
+  return l;
+}
+
+/// ResNet bottleneck (1x1 down, 3x3, 1x1 up, residual add), fused.
+Layer make_bottleneck(std::string name, int in_c, int out_c, int h, int w,
+                      bool downsample) {
+  const int mid = out_c / 4;
+  const double spatial = static_cast<double>(h) * w;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv2D;
+  double flops = 2.0 * spatial * (static_cast<double>(in_c) * mid +
+                                  9.0 * static_cast<double>(mid) * mid +
+                                  static_cast<double>(mid) * out_c);
+  double params = (static_cast<double>(in_c) * mid + 9.0 * static_cast<double>(mid) * mid +
+                   static_cast<double>(mid) * out_c) * 4.0;
+  if (downsample) {
+    flops += 2.0 * spatial * static_cast<double>(in_c) * out_c;
+    params += static_cast<double>(in_c) * out_c * 4.0;
+  }
+  l.flops = flops;
+  l.param_bytes = params;
+  l.input_bytes = in_c * spatial * 4.0;
+  l.output_bytes = out_c * spatial * 4.0;
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  l.locality = 0.62;
+  return l;
+}
+
+/// CSPDarknet53 stage (split, residual stack, merge), fused conv part.
+Layer make_csp_stage(std::string name, int in_c, int out_c, int h, int w,
+                     int num_res_blocks) {
+  const double spatial = static_cast<double>(h) * w;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv2D;
+  // Downsample conv + num_res_blocks x (1x1 + 3x3 at half channels) + merge.
+  const double half = out_c / 2.0;
+  double flops = 2.0 * spatial * 9.0 * in_c * out_c;  // stride-2 3x3
+  flops += num_res_blocks * 2.0 * spatial * (half * half + 9.0 * half * half);
+  flops += 2.0 * spatial * out_c * out_c;  // transition 1x1s
+  double params = 9.0 * static_cast<double>(in_c) * out_c;
+  params += num_res_blocks * (half * half + 9.0 * half * half);
+  params += static_cast<double>(out_c) * out_c;
+  l.flops = flops;
+  l.param_bytes = params * 4.0;
+  l.input_bytes = in_c * spatial * 4.0 * 4.0;  // input is at 2x resolution
+  l.output_bytes = out_c * spatial * 4.0;
+  l.working_set_bytes = l.param_bytes / num_res_blocks + l.input_bytes + l.output_bytes;
+  l.locality = 0.58;
+  return l;
+}
+
+/// MobileNetV2 inverted residual (expand 1x1 + dw 3x3 [+ project]), fused.
+/// `include_project` lets a block be emitted as two sliceable units so the
+/// zoo's MobileNetV2 exposes the paper's 28 split points (Appendix A).
+Layer make_inverted_residual(std::string name, int in_c, int out_c, int h,
+                             int w, int expand, bool expand_and_dw_only) {
+  const double spatial = static_cast<double>(h) * w;
+  const int mid = in_c * expand;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kDepthwiseConv2D;
+  if (expand_and_dw_only) {
+    l.flops = 2.0 * spatial * (static_cast<double>(in_c) * mid + 9.0 * mid);
+    l.param_bytes = (static_cast<double>(in_c) * mid + 9.0 * mid) * 4.0;
+    l.output_bytes = mid * spatial * 4.0;
+  } else {
+    l.flops = 2.0 * spatial * (static_cast<double>(in_c) * mid + 9.0 * mid +
+                               static_cast<double>(mid) * out_c);
+    l.param_bytes = (static_cast<double>(in_c) * mid + 9.0 * mid +
+                     static_cast<double>(mid) * out_c) * 4.0;
+    l.output_bytes = out_c * spatial * 4.0;
+  }
+  l.input_bytes = in_c * spatial * 4.0;
+  l.working_set_bytes = l.param_bytes + l.input_bytes + l.output_bytes;
+  l.locality = 0.48;  // dw convs dominate: low reuse
+  return l;
+}
+
+/// Projection half of a split inverted residual.
+Layer make_ir_project(std::string name, int mid_c, int out_c, int h, int w) {
+  Layer l = make_conv2d(std::move(name), mid_c, out_c, 1, h, w);
+  l.locality = 0.5;
+  return l;
+}
+
+// ---- transformer encoder ----------------------------------------------------
+
+void append_encoder(std::vector<Layer>& layers, const std::string& prefix,
+                    int seq, int dim, int heads, int ffn_dim) {
+  layers.push_back(make_attention(prefix + ".attn", seq, dim, heads));
+  layers.push_back(make_layer_norm(prefix + ".ln1", seq, dim));
+  layers.push_back(make_matmul(prefix + ".ffn1", seq, dim, ffn_dim, 0.45));
+  layers.push_back(make_activation(prefix + ".gelu", LayerKind::kGELU,
+                                   static_cast<double>(seq) * ffn_dim));
+  layers.push_back(make_matmul(prefix + ".ffn2", seq, ffn_dim, dim, 0.45));
+  layers.push_back(make_layer_norm(prefix + ".ln2", seq, dim));
+}
+
+// ---- network builders -------------------------------------------------------
+
+Model build_alexnet() {
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("conv1", 3, 96, 11, 55, 55));
+  v.push_back(make_activation("relu1", LayerKind::kReLU, 96.0 * 55 * 55));
+  v.push_back(make_pool("pool1", 96, 27, 27, 3));
+  v.push_back(make_conv2d("conv2", 96, 256, 5, 27, 27));
+  v.push_back(make_activation("relu2", LayerKind::kReLU, 256.0 * 27 * 27));
+  v.push_back(make_pool("pool2", 256, 13, 13, 3));
+  v.push_back(make_conv2d("conv3", 256, 384, 3, 13, 13));
+  v.push_back(make_activation("relu3", LayerKind::kReLU, 384.0 * 13 * 13));
+  v.push_back(make_conv2d("conv4", 384, 384, 3, 13, 13));
+  v.push_back(make_activation("relu4", LayerKind::kReLU, 384.0 * 13 * 13));
+  v.push_back(make_conv2d("conv5", 384, 256, 3, 13, 13));
+  v.push_back(make_pool("pool5", 256, 6, 6, 3));
+  v.push_back(make_fully_connected("fc6", 9216, 4096));
+  v.push_back(make_fully_connected("fc7", 4096, 4096));
+  v.push_back(make_fully_connected("fc8", 4096, 1000));
+  return Model("AlexNet", std::move(v));
+}
+
+Model build_vgg16() {
+  std::vector<Layer> v;
+  struct Block { int in, out, n, hw; };
+  const std::array<Block, 5> blocks = {{{3, 64, 2, 224},
+                                        {64, 128, 2, 112},
+                                        {128, 256, 3, 56},
+                                        {256, 512, 3, 28},
+                                        {512, 512, 3, 14}}};
+  int stage = 1;
+  for (const auto& b : blocks) {
+    int in_c = b.in;
+    for (int i = 0; i < b.n; ++i) {
+      const std::string tag = "conv" + std::to_string(stage) + "_" + std::to_string(i + 1);
+      v.push_back(make_conv2d(tag, in_c, b.out, 3, b.hw, b.hw));
+      v.push_back(make_activation("relu" + std::to_string(stage) + "_" + std::to_string(i + 1),
+                                  LayerKind::kReLU, static_cast<double>(b.out) * b.hw * b.hw));
+      in_c = b.out;
+    }
+    v.push_back(make_pool("pool" + std::to_string(stage), b.out, b.hw / 2, b.hw / 2, 2));
+    ++stage;
+  }
+  v.push_back(make_fully_connected("fc6", 25088, 4096));
+  v.push_back(make_fully_connected("fc7", 4096, 4096));
+  v.push_back(make_fully_connected("fc8", 4096, 1000));
+  return Model("VGG16", std::move(v));
+}
+
+Model build_googlenet() {
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("conv1", 3, 64, 7, 112, 112));
+  v.push_back(make_pool("pool1", 64, 56, 56, 3));
+  v.push_back(make_conv2d("conv2a", 64, 64, 1, 56, 56));
+  v.push_back(make_conv2d("conv2b", 64, 192, 3, 56, 56));
+  v.push_back(make_pool("pool2", 192, 28, 28, 3));
+  v.push_back(make_inception_block("inc3a", 192, 256, 28, 28));
+  v.push_back(make_inception_block("inc3b", 256, 480, 28, 28));
+  v.push_back(make_pool("pool3", 480, 14, 14, 3));
+  v.push_back(make_inception_block("inc4a", 480, 512, 14, 14));
+  v.push_back(make_inception_block("inc4b", 512, 512, 14, 14));
+  v.push_back(make_inception_block("inc4c", 512, 512, 14, 14));
+  v.push_back(make_inception_block("inc4d", 512, 528, 14, 14));
+  v.push_back(make_inception_block("inc4e", 528, 832, 14, 14));
+  v.push_back(make_pool("pool4", 832, 7, 7, 3));
+  v.push_back(make_inception_block("inc5a", 832, 832, 7, 7));
+  v.push_back(make_inception_block("inc5b", 832, 1024, 7, 7));
+  v.push_back(make_pool("gap", 1024, 1, 1, 7));
+  v.push_back(make_fully_connected("fc", 1024, 1000));
+  return Model("GoogLeNet", std::move(v));
+}
+
+Model build_inceptionv4() {
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("stem1", 3, 32, 3, 149, 149));
+  v.push_back(make_conv2d("stem2", 32, 64, 3, 147, 147));
+  v.push_back(make_inception_block("stem3", 64, 192, 73, 73, 0.45));
+  v.push_back(make_inception_block("stem4", 192, 384, 35, 35, 0.45));
+  for (int i = 0; i < 4; ++i)
+    v.push_back(make_inception_block("incA" + std::to_string(i + 1), 384, 384, 35, 35, 0.35));
+  v.push_back(make_inception_block("redA", 384, 1024, 17, 17, 0.4));
+  for (int i = 0; i < 7; ++i)
+    v.push_back(make_inception_block("incB" + std::to_string(i + 1), 1024, 1024, 17, 17, 0.25));
+  v.push_back(make_inception_block("redB", 1024, 1536, 8, 8, 0.35));
+  for (int i = 0; i < 3; ++i)
+    v.push_back(make_inception_block("incC" + std::to_string(i + 1), 1536, 1536, 8, 8, 0.22));
+  v.push_back(make_pool("gap", 1536, 1, 1, 8));
+  v.push_back(make_fully_connected("fc", 1536, 1000));
+  return Model("InceptionV4", std::move(v));
+}
+
+Model build_resnet50() {
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("conv1", 3, 64, 7, 112, 112));
+  v.push_back(make_pool("pool1", 64, 56, 56, 3));
+  struct Stage { int in, out, n, hw; };
+  const std::array<Stage, 4> stages = {{{64, 256, 3, 56},
+                                        {256, 512, 4, 28},
+                                        {512, 1024, 6, 14},
+                                        {1024, 2048, 3, 7}}};
+  int s_idx = 2;
+  for (const auto& s : stages) {
+    int in_c = s.in;
+    for (int i = 0; i < s.n; ++i) {
+      const std::string tag = "res" + std::to_string(s_idx) + "_" + std::to_string(i + 1);
+      v.push_back(make_bottleneck(tag, in_c, s.out, s.hw, s.hw, i == 0));
+      in_c = s.out;
+    }
+    ++s_idx;
+  }
+  v.push_back(make_pool("gap", 2048, 1, 1, 7));
+  v.push_back(make_fully_connected("fc", 2048, 1000));
+  return Model("ResNet50", std::move(v));
+}
+
+Model build_yolov4() {
+  std::vector<Layer> v;  // 416x416 input
+  v.push_back(make_conv2d("stem", 3, 32, 3, 416, 416));
+  v.push_back(make_activation("stem.mish", LayerKind::kMish, 32.0 * 416 * 416));
+  v.push_back(make_csp_stage("csp1", 32, 64, 208, 208, 1));
+  v.push_back(make_activation("csp1.mish", LayerKind::kMish, 64.0 * 208 * 208));
+  v.push_back(make_csp_stage("csp2", 64, 128, 104, 104, 2));
+  v.push_back(make_activation("csp2.mish", LayerKind::kMish, 128.0 * 104 * 104));
+  v.push_back(make_csp_stage("csp3", 128, 256, 52, 52, 8));
+  v.push_back(make_activation("csp3.mish", LayerKind::kMish, 256.0 * 52 * 52));
+  v.push_back(make_csp_stage("csp4", 256, 512, 26, 26, 8));
+  v.push_back(make_activation("csp4.mish", LayerKind::kMish, 512.0 * 26 * 26));
+  v.push_back(make_csp_stage("csp5", 512, 1024, 13, 13, 4));
+  v.push_back(make_activation("csp5.mish", LayerKind::kMish, 1024.0 * 13 * 13));
+  // SPP + neck (PANet): conv stacks with upsample/concat fusion points.
+  // The PANet 5-conv blocks carry a large share of YOLOv4's 64M parameters.
+  v.push_back(make_pool("spp", 1024, 13, 13, 13));
+  v.push_back(make_conv2d("neck1", 2048, 512, 1, 13, 13));
+  v.push_back(make_conv2d("neck2", 512, 1024, 3, 13, 13));
+  v.push_back(make_conv2d("neck2b", 1024, 512, 1, 13, 13));
+  v.push_back(make_conv2d("neck2c", 512, 1024, 3, 13, 13));
+  v.push_back(make_conv2d("neck2d", 1024, 512, 1, 13, 13));
+  v.push_back(make_activation("neck2.leaky", LayerKind::kLeakyReLU, 512.0 * 13 * 13));
+  v.push_back(make_upsample("up1", 256, 26, 26));
+  v.push_back(make_concat("cat1", 768.0 * 26 * 26));
+  v.push_back(make_conv2d("neck3", 768, 256, 1, 26, 26));
+  v.push_back(make_conv2d("neck4", 256, 512, 3, 26, 26));
+  v.push_back(make_conv2d("neck4b", 512, 256, 1, 26, 26));
+  v.push_back(make_conv2d("neck4c", 256, 512, 3, 26, 26));
+  v.push_back(make_activation("neck4.leaky", LayerKind::kLeakyReLU, 512.0 * 26 * 26));
+  v.push_back(make_upsample("up2", 128, 52, 52));
+  v.push_back(make_concat("cat2", 384.0 * 52 * 52));
+  v.push_back(make_conv2d("neck5", 384, 128, 1, 52, 52));
+  v.push_back(make_conv2d("neck6", 128, 256, 3, 52, 52));
+  v.push_back(make_conv2d("head_s", 256, 255, 1, 52, 52));
+  v.push_back(make_conv2d("down1", 128, 256, 3, 26, 26));
+  v.push_back(make_conv2d("neck7", 512, 512, 3, 26, 26));
+  v.push_back(make_conv2d("neck7b", 512, 256, 1, 26, 26));
+  v.push_back(make_conv2d("neck7c", 256, 512, 3, 26, 26));
+  v.push_back(make_conv2d("head_m", 512, 255, 1, 26, 26));
+  v.push_back(make_conv2d("down2", 256, 512, 3, 13, 13));
+  v.push_back(make_conv2d("neck8", 1024, 1024, 3, 13, 13));
+  v.push_back(make_conv2d("neck8b", 1024, 512, 1, 13, 13));
+  v.push_back(make_conv2d("neck8c", 512, 1024, 3, 13, 13));
+  v.push_back(make_conv2d("head_l", 1024, 255, 1, 13, 13));
+  return Model("YOLOv4", std::move(v));
+}
+
+Model build_mobilenetv2() {
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("stem", 3, 32, 3, 112, 112));
+  // (expand t, out c, repeats n, output hw); the first block of every stage
+  // is emitted as two sliceable units (expand+dw | project) so the model
+  // exposes 28 split points, matching the paper's Appendix-A example.
+  struct Cfg { int t, c, n, hw; };
+  const std::array<Cfg, 7> cfgs = {{{1, 16, 1, 112},
+                                    {6, 24, 2, 56},
+                                    {6, 32, 3, 28},
+                                    {6, 64, 4, 14},
+                                    {6, 96, 3, 14},
+                                    {6, 160, 3, 7},
+                                    {6, 320, 1, 7}}};
+  int in_c = 32;
+  int block = 1;
+  for (const auto& cfg : cfgs) {
+    for (int i = 0; i < cfg.n; ++i) {
+      const std::string tag = "ir" + std::to_string(block);
+      if (i == 0) {
+        v.push_back(make_inverted_residual(tag + ".exp_dw", in_c, cfg.c, cfg.hw,
+                                           cfg.hw, cfg.t, /*expand_and_dw_only=*/true));
+        v.push_back(make_ir_project(tag + ".proj", in_c * cfg.t, cfg.c, cfg.hw, cfg.hw));
+      } else {
+        v.push_back(make_inverted_residual(tag, in_c, cfg.c, cfg.hw, cfg.hw,
+                                           cfg.t, /*expand_and_dw_only=*/false));
+      }
+      in_c = cfg.c;
+      ++block;
+    }
+  }
+  v.push_back(make_conv2d("head", 320, 1280, 1, 7, 7));
+  v.push_back(make_pool("gap", 1280, 1, 1, 7));
+  v.push_back(make_fully_connected("fc", 1280, 1000));
+  return Model("MobileNetV2", std::move(v));
+}
+
+Model build_squeezenet() {
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("conv1", 3, 96, 7, 111, 111));
+  v.push_back(make_pool("pool1", 96, 55, 55, 3));
+  v.push_back(make_fire_module("fire2", 96, 16, 64, 55, 55));
+  v.push_back(make_fire_module("fire3", 128, 16, 64, 55, 55));
+  v.push_back(make_fire_module("fire4", 128, 32, 128, 55, 55));
+  v.push_back(make_pool("pool4", 256, 27, 27, 3));
+  v.push_back(make_fire_module("fire5", 256, 32, 128, 27, 27));
+  v.push_back(make_fire_module("fire6", 256, 48, 192, 27, 27));
+  v.push_back(make_fire_module("fire7", 384, 48, 192, 27, 27));
+  v.push_back(make_fire_module("fire8", 384, 64, 256, 27, 27));
+  v.push_back(make_pool("pool8", 512, 13, 13, 3));
+  v.push_back(make_fire_module("fire9", 512, 64, 256, 13, 13));
+  v.push_back(make_conv2d("conv10", 512, 1000, 1, 13, 13, 1, 0.3));
+  v.push_back(make_pool("gap", 1000, 1, 1, 13));
+  return Model("SqueezeNet", std::move(v));
+}
+
+Model build_bert() {
+  constexpr int kSeq = 128, kDim = 768, kHeads = 12, kFfn = 3072, kVocab = 30522;
+  std::vector<Layer> v;
+  v.push_back(make_embedding("embed", kVocab, kDim, kSeq));
+  for (int i = 0; i < 12; ++i)
+    append_encoder(v, "enc" + std::to_string(i + 1), kSeq, kDim, kHeads, kFfn);
+  v.push_back(make_fully_connected("pooler", kDim, kDim));
+  return Model("BERT", std::move(v));
+}
+
+Model build_vit() {
+  constexpr int kSeq = 197, kDim = 768, kHeads = 12, kFfn = 3072;
+  std::vector<Layer> v;
+  // Patch embedding: 16x16 conv, 3 -> 768, producing a 14x14 token grid.
+  v.push_back(make_conv2d("patch_embed", 3, kDim, 16, 14, 14));
+  for (int i = 0; i < 12; ++i)
+    append_encoder(v, "enc" + std::to_string(i + 1), kSeq, kDim, kHeads, kFfn);
+  v.push_back(make_layer_norm("final_ln", kSeq, kDim));
+  v.push_back(make_fully_connected("head", kDim, 1000));
+  return Model("ViT", std::move(v));
+}
+
+Model build_facenet() {
+  // InceptionResNetV1 @160x160: stem + three fused Inception-ResNet stages.
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("stem1", 3, 32, 3, 79, 79));
+  v.push_back(make_conv2d("stem2", 32, 64, 3, 77, 77));
+  v.push_back(make_pool("pool1", 64, 38, 38, 3));
+  v.push_back(make_conv2d("stem3", 64, 192, 3, 36, 36));
+  for (int i = 0; i < 5; ++i)
+    v.push_back(make_inception_block("irA" + std::to_string(i + 1), 192, 256, 35, 35, 0.3));
+  v.push_back(make_inception_block("redA", 256, 896, 17, 17, 0.35));
+  for (int i = 0; i < 10; ++i)
+    v.push_back(make_inception_block("irB" + std::to_string(i + 1), 896, 896, 17, 17, 0.12));
+  v.push_back(make_inception_block("redB", 896, 1792, 8, 8, 0.3));
+  for (int i = 0; i < 5; ++i)
+    v.push_back(make_inception_block("irC" + std::to_string(i + 1), 1792, 1792, 8, 8, 0.08));
+  v.push_back(make_pool("gap", 1792, 1, 1, 8));
+  v.push_back(make_fully_connected("embed", 1792, 512));
+  return Model("FaceNet", std::move(v));
+}
+
+Model build_age_gender_net() {
+  // Levi-Hassner style attribute classifier @227: 3 convs + 2 FC heads.
+  std::vector<Layer> v;
+  v.push_back(make_conv2d("conv1", 3, 96, 7, 56, 56));
+  v.push_back(make_activation("relu1", LayerKind::kReLU, 96.0 * 56 * 56));
+  v.push_back(make_pool("pool1", 96, 28, 28, 3));
+  v.push_back(make_conv2d("conv2", 96, 256, 5, 28, 28));
+  v.push_back(make_activation("relu2", LayerKind::kReLU, 256.0 * 28 * 28));
+  v.push_back(make_pool("pool2", 256, 14, 14, 3));
+  v.push_back(make_conv2d("conv3", 256, 384, 3, 14, 14));
+  v.push_back(make_activation("relu3", LayerKind::kReLU, 384.0 * 14 * 14));
+  v.push_back(make_pool("pool3", 384, 7, 7, 3));
+  v.push_back(make_fully_connected("fc1", 384 * 49, 512));
+  v.push_back(make_fully_connected("fc2", 512, 512));
+  v.push_back(make_fully_connected("head", 512, 10));  // 8 age bins + 2 genders
+  return Model("AgeGenderNet", std::move(v));
+}
+
+Model build_gpt2_decoder() {
+  // GPT-2 small decoder trunk for image captioning (ViT encoder upstream):
+  // 12 blocks at width 768, short generation context.
+  constexpr int kSeq = 64, kDim = 768, kHeads = 12, kFfn = 3072, kVocab = 50257;
+  std::vector<Layer> v;
+  v.push_back(make_embedding("wte", kVocab, kDim, kSeq));
+  for (int i = 0; i < 12; ++i)
+    append_encoder(v, "blk" + std::to_string(i + 1), kSeq, kDim, kHeads, kFfn);
+  v.push_back(make_layer_norm("ln_f", kSeq, kDim));
+  v.push_back(make_matmul("lm_head", kSeq, kDim, kVocab, 0.2));
+  return Model("GPT2Decoder", std::move(v));
+}
+
+}  // namespace
+
+const char* to_string(ModelId id) {
+  switch (id) {
+    case ModelId::kAlexNet: return "AlexNet";
+    case ModelId::kVGG16: return "VGG16";
+    case ModelId::kGoogLeNet: return "GoogLeNet";
+    case ModelId::kInceptionV4: return "InceptionV4";
+    case ModelId::kResNet50: return "ResNet50";
+    case ModelId::kYOLOv4: return "YOLOv4";
+    case ModelId::kMobileNetV2: return "MobileNetV2";
+    case ModelId::kSqueezeNet: return "SqueezeNet";
+    case ModelId::kBERT: return "BERT";
+    case ModelId::kViT: return "ViT";
+    case ModelId::kFaceNet: return "FaceNet";
+    case ModelId::kAgeGenderNet: return "AgeGenderNet";
+    case ModelId::kGPT2Decoder: return "GPT2Decoder";
+  }
+  return "?";
+}
+
+const std::vector<ModelId>& all_model_ids() {
+  static const std::vector<ModelId> ids = {
+      ModelId::kAlexNet,     ModelId::kVGG16,       ModelId::kGoogLeNet,
+      ModelId::kInceptionV4, ModelId::kResNet50,    ModelId::kYOLOv4,
+      ModelId::kMobileNetV2, ModelId::kSqueezeNet,  ModelId::kBERT,
+      ModelId::kViT};
+  return ids;
+}
+
+const std::vector<ModelId>& extended_model_ids() {
+  static const std::vector<ModelId> ids = [] {
+    std::vector<ModelId> all = all_model_ids();
+    all.push_back(ModelId::kFaceNet);
+    all.push_back(ModelId::kAgeGenderNet);
+    all.push_back(ModelId::kGPT2Decoder);
+    return all;
+  }();
+  return ids;
+}
+
+Model build_model(ModelId id) {
+  switch (id) {
+    case ModelId::kAlexNet: return build_alexnet();
+    case ModelId::kVGG16: return build_vgg16();
+    case ModelId::kGoogLeNet: return build_googlenet();
+    case ModelId::kInceptionV4: return build_inceptionv4();
+    case ModelId::kResNet50: return build_resnet50();
+    case ModelId::kYOLOv4: return build_yolov4();
+    case ModelId::kMobileNetV2: return build_mobilenetv2();
+    case ModelId::kSqueezeNet: return build_squeezenet();
+    case ModelId::kBERT: return build_bert();
+    case ModelId::kViT: return build_vit();
+    case ModelId::kFaceNet: return build_facenet();
+    case ModelId::kAgeGenderNet: return build_age_gender_net();
+    case ModelId::kGPT2Decoder: return build_gpt2_decoder();
+  }
+  return Model("empty", {});
+}
+
+const Model& zoo_model(ModelId id) {
+  static const std::array<Model, kNumAllModels> cache = [] {
+    std::array<Model, kNumAllModels> models;
+    for (std::size_t i = 0; i < kNumAllModels; ++i)
+      models[i] = build_model(static_cast<ModelId>(i));
+    return models;
+  }();
+  return cache[static_cast<std::size_t>(id)];
+}
+
+SizeClass size_class(ModelId id) {
+  // Fig 9 stratifies by runtime memory burden, which tracks both weights
+  // and activation traffic: the "large" class (BERT, ViT, YOLOv4) combines
+  // big weights with heavy compute, while AlexNet's giant-but-cheap FC
+  // weights leave it in the medium class.
+  const double mb = zoo_model(id).total_param_bytes() / (1024.0 * 1024.0);
+  const double gflops = zoo_model(id).total_flops() / 1.0e9;
+  if (mb > 200.0 && gflops > 10.0) return SizeClass::kLarge;
+  if (mb >= 90.0) return SizeClass::kMedium;
+  return SizeClass::kLight;
+}
+
+const char* to_string(SizeClass c) {
+  switch (c) {
+    case SizeClass::kLight: return "light";
+    case SizeClass::kMedium: return "medium";
+    case SizeClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+}  // namespace h2p

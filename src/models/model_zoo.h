@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model.h"
+
+namespace h2p {
+
+/// The ten networks used throughout the paper's evaluation (§VI-A):
+/// early over-parameterized CNNs, branchy/efficient CNNs, an object
+/// detector, and two transformer architectures.
+enum class ModelId : std::uint8_t {
+  kAlexNet,
+  kVGG16,
+  kGoogLeNet,
+  kInceptionV4,
+  kResNet50,
+  kYOLOv4,
+  kMobileNetV2,
+  kSqueezeNet,
+  kBERT,
+  kViT,
+  // The paper's §I motivating scene-understanding app additionally uses:
+  kFaceNet,     // InceptionResNetV1 face embedding
+  kAgeGenderNet,  // small AlexNet-style attribute classifier
+  kGPT2Decoder,   // caption decoder of the ViT-GPT2 captioning pair
+};
+
+/// The evaluation zoo (§VI-A) — the first ten ids; random workload
+/// generators draw from these to match the paper's combinations.
+inline constexpr std::size_t kNumZooModels = 10;
+/// All models including the §I scene-app extras.
+inline constexpr std::size_t kNumAllModels = 13;
+
+const char* to_string(ModelId id);
+
+/// The ten evaluation-zoo ids in a stable order.
+const std::vector<ModelId>& all_model_ids();
+
+/// All thirteen ids (evaluation zoo + scene-app extras).
+const std::vector<ModelId>& extended_model_ids();
+
+/// Build a fresh linearized model for the given id.  Layer structures follow
+/// the published architectures; branching blocks (Inception, Fire, CSP,
+/// bottleneck, encoder) are fused super-layers per DESIGN.md §4.3.
+Model build_model(ModelId id);
+
+/// Shared immutable instance (built once, thread-safe since C++11 statics).
+const Model& zoo_model(ModelId id);
+
+/// Fig. 9 size stratification.
+enum class SizeClass : std::uint8_t { kLight, kMedium, kLarge };
+SizeClass size_class(ModelId id);
+const char* to_string(SizeClass c);
+
+}  // namespace h2p

@@ -1,0 +1,158 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "runtime/kernels.h"
+#include "runtime/wsdeque.h"
+
+namespace h2p {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+             .count() /
+         1.0e6;
+}
+
+/// Mutex-guarded inbox: completion handlers run on arbitrary workers, but
+/// Chase–Lev push is owner-only, so ready jobs are mailed to their home
+/// worker which drains its inbox into its own deque.
+class Inbox {
+ public:
+  void post(std::size_t job) {
+    std::lock_guard lock(mu_);
+    items_.push_back(job);
+  }
+  std::optional<std::size_t> take() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    const std::size_t job = items_.back();
+    items_.pop_back();
+    return job;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::size_t> items_;
+};
+
+}  // namespace
+
+PipelineExecutor::PipelineExecutor(std::size_t num_procs, ExecutorOptions options)
+    : num_procs_(num_procs ? num_procs : 1), options_(options) {}
+
+RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
+  RuntimeResult result;
+  const std::size_t n = jobs.size();
+  result.records.resize(n);
+  if (n == 0) return result;
+
+  // Chain predecessors / successors.
+  std::vector<int> pred(n, -1);
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (jobs[j].model_idx != jobs[i].model_idx) continue;
+      if (jobs[j].seq_in_model >= jobs[i].seq_in_model) continue;
+      if (pred[i] < 0 ||
+          jobs[static_cast<std::size_t>(pred[i])].seq_in_model < jobs[j].seq_in_model) {
+        pred[i] = static_cast<int>(j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] >= 0) succ[static_cast<std::size_t>(pred[i])].push_back(i);
+  }
+
+  std::vector<std::unique_ptr<WorkStealingDeque<std::size_t>>> deques;
+  std::vector<std::unique_ptr<Inbox>> inboxes;
+  for (std::size_t p = 0; p < num_procs_; ++p) {
+    deques.push_back(std::make_unique<WorkStealingDeque<std::size_t>>(4096));
+    inboxes.push_back(std::make_unique<Inbox>());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] < 0) inboxes[jobs[i].home_proc % num_procs_]->post(i);
+  }
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> steals{0};
+  const auto t0 = Clock::now();
+
+  auto worker_fn = [&](std::size_t me) {
+    auto& my_deque = *deques[me];
+    auto& my_inbox = *inboxes[me];
+    std::size_t victim = (me + 1) % num_procs_;
+
+    while (completed.load(std::memory_order_acquire) < n) {
+      // Drain mailbox into the owned deque.
+      while (auto mailed = my_inbox.take()) my_deque.push_bottom(*mailed);
+
+      std::optional<std::size_t> job = my_deque.pop_bottom();
+      bool was_stolen = false;
+      if (!job && options_.allow_stealing && num_procs_ > 1) {
+        for (std::size_t attempt = 0; attempt + 1 < num_procs_ && !job; ++attempt) {
+          victim = (victim + 1) % num_procs_;
+          if (victim == me) victim = (victim + 1) % num_procs_;
+          job = deques[victim]->steal();
+        }
+        was_stolen = job.has_value();
+      }
+      if (!job) {
+        std::this_thread::yield();
+        continue;
+      }
+
+      const std::size_t i = *job;
+      RuntimeRecord& rec = result.records[i];
+      rec.job_idx = i;
+      rec.worker = me;
+      rec.stolen = was_stolen || (jobs[i].home_proc % num_procs_) != me;
+      rec.start_ms = ms_since(t0);
+      burn_compute_us(jobs[i].solo_ms * options_.us_per_sim_ms);
+      rec.end_ms = ms_since(t0);
+      if (rec.stolen) steals.fetch_add(1, std::memory_order_relaxed);
+
+      for (std::size_t s : succ[i]) {
+        inboxes[jobs[s].home_proc % num_procs_]->post(s);
+      }
+      completed.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_procs_);
+  for (std::size_t p = 0; p < num_procs_; ++p) workers.emplace_back(worker_fn, p);
+  for (auto& w : workers) w.join();
+
+  result.wall_ms = ms_since(t0);
+  result.steals = steals.load();
+  return result;
+}
+
+std::vector<RuntimeJob> PipelineExecutor::jobs_from_plan(
+    const PipelinePlan& plan, const StaticEvaluator& eval) {
+  std::vector<RuntimeJob> jobs;
+  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
+    const ModelPlan& mp = plan.models[slot];
+    std::size_t seq = 0;
+    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
+      if (mp.slices[k].empty()) continue;
+      RuntimeJob job;
+      job.model_idx = slot;
+      job.seq_in_model = seq++;
+      job.home_proc = k;
+      job.solo_ms = eval.stage_solo_ms(mp, k);
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace h2p

@@ -1,0 +1,53 @@
+#include "runtime/kernels.h"
+
+#include <chrono>
+
+namespace h2p {
+namespace {
+
+/// One batch of dependent FMAs; small enough to poll the clock often.
+double fma_batch(double seed, int iters) {
+  double a = seed, b = 1.000000119, c = 0.9999999;
+  for (int i = 0; i < iters; ++i) {
+    a = a * b + c;
+    b = b * 0.99999988 + 1e-9;
+  }
+  return a + b;
+}
+
+double measure_flops_per_us() {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kIters = 200000;
+  const auto start = Clock::now();
+  volatile double sink = fma_batch(1.0, kIters);
+  (void)sink;
+  const auto end = Clock::now();
+  const double us =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count() /
+      1000.0;
+  // ~4 FLOPs per iteration (two FMAs).
+  return (4.0 * kIters) / (us > 0.0 ? us : 1.0);
+}
+
+}  // namespace
+
+double calibrated_flops_per_us() {
+  static const double value = measure_flops_per_us();
+  return value;
+}
+
+double burn_compute_us(double microseconds) {
+  using Clock = std::chrono::steady_clock;
+  if (microseconds <= 0.0) return 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                         microseconds * 1000.0));
+  double acc = 1.0;
+  // Burn in modest batches so we overshoot the deadline by at most a batch.
+  do {
+    acc = fma_batch(acc, 512);
+  } while (Clock::now() < deadline);
+  return acc;
+}
+
+}  // namespace h2p

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+namespace h2p {
+
+/// Synthetic compute kernel: performs real fused-multiply-add work for
+/// approximately `microseconds` of wall time on the calling thread.
+/// Returns an accumulator value so the work cannot be optimized away.
+/// Used by the runtime executor to stand in for NEON/OpenCL/NPU kernels.
+double burn_compute_us(double microseconds);
+
+/// Calibrated FLOP throughput of this host thread (FLOPs per microsecond),
+/// measured once per process; exposed so tests can sanity-check the burner.
+double calibrated_flops_per_us();
+
+}  // namespace h2p

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace h2p {
+
+/// Bounded single-producer single-consumer ring buffer used for the tensor
+/// hand-off between adjacent pipeline stages (one producer stage, one
+/// consumer stage).  Lock-free: head owned by the consumer, tail by the
+/// producer.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity = 256)
+      : buffer_(capacity + 1) {}  // one slot wasted to distinguish full/empty
+
+  bool push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) % buffer_.size();
+    if (next == head_.load(std::memory_order_acquire)) return false;  // full
+    buffer_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(buffer_[head]);
+    head_.store((head + 1) % buffer_.size(), std::memory_order_release);
+    return value;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace h2p

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace h2p {
+
+/// Bounded lock-free Chase–Lev work-stealing deque.
+///
+/// Single owner thread pushes/pops at the bottom (LIFO); any number of
+/// thieves steal from the top (FIFO).  Memory orderings follow Lê et al.,
+/// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+/// Capacity is fixed (power of two); push fails when full rather than
+/// resizing — the executor sizes deques for the whole job set up front.
+///
+/// T must be trivially copyable (the executor stores job indices).
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit WorkStealingDeque(std::size_t capacity_pow2 = 1024)
+      : mask_(normalize(capacity_pow2) - 1), buffer_(normalize(capacity_pow2)) {}
+
+  /// Owner only.  Returns false when full.
+  bool push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(buffer_.size())) return false;
+    buffer_[static_cast<std::size_t>(b) & mask_].store(value,
+                                                       std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner only.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T value = buffer_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        if (!won) return std::nullopt;
+      }
+      return value;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  /// Any thread.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      T value = buffer_[static_cast<std::size_t>(t) & mask_].load(
+          std::memory_order_relaxed);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;  // lost the race; caller retries elsewhere
+      }
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate size (racy; for monitoring/tests only).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  /// Round up to the next power of two (capacity must be one for the mask).
+  static std::size_t normalize(std::size_t cap) {
+    std::size_t p = 1;
+    while (p < cap && p < (std::size_t{1} << 30)) p <<= 1;
+    return p;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::size_t mask_;
+  std::vector<std::atomic<T>> buffer_;
+};
+
+}  // namespace h2p

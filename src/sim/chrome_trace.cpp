@@ -1,0 +1,45 @@
+#include "sim/chrome_trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace h2p {
+
+std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+
+  // Thread-name metadata so chrome://tracing labels rows by processor.
+  for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << p
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << soc.processor(p).name << " (" << to_string(soc.processor(p).kind)
+        << ")\"}}";
+  }
+
+  for (const TaskRecord& t : timeline.tasks) {
+    if (!first) out << ",";
+    first = false;
+    // Timestamps in microseconds per the trace-event spec.
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << t.proc_idx << ",\"name\":\"m"
+        << t.model_idx << ".s" << t.seq_in_model << "\",\"ts\":"
+        << t.start_ms * 1000.0 << ",\"dur\":" << t.duration_ms() * 1000.0
+        << ",\"args\":{\"solo_ms\":" << t.solo_ms
+        << ",\"contention_ms\":" << t.contention_ms() << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+void write_chrome_trace(const Timeline& timeline, const Soc& soc,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  file << to_chrome_trace_json(timeline, soc);
+}
+
+}  // namespace h2p

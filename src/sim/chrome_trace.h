@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// Serialize a timeline as a Chrome tracing / Perfetto JSON document
+/// (chrome://tracing "trace event format", complete 'X' events).  Each
+/// processor is a tid; each slice is an event named "<slot>:<stage>" with
+/// solo-vs-contended timing in its args.
+std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc);
+
+/// Write the JSON to a file; throws std::runtime_error on I/O failure.
+void write_chrome_trace(const Timeline& timeline, const Soc& soc,
+                        const std::string& path);
+
+}  // namespace h2p

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+#include "sim/trace.h"
+#include "soc/memory_governor.h"
+
+namespace h2p {
+
+/// One sample of the Fig-9 traces.
+struct MemorySample {
+  double time_ms = 0.0;
+  double resident_bytes = 0.0;   // model weights + activations in flight
+  double available_bytes = 0.0;  // Soc free memory minus residents
+  double bw_demand_gbps = 0.0;   // aggregate bus demand of running slices
+  double mem_freq_mhz = 0.0;     // governor-selected DRAM frequency
+};
+
+/// Replay a DES timeline and trace the memory subsystem: a model's weights
+/// and peak activation are resident from its first task start to its last
+/// task end; bandwidth demand is the sum of running slices'
+/// intensity * bus bandwidth; the MemoryGovernor picks the DRAM frequency.
+std::vector<MemorySample> trace_memory(const Timeline& timeline,
+                                       const PipelinePlan& plan,
+                                       const StaticEvaluator& eval,
+                                       double sample_interval_ms = 5.0);
+
+/// Peak resident bytes over the trace (constraint (6) check).
+double peak_resident_bytes(const std::vector<MemorySample>& samples);
+
+}  // namespace h2p

@@ -1,0 +1,65 @@
+#include "sim/online.h"
+
+#include <algorithm>
+
+#include "sim/pipeline_sim.h"
+
+namespace h2p {
+
+OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
+                        const OnlineOptions& options) {
+  OnlineResult result;
+  const std::size_t window = std::max<std::size_t>(options.replan_window, 1);
+  std::vector<SimTask> all_tasks;
+  // Global slot id per request (model_idx in the merged simulation).
+  std::size_t next_slot = 0;
+  std::vector<double> arrival_by_slot;
+
+  for (std::size_t begin = 0; begin < stream.size(); begin += window) {
+    const std::size_t end = std::min(begin + window, stream.size());
+
+    std::vector<const Model*> models;
+    double window_ready_ms = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      models.push_back(stream[i].model);
+      window_ready_ms = std::max(window_ready_ms, stream[i].arrival_ms);
+    }
+    window_ready_ms += options.planning_overhead_ms;
+    ++result.replans;
+
+    const StaticEvaluator eval(soc, models);
+    const PlannerReport report =
+        Hetero2PipePlanner(eval, options.planner).plan();
+    std::vector<SimTask> tasks = tasks_from_plan(report.plan, eval);
+
+    // Remap window-local slots to global slots and release each model's
+    // chain at max(its own arrival, window planning time).
+    for (SimTask& t : tasks) {
+      const std::size_t local = t.model_idx;  // slot within the window plan
+      const std::size_t original = begin + report.plan.models[local].model_index;
+      t.model_idx = next_slot + local;
+      if (t.seq_in_model == 0) {
+        t.arrival_ms = std::max(window_ready_ms, stream[original].arrival_ms);
+      }
+      all_tasks.push_back(t);
+    }
+    for (std::size_t local = 0; local < report.plan.models.size(); ++local) {
+      const std::size_t original = begin + report.plan.models[local].model_index;
+      if (arrival_by_slot.size() <= next_slot + local) {
+        arrival_by_slot.resize(next_slot + local + 1, 0.0);
+      }
+      arrival_by_slot[next_slot + local] = stream[original].arrival_ms;
+    }
+    next_slot += models.size();
+  }
+
+  result.timeline = simulate(soc, std::move(all_tasks), {});
+  result.completion_ms.resize(next_slot, 0.0);
+  for (std::size_t slot = 0; slot < next_slot; ++slot) {
+    result.completion_ms[slot] =
+        result.timeline.model_finish_ms(slot) - arrival_by_slot[slot];
+  }
+  return result;
+}
+
+}  // namespace h2p

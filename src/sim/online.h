@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/planner.h"
+#include "models/model.h"
+#include "sim/trace.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// One request of an online inference stream.
+struct OnlineRequest {
+  const Model* model = nullptr;
+  double arrival_ms = 0.0;
+};
+
+struct OnlineOptions {
+  /// How many requests the scheduler accumulates before planning a pipeline
+  /// window.  The paper (§V-C complexity discussion) notes the planner
+  /// "should be scheduled more frequently" as the request rate grows, to
+  /// keep |M| — and thus the O(|M|^3 |H|) mitigation term — bounded.
+  std::size_t replan_window = 4;
+  PlannerOptions planner;
+  /// Charged once per replanning event before the window's tasks release,
+  /// modelling the planner's own latency on-device.
+  double planning_overhead_ms = 1.0;
+};
+
+struct OnlineResult {
+  Timeline timeline;
+  /// Completion latency per request (finish - arrival), in request order.
+  std::vector<double> completion_ms;
+  int replans = 0;
+};
+
+/// Online Hetero2Pipe: requests are grouped into windows of
+/// `replan_window` in arrival order; each window is planned independently
+/// (two-step planner) and its tasks are released once all of its requests
+/// have arrived and the plan is made.  Windows pipeline into each other on
+/// the processors via the simulator's FIFO dispatch, so the device never
+/// drains between windows.
+OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
+                        const OnlineOptions& options = {});
+
+}  // namespace h2p

@@ -1,0 +1,204 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace h2p {
+namespace {
+
+struct Running {
+  std::size_t task_idx;
+  double remaining_solo_ms;
+  double start_ms;
+  double solo_ms;
+};
+
+}  // namespace
+
+Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
+                  const SimOptions& options) {
+  Timeline timeline;
+  timeline.num_procs = soc.num_processors();
+  const std::size_t n = tasks.size();
+  for (const SimTask& t : tasks) {
+    if (t.proc_idx >= soc.num_processors()) {
+      throw std::invalid_argument("simulate: task references unknown processor");
+    }
+    timeline.num_models = std::max(timeline.num_models, t.model_idx + 1);
+  }
+  if (n == 0) return timeline;
+
+  ContentionModel contention(soc);
+
+  // Chain predecessor resolution: latest smaller seq_in_model per model.
+  std::vector<int> pred(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (tasks[j].model_idx != tasks[i].model_idx) continue;
+      if (tasks[j].seq_in_model >= tasks[i].seq_in_model) continue;
+      if (pred[i] < 0 ||
+          tasks[static_cast<std::size_t>(pred[i])].seq_in_model < tasks[j].seq_in_model) {
+        pred[i] = static_cast<int>(j);
+      }
+    }
+  }
+
+  std::vector<bool> done(n, false);
+  std::vector<bool> started(n, false);
+  std::vector<int> proc_running(soc.num_processors(), -1);  // index into running
+  std::vector<Running> running;
+  timeline.tasks.resize(n);
+
+  double now = 0.0;
+  std::size_t completed = 0;
+  const double eps = 1e-9;
+
+  auto task_ready = [&](std::size_t i) {
+    if (started[i] || done[i]) return false;
+    if (tasks[i].arrival_ms > now + eps) return false;
+    if (pred[i] >= 0 && !done[static_cast<std::size_t>(pred[i])]) return false;
+    return true;
+  };
+
+  auto start_eligible = [&] {
+    for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+      if (proc_running[p] >= 0) continue;
+      int best = -1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (tasks[i].proc_idx != p || !task_ready(i)) continue;
+        if (best < 0 ||
+            std::make_pair(tasks[i].model_idx, tasks[i].seq_in_model) <
+                std::make_pair(tasks[static_cast<std::size_t>(best)].model_idx,
+                               tasks[static_cast<std::size_t>(best)].seq_in_model)) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best >= 0) {
+        const auto bi = static_cast<std::size_t>(best);
+        started[bi] = true;
+        proc_running[p] = static_cast<int>(running.size());
+        running.push_back(Running{bi, std::max(tasks[bi].solo_ms, 0.0), now,
+                                  tasks[bi].solo_ms});
+      }
+    }
+  };
+
+  auto rate_of = [&](const Running& r) {
+    if (!options.contention) return 1.0;
+    std::vector<Aggressor> others;
+    for (const Running& o : running) {
+      if (o.task_idx == r.task_idx) continue;
+      others.push_back(Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
+    }
+    const double factor = contention.slowdown(
+        tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
+    return 1.0 / factor;
+  };
+
+  std::size_t guard = 0;
+  const std::size_t guard_max = 4 * n + 16;
+  while (completed < n) {
+    if (++guard > guard_max + n * n) {
+      throw std::runtime_error("simulate: no progress (dependency cycle?)");
+    }
+    start_eligible();
+
+    if (running.empty()) {
+      // Nothing runnable: jump to the next strictly-future arrival.  Tasks
+      // that have already arrived but are chain-blocked don't count — if
+      // only those remain, the dependency graph is wedged.
+      double next_arrival = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!started[i] && !done[i] && tasks[i].arrival_ms > now + eps) {
+          next_arrival = std::min(next_arrival, tasks[i].arrival_ms);
+        }
+      }
+      if (!std::isfinite(next_arrival)) {
+        throw std::runtime_error("simulate: deadlock — tasks blocked forever");
+      }
+      now = next_arrival;
+      continue;
+    }
+
+    // Advance to the earliest completion or next arrival under current rates.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const Running& r : running) {
+      const double rate = rate_of(r);
+      dt = std::min(dt, r.remaining_solo_ms / std::max(rate, 1e-9));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!started[i] && !done[i] && tasks[i].arrival_ms > now + eps) {
+        dt = std::min(dt, tasks[i].arrival_ms - now);
+      }
+    }
+    dt = std::max(dt, 0.0);
+
+    for (Running& r : running) r.remaining_solo_ms -= rate_of(r) * dt;
+    now += dt;
+
+    // Retire finished tasks.
+    std::vector<Running> still;
+    for (const Running& r : running) {
+      if (r.remaining_solo_ms <= eps) {
+        const std::size_t i = r.task_idx;
+        done[i] = true;
+        ++completed;
+        TaskRecord rec;
+        rec.model_idx = tasks[i].model_idx;
+        rec.seq_in_model = tasks[i].seq_in_model;
+        rec.proc_idx = tasks[i].proc_idx;
+        rec.start_ms = r.start_ms;
+        rec.end_ms = now;
+        rec.solo_ms = r.solo_ms;
+        timeline.tasks[i] = rec;
+        proc_running[tasks[i].proc_idx] = -1;
+      } else {
+        still.push_back(r);
+      }
+    }
+    // Rebuild running list and the proc -> running index map.
+    running = std::move(still);
+    for (std::size_t p = 0; p < proc_running.size(); ++p) {
+      if (proc_running[p] >= 0) proc_running[p] = -2;  // placeholder, re-resolve
+    }
+    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+      proc_running[tasks[running[ri].task_idx].proc_idx] = static_cast<int>(ri);
+    }
+    for (std::size_t p = 0; p < proc_running.size(); ++p) {
+      if (proc_running[p] == -2) proc_running[p] = -1;
+    }
+  }
+
+  return timeline;
+}
+
+std::vector<SimTask> tasks_from_plan(const PipelinePlan& plan,
+                                     const StaticEvaluator& eval) {
+  std::vector<SimTask> tasks;
+  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
+    const ModelPlan& mp = plan.models[slot];
+    std::size_t seq = 0;
+    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
+      if (mp.slices[k].empty()) continue;
+      SimTask t;
+      t.model_idx = slot;
+      t.seq_in_model = seq++;
+      t.proc_idx = k;
+      t.solo_ms = eval.stage_solo_ms(mp, k);
+      t.sensitivity = eval.stage_sensitivity(mp, k);
+      t.intensity = eval.stage_intensity(mp, k);
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
+Timeline simulate_plan(const PipelinePlan& plan, const StaticEvaluator& eval,
+                       const SimOptions& options) {
+  return simulate(eval.soc(), tasks_from_plan(plan, eval), options);
+}
+
+}  // namespace h2p

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "contention/contention_model.h"
+#include "core/bubbles.h"
+#include "core/plan.h"
+#include "sim/trace.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// One schedulable unit handed to the simulator.  Tasks of the same model
+/// form a chain ordered by `seq_in_model`; at most one task runs per
+/// processor at a time.
+struct SimTask {
+  std::size_t model_idx = 0;
+  std::size_t seq_in_model = 0;
+  std::size_t proc_idx = 0;
+  double solo_ms = 0.0;       // uncontended duration (exec + boundary copy)
+  double sensitivity = 0.0;   // memory-bound share (victim side)
+  double intensity = 0.0;     // contention intensity (aggressor side)
+  double arrival_ms = 0.0;    // earliest start (release time)
+};
+
+struct SimOptions {
+  /// Apply the co-execution slowdown model; off = ideal shared bus.
+  bool contention = true;
+};
+
+/// Rate-based discrete-event simulator.
+///
+/// A running task progresses at rate 1/slowdown, where the slowdown is the
+/// ContentionModel factor given the set of tasks currently running on other
+/// processors; rates are recomputed at every start/finish event, so
+/// partially overlapping windows are integrated exactly.  This is the
+/// asynchronous ground truth the planner's static wavefront objective is
+/// validated against.
+///
+/// Dispatch: a free processor picks, among its ready tasks (chain
+/// predecessor done, arrival passed), the lowest (model_idx, seq_in_model)
+/// — i.e., pipeline FIFO order.
+Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
+                  const SimOptions& options = {});
+
+/// Expand a pipeline plan into simulator tasks using the evaluator's cost
+/// tables (stage k of slot i -> processor k; empty slices skipped).
+std::vector<SimTask> tasks_from_plan(const PipelinePlan& plan,
+                                     const StaticEvaluator& eval);
+
+/// Convenience: plan -> DES timeline.
+Timeline simulate_plan(const PipelinePlan& plan, const StaticEvaluator& eval,
+                       const SimOptions& options = {});
+
+}  // namespace h2p

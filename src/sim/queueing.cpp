@@ -1,0 +1,65 @@
+#include "sim/queueing.h"
+
+#include <algorithm>
+
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+
+namespace h2p {
+
+QueueStats serial_queueing(const StaticEvaluator& eval, std::size_t proc_idx,
+                           const std::vector<double>& arrival_ms) {
+  QueueStats stats;
+  const std::size_t m = eval.num_models();
+  stats.completion_ms.resize(m, 0.0);
+  stats.queueing_ms.resize(m, 0.0);
+  double busy_until = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double arrive = i < arrival_ms.size() ? arrival_ms[i] : 0.0;
+    const double start = std::max(arrive, busy_until);
+    const Model& model = eval.model(i);
+    const double service =
+        eval.table(i).exec_ms(proc_idx, 0, model.num_layers() - 1);
+    busy_until = start + service;
+    stats.queueing_ms[i] = start - arrive;
+    stats.completion_ms[i] = busy_until - arrive;
+  }
+  stats.makespan_ms = busy_until;
+  return stats;
+}
+
+QueueStats pipelined_queueing(const StaticEvaluator& eval,
+                              const std::vector<double>& arrival_ms) {
+  QueueStats stats;
+  const std::size_t m = eval.num_models();
+
+  Hetero2PipePlanner planner(eval);
+  const PlannerReport report = planner.plan();
+  std::vector<SimTask> tasks = tasks_from_plan(report.plan, eval);
+
+  // Release each model's first task at its arrival time.
+  for (SimTask& t : tasks) {
+    const std::size_t original = report.plan.models[t.model_idx].model_index;
+    if (t.seq_in_model == 0 && original < arrival_ms.size()) {
+      t.arrival_ms = arrival_ms[original];
+    }
+  }
+
+  const Timeline timeline = simulate(eval.soc(), std::move(tasks), {});
+  stats.completion_ms.resize(m, 0.0);
+  stats.queueing_ms.resize(m, 0.0);
+  for (std::size_t slot = 0; slot < report.plan.models.size(); ++slot) {
+    const std::size_t original = report.plan.models[slot].model_index;
+    const double arrive = original < arrival_ms.size() ? arrival_ms[original] : 0.0;
+    double first_start = timeline.makespan_ms();
+    for (const TaskRecord& t : timeline.tasks) {
+      if (t.model_idx == slot && t.seq_in_model == 0) first_start = t.start_ms;
+    }
+    stats.completion_ms[original] = timeline.model_finish_ms(slot) - arrive;
+    stats.queueing_ms[original] = std::max(0.0, first_start - arrive);
+  }
+  stats.makespan_ms = timeline.makespan_ms();
+  return stats;
+}
+
+}  // namespace h2p

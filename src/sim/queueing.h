@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "core/bubbles.h"
+#include "sim/trace.h"
+
+namespace h2p {
+
+/// Per-request latency breakdown for the Fig-2(a) queueing study.
+struct QueueStats {
+  std::vector<double> completion_ms;  // per request, since its arrival
+  std::vector<double> queueing_ms;    // time spent waiting before service
+  double makespan_ms = 0.0;
+};
+
+/// Canonical serial execution on one processor (the vanilla CPU-centric
+/// baseline): requests are served FIFO; queueing delay accumulates as the
+/// backlog grows.
+QueueStats serial_queueing(const StaticEvaluator& eval, std::size_t proc_idx,
+                           const std::vector<double>& arrival_ms);
+
+/// The same request stream executed as a Hetero2Pipe pipeline over all
+/// processors: per-request completion times from the DES.
+QueueStats pipelined_queueing(const StaticEvaluator& eval,
+                              const std::vector<double>& arrival_ms);
+
+}  // namespace h2p

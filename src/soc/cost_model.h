@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "models/model.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// Breakdown of one pipeline-slice cost (Eq. 2's first two terms; the
+/// co-execution term is supplied at schedule time by the ContentionModel).
+struct SliceCost {
+  double total_ms = 0.0;      // exec (+ fallback) time, no boundary copies
+  double compute_ms = 0.0;    // roofline compute component
+  double memory_ms = 0.0;     // roofline DRAM component
+  double dram_bytes = 0.0;    // bytes moved over the shared bus
+  bool used_npu_fallback = false;
+  std::size_t fallback_from_layer = 0;  // first layer forwarded off the NPU
+};
+
+/// Roofline latency model over a Soc.
+///
+/// Per-layer solo latency on processor p:
+///   compute = flops / (peak * kind_efficiency)
+///   memory  = dram_bytes / bandwidth, where activation traffic is scaled by
+///             the layer's cache-miss fraction (1 - locality * l2_fit) and
+///             weights always stream cold
+///   layer_time = max(compute, memory) + dispatch overhead.
+class CostModel {
+ public:
+  explicit CostModel(const Soc& soc) : soc_(&soc) {}
+
+  [[nodiscard]] const Soc& soc() const { return *soc_; }
+
+  [[nodiscard]] double layer_time_ms(const Layer& layer, const Processor& proc) const;
+  [[nodiscard]] double layer_compute_ms(const Layer& layer, const Processor& proc) const;
+  [[nodiscard]] double layer_memory_ms(const Layer& layer, const Processor& proc) const;
+  /// Bytes the layer moves over the shared DRAM bus on this processor.
+  [[nodiscard]] double layer_dram_bytes(const Layer& layer, const Processor& proc) const;
+
+  /// Fraction of the layer's activation accesses that miss the last private
+  /// cache level: tiling quality (locality) dominates, with an extra penalty
+  /// when the working set exceeds L2.  Shared with the synthetic PMU.
+  [[nodiscard]] static double layer_miss_fraction(const Layer& layer,
+                                                  const Processor& proc);
+
+  /// Bandwidth demand above this fraction of the shared-bus bandwidth maps
+  /// to contention intensity 1.0 (the bus saturates well before its peak —
+  /// row-buffer conflicts, §III).
+  static constexpr double kBusContentionOnset = 0.35;
+
+  /// Boundary-tensor hand-off cost onto `to` (Eq. 2's memory-copy term).
+  [[nodiscard]] double copy_ms(double bytes, const Processor& to) const;
+
+  /// Whole-model solo latency on one processor (includes NPU fallback).
+  [[nodiscard]] double model_solo_ms(const Model& model, std::size_t proc_idx) const;
+
+  /// Fig-13 batching model: layers execute in hardware waves of
+  /// `batch_capacity` samples, so mobile processors (capacity ~1) scale
+  /// affinely in batch size while a desktop GPU stays flat until capacity.
+  [[nodiscard]] double model_batch_ms(const Model& model, const Processor& proc,
+                                      int batch) const;
+
+ private:
+  const Soc* soc_;
+};
+
+/// Precomputed O(1) range-cost oracle for one model on every processor of a
+/// Soc — the `T_k^e(i, j)` of Algorithm 1, built with prefix sums exactly as
+/// the paper's complexity analysis requires.
+///
+/// NPU ranges containing unsupported operators are costed with the paper's
+/// operator-fallback rule: supported prefix on the NPU, boundary tensor
+/// copied out, remainder forwarded to the fastest of CPU_Big/GPU.
+class CostTable {
+ public:
+  CostTable(const Model& model, const CostModel& cost);
+
+  [[nodiscard]] const Model& model() const { return *model_; }
+  [[nodiscard]] std::size_t num_procs() const { return per_proc_.size(); }
+  [[nodiscard]] std::size_t num_layers() const { return model_->num_layers(); }
+
+  /// Solo execution time of layers [i, j] on processor k (Eq. 2 terms 1+2
+  /// minus the inbound boundary copy, which depends on the previous stage).
+  [[nodiscard]] double exec_ms(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// exec_ms plus the cost of receiving the boundary tensor at layer i.
+  [[nodiscard]] double stage_ms(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// Victim-side sensitivity to bus contention in [0, 1]: a blend of the
+  /// roofline memory-time share and the average L2 miss fraction.  Pure
+  /// bandwidth-bound slices suffer because every byte queues on the bus;
+  /// cache-hostile slices (fragmented Fire/Inception, GEMV) suffer because
+  /// each miss is exposed to the contended DRAM latency — the paper's
+  /// counter-intuitive SqueezeNet result (Table II).
+  [[nodiscard]] double mem_sensitivity(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// Traffic-weighted average miss fraction of the range's activations.
+  [[nodiscard]] double avg_miss_fraction(std::size_t k, std::size_t i,
+                                         std::size_t j) const;
+
+  /// DRAM bytes the range moves on processor k.
+  [[nodiscard]] double dram_bytes(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// Aggressor-side *contention intensity* in [0, 1]: a blend of the solo
+  /// bandwidth demand (normalized to the bus's contention-onset point) and
+  /// the average miss fraction.  The miss term models row-buffer-hostile
+  /// request streams: the memory controller prioritizes high row-hit
+  /// traffic (§III), so fragmented access patterns degrade everyone's
+  /// effective bandwidth beyond their raw byte volume.
+  [[nodiscard]] double intensity(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// Full breakdown (exposes NPU-fallback details).
+  [[nodiscard]] SliceCost slice_cost(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// Copy cost of handing the boundary tensor at layer i to processor k.
+  [[nodiscard]] double boundary_copy_ms(std::size_t k, std::size_t i) const;
+
+ private:
+  struct PerProc {
+    std::vector<double> prefix_time;     // [n+1]
+    std::vector<double> prefix_mem;      // memory-roofline ms
+    std::vector<double> prefix_bytes;    // DRAM bytes
+    std::vector<double> prefix_acts;     // raw activation bytes (in + out)
+    std::vector<double> prefix_weights;  // weight stream bytes
+  };
+
+  [[nodiscard]] double range(const std::vector<double>& prefix, std::size_t i,
+                             std::size_t j) const;
+
+  const Model* model_;
+  const CostModel* cost_;
+  std::vector<PerProc> per_proc_;
+  std::vector<std::size_t> next_unsupported_;  // [n+1], next NPU-unsupported >= i
+  int npu_idx_ = -1;
+  int fallback_idx_ = -1;  // fastest of CPU_Big / GPU
+};
+
+}  // namespace h2p

@@ -1,0 +1,43 @@
+#include "soc/energy.h"
+
+#include <algorithm>
+
+namespace h2p {
+
+EnergyReport EnergyModel::measure(const Timeline& timeline) const {
+  EnergyReport report;
+  const std::size_t P = soc_->num_processors();
+  report.per_proc_joules.assign(P, 0.0);
+  const double span_s = timeline.makespan_ms() / 1000.0;
+  if (span_s <= 0.0) return report;
+
+  std::vector<double> busy_s(P, 0.0);
+  for (const TaskRecord& t : timeline.tasks) {
+    if (t.proc_idx >= P) continue;
+    busy_s[t.proc_idx] += t.duration_ms() / 1000.0;
+  }
+
+  double shared_bus_busy_s = 0.0;
+  for (std::size_t p = 0; p < P; ++p) {
+    const Processor& proc = soc_->processor(p);
+    const double active = busy_s[p] * proc.tdp_watts;
+    const double idle = std::max(0.0, span_s - busy_s[p]) * proc.tdp_watts *
+                        idle_fraction_;
+    report.per_proc_joules[p] = active;
+    report.active_joules += active;
+    report.idle_joules += idle;
+    if (proc.kind != ProcKind::kNpu) shared_bus_busy_s += busy_s[p];
+  }
+  // Memory subsystem: proportional to the time the shared bus is exercised,
+  // capped at the full makespan (concurrent users don't double DRAM power).
+  report.dram_joules = std::min(shared_bus_busy_s, span_s) * dram_watts_;
+  return report;
+}
+
+double EnergyModel::joules_per_inference(const Timeline& timeline) const {
+  if (timeline.num_models == 0) return 0.0;
+  return measure(timeline).total_joules() /
+         static_cast<double>(timeline.num_models);
+}
+
+}  // namespace h2p

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/trace.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// Per-run energy accounting.
+struct EnergyReport {
+  double active_joules = 0.0;  // processors executing slices
+  double idle_joules = 0.0;    // powered-on processors waiting (bubbles!)
+  double dram_joules = 0.0;    // memory subsystem, scaled by bus activity
+  std::vector<double> per_proc_joules;  // active energy per processor
+
+  [[nodiscard]] double total_joules() const {
+    return active_joules + idle_joules + dram_joules;
+  }
+  /// Energy-delay product in J*s (lower is better).
+  [[nodiscard]] double edp(double makespan_ms) const {
+    return total_joules() * (makespan_ms / 1000.0);
+  }
+};
+
+/// First-order energy model over a simulated timeline.
+///
+/// Active power = the processor's TDP while it runs a slice; idle power is a
+/// fixed fraction of TDP (clock/rail leakage) for the whole makespan; DRAM
+/// power scales with the time the bus spends at high utilization
+/// (approximated by the busy fraction of non-NPU processors).
+///
+/// This is the quantitative backing for the paper's energy argument: pipeline
+/// bubbles are not just wasted latency — an idling-but-powered big cluster
+/// burns leakage, so bubble minimization also reduces J/inference.
+class EnergyModel {
+ public:
+  explicit EnergyModel(const Soc& soc, double idle_fraction = 0.12,
+                       double dram_watts = 1.2)
+      : soc_(&soc), idle_fraction_(idle_fraction), dram_watts_(dram_watts) {}
+
+  [[nodiscard]] EnergyReport measure(const Timeline& timeline) const;
+
+  /// Joules per completed inference.
+  [[nodiscard]] double joules_per_inference(const Timeline& timeline) const;
+
+ private:
+  const Soc* soc_;
+  double idle_fraction_;
+  double dram_watts_;
+};
+
+}  // namespace h2p

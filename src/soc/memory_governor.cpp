@@ -1,0 +1,47 @@
+#include "soc/memory_governor.h"
+
+#include <cassert>
+
+namespace h2p {
+
+MemoryGovernor::MemoryGovernor(const Soc& soc, double headroom)
+    : soc_(&soc), headroom_(headroom) {
+  assert(!soc.mem_states().empty());
+}
+
+const MemFreqState& MemoryGovernor::state_for(double demand_gbps) const {
+  const auto& states = soc_->mem_states();
+  for (const auto& s : states) {
+    if (s.bw_gbps >= demand_gbps * headroom_) return s;
+  }
+  return states.back();
+}
+
+const MemFreqState& MemoryGovernor::update(double demand_gbps) {
+  const auto& states = soc_->mem_states();
+  std::size_t want = states.size() - 1;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].bw_gbps >= demand_gbps * headroom_) {
+      want = i;
+      break;
+    }
+  }
+  if (want > current_idx_) {
+    current_idx_ = want;  // ramp up immediately
+    lower_streak_ = 0;
+  } else if (want < current_idx_) {
+    if (++lower_streak_ >= kCooldownUpdates) {
+      current_idx_ = want;
+      lower_streak_ = 0;
+    }
+  } else {
+    lower_streak_ = 0;
+  }
+  return states[current_idx_];
+}
+
+const MemFreqState& MemoryGovernor::current() const {
+  return soc_->mem_states()[current_idx_];
+}
+
+}  // namespace h2p

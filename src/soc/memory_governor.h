@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// Demand-driven memory-controller DVFS (Fig. 9): the proprietary driver
+/// raises the DRAM frequency to the lowest operating point whose bandwidth
+/// covers the aggregate demand with headroom, and relaxes with hysteresis
+/// when demand drops.
+class MemoryGovernor {
+ public:
+  explicit MemoryGovernor(const Soc& soc, double headroom = 1.25);
+
+  /// Choose a state for the given aggregate bandwidth demand (GB/s).
+  [[nodiscard]] const MemFreqState& state_for(double demand_gbps) const;
+
+  /// Stateful update with hysteresis: ramps up instantly, steps down only
+  /// after `cooldown_updates` consecutive lower-demand observations.
+  const MemFreqState& update(double demand_gbps);
+
+  [[nodiscard]] const MemFreqState& current() const;
+
+ private:
+  const Soc* soc_;
+  double headroom_;
+  std::size_t current_idx_ = 0;
+  int lower_streak_ = 0;
+  static constexpr int kCooldownUpdates = 3;
+};
+
+}  // namespace h2p

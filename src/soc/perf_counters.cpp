@@ -1,0 +1,39 @@
+#include "soc/perf_counters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2p {
+
+PmuSample sample_pmu(const Model& model, const Processor& proc,
+                     const CostModel& cost) {
+  PmuSample s;
+  if (model.num_layers() == 0) return s;
+
+  double total_ms = 0.0, mem_ms = 0.0;
+  double act_traffic = 0.0, missed_traffic = 0.0;
+  for (const Layer& layer : model.layers()) {
+    total_ms += cost.layer_time_ms(layer, proc);
+    mem_ms += cost.layer_memory_ms(layer, proc);
+    const double acts = layer.input_bytes + layer.output_bytes;
+    act_traffic += acts;
+    missed_traffic += acts * CostModel::layer_miss_fraction(layer, proc);
+  }
+
+  s.stalled_backend_frac = std::clamp(mem_ms / std::max(total_ms, 1e-9), 0.0, 1.0);
+  s.cache_miss_rate =
+      std::clamp(missed_traffic / std::max(act_traffic, 1.0), 0.0, 1.0);
+  // A76-class cores retire up to ~4 inst/cycle; backend stalls eat into it.
+  constexpr double kIpcMax = 4.0;
+  s.ipc = kIpcMax * (1.0 - 0.8 * s.stalled_backend_frac);
+  return s;
+}
+
+double true_contention_intensity(const Model& model, std::size_t proc_idx,
+                                 const CostModel& cost) {
+  if (model.num_layers() == 0) return 0.0;
+  CostTable table(model, cost);
+  return table.intensity(proc_idx, 0, model.num_layers() - 1);
+}
+
+}  // namespace h2p

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "models/model.h"
+#include "soc/cost_model.h"
+
+namespace h2p {
+
+/// Synthetic Processor-Monitor-Unit readings for one model executed solo on
+/// one processor — the `perf` features X = {x1, x2, x3} of Eq. (1).
+///
+/// The paper reads real PMU events over ADB; we derive the same three
+/// signals from first principles so that they carry the same information
+/// about memory-bus demand:
+///  - IPC drops as the roofline becomes memory-bound,
+///  - cache-miss rate follows (1 - locality * L2 fit) per layer,
+///  - backend stalls track the memory-time share of execution.
+struct PmuSample {
+  double ipc = 0.0;                  // instructions per cycle
+  double cache_miss_rate = 0.0;      // fraction of accesses missing L2
+  double stalled_backend_frac = 0.0; // cycles stalled on the backend
+};
+
+PmuSample sample_pmu(const Model& model, const Processor& proc,
+                     const CostModel& cost);
+
+/// Ground-truth contention intensity: the model's solo DRAM bandwidth demand
+/// normalized by the shared-bus bandwidth, clamped to [0, 1].  This is what
+/// the ridge regression of Eq. (1) learns to predict from the PMU features.
+double true_contention_intensity(const Model& model, std::size_t proc_idx,
+                                 const CostModel& cost);
+
+}  // namespace h2p

@@ -1,0 +1,98 @@
+#include "soc/processor.h"
+
+namespace h2p {
+
+const char* to_string(ProcKind kind) {
+  switch (kind) {
+    case ProcKind::kNpu: return "NPU";
+    case ProcKind::kCpuBig: return "CPU_B";
+    case ProcKind::kGpu: return "GPU";
+    case ProcKind::kCpuSmall: return "CPU_S";
+    case ProcKind::kDesktopGpu: return "CUDA_GPU";
+  }
+  return "?";
+}
+
+double Processor::kind_efficiency(LayerKind lk) const {
+  switch (kind) {
+    case ProcKind::kNpu:
+      // Systolic MAC arrays excel at dense conv/GEMM; elementwise and
+      // memory-shuffling ops waste the array.
+      switch (lk) {
+        case LayerKind::kConv2D: return 0.85;
+        case LayerKind::kDepthwiseConv2D: return 0.30;
+        case LayerKind::kFullyConnected: return 0.70;
+        case LayerKind::kMatMul: return 0.80;
+        case LayerKind::kBatchNorm: return 0.40;
+        case LayerKind::kPool: return 0.35;
+        case LayerKind::kReLU: return 0.50;
+        case LayerKind::kSoftmax: return 0.20;
+        case LayerKind::kAdd: return 0.40;
+        case LayerKind::kConcat: return 0.30;
+        default: return 0.05;  // unsupported ops never run here anyway
+      }
+    case ProcKind::kCpuBig:
+    case ProcKind::kCpuSmall:
+      // NEON kernels: conv im2col/GEMM well tuned, depthwise poor,
+      // transcendental activations scalar-ish.
+      switch (lk) {
+        case LayerKind::kConv2D: return 0.60;
+        case LayerKind::kDepthwiseConv2D: return 0.35;
+        case LayerKind::kFullyConnected: return 0.50;
+        case LayerKind::kMatMul: return 0.55;
+        case LayerKind::kAttention: return 0.40;
+        case LayerKind::kLayerNorm: return 0.45;
+        case LayerKind::kBatchNorm: return 0.50;
+        case LayerKind::kPool: return 0.45;
+        case LayerKind::kReLU: return 0.60;
+        case LayerKind::kGELU: return 0.25;
+        case LayerKind::kMish: return 0.22;
+        case LayerKind::kLeakyReLU: return 0.55;
+        case LayerKind::kSoftmax: return 0.35;
+        case LayerKind::kAdd: return 0.55;
+        case LayerKind::kConcat: return 0.50;
+        case LayerKind::kEmbedding: return 0.40;
+        case LayerKind::kUpsample: return 0.50;
+      }
+      return 0.4;
+    case ProcKind::kGpu:
+      // OpenCL on Mali/Adreno: good on wide convs, weak on small tensors
+      // and control-heavy ops; every op pays the launch overhead instead.
+      switch (lk) {
+        case LayerKind::kConv2D: return 0.65;
+        case LayerKind::kDepthwiseConv2D: return 0.28;
+        case LayerKind::kFullyConnected: return 0.35;
+        case LayerKind::kMatMul: return 0.60;
+        case LayerKind::kAttention: return 0.45;
+        case LayerKind::kLayerNorm: return 0.30;
+        case LayerKind::kBatchNorm: return 0.40;
+        case LayerKind::kPool: return 0.40;
+        case LayerKind::kReLU: return 0.60;
+        case LayerKind::kGELU: return 0.35;
+        case LayerKind::kMish: return 0.32;
+        case LayerKind::kLeakyReLU: return 0.55;
+        case LayerKind::kSoftmax: return 0.30;
+        case LayerKind::kAdd: return 0.50;
+        case LayerKind::kConcat: return 0.35;
+        case LayerKind::kEmbedding: return 0.20;
+        case LayerKind::kUpsample: return 0.45;
+      }
+      return 0.4;
+    case ProcKind::kDesktopGpu:
+      switch (lk) {
+        case LayerKind::kConv2D: return 0.80;
+        case LayerKind::kMatMul: return 0.85;
+        case LayerKind::kAttention: return 0.70;
+        case LayerKind::kDepthwiseConv2D: return 0.35;
+        default: return 0.55;
+      }
+  }
+  return 0.4;
+}
+
+bool Processor::supports(LayerKind lk) const {
+  if (kind == ProcKind::kNpu) return npu_supports(lk);
+  return true;
+}
+
+}  // namespace h2p

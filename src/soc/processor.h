@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "models/layer.h"
+
+namespace h2p {
+
+/// Scheduling units on a mobile SoC.  Per the paper (§IV and Appendix A /
+/// Fig 10) the CPU big and small clusters are each one unit — finer per-core
+/// partitioning causes destructive intra-cluster L2 contention — and the
+/// GPU/NPU are indivisible.  kDesktopGpu exists only as the Fig-13 CUDA
+/// comparator and never appears inside a mobile SoC.
+enum class ProcKind : std::uint8_t {
+  kNpu,
+  kCpuBig,
+  kGpu,
+  kCpuSmall,
+  kDesktopGpu,
+};
+
+const char* to_string(ProcKind kind);
+
+/// Static description of one processor.  All latency modelling is a roofline
+/// over these parameters (see CostModel); they are calibrated so the solo
+/// latency ordering reproduces the paper's Fig 1 / Fig 11:
+/// NPU >> CPU_Big >= GPU >> CPU_Small.
+struct Processor {
+  std::string name;
+  ProcKind kind = ProcKind::kCpuBig;
+  double peak_gflops = 50.0;       // sustained fp32 (fp16 for NPUs)
+  double mem_bw_gbps = 10.0;       // achievable DRAM bandwidth, GB/s
+  double l2_bytes = 1 << 20;       // last-private-level cache
+  double launch_overhead_ms = 0.05;  // per-operator dispatch cost
+  int batch_capacity = 1;          // samples processed per hardware wave
+  double copy_in_latency_ms = 0.1;   // fixed cost to hand a tensor to this proc
+  double tdp_watts = 3.0;          // thermal model input
+
+  /// Fraction of peak FLOP/s the processor sustains on a given operator
+  /// class (vectorization quality, op coverage of the vendor kernels).
+  [[nodiscard]] double kind_efficiency(LayerKind kind) const;
+
+  /// Whether the operator can run here at all.  Only the NPU is restricted;
+  /// everything runs (however slowly) on CPU/GPU.
+  [[nodiscard]] bool supports(LayerKind kind) const;
+};
+
+}  // namespace h2p

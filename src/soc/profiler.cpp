@@ -1,0 +1,57 @@
+#include "soc/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2p {
+
+std::vector<LayerProfile> LatencyProfiler::profile(const Model& model) {
+  const Soc& soc = cost_->soc();
+  std::vector<LayerProfile> profiles;
+  profiles.reserve(model.num_layers());
+
+  for (const Layer& layer : model.layers()) {
+    LayerProfile p;
+    p.repetitions = repetitions_;
+    p.per_proc_ms.resize(soc.num_processors(), 0.0);
+    for (std::size_t k = 0; k < soc.num_processors(); ++k) {
+      const Processor& proc = soc.processor(k);
+      if (!proc.supports(layer.kind)) {
+        // Unsupported operator: profiling reports an error; record the
+        // fallback-processor-free sentinel of +inf-like cost.
+        p.per_proc_ms[k] = -1.0;
+        continue;
+      }
+      const double truth = cost_->layer_time_ms(layer, proc);
+      std::vector<double> samples;
+      samples.reserve(static_cast<std::size_t>(repetitions_));
+      for (int r = 0; r < repetitions_; ++r) {
+        samples.push_back(truth * std::exp(rng_.gaussian(0.0, noise_cv_)));
+      }
+      std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                       samples.end());
+      p.per_proc_ms[k] = samples[samples.size() / 2];
+    }
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+double LatencyProfiler::relative_error(
+    const Model& model, const std::vector<LayerProfile>& profiles) const {
+  const Soc& soc = cost_->soc();
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < model.num_layers() && i < profiles.size(); ++i) {
+    for (std::size_t k = 0; k < soc.num_processors(); ++k) {
+      if (profiles[i].per_proc_ms[k] < 0.0) continue;  // unsupported
+      const double truth = cost_->layer_time_ms(model.layer(i), soc.processor(k));
+      if (truth <= 0.0) continue;
+      acc += std::fabs(profiles[i].per_proc_ms[k] - truth) / truth;
+      ++count;
+    }
+  }
+  return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace h2p

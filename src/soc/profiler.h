@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model.h"
+#include "soc/cost_model.h"
+#include "util/rng.h"
+
+namespace h2p {
+
+/// One profiled layer measurement set.
+struct LayerProfile {
+  std::vector<double> per_proc_ms;  // aggregated latency per processor
+  int repetitions = 0;
+};
+
+/// Simulates the paper's on-device profiling step: each layer of a model is
+/// "measured" on every processor `repetitions` times with multiplicative
+/// run-to-run noise (DVFS, scheduler jitter), and the per-layer latency is
+/// aggregated with the median — the standard robust estimator profilers
+/// use.  More repetitions tighten the estimate, letting tests quantify the
+/// planner's profiling budget.
+class LatencyProfiler {
+ public:
+  LatencyProfiler(const CostModel& cost, std::uint64_t seed,
+                  double noise_cv = 0.10, int repetitions = 5)
+      : cost_(&cost), rng_(seed), noise_cv_(noise_cv), repetitions_(repetitions) {}
+
+  /// Measure every layer of the model on every processor of the Soc.
+  [[nodiscard]] std::vector<LayerProfile> profile(const Model& model);
+
+  /// Relative error of a profile against the cost model's ground truth:
+  /// mean |measured - true| / true over all (layer, processor) pairs.
+  [[nodiscard]] double relative_error(const Model& model,
+                                      const std::vector<LayerProfile>& profiles) const;
+
+ private:
+  const CostModel* cost_;
+  Rng rng_;
+  double noise_cv_;
+  int repetitions_;
+};
+
+}  // namespace h2p

@@ -1,0 +1,84 @@
+#include "soc/thermal.h"
+
+#include <algorithm>
+
+namespace h2p {
+
+ThermalModel::ThermalModel(const Processor& proc, double ambient_c)
+    : ambient_c_(ambient_c), temp_c_(ambient_c), power_watts_(proc.tdp_watts) {
+  switch (proc.kind) {
+    case ProcKind::kCpuBig:
+      resistance_c_per_w_ = 9.0;   // dense cluster, poor spreading
+      capacitance_j_per_c_ = 4.0;
+      throttle_start_c_ = 60.0;
+      critical_c_ = 85.0;
+      min_factor_ = 0.55;
+      break;
+    case ProcKind::kCpuSmall:
+      resistance_c_per_w_ = 10.0;
+      capacitance_j_per_c_ = 3.0;
+      throttle_start_c_ = 65.0;
+      critical_c_ = 85.0;
+      min_factor_ = 0.70;
+      break;
+    case ProcKind::kGpu:
+      resistance_c_per_w_ = 5.5;   // larger area, better spreading
+      capacitance_j_per_c_ = 6.0;
+      throttle_start_c_ = 70.0;
+      critical_c_ = 90.0;
+      min_factor_ = 0.75;
+      break;
+    case ProcKind::kNpu:
+    case ProcKind::kDesktopGpu:
+      resistance_c_per_w_ = 5.0;
+      capacitance_j_per_c_ = 6.0;
+      throttle_start_c_ = 75.0;
+      critical_c_ = 95.0;
+      min_factor_ = 0.85;
+      break;
+  }
+}
+
+double ThermalModel::step(double dt_s, double utilization) {
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  const double p_in = power_watts_ * utilization;
+  const double dT = (p_in - (temp_c_ - ambient_c_) / resistance_c_per_w_) /
+                    capacitance_j_per_c_;
+  temp_c_ += dT * dt_s;
+  temp_c_ = std::max(temp_c_, ambient_c_);
+  return temp_c_;
+}
+
+double ThermalModel::throttle_factor() const {
+  if (temp_c_ <= throttle_start_c_) return 1.0;
+  if (temp_c_ >= critical_c_) return min_factor_;
+  const double t = (temp_c_ - throttle_start_c_) / (critical_c_ - throttle_start_c_);
+  return 1.0 - t * (1.0 - min_factor_);
+}
+
+double ThermalModel::steady_state_c(double utilization) const {
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  return ambient_c_ + power_watts_ * utilization * resistance_c_per_w_;
+}
+
+double ThermalModel::steady_state_throttle(double utilization) const {
+  const double t_ss = steady_state_c(utilization);
+  if (t_ss <= throttle_start_c_) return 1.0;
+  if (t_ss >= critical_c_) return min_factor_;
+  const double t = (t_ss - throttle_start_c_) / (critical_c_ - throttle_start_c_);
+  return 1.0 - t * (1.0 - min_factor_);
+}
+
+Soc thermally_derated(const Soc& soc, double utilization) {
+  std::vector<Processor> procs;
+  procs.reserve(soc.num_processors());
+  for (const Processor& p : soc.processors()) {
+    Processor derated = p;
+    derated.peak_gflops *= ThermalModel(p).steady_state_throttle(utilization);
+    procs.push_back(std::move(derated));
+  }
+  return Soc(soc.name() + "@thermal-limit", std::move(procs), soc.bus_bw_gbps(),
+             soc.mem_capacity_bytes(), soc.available_bytes(), soc.mem_states());
+}
+
+}  // namespace h2p

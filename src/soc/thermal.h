@@ -1,0 +1,56 @@
+#pragma once
+
+#include "soc/processor.h"
+#include "soc/soc.h"
+
+namespace h2p {
+
+/// First-order lumped thermal model (Appendix B): die temperature follows
+///   C dT/dt = P_in(utilization) - (T - T_ambient) / R
+/// and the DVFS governor derates frequency linearly between
+/// `throttle_start_c` and `critical_c`.
+///
+/// CPU clusters have high power density (throttle above ~60 C under
+/// sustained load); the GPU/NPU run at lower frequencies and stay below
+/// ~50 C, matching the paper's Fig. 11 observation.
+class ThermalModel {
+ public:
+  explicit ThermalModel(const Processor& proc, double ambient_c = 25.0);
+
+  /// Advance `dt_s` seconds at the given utilization in [0, 1]; returns the
+  /// new temperature.
+  double step(double dt_s, double utilization);
+
+  [[nodiscard]] double temperature_c() const { return temp_c_; }
+
+  /// Current frequency derating factor in (0, 1]; multiply throughput by it.
+  [[nodiscard]] double throttle_factor() const;
+
+  /// Closed-form equilibrium temperature at constant utilization.
+  [[nodiscard]] double steady_state_c(double utilization) const;
+
+  /// Throttle factor at the steady state (what "running at the thermal
+  /// limit", the paper's measurement protocol, converges to).
+  [[nodiscard]] double steady_state_throttle(double utilization) const;
+
+  [[nodiscard]] double throttle_start_c() const { return throttle_start_c_; }
+
+ private:
+  double ambient_c_;
+  double temp_c_;
+  double power_watts_;        // at 100% utilization
+  double resistance_c_per_w_; // junction-to-ambient
+  double capacitance_j_per_c_;
+  double throttle_start_c_;
+  double critical_c_;
+  double min_factor_;
+};
+
+/// The paper's measurement protocol: "we conduct all the experiments at the
+/// thermal limits when frequency scaling and temperature have reached a
+/// steady state."  This returns a Soc whose processors' peak throughput is
+/// derated by each one's steady-state throttle factor at the given
+/// utilization — plan/simulate against it to model sustained operation.
+Soc thermally_derated(const Soc& soc, double utilization = 1.0);
+
+}  // namespace h2p

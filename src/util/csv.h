@@ -1,0 +1,27 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace h2p {
+
+/// Minimal CSV writer so bench harnesses can dump raw series next to the
+/// printed tables (useful for re-plotting the paper's figures).
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& cells);
+
+  /// Flushed and closed by the destructor as well.
+  void close();
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace h2p

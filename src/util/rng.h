@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace h2p {
+
+/// Deterministic pseudo-random source used by every stochastic component
+/// (workload generators, simulated annealing, synthetic PMU noise).
+///
+/// All experiments in the repo are seeded so that benches and tests are
+/// reproducible run-to-run; pass a distinct seed per experiment id.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Gaussian with the given mean / standard deviation.
+  double gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Pick a uniformly random element index from a container of size n.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace h2p

@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace h2p {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      out << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < cols) out << "  ";
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < cols; ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < cols) out << "  ";
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace h2p

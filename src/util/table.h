@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h2p {
+
+/// Aligned ASCII table printer used by the bench harnesses so that every
+/// reproduced paper table/figure prints as readable rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; missing trailing cells render empty, extra cells widen
+  /// the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace h2p

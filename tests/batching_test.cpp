@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline_sim.h"
+#include "soc/cost_model.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(BatchedModel, BatchOneIsIdentity) {
+  const Model& base = zoo_model(ModelId::kMobileNetV2);
+  const Model b1 = make_batched_model(base, 1);
+  EXPECT_EQ(b1.name(), base.name());
+  EXPECT_DOUBLE_EQ(b1.total_flops(), base.total_flops());
+}
+
+TEST(BatchedModel, ScalesComputeAndActivationsNotWeights) {
+  const Model& base = zoo_model(ModelId::kSqueezeNet);
+  const Model b4 = make_batched_model(base, 4);
+  EXPECT_DOUBLE_EQ(b4.total_flops(), 4.0 * base.total_flops());
+  EXPECT_DOUBLE_EQ(b4.total_param_bytes(), base.total_param_bytes());
+  for (std::size_t i = 0; i < base.num_layers(); ++i) {
+    EXPECT_DOUBLE_EQ(b4.layer(i).input_bytes, 4.0 * base.layer(i).input_bytes);
+    EXPECT_DOUBLE_EQ(b4.layer(i).output_bytes, 4.0 * base.layer(i).output_bytes);
+  }
+}
+
+TEST(BatchedModel, NameCarriesBatchTag) {
+  const Model b8 = make_batched_model(zoo_model(ModelId::kMobileNetV2), 8);
+  EXPECT_EQ(b8.name(), "MobileNetV2@b8");
+}
+
+TEST(BatchedModel, LatencyGrowsRoughlyAffine) {
+  // Appendix D: batch-b latency on a mobile CPU ~ affine in b.
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const Model& base = zoo_model(ModelId::kMobileNetV2);
+  const double t1 = cost.model_solo_ms(make_batched_model(base, 1), cpu_b);
+  const double t4 = cost.model_solo_ms(make_batched_model(base, 4), cpu_b);
+  const double t8 = cost.model_solo_ms(make_batched_model(base, 8), cpu_b);
+  EXPECT_GT(t4, 3.0 * t1);
+  EXPECT_NEAR((t8 - t4) / (t4 - t1), 4.0 / 3.0, 0.25);  // constant slope
+}
+
+TEST(BatchedModel, NpuSupportUnchanged) {
+  EXPECT_FALSE(make_batched_model(zoo_model(ModelId::kBERT), 4).fully_npu_supported());
+  EXPECT_TRUE(
+      make_batched_model(zoo_model(ModelId::kResNet50), 4).fully_npu_supported());
+}
+
+TEST(BatchedModel, AlignsLightweightWithHeavyStages) {
+  // The appendix-D workaround: one batch-16 MobileNetV2 alongside BERT
+  // wastes fewer cycles than 16 singleton requests interleaved with BERT.
+  const Soc soc = Soc::kirin990();
+
+  const Model batched = make_batched_model(zoo_model(ModelId::kMobileNetV2), 16);
+  std::vector<const Model*> batched_stream = {&zoo_model(ModelId::kBERT), &batched};
+  const StaticEvaluator eval_batched(soc, batched_stream);
+  const PlannerReport rb = Hetero2PipePlanner(eval_batched).plan();
+  const Timeline tb = simulate_plan(rb.plan, eval_batched);
+
+  std::vector<const Model*> singles = {&zoo_model(ModelId::kBERT)};
+  for (int i = 0; i < 16; ++i) singles.push_back(&zoo_model(ModelId::kMobileNetV2));
+  const StaticEvaluator eval_singles(soc, singles);
+  const PlannerReport rs = Hetero2PipePlanner(eval_singles).plan();
+  const Timeline ts = simulate_plan(rs.plan, eval_singles);
+
+  // Batching hides 15 kernel-launch + copy rounds; it should not lose.
+  EXPECT_LE(tb.makespan_ms(), ts.makespan_ms() * 1.05);
+}
+
+TEST(BatchedModel, PlannerHandlesBatchedRequests) {
+  const Model batched = make_batched_model(zoo_model(ModelId::kSqueezeNet), 8);
+  const Soc soc = Soc::kirin990();
+  std::vector<const Model*> stream = {&batched, &zoo_model(ModelId::kViT)};
+  const StaticEvaluator eval(soc, stream);
+  const PlannerReport r = Hetero2PipePlanner(eval).plan();
+  for (const ModelPlan& mp : r.plan.models) {
+    EXPECT_TRUE(mp.covers(eval.model(mp.model_index).num_layers()));
+  }
+  EXPECT_GT(simulate_plan(r.plan, eval).makespan_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace h2p

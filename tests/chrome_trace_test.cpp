@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/planner.h"
+#include "sim/chrome_trace.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+Timeline tiny_timeline() {
+  Timeline t;
+  t.num_procs = 2;
+  t.num_models = 1;
+  t.tasks = {{0, 0, 0, 0.0, 5.0, 4.0}, {0, 1, 1, 5.0, 9.0, 4.0}};
+  return t;
+}
+
+bool balanced_json(const std::string& s) {
+  int braces = 0, brackets = 0;
+  for (char c : s) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0;
+}
+
+TEST(ChromeTrace, ContainsEventsAndMetadata) {
+  const Soc soc = Soc::kirin990();
+  const std::string json = to_chrome_trace_json(tiny_timeline(), soc);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("m0.s0"), std::string::npos);
+  EXPECT_NE(json.find("m0.s1"), std::string::npos);
+  EXPECT_NE(json.find("DaVinci-NPU"), std::string::npos);
+}
+
+TEST(ChromeTrace, JsonIsBalanced) {
+  const Soc soc = Soc::kirin990();
+  EXPECT_TRUE(balanced_json(to_chrome_trace_json(tiny_timeline(), soc)));
+}
+
+TEST(ChromeTrace, TimestampsInMicroseconds) {
+  const Soc soc = Soc::kirin990();
+  const std::string json = to_chrome_trace_json(tiny_timeline(), soc);
+  // 5 ms -> 5000 us.
+  EXPECT_NE(json.find("\"ts\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5000"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTimelineStillValid) {
+  const Soc soc = Soc::kirin990();
+  const std::string json = to_chrome_trace_json(Timeline{}, soc);
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFile) {
+  const std::string path = "/tmp/h2p_trace_test.json";
+  const Soc soc = Soc::kirin990();
+  write_chrome_trace(tiny_timeline(), soc, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_TRUE(balanced_json(content));
+  std::filesystem::remove(path);
+}
+
+TEST(ChromeTrace, WriteFailureThrows) {
+  const Soc soc = Soc::kirin990();
+  EXPECT_THROW(write_chrome_trace(Timeline{}, soc, "/nonexistent_dir_xyz/t.json"),
+               std::runtime_error);
+}
+
+TEST(ChromeTrace, FullPlanRoundTrip) {
+  Fixture fx(testing_util::mixed_four());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+  const std::string json = to_chrome_trace_json(t, fx.soc);
+  EXPECT_TRUE(balanced_json(json));
+  // One X event per simulated task.
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       pos += 8) {
+    ++events;
+  }
+  EXPECT_EQ(events, t.tasks.size());
+}
+
+}  // namespace
+}  // namespace h2p

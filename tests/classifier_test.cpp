@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "contention/classifier.h"
+
+namespace h2p {
+namespace {
+
+TEST(Classifier, MedianSplit) {
+  ContentionClassifier c(0.5);
+  const std::vector<double> xs = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  c.fit(xs);
+  EXPECT_TRUE(c.fitted());
+  EXPECT_FALSE(c.is_high(0.1));
+  EXPECT_TRUE(c.is_high(0.8));
+}
+
+TEST(Classifier, PercentileControlsSplitSize) {
+  const std::vector<double> xs = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  ContentionClassifier strict(0.9);
+  strict.fit(xs);
+  const auto labels = strict.classify(xs);
+  int high = 0;
+  for (bool b : labels) high += b;
+  EXPECT_LE(high, 2);
+}
+
+TEST(Classifier, ThresholdBoundaryIsHigh) {
+  ContentionClassifier c;
+  c.set_threshold(0.5);
+  EXPECT_TRUE(c.is_high(0.5));
+  EXPECT_FALSE(c.is_high(0.4999));
+}
+
+TEST(Classifier, EmptyFitKeepsDefault) {
+  ContentionClassifier c;
+  c.fit(std::vector<double>{});
+  EXPECT_FALSE(c.fitted());
+  EXPECT_DOUBLE_EQ(c.threshold(), 0.5);
+}
+
+TEST(Classifier, ClassifyMatchesIsHigh) {
+  ContentionClassifier c(0.5);
+  const std::vector<double> xs = {0.9, 0.1, 0.5, 0.7};
+  c.fit(xs);
+  const auto labels = c.classify(xs);
+  ASSERT_EQ(labels.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(labels[i], c.is_high(xs[i]));
+  }
+}
+
+TEST(Classifier, AllEqualIntensities) {
+  ContentionClassifier c(0.5);
+  const std::vector<double> xs(5, 0.3);
+  c.fit(xs);
+  // Degenerate population: everything sits at the threshold -> all high.
+  for (bool b : c.classify(xs)) EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace h2p

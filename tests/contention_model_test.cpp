@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "contention/contention_model.h"
+
+namespace h2p {
+namespace {
+
+class ContentionTest : public ::testing::Test {
+ protected:
+  Soc soc_ = Soc::kirin990();
+  ContentionModel model_{soc_};
+
+  [[nodiscard]] std::size_t idx(ProcKind k) const {
+    return static_cast<std::size_t>(soc_.find(k));
+  }
+};
+
+TEST_F(ContentionTest, NoAggressorsNoSlowdown) {
+  EXPECT_DOUBLE_EQ(model_.slowdown(idx(ProcKind::kCpuBig), 1.0, {}), 1.0);
+}
+
+TEST_F(ContentionTest, SelfIsNotAnAggressor) {
+  const Aggressor self{idx(ProcKind::kCpuBig), 1.0};
+  EXPECT_DOUBLE_EQ(
+      model_.slowdown(idx(ProcKind::kCpuBig), 1.0, std::span(&self, 1)), 1.0);
+}
+
+TEST_F(ContentionTest, CpuGpuSlowdownInPaperRange) {
+  // §III: co-executing YOLOv4 + BERT class workloads -> ~18-21% CPU-GPU.
+  const Aggressor gpu_aggr{idx(ProcKind::kGpu), 0.3};
+  const double s = model_.slowdown(idx(ProcKind::kCpuBig), 0.3,
+                                   std::span(&gpu_aggr, 1));
+  EXPECT_GT(s, 1.10);
+  EXPECT_LT(s, 1.35);
+}
+
+TEST_F(ContentionTest, NpuPairsBarelyContend) {
+  // §III: CPU-NPU 3-4.5%, GPU-NPU 2-2.3%.
+  const Aggressor npu_aggr{idx(ProcKind::kNpu), 0.8};
+  const double cpu = model_.slowdown(idx(ProcKind::kCpuBig), 0.8,
+                                     std::span(&npu_aggr, 1));
+  const double gpu = model_.slowdown(idx(ProcKind::kGpu), 0.8,
+                                     std::span(&npu_aggr, 1));
+  EXPECT_LT(cpu, 1.10);
+  EXPECT_LT(gpu, 1.10);
+}
+
+TEST_F(ContentionTest, SlowdownCapApplied) {
+  std::vector<Aggressor> horde(10, Aggressor{idx(ProcKind::kGpu), 1.0});
+  const double s = model_.slowdown(idx(ProcKind::kCpuBig), 1.0, horde);
+  EXPECT_LE(s, ContentionModel::kMaxSlowdown);
+}
+
+TEST_F(ContentionTest, SensitivityScalesVictimSlowdown) {
+  const Aggressor a{idx(ProcKind::kGpu), 0.8};
+  const double mem_bound = model_.slowdown(idx(ProcKind::kCpuBig), 0.9,
+                                           std::span(&a, 1));
+  const double compute_bound = model_.slowdown(idx(ProcKind::kCpuBig), 0.1,
+                                               std::span(&a, 1));
+  EXPECT_GT(mem_bound, compute_bound);
+}
+
+TEST_F(ContentionTest, Observation1Consistency) {
+  // Equal-intensity, equal-sensitivity CPU/GPU pair sees identical slowdown
+  // on both sides (the fairness-aware scheduling argument).
+  const auto r = model_.pairwise(idx(ProcKind::kCpuBig), 0.5, 0.5,
+                                 idx(ProcKind::kGpu), 0.5, 0.5);
+  EXPECT_NEAR(r.slowdown_a, r.slowdown_b, 1e-12);
+}
+
+TEST_F(ContentionTest, PairwiseAsymmetricSensitivity) {
+  // A memory-bound victim against a compute-bound aggressor suffers more
+  // than vice versa (Table II's SqueezeNet 26% vs 11% shape).
+  const auto r = model_.pairwise(idx(ProcKind::kCpuBig), 0.8, 0.3,
+                                 idx(ProcKind::kGpu), 0.3, 0.8);
+  EXPECT_GT(r.slowdown_a, r.slowdown_b);
+}
+
+TEST_F(ContentionTest, MultipleAggressorsAdd) {
+  const std::vector<Aggressor> one = {{idx(ProcKind::kGpu), 0.4}};
+  const std::vector<Aggressor> two = {{idx(ProcKind::kGpu), 0.4},
+                                      {idx(ProcKind::kCpuSmall), 0.4}};
+  EXPECT_GT(model_.slowdown(idx(ProcKind::kCpuBig), 0.7, two),
+            model_.slowdown(idx(ProcKind::kCpuBig), 0.7, one));
+}
+
+TEST_F(ContentionTest, IntraClusterWorseThanCrossCluster) {
+  // Fig 10: splitting a cluster per-core hurts far more than the cross-
+  // cluster bus coupling — the reason the paper schedules whole clusters.
+  const double intra = ContentionModel::intra_cluster_slowdown(0.7, 0.7, 2, 2);
+  const Aggressor cross{idx(ProcKind::kCpuSmall), 0.7};
+  const double inter = model_.slowdown(idx(ProcKind::kCpuBig), 0.7,
+                                       std::span(&cross, 1));
+  EXPECT_GT(intra, inter);
+  // And it can reach the ~70% regime for hostile workloads.
+  EXPECT_GT(ContentionModel::intra_cluster_slowdown(1.0, 1.0, 2, 2), 1.5);
+}
+
+TEST_F(ContentionTest, IntraClusterBalanceMatters) {
+  // A 2+2 split contends harder than 3+1 (more even L2 pressure).
+  const double even = ContentionModel::intra_cluster_slowdown(0.8, 0.8, 2, 2);
+  const double skewed = ContentionModel::intra_cluster_slowdown(0.8, 0.8, 3, 1);
+  EXPECT_GT(even, skewed);
+}
+
+TEST_F(ContentionTest, IntraClusterDegenerateCores) {
+  EXPECT_DOUBLE_EQ(ContentionModel::intra_cluster_slowdown(0.8, 0.8, 0, 4), 1.0);
+}
+
+}  // namespace
+}  // namespace h2p

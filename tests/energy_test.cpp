@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mnn_serial.h"
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+#include "soc/energy.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(Energy, EmptyTimelineIsZero) {
+  const Soc soc = Soc::kirin990();
+  const EnergyModel em(soc);
+  const EnergyReport r = em.measure(Timeline{});
+  EXPECT_DOUBLE_EQ(r.total_joules(), 0.0);
+}
+
+TEST(Energy, SingleTaskActiveEnergy) {
+  const Soc soc = Soc::kirin990();
+  const EnergyModel em(soc, /*idle_fraction=*/0.0, /*dram_watts=*/0.0);
+  Timeline t;
+  t.num_procs = soc.num_processors();
+  t.num_models = 1;
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  t.tasks = {{0, 0, cpu_b, 0.0, 1000.0, 1000.0}};  // 1 s on the big cluster
+  const EnergyReport r = em.measure(t);
+  EXPECT_NEAR(r.active_joules, soc.processor(cpu_b).tdp_watts, 1e-9);
+  EXPECT_DOUBLE_EQ(r.idle_joules, 0.0);
+}
+
+TEST(Energy, IdleFractionCharged) {
+  const Soc soc = Soc::kirin990();
+  const EnergyModel em(soc, /*idle_fraction=*/0.5, /*dram_watts=*/0.0);
+  Timeline t;
+  t.num_procs = soc.num_processors();
+  t.num_models = 1;
+  t.tasks = {{0, 0, 1, 0.0, 1000.0, 1000.0}};
+  const EnergyReport r = em.measure(t);
+  // Three processors idle for the full second at half TDP each.
+  double expected_idle = 0.0;
+  for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+    if (p != 1) expected_idle += soc.processor(p).tdp_watts * 0.5;
+  }
+  EXPECT_NEAR(r.idle_joules, expected_idle, 1e-9);
+}
+
+TEST(Energy, ReportComponentsNonNegative) {
+  Fixture fx(testing_util::mixed_six());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+  const EnergyReport r = EnergyModel(fx.soc).measure(t);
+  EXPECT_GT(r.active_joules, 0.0);
+  EXPECT_GE(r.idle_joules, 0.0);
+  EXPECT_GE(r.dram_joules, 0.0);
+  EXPECT_EQ(r.per_proc_joules.size(), fx.soc.num_processors());
+}
+
+TEST(Energy, PipelinedBeatsSerialEdp) {
+  // Bubbles burn leakage: the pipelined plan finishes far sooner, so its
+  // energy-delay product must be far better than serial CPU execution.
+  Fixture fx(testing_util::mixed_six());
+  const EnergyModel em(fx.soc);
+
+  const Timeline serial = run_mnn_serial(*fx.eval);
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline piped = simulate_plan(report.plan, *fx.eval);
+
+  const double serial_edp = em.measure(serial).edp(serial.makespan_ms());
+  const double piped_edp = em.measure(piped).edp(piped.makespan_ms());
+  EXPECT_LT(piped_edp, serial_edp);
+}
+
+TEST(Energy, NpuOffloadSavesJoulesPerInference) {
+  // An NPU-friendly CNN stream: running it through the planner (NPU does
+  // the bulk at 2 W) costs fewer J/inference than serial big-cluster (5 W).
+  Fixture fx({ModelId::kResNet50, ModelId::kGoogLeNet, ModelId::kSqueezeNet,
+              ModelId::kMobileNetV2});
+  const EnergyModel em(fx.soc);
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const double piped = em.joules_per_inference(simulate_plan(report.plan, *fx.eval));
+  const double serial = em.joules_per_inference(run_mnn_serial(*fx.eval));
+  EXPECT_LT(piped, serial);
+}
+
+TEST(Energy, EdpScalesWithMakespan) {
+  const Soc soc = Soc::kirin990();
+  EnergyReport r;
+  r.active_joules = 10.0;
+  EXPECT_DOUBLE_EQ(r.edp(2000.0), 20.0);
+}
+
+}  // namespace
+}  // namespace h2p

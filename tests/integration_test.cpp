@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "baselines/band.h"
+#include "baselines/mnn_serial.h"
+#include "baselines/pipeit.h"
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+double h2p_makespan(const Fixture& fx, const PlannerOptions& opts = {}) {
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval, opts).plan();
+  return simulate_plan(report.plan, *fx.eval).makespan_ms();
+}
+
+std::vector<ModelId> random_combo(Rng& rng, std::size_t count) {
+  std::vector<ModelId> ids;
+  const auto& all = all_model_ids();
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(all[rng.index(all.size())]);
+  return ids;
+}
+
+// §VI-B headline: Hetero2Pipe beats vanilla MNN by a large factor on every
+// SoC.  (We assert the conservative side of the paper's 4.2x average.)
+class SpeedupOverMnn : public ::testing::TestWithParam<Soc> {};
+
+TEST_P(SpeedupOverMnn, AtLeastTwoPointFiveTimes) {
+  Rng rng(7);
+  std::vector<double> speedups;
+  for (int trial = 0; trial < 8; ++trial) {
+    Fixture fx(random_combo(rng, 5), GetParam());
+    const double mnn = run_mnn_serial(*fx.eval).makespan_ms();
+    speedups.push_back(mnn / h2p_makespan(fx));
+  }
+  EXPECT_GT(geomean(speedups), 2.5) << GetParam().name();
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeSocs, SpeedupOverMnn,
+                         ::testing::Values(Soc::kirin990(), Soc::snapdragon778g(),
+                                           Soc::snapdragon870()),
+                         [](const auto& info) { return info.param.name(); });
+
+TEST(Integration, SpeedupOverPipeIt) {
+  // Paper: ~2x average over Pipe-it.
+  Rng rng(8);
+  std::vector<double> speedups;
+  for (int trial = 0; trial < 8; ++trial) {
+    Fixture fx(random_combo(rng, 5));
+    const double pipeit = run_pipeit(*fx.eval).makespan_ms();
+    speedups.push_back(pipeit / h2p_makespan(fx));
+  }
+  EXPECT_GT(geomean(speedups), 1.5);
+}
+
+TEST(Integration, CompetitiveWithBand) {
+  // Paper: ~5% average gain over Band (Band occasionally wins).
+  Rng rng(9);
+  std::vector<double> ratios;
+  for (int trial = 0; trial < 10; ++trial) {
+    Fixture fx(random_combo(rng, 5));
+    const double band = run_band(*fx.eval).makespan_ms();
+    ratios.push_back(band / h2p_makespan(fx));
+  }
+  EXPECT_GT(geomean(ratios), 1.0);
+}
+
+TEST(Integration, KirinGetsBestSpeedupThanksToNpu) {
+  // Paper: up to 8.8x on Kirin 990 "due to NPU acceleration".
+  Rng rng_a(10), rng_b(10);
+  std::vector<double> kirin, sd778;
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto combo_a = random_combo(rng_a, 5);
+    const auto combo_b = random_combo(rng_b, 5);
+    Fixture fk(combo_a, Soc::kirin990());
+    Fixture fs(combo_b, Soc::snapdragon778g());
+    kirin.push_back(run_mnn_serial(*fk.eval).makespan_ms() / h2p_makespan(fk));
+    sd778.push_back(run_mnn_serial(*fs.eval).makespan_ms() / h2p_makespan(fs));
+  }
+  EXPECT_GT(geomean(kirin), geomean(sd778));
+}
+
+TEST(Integration, ContentionAndTailOptimizationPayOff) {
+  // Paper: full Hetero2Pipe outperforms "No C/T" (~1.3x average).
+  Rng rng(11);
+  std::vector<double> ratios;
+  for (int trial = 0; trial < 10; ++trial) {
+    Fixture fx(random_combo(rng, 6));
+    const double full = h2p_makespan(fx);
+    const double no_ct = h2p_makespan(fx, PlannerOptions::no_ct());
+    ratios.push_back(no_ct / full);
+  }
+  EXPECT_GE(geomean(ratios), 1.0);
+}
+
+TEST(Integration, ThroughputMatchesModelCountOverLatency) {
+  Fixture fx(testing_util::mixed_six());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+  EXPECT_NEAR(t.throughput_per_s(),
+              static_cast<double>(fx.models.size()) / (t.makespan_ms() / 1000.0),
+              1e-9);
+}
+
+TEST(Integration, DuplicateModelsHandled) {
+  Fixture fx({ModelId::kSqueezeNet, ModelId::kSqueezeNet, ModelId::kSqueezeNet,
+              ModelId::kSqueezeNet});
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+  EXPECT_GT(t.makespan_ms(), 0.0);
+  EXPECT_EQ(t.num_models, 4u);
+}
+
+TEST(Integration, AllTenModelsAtOnce) {
+  Fixture fx(all_model_ids());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+  EXPECT_GT(t.makespan_ms(), 0.0);
+  for (const ModelPlan& mp : report.plan.models) {
+    EXPECT_TRUE(mp.covers(fx.eval->model(mp.model_index).num_layers()));
+  }
+  // Pipelining all ten must beat serial CPU by a wide margin.
+  EXPECT_GT(run_mnn_serial(*fx.eval).makespan_ms(), 2.0 * t.makespan_ms());
+}
+
+
+TEST(Integration, SceneUnderstandingAppMeetsRealTime) {
+  // The paper's motivating application (§I): YOLO + FaceNet + Age/GenderNet
+  // + ViT-GPT2 captioning.  Pipelined across the Kirin 990's processors, a
+  // full frame's worth of understanding must beat serial CPU execution by a
+  // wide margin.
+  Fixture fx({ModelId::kYOLOv4, ModelId::kFaceNet, ModelId::kAgeGenderNet,
+              ModelId::kViT, ModelId::kGPT2Decoder});
+  const double serial = run_mnn_serial(*fx.eval).makespan_ms();
+  const double h2p = h2p_makespan(fx);
+  EXPECT_GT(serial / h2p, 2.0);
+  // And the plan fits the device's free memory.
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  EXPECT_TRUE(fx.eval->satisfies_memory(report.plan));
+}
+
+TEST(Integration, ExtendedModelsPlanCleanly) {
+  for (ModelId id : {ModelId::kFaceNet, ModelId::kAgeGenderNet,
+                     ModelId::kGPT2Decoder}) {
+    Fixture fx({id, ModelId::kResNet50});
+    const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+    for (const ModelPlan& mp : report.plan.models) {
+      EXPECT_TRUE(mp.covers(fx.eval->model(mp.model_index).num_layers()))
+          << to_string(id);
+    }
+    EXPECT_GT(simulate_plan(report.plan, *fx.eval).makespan_ms(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/lap.h"
+#include "util/rng.h"
+
+namespace h2p {
+namespace {
+
+double brute_force(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  const std::size_t m = cost.front().size();
+  std::vector<std::size_t> cols(m);
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) total += cost[r][cols[r]];
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(Lap, EmptyMatrix) {
+  const LapResult r = solve_lap({});
+  EXPECT_TRUE(r.row_to_col.empty());
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+TEST(Lap, OneByOne) {
+  const LapResult r = solve_lap({{3.0}});
+  EXPECT_EQ(r.row_to_col, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+}
+
+TEST(Lap, ClassicThreeByThree) {
+  const std::vector<std::vector<double>> cost = {
+      {4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  const LapResult r = solve_lap(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);  // 1 + 2 + 2
+  EXPECT_TRUE(r.fully_feasible);
+}
+
+TEST(Lap, AssignmentIsAPermutation) {
+  const std::vector<std::vector<double>> cost = {
+      {1, 2, 3}, {2, 4, 6}, {3, 6, 9}};
+  const LapResult r = solve_lap(cost);
+  std::vector<int> sorted = r.row_to_col;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Lap, RectangularLeavesColumnsUnused) {
+  const std::vector<std::vector<double>> cost = {{5, 1, 9, 7}, {2, 8, 3, 4}};
+  const LapResult r = solve_lap(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);  // 1 + 2
+  EXPECT_NE(r.row_to_col[0], r.row_to_col[1]);
+}
+
+TEST(Lap, RowsExceedColumnsThrows) {
+  EXPECT_THROW(solve_lap({{1.0}, {2.0}}), std::invalid_argument);
+}
+
+TEST(Lap, RaggedThrows) {
+  EXPECT_THROW(solve_lap({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Lap, ForbiddenEdgesReportedInfeasible) {
+  const std::vector<std::vector<double>> cost = {
+      {kLapForbidden, kLapForbidden}, {1.0, kLapForbidden}};
+  const LapResult r = solve_lap(cost);
+  EXPECT_FALSE(r.fully_feasible);
+  // Row 1 can still take column 0.
+  const bool row1_ok = (r.row_to_col[1] == 0) || (r.row_to_col[0] == -1);
+  EXPECT_TRUE(row1_ok);
+}
+
+TEST(Lap, AvoidsForbiddenWhenAlternativesExist) {
+  const std::vector<std::vector<double>> cost = {{kLapForbidden, 2.0},
+                                                 {1.0, kLapForbidden}};
+  const LapResult r = solve_lap(cost);
+  EXPECT_TRUE(r.fully_feasible);
+  EXPECT_EQ(r.row_to_col[0], 1);
+  EXPECT_EQ(r.row_to_col[1], 0);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+}
+
+class LapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LapPropertyTest, MatchesBruteForceOnRandomSquare) {
+  Rng rng(2000 + GetParam());
+  const std::size_t n = 2 + rng.index(5);  // up to 6x6 (brute force 720 perms)
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.uniform(0.0, 100.0);
+  }
+  const LapResult r = solve_lap(cost);
+  EXPECT_NEAR(r.total_cost, brute_force(cost), 1e-9);
+  std::vector<int> sorted = r.row_to_col;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], static_cast<int>(i));
+}
+
+TEST_P(LapPropertyTest, MatchesBruteForceOnRandomRectangular) {
+  Rng rng(3000 + GetParam());
+  const std::size_t n = 2 + rng.index(3);
+  const std::size_t m = n + 1 + rng.index(3);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.uniform(0.0, 50.0);
+  }
+  const LapResult r = solve_lap(cost);
+  EXPECT_NEAR(r.total_cost, brute_force(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LapPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace h2p

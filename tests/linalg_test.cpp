@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "contention/linalg.h"
+
+namespace h2p {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0; a.at(1, 1) = 4.0;
+  const Matrix i = Matrix::identity(2);
+  const Matrix prod = a * i;
+  EXPECT_DOUBLE_EQ(prod.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(prod.at(1, 0), 3.0);
+}
+
+TEST(Matrix, MultiplyShapes) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 2.0);
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 6.0);  // 3 * 1 * 2
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a.at(0, 2) = 7.0;
+  a.at(1, 0) = -2.0;
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), -2.0);
+  const Matrix tt = t.transpose();
+  EXPECT_DOUBLE_EQ(tt.at(0, 2), 7.0);
+}
+
+TEST(Matrix, AddAndScale) {
+  Matrix a(2, 2, 1.0);
+  const Matrix b = a + a;
+  EXPECT_DOUBLE_EQ(b.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(b.scaled(0.5).at(0, 0), 1.0);
+}
+
+TEST(Solve, TwoByTwo) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 3.0;
+  const std::vector<double> x = solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 0.0;
+  const std::vector<double> x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2, 1.0);  // rank 1
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Solve, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Solve, LargerSystemRoundTrip) {
+  // Construct A and x, check solve(A, A*x) == x.
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    truth[r] = static_cast<double>(r) - 2.5;
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(r, c) = 1.0 / (1.0 + r + c) + (r == c ? 2.0 : 0.0);
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b[r] += a.at(r, c) * truth[c];
+  }
+  const std::vector<double> x = solve(a, b);
+  for (std::size_t r = 0; r < n; ++r) EXPECT_NEAR(x[r], truth[r], 1e-9);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "soc/memory_governor.h"
+
+namespace h2p {
+namespace {
+
+TEST(MemoryGovernor, PicksLowestSufficientState) {
+  const Soc soc = Soc::kirin990();
+  MemoryGovernor gov(soc);
+  // Tiny demand -> lowest state.
+  EXPECT_DOUBLE_EQ(gov.state_for(0.5).mhz, soc.mem_states().front().mhz);
+  // Impossible demand -> highest state.
+  EXPECT_DOUBLE_EQ(gov.state_for(1000.0).mhz, soc.mem_states().back().mhz);
+}
+
+TEST(MemoryGovernor, HeadroomApplied) {
+  const Soc soc = Soc::kirin990();
+  MemoryGovernor gov(soc, /*headroom=*/1.25);
+  // First state delivers 4.4 GB/s; demand 4.0 * 1.25 = 5.0 > 4.4 -> state 2.
+  EXPECT_GT(gov.state_for(4.0).mhz, soc.mem_states().front().mhz);
+}
+
+TEST(MemoryGovernor, RampsUpImmediately) {
+  const Soc soc = Soc::kirin990();
+  MemoryGovernor gov(soc);
+  gov.update(0.5);
+  const double low = gov.current().mhz;
+  gov.update(50.0);
+  EXPECT_GT(gov.current().mhz, low);
+}
+
+TEST(MemoryGovernor, StepsDownOnlyAfterCooldown) {
+  const Soc soc = Soc::kirin990();
+  MemoryGovernor gov(soc);
+  gov.update(50.0);  // max state
+  const double high = gov.current().mhz;
+  gov.update(0.1);
+  EXPECT_DOUBLE_EQ(gov.current().mhz, high);  // hysteresis holds
+  gov.update(0.1);
+  EXPECT_DOUBLE_EQ(gov.current().mhz, high);
+  gov.update(0.1);  // third consecutive low sample -> drop
+  EXPECT_LT(gov.current().mhz, high);
+}
+
+TEST(MemoryGovernor, SpikeResetsCooldown) {
+  const Soc soc = Soc::kirin990();
+  MemoryGovernor gov(soc);
+  gov.update(50.0);
+  const double high = gov.current().mhz;
+  gov.update(0.1);
+  gov.update(0.1);
+  gov.update(50.0);  // spike resets the streak
+  gov.update(0.1);
+  gov.update(0.1);
+  EXPECT_DOUBLE_EQ(gov.current().mhz, high);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "sim/memory_sim.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+class MemorySimTest : public ::testing::Test {
+ protected:
+  Fixture fx_{testing_util::mixed_six()};
+  PlannerReport report_ = Hetero2PipePlanner(*fx_.eval).plan();
+  Timeline timeline_ = simulate_plan(report_.plan, *fx_.eval);
+  std::vector<MemorySample> samples_ =
+      trace_memory(timeline_, report_.plan, *fx_.eval);
+};
+
+TEST_F(MemorySimTest, ProducesSamplesAcrossTheRun) {
+  ASSERT_FALSE(samples_.empty());
+  EXPECT_DOUBLE_EQ(samples_.front().time_ms, 0.0);
+  EXPECT_GE(samples_.back().time_ms, timeline_.makespan_ms() - 5.0);
+}
+
+TEST_F(MemorySimTest, ResidentPlusAvailableIsConserved) {
+  for (const MemorySample& s : samples_) {
+    EXPECT_NEAR(s.resident_bytes + s.available_bytes,
+                fx_.soc.available_bytes(), 1.0)
+        << "at t=" << s.time_ms;
+  }
+}
+
+TEST_F(MemorySimTest, PeakResidentPositiveAndBounded) {
+  const double peak = peak_resident_bytes(samples_);
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LE(peak, fx_.soc.mem_capacity_bytes());
+}
+
+TEST_F(MemorySimTest, FrequencyRisesUnderCoExecution) {
+  // Fig 9: once CPU/GPU co-run, the governor should reach a high state at
+  // some point.
+  double max_mhz = 0.0;
+  for (const MemorySample& s : samples_) max_mhz = std::max(max_mhz, s.mem_freq_mhz);
+  EXPECT_GT(max_mhz, fx_.soc.mem_states().front().mhz);
+}
+
+TEST_F(MemorySimTest, BandwidthDemandBounded) {
+  for (const MemorySample& s : samples_) {
+    EXPECT_GE(s.bw_demand_gbps, 0.0);
+    // Demand is a sum of per-slice intensities * bus bw, so it can exceed
+    // the bus briefly, but not by more than the processor count.
+    EXPECT_LE(s.bw_demand_gbps,
+              fx_.soc.bus_bw_gbps() * static_cast<double>(fx_.soc.num_processors()));
+  }
+}
+
+TEST(MemorySim, EmptyTimelineNoSamples) {
+  Fixture fx({ModelId::kAlexNet});
+  const PipelinePlan empty_plan{};
+  const Timeline empty_timeline{};
+  EXPECT_TRUE(trace_memory(empty_timeline, empty_plan, *fx.eval).empty());
+}
+
+TEST(MemorySim, LargeModelsDominateFootprint) {
+  Fixture large({ModelId::kBERT, ModelId::kViT});
+  Fixture small({ModelId::kSqueezeNet, ModelId::kMobileNetV2});
+  const PlannerReport rl = Hetero2PipePlanner(*large.eval).plan();
+  const PlannerReport rs = Hetero2PipePlanner(*small.eval).plan();
+  const auto sl = trace_memory(simulate_plan(rl.plan, *large.eval), rl.plan, *large.eval);
+  const auto ss = trace_memory(simulate_plan(rs.plan, *small.eval), rs.plan, *small.eval);
+  EXPECT_GT(peak_resident_bytes(sl), 5.0 * peak_resident_bytes(ss));
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mitigation.h"
+#include "util/rng.h"
+
+namespace h2p {
+namespace {
+
+std::vector<bool> apply_order(const std::vector<bool>& high,
+                              const std::vector<std::size_t>& order) {
+  std::vector<bool> labels(order.size());
+  for (std::size_t p = 0; p < order.size(); ++p) labels[p] = high[order[p]];
+  return labels;
+}
+
+bool is_permutation_of_identity(const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(Mitigation, ViolationDetection) {
+  EXPECT_TRUE(has_window_violation({true, true, false, false}, 2));
+  EXPECT_TRUE(has_window_violation({true, false, true}, 3));
+  EXPECT_FALSE(has_window_violation({true, false, true}, 2));
+  EXPECT_FALSE(has_window_violation({false, false, false}, 4));
+  EXPECT_FALSE(has_window_violation({true}, 4));
+  EXPECT_FALSE(has_window_violation({}, 3));
+}
+
+TEST(Mitigation, AdjacentPairSeparated) {
+  // H H L L with K=2: one swap suffices -> H L H L or H L L H.
+  const std::vector<bool> high = {true, true, false, false};
+  int moves = 0;
+  bool resolved = false;
+  const auto order = mitigate_order(high, 2, &moves, nullptr, &resolved);
+  EXPECT_TRUE(is_permutation_of_identity(order));
+  EXPECT_TRUE(resolved);
+  EXPECT_GE(moves, 1);
+  EXPECT_FALSE(has_window_violation(apply_order(high, order), 2));
+}
+
+TEST(Mitigation, AlreadyCleanIsIdentity) {
+  const std::vector<bool> high = {true, false, false, true, false, false};
+  int moves = 0;
+  const auto order = mitigate_order(high, 3, &moves);
+  EXPECT_EQ(moves, 0);
+  std::vector<std::size_t> identity(high.size());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(order, identity);
+}
+
+TEST(Mitigation, AllHighCannotBeMitigated) {
+  const std::vector<bool> high(5, true);
+  bool resolved = true;
+  const auto order = mitigate_order(high, 3, nullptr, nullptr, &resolved);
+  EXPECT_FALSE(resolved);  // "no sufficient L" stop condition
+  EXPECT_TRUE(is_permutation_of_identity(order));
+}
+
+TEST(Mitigation, NoHighNoChanges) {
+  const std::vector<bool> high(6, false);
+  int moves = 0;
+  mitigate_order(high, 4, &moves);
+  EXPECT_EQ(moves, 0);
+}
+
+TEST(Mitigation, WindowOfOneIsNoOp) {
+  const std::vector<bool> high = {true, true, true};
+  int moves = 0;
+  mitigate_order(high, 1, &moves);
+  EXPECT_EQ(moves, 0);
+}
+
+TEST(Mitigation, DisplacementCostTracksMoves) {
+  const std::vector<bool> high = {true, true, false, false, false, false};
+  double cost = 0.0;
+  int moves = 0;
+  mitigate_order(high, 2, &moves, &cost);
+  EXPECT_GT(moves, 0);
+  // Every insertion displaces its donor by at least one slot.
+  EXPECT_GE(cost, static_cast<double>(moves));
+}
+
+TEST(Mitigation, FullPassClassifiesAndReorders) {
+  // Two high-intensity requests adjacent at the front.
+  const std::vector<double> intensities = {0.9, 0.8, 0.1, 0.2, 0.15, 0.05};
+  const MitigationResult r = mitigate_contention(intensities, 2, 0.7);
+  EXPECT_TRUE(r.high[0]);
+  EXPECT_TRUE(r.high[1]);
+  EXPECT_FALSE(r.high[4]);
+  EXPECT_TRUE(is_permutation_of_identity(r.order));
+  EXPECT_FALSE(has_window_violation(apply_order(r.high, r.order), 2));
+}
+
+// Property: mitigation never increases the number of violating H pairs and
+// always returns a valid permutation.
+class MitigationPropertyTest : public ::testing::TestWithParam<int> {};
+
+int violating_pairs(const std::vector<bool>& labels, std::size_t K) {
+  std::vector<std::size_t> hs;
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    if (labels[p]) hs.push_back(p);
+  }
+  int count = 0;
+  for (std::size_t a = 0; a < hs.size(); ++a) {
+    for (std::size_t b = a + 1; b < hs.size(); ++b) {
+      if (hs[b] - hs[a] < K) ++count;
+    }
+  }
+  return count;
+}
+
+TEST_P(MitigationPropertyTest, NeverWorsensAndStaysPermutation) {
+  Rng rng(4000 + GetParam());
+  const std::size_t n = 3 + rng.index(15);
+  const std::size_t K = 2 + rng.index(3);
+  std::vector<bool> high(n);
+  for (std::size_t i = 0; i < n; ++i) high[i] = rng.chance(0.35);
+
+  const int before = violating_pairs(high, K);
+  const auto order = mitigate_order(high, K);
+  EXPECT_TRUE(is_permutation_of_identity(order));
+  const int after = violating_pairs(apply_order(high, order), K);
+  EXPECT_LE(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSequences, MitigationPropertyTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,183 @@
+// Property-based sweeps over the reference kernels: algebraic identities
+// that must hold for every shape, not just the hand-computed cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/ops.h"
+
+namespace h2p {
+namespace {
+
+struct ConvShape {
+  int in_c, out_c, k, hw, stride, pad;
+};
+
+class ConvProperty : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(ConvProperty, Linearity) {
+  // conv(a + b, W) == conv(a, W) + conv(b, W)
+  const auto [in_c, out_c, k, hw, stride, pad] = GetParam();
+  Tensor a({in_c, hw, hw}), b({in_c, hw, hw}), w({out_c, in_c, k, k});
+  a.fill_random(1);
+  b.fill_random(2);
+  w.fill_random(3);
+  const Tensor lhs = conv2d(add(a, b), w, stride, pad);
+  const Tensor rhs = add(conv2d(a, w, stride, pad), conv2d(b, w, stride, pad));
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-4f));
+}
+
+TEST_P(ConvProperty, Homogeneity) {
+  // conv(2a, W) == 2 conv(a, W)
+  const auto [in_c, out_c, k, hw, stride, pad] = GetParam();
+  Tensor a({in_c, hw, hw}), w({out_c, in_c, k, k});
+  a.fill_random(4);
+  w.fill_random(5);
+  Tensor a2 = a;
+  for (std::size_t i = 0; i < a2.numel(); ++i) a2[i] *= 2.0f;
+  Tensor expect = conv2d(a, w, stride, pad);
+  for (std::size_t i = 0; i < expect.numel(); ++i) expect[i] *= 2.0f;
+  EXPECT_TRUE(conv2d(a2, w, stride, pad).allclose(expect, 1e-4f));
+}
+
+TEST_P(ConvProperty, OutputShape) {
+  const auto [in_c, out_c, k, hw, stride, pad] = GetParam();
+  Tensor a({in_c, hw, hw}), w({out_c, in_c, k, k});
+  const Tensor y = conv2d(a, w, stride, pad);
+  const int expected = (hw + 2 * pad - k) / stride + 1;
+  EXPECT_EQ(y.shape(), (std::vector<int>{out_c, expected, expected}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvProperty,
+    ::testing::Values(ConvShape{1, 1, 1, 4, 1, 0}, ConvShape{3, 8, 3, 8, 1, 1},
+                      ConvShape{4, 2, 5, 12, 1, 2}, ConvShape{2, 6, 3, 9, 2, 1},
+                      ConvShape{8, 8, 1, 6, 1, 0}, ConvShape{3, 4, 3, 7, 3, 1}));
+
+class MatmulProperty : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulProperty, IdentityIsNeutral) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Tensor a({m, k});
+  a.fill_random(6);
+  Tensor eye({k, k});
+  for (int i = 0; i < k; ++i) eye.at2(i, i) = 1.0f;
+  EXPECT_TRUE(matmul(a, eye).allclose(a, 1e-5f));
+}
+
+TEST_P(MatmulProperty, DistributesOverAddition) {
+  const auto [m, k, n] = GetParam();
+  Tensor a({m, k}), b({k, n}), c({k, n});
+  a.fill_random(7);
+  b.fill_random(8);
+  c.fill_random(9);
+  EXPECT_TRUE(matmul(a, add(b, c)).allclose(add(matmul(a, b), matmul(a, c)), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulProperty,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                                           std::tuple{5, 5, 5}, std::tuple{7, 2, 9},
+                                           std::tuple{16, 16, 8}));
+
+class PoolProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolProperty, MaxPoolDominatesAvgPool) {
+  const int hw = 4 * GetParam();
+  Tensor x({2, hw, hw});
+  x.fill_random(10);
+  const Tensor mx = max_pool(x, GetParam());
+  const Tensor av = avg_pool(x, GetParam());
+  ASSERT_EQ(mx.shape(), av.shape());
+  for (std::size_t i = 0; i < mx.numel(); ++i) {
+    EXPECT_GE(mx[i], av[i] - 1e-6f);
+  }
+}
+
+TEST_P(PoolProperty, PoolOfConstantIsConstant) {
+  const int hw = 4 * GetParam();
+  Tensor x({1, hw, hw}, 2.5f);
+  for (const Tensor& y : {max_pool(x, GetParam()), avg_pool(x, GetParam())}) {
+    for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 2.5f, 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, PoolProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(OpsProperty, ActivationShapes) {
+  // relu/leaky are monotone everywhere; gelu/mish are monotone on x >= 0,
+  // dip slightly negative for x < 0 (bounded), and approach identity for
+  // large positive x — the self-gated shapes that motivated them.
+  for (float a = -4.0f; a < 4.0f; a += 0.25f) {
+    Tensor lo({1}, a), hi({1}, a + 0.25f);
+    EXPECT_LE(relu(lo)[0], relu(hi)[0]);
+    EXPECT_LE(leaky_relu(lo)[0], leaky_relu(hi)[0]);
+    if (a >= 0.0f) {
+      EXPECT_LE(gelu(lo)[0], gelu(hi)[0] + 1e-6f);
+      EXPECT_LE(mish(lo)[0], mish(hi)[0] + 1e-6f);
+    }
+    EXPECT_GE(gelu(lo)[0], -0.5f);  // bounded dip
+    EXPECT_GE(mish(lo)[0], -0.5f);
+  }
+  Tensor big({1}, 10.0f);
+  EXPECT_NEAR(gelu(big)[0], 10.0f, 1e-3f);
+  EXPECT_NEAR(mish(big)[0], 10.0f, 1e-3f);
+}
+
+TEST(OpsProperty, SoftmaxInvariantToRowShift) {
+  Tensor x({2, 6});
+  x.fill_random(11);
+  Tensor shifted = x;
+  for (int j = 0; j < 6; ++j) shifted.at2(0, j) += 100.0f;
+  const Tensor a = softmax(x);
+  const Tensor b = softmax(shifted);
+  for (int j = 0; j < 6; ++j) EXPECT_NEAR(a.at2(0, j), b.at2(0, j), 1e-5f);
+}
+
+TEST(OpsProperty, LayerNormInvariantToAffineInput) {
+  // LN(a*x + b) == LN(x) for per-row affine transforms (a > 0).
+  Tensor x({1, 10});
+  x.fill_random(12);
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = 3.0f * y[i] + 7.0f;
+  Tensor gamma({10}, 1.0f), beta({10}, 0.0f);
+  EXPECT_TRUE(layer_norm(x, gamma, beta).allclose(layer_norm(y, gamma, beta), 1e-4f));
+}
+
+TEST(OpsProperty, AttentionOutputIsConvexCombination) {
+  // Each output row lies within [min, max] of the value rows per column.
+  Tensor q({4, 6}), k({4, 6}), v({4, 6});
+  q.fill_random(13);
+  k.fill_random(14);
+  v.fill_random(15);
+  const Tensor y = attention(q, k, v);
+  for (int col = 0; col < 6; ++col) {
+    float lo = 1e30f, hi = -1e30f;
+    for (int row = 0; row < 4; ++row) {
+      lo = std::min(lo, v.at2(row, col));
+      hi = std::max(hi, v.at2(row, col));
+    }
+    for (int row = 0; row < 4; ++row) {
+      EXPECT_GE(y.at2(row, col), lo - 1e-5f);
+      EXPECT_LE(y.at2(row, col), hi + 1e-5f);
+    }
+  }
+}
+
+TEST(OpsProperty, UpsampleDownsampleRoundTrip) {
+  // avg_pool(upsample2x(x), 2) == x for nearest-neighbour upsampling.
+  Tensor x({3, 5, 5});
+  x.fill_random(16);
+  EXPECT_TRUE(avg_pool(upsample2x(x), 2).allclose(x, 1e-5f));
+}
+
+TEST(OpsProperty, ConcatPreservesContent) {
+  Tensor a({2, 3, 3}), b({4, 3, 3});
+  a.fill_random(17);
+  b.fill_random(18);
+  const Tensor c = concat_channels(a, b);
+  EXPECT_NEAR(c.checksum(), a.checksum() + b.checksum(), 1e-4);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/ops.h"
+
+namespace h2p {
+namespace {
+
+TEST(Ops, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor x({1, 3, 3});
+  x.fill_random(1);
+  Tensor w({1, 1, 1, 1}, 1.0f);
+  const Tensor y = conv2d(x, w);
+  EXPECT_TRUE(y.allclose(x));
+}
+
+TEST(Ops, Conv2dHandComputed) {
+  // 2x2 input, 2x2 all-ones kernel, no pad: single output = sum of inputs.
+  Tensor x({1, 2, 2});
+  x[0] = 1; x[1] = 2; x[2] = 3; x[3] = 4;
+  Tensor w({1, 1, 2, 2}, 1.0f);
+  const Tensor y = conv2d(x, w);
+  ASSERT_EQ(y.shape(), (std::vector<int>{1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 10.0f);
+}
+
+TEST(Ops, Conv2dPaddingAndStride) {
+  Tensor x({1, 4, 4}, 1.0f);
+  Tensor w({2, 1, 3, 3}, 1.0f);
+  const Tensor same = conv2d(x, w, 1, 1);
+  EXPECT_EQ(same.shape(), (std::vector<int>{2, 4, 4}));
+  // Center pixels see the full 3x3 ones window.
+  EXPECT_FLOAT_EQ(same.at3(0, 1, 1), 9.0f);
+  // Corner sees only 2x2 of the input.
+  EXPECT_FLOAT_EQ(same.at3(0, 0, 0), 4.0f);
+  const Tensor strided = conv2d(x, w, 2, 1);
+  EXPECT_EQ(strided.shape(), (std::vector<int>{2, 2, 2}));
+}
+
+TEST(Ops, Conv2dShapeChecks) {
+  Tensor x({1, 4, 4});
+  EXPECT_THROW(conv2d(x, Tensor({1, 2, 3, 3})), std::invalid_argument);
+  EXPECT_THROW(conv2d(x, Tensor({1, 1, 5, 5})), std::invalid_argument);
+  EXPECT_THROW(conv2d(Tensor({4, 4}), Tensor({1, 1, 1, 1})), std::invalid_argument);
+}
+
+TEST(Ops, DepthwiseActsPerChannel) {
+  Tensor x({2, 2, 2}, 1.0f);
+  Tensor w({2, 1, 1});
+  w[0] = 2.0f;  // channel 0 scales by 2
+  w[1] = 3.0f;  // channel 1 scales by 3
+  const Tensor y = depthwise_conv2d(x, w);
+  EXPECT_FLOAT_EQ(y.at3(0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at3(1, 1, 1), 3.0f);
+}
+
+TEST(Ops, MatmulHandComputed) {
+  Tensor a({2, 2});
+  a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+  Tensor b({2, 2});
+  b[0] = 5; b[1] = 6; b[2] = 7; b[3] = 8;
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Ops, MatmulInnerDimChecked) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 2})), std::invalid_argument);
+}
+
+TEST(Ops, FullyConnectedWithBias) {
+  Tensor x({2});
+  x[0] = 1.0f; x[1] = 2.0f;
+  Tensor w({2, 2});
+  w.at2(0, 0) = 1; w.at2(0, 1) = 1;   // row 0 sums inputs
+  w.at2(1, 0) = 2; w.at2(1, 1) = 0;   // row 1 doubles x0
+  Tensor b({2});
+  b[0] = 0.5f; b[1] = -1.0f;
+  const Tensor y = fully_connected(x, w, b);
+  EXPECT_FLOAT_EQ(y[0], 3.5f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+}
+
+TEST(Ops, Activations) {
+  Tensor x({4});
+  x[0] = -2.0f; x[1] = -0.5f; x[2] = 0.0f; x[3] = 2.0f;
+  const Tensor r = relu(x);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[3], 2.0f);
+  const Tensor l = leaky_relu(x, 0.1f);
+  EXPECT_FLOAT_EQ(l[0], -0.2f);
+  const Tensor g = gelu(x);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+  EXPECT_NEAR(g[3], 1.954f, 1e-2);  // gelu(2)
+  const Tensor m = mish(x);
+  EXPECT_NEAR(m[3], 1.944f, 1e-2);  // mish(2)
+  EXPECT_FLOAT_EQ(m[2], 0.0f);
+}
+
+TEST(Ops, Pooling) {
+  Tensor x({1, 2, 2});
+  x[0] = 1; x[1] = 2; x[2] = 3; x[3] = 4;
+  EXPECT_FLOAT_EQ(max_pool(x, 2)[0], 4.0f);
+  EXPECT_FLOAT_EQ(avg_pool(x, 2)[0], 2.5f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor x({3, 5});
+  x.fill_random(3, -5.0f, 5.0f);
+  const Tensor y = softmax(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_GE(y.at2(r, c), 0.0f);
+      sum += y.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+  Tensor x({1, 2});
+  x[0] = 1000.0f;
+  x[1] = 1000.0f;
+  const Tensor y = softmax(x);
+  EXPECT_NEAR(y[0], 0.5f, 1e-5f);
+}
+
+TEST(Ops, LayerNormZeroMeanUnitVar) {
+  Tensor x({2, 8});
+  x.fill_random(4, -3.0f, 3.0f);
+  Tensor gamma({8}, 1.0f), beta({8}, 0.0f);
+  const Tensor y = layer_norm(x, gamma, beta);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 8; ++c) mean += y.at2(r, c);
+    mean /= 8.0f;
+    for (int c = 0; c < 8; ++c) var += (y.at2(r, c) - mean) * (y.at2(r, c) - mean);
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(Ops, AddAndConcat) {
+  Tensor a({1, 2, 2}, 1.0f), b({1, 2, 2}, 2.0f);
+  EXPECT_FLOAT_EQ(add(a, b)[0], 3.0f);
+  const Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 2, 2}));
+  EXPECT_FLOAT_EQ(c.at3(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at3(1, 0, 0), 2.0f);
+  EXPECT_THROW(add(a, Tensor({1, 2, 3})), std::invalid_argument);
+}
+
+TEST(Ops, EmbeddingGathersRows) {
+  Tensor table({4, 2});
+  for (std::size_t i = 0; i < table.numel(); ++i) table[i] = static_cast<float>(i);
+  Tensor ids({2});
+  ids[0] = 3; ids[1] = 0;
+  const Tensor y = embedding(table, ids);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at2(1, 1), 1.0f);
+  Tensor bad({1});
+  bad[0] = 9;
+  EXPECT_THROW(embedding(table, bad), std::invalid_argument);
+}
+
+TEST(Ops, Upsample2x) {
+  Tensor x({1, 1, 2});
+  x[0] = 1.0f; x[1] = 2.0f;
+  const Tensor y = upsample2x(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 2, 4}));
+  EXPECT_FLOAT_EQ(y.at3(0, 1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at3(0, 0, 3), 2.0f);
+}
+
+TEST(Ops, AttentionUniformKeysAverageValues) {
+  // If all queries/keys are identical, attention averages the values.
+  Tensor q({3, 4}, 1.0f), k({3, 4}, 1.0f), v({3, 4});
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) v.at2(i, j) = static_cast<float>(i);
+  }
+  const Tensor y = attention(q, k, v);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y.at2(i, 0), 1.0f, 1e-5f);  // mean of {0,1,2}
+  }
+}
+
+TEST(Ops, AttentionPeakedScoresSelectValue) {
+  // Query aligned with key row 1 and orthogonal to the others (large scale)
+  // should essentially return value row 1.
+  Tensor q({1, 2}), k({1 * 3, 2} /* 3 keys */), v({3, 2});
+  q.at2(0, 0) = 20.0f;
+  k = Tensor({3, 2});
+  k.at2(1, 0) = 20.0f;  // only key 1 matches
+  v.at2(0, 0) = 1.0f;
+  v.at2(1, 0) = 5.0f;
+  v.at2(2, 0) = 9.0f;
+  // q/k/v shapes must match: expand q to [3, 2] with identical rows.
+  Tensor q3({3, 2});
+  for (int i = 0; i < 3; ++i) q3.at2(i, 0) = 20.0f;
+  const Tensor y = attention(q3, k, v);
+  EXPECT_NEAR(y.at2(0, 0), 5.0f, 1e-2f);
+}
+
+}  // namespace
+}  // namespace h2p

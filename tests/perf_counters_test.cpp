@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "soc/perf_counters.h"
+
+namespace h2p {
+namespace {
+
+class PmuTest : public ::testing::Test {
+ protected:
+  Soc soc_ = Soc::kirin990();
+  CostModel cost_{soc_};
+  std::size_t cpu_b_ = static_cast<std::size_t>(soc_.find(ProcKind::kCpuBig));
+
+  PmuSample sample(ModelId id) {
+    return sample_pmu(zoo_model(id), soc_.processor(cpu_b_), cost_);
+  }
+  double intensity(ModelId id) {
+    return true_contention_intensity(zoo_model(id), cpu_b_, cost_);
+  }
+};
+
+TEST_F(PmuTest, FieldsInValidRanges) {
+  for (ModelId id : all_model_ids()) {
+    const PmuSample s = sample(id);
+    EXPECT_GT(s.ipc, 0.0) << to_string(id);
+    EXPECT_LE(s.ipc, 4.0) << to_string(id);
+    EXPECT_GE(s.cache_miss_rate, 0.0) << to_string(id);
+    EXPECT_LE(s.cache_miss_rate, 1.0) << to_string(id);
+    EXPECT_GE(s.stalled_backend_frac, 0.0) << to_string(id);
+    EXPECT_LE(s.stalled_backend_frac, 1.0) << to_string(id);
+  }
+}
+
+TEST_F(PmuTest, IpcAntiCorrelatesWithStalls) {
+  // By construction IPC = 4 * (1 - 0.8 * stall); verify across the zoo.
+  for (ModelId id : all_model_ids()) {
+    const PmuSample s = sample(id);
+    EXPECT_NEAR(s.ipc, 4.0 * (1.0 - 0.8 * s.stalled_backend_frac), 1e-9);
+  }
+}
+
+TEST_F(PmuTest, Observation3SqueezeNetOutlier) {
+  // SqueezeNet is tiny by FLOPs yet aggressive on the bus: its contention
+  // intensity rivals big transformers and clearly exceeds ResNet50's.
+  const double squeeze = intensity(ModelId::kSqueezeNet);
+  const double resnet = intensity(ModelId::kResNet50);
+  EXPECT_GT(squeeze, resnet);
+}
+
+TEST_F(PmuTest, Observation3GoogLeNetOutlier) {
+  const double gnet = intensity(ModelId::kGoogLeNet);
+  const double resnet = intensity(ModelId::kResNet50);
+  EXPECT_GT(gnet, resnet);
+}
+
+TEST_F(PmuTest, Observation2FcHeavyModelsAreIntense) {
+  // AlexNet/VGG16 (FC-heavy) have meaningful bus demand despite conv bodies.
+  EXPECT_GT(intensity(ModelId::kAlexNet), 0.15);
+  EXPECT_GT(intensity(ModelId::kBERT), 0.15);
+}
+
+TEST_F(PmuTest, IntensityInUnitInterval) {
+  for (ModelId id : all_model_ids()) {
+    const double v = intensity(id);
+    EXPECT_GE(v, 0.0) << to_string(id);
+    EXPECT_LE(v, 1.0) << to_string(id);
+  }
+}
+
+TEST_F(PmuTest, EmptyModelIsZero) {
+  const Model empty("none", {});
+  EXPECT_DOUBLE_EQ(true_contention_intensity(empty, cpu_b_, cost_), 0.0);
+  const PmuSample s = sample_pmu(empty, soc_.processor(cpu_b_), cost_);
+  EXPECT_DOUBLE_EQ(s.ipc, 0.0);
+}
+
+TEST_F(PmuTest, CacheHostileModelsMissMore) {
+  // Fire/Inception fused blocks (low locality) miss more than ResNet50's
+  // bottlenecks.
+  EXPECT_GT(sample(ModelId::kSqueezeNet).cache_miss_rate,
+            sample(ModelId::kResNet50).cache_miss_rate);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(Sim, SingleTaskRunsSolo) {
+  const Soc soc = Soc::kirin990();
+  std::vector<SimTask> tasks = {{0, 0, 1, 10.0, 0.5, 0.5, 0.0}};
+  const Timeline t = simulate(soc, tasks, {});
+  ASSERT_EQ(t.tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.tasks[0].start_ms, 0.0);
+  EXPECT_NEAR(t.tasks[0].end_ms, 10.0, 1e-9);
+}
+
+TEST(Sim, ChainPrecedenceRespected) {
+  const Soc soc = Soc::kirin990();
+  std::vector<SimTask> tasks = {
+      {0, 0, 0, 5.0, 0.0, 0.0, 0.0},
+      {0, 1, 1, 7.0, 0.0, 0.0, 0.0},
+      {0, 2, 2, 3.0, 0.0, 0.0, 0.0},
+  };
+  const Timeline t = simulate(soc, tasks, {});
+  EXPECT_GE(t.tasks[1].start_ms, t.tasks[0].end_ms - 1e-9);
+  EXPECT_GE(t.tasks[2].start_ms, t.tasks[1].end_ms - 1e-9);
+}
+
+TEST(Sim, ProcessorExclusivity) {
+  const Soc soc = Soc::kirin990();
+  // Two independent models on the same processor must serialize.
+  std::vector<SimTask> tasks = {
+      {0, 0, 1, 5.0, 0.0, 0.0, 0.0},
+      {1, 0, 1, 5.0, 0.0, 0.0, 0.0},
+  };
+  const Timeline t = simulate(soc, tasks, {});
+  const auto& a = t.tasks[0];
+  const auto& b = t.tasks[1];
+  EXPECT_TRUE(a.end_ms <= b.start_ms + 1e-9 || b.end_ms <= a.start_ms + 1e-9);
+  EXPECT_NEAR(t.makespan_ms(), 10.0, 1e-9);
+}
+
+TEST(Sim, FifoOrderOnSharedProcessor) {
+  const Soc soc = Soc::kirin990();
+  std::vector<SimTask> tasks = {
+      {1, 0, 1, 5.0, 0.0, 0.0, 0.0},  // model 1 listed first...
+      {0, 0, 1, 5.0, 0.0, 0.0, 0.0},  // ...but model 0 must start first
+  };
+  const Timeline t = simulate(soc, tasks, {});
+  EXPECT_LT(t.tasks[1].start_ms, t.tasks[0].start_ms);
+}
+
+TEST(Sim, ContentionStretchesCoRunningTasks) {
+  const Soc soc = Soc::kirin990();
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const auto gpu = static_cast<std::size_t>(soc.find(ProcKind::kGpu));
+  std::vector<SimTask> tasks = {
+      {0, 0, cpu_b, 10.0, 0.8, 0.8, 0.0},
+      {1, 0, gpu, 10.0, 0.8, 0.8, 0.0},
+  };
+  const Timeline with = simulate(soc, tasks, {true});
+  const Timeline without = simulate(soc, tasks, {false});
+  EXPECT_GT(with.makespan_ms(), without.makespan_ms());
+  EXPECT_GT(with.total_contention_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(without.total_contention_ms(), 0.0);
+}
+
+TEST(Sim, NpuCoRunBarelySlows) {
+  const Soc soc = Soc::kirin990();
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const auto npu = static_cast<std::size_t>(soc.find(ProcKind::kNpu));
+  std::vector<SimTask> tasks = {
+      {0, 0, cpu_b, 10.0, 0.8, 0.8, 0.0},
+      {1, 0, npu, 10.0, 0.8, 0.8, 0.0},
+  };
+  const Timeline t = simulate(soc, tasks, {true});
+  EXPECT_LT(t.makespan_ms(), 11.1);  // <11% stretch vs >20% for CPU-GPU
+}
+
+TEST(Sim, PartialOverlapIntegratedExactly) {
+  const Soc soc = Soc::kirin990();
+  const auto cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  const auto gpu = static_cast<std::size_t>(soc.find(ProcKind::kGpu));
+  // GPU task arrives at t=5: CPU task runs 5ms solo, then contended.
+  std::vector<SimTask> tasks = {
+      {0, 0, cpu_b, 10.0, 1.0, 1.0, 0.0},
+      {1, 0, gpu, 100.0, 1.0, 1.0, 5.0},
+  };
+  const Timeline t = simulate(soc, tasks, {true});
+  const double gamma = Soc::coupling(ProcKind::kCpuBig, ProcKind::kGpu);
+  // Remaining 5 solo-ms run at rate 1/(1+gamma): wall = 5 + 5*(1+gamma).
+  EXPECT_NEAR(t.tasks[0].end_ms, 5.0 + 5.0 * (1.0 + gamma), 1e-6);
+}
+
+TEST(Sim, ArrivalsDelayStart) {
+  const Soc soc = Soc::kirin990();
+  std::vector<SimTask> tasks = {{0, 0, 1, 5.0, 0.0, 0.0, 42.0}};
+  const Timeline t = simulate(soc, tasks, {});
+  EXPECT_NEAR(t.tasks[0].start_ms, 42.0, 1e-9);
+}
+
+TEST(Sim, InvalidProcessorThrows) {
+  const Soc soc = Soc::kirin990();
+  std::vector<SimTask> tasks = {{0, 0, 99, 5.0, 0.0, 0.0, 0.0}};
+  EXPECT_THROW(simulate(soc, tasks, {}), std::invalid_argument);
+}
+
+TEST(Sim, EmptyTaskListIsEmptyTimeline) {
+  const Timeline t = simulate(Soc::kirin990(), {}, {});
+  EXPECT_TRUE(t.tasks.empty());
+  EXPECT_DOUBLE_EQ(t.makespan_ms(), 0.0);
+}
+
+TEST(Sim, PlanRoundTripRespectsInvariants) {
+  Fixture fx(testing_util::mixed_six());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+
+  // Every non-empty slice became exactly one completed task.
+  std::size_t expected = 0;
+  for (const ModelPlan& mp : report.plan.models) {
+    for (const Slice& s : mp.slices) expected += !s.empty();
+  }
+  EXPECT_EQ(t.tasks.size(), expected);
+
+  // Precedence within each model.
+  for (const TaskRecord& a : t.tasks) {
+    for (const TaskRecord& b : t.tasks) {
+      if (a.model_idx == b.model_idx && a.seq_in_model + 1 == b.seq_in_model) {
+        EXPECT_GE(b.start_ms, a.end_ms - 1e-6);
+      }
+    }
+  }
+
+  // Processor exclusivity.
+  for (std::size_t p = 0; p < t.num_procs; ++p) {
+    std::vector<const TaskRecord*> on_p;
+    for (const TaskRecord& r : t.tasks) {
+      if (r.proc_idx == p) on_p.push_back(&r);
+    }
+    for (std::size_t i = 0; i < on_p.size(); ++i) {
+      for (std::size_t j = i + 1; j < on_p.size(); ++j) {
+        const bool disjoint = on_p[i]->end_ms <= on_p[j]->start_ms + 1e-6 ||
+                              on_p[j]->end_ms <= on_p[i]->start_ms + 1e-6;
+        EXPECT_TRUE(disjoint);
+      }
+    }
+  }
+}
+
+TEST(Sim, ContentionOffMatchesSoloSums) {
+  Fixture fx({ModelId::kResNet50});
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval, {false});
+  double solo_total = 0.0;
+  for (std::size_t k = 0; k < report.plan.num_stages; ++k) {
+    solo_total += fx.eval->stage_solo_ms(report.plan.models[0], k);
+  }
+  EXPECT_NEAR(t.makespan_ms(), solo_total, 1e-6);
+}
+
+}  // namespace
+}  // namespace h2p

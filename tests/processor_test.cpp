@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "soc/processor.h"
+
+namespace h2p {
+namespace {
+
+TEST(Processor, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(ProcKind::kNpu), "NPU");
+  EXPECT_STREQ(to_string(ProcKind::kCpuBig), "CPU_B");
+  EXPECT_STREQ(to_string(ProcKind::kGpu), "GPU");
+  EXPECT_STREQ(to_string(ProcKind::kCpuSmall), "CPU_S");
+  EXPECT_STREQ(to_string(ProcKind::kDesktopGpu), "CUDA_GPU");
+}
+
+TEST(Processor, NpuRestrictsOperators) {
+  Processor npu;
+  npu.kind = ProcKind::kNpu;
+  EXPECT_TRUE(npu.supports(LayerKind::kConv2D));
+  EXPECT_FALSE(npu.supports(LayerKind::kAttention));
+  EXPECT_FALSE(npu.supports(LayerKind::kMish));
+}
+
+TEST(Processor, CpuAndGpuSupportEverything) {
+  Processor cpu;
+  cpu.kind = ProcKind::kCpuBig;
+  Processor gpu;
+  gpu.kind = ProcKind::kGpu;
+  for (int k = 0; k <= static_cast<int>(LayerKind::kUpsample); ++k) {
+    EXPECT_TRUE(cpu.supports(static_cast<LayerKind>(k)));
+    EXPECT_TRUE(gpu.supports(static_cast<LayerKind>(k)));
+  }
+}
+
+TEST(Processor, EfficiencyInUnitInterval) {
+  for (ProcKind pk : {ProcKind::kNpu, ProcKind::kCpuBig, ProcKind::kGpu,
+                      ProcKind::kCpuSmall, ProcKind::kDesktopGpu}) {
+    Processor p;
+    p.kind = pk;
+    for (int k = 0; k <= static_cast<int>(LayerKind::kUpsample); ++k) {
+      const double e = p.kind_efficiency(static_cast<LayerKind>(k));
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+TEST(Processor, NpuExcelsAtConvGemm) {
+  Processor npu;
+  npu.kind = ProcKind::kNpu;
+  EXPECT_GT(npu.kind_efficiency(LayerKind::kConv2D),
+            npu.kind_efficiency(LayerKind::kDepthwiseConv2D));
+  EXPECT_GT(npu.kind_efficiency(LayerKind::kMatMul),
+            npu.kind_efficiency(LayerKind::kSoftmax));
+}
+
+TEST(Processor, CpuHandlesTranscendentalsBetterThanNothing) {
+  Processor cpu;
+  cpu.kind = ProcKind::kCpuBig;
+  EXPECT_GT(cpu.kind_efficiency(LayerKind::kConv2D),
+            cpu.kind_efficiency(LayerKind::kMish));
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "soc/profiler.h"
+#include "soc/thermal.h"
+
+namespace h2p {
+namespace {
+
+TEST(Profiler, CoversEveryLayerAndProcessor) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  LatencyProfiler profiler(cost, 1);
+  const Model& m = zoo_model(ModelId::kResNet50);
+  const auto profiles = profiler.profile(m);
+  ASSERT_EQ(profiles.size(), m.num_layers());
+  for (const LayerProfile& p : profiles) {
+    ASSERT_EQ(p.per_proc_ms.size(), soc.num_processors());
+    for (double v : p.per_proc_ms) EXPECT_GT(v, 0.0);  // all ops NPU-native
+  }
+}
+
+TEST(Profiler, UnsupportedOpsReportError) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  LatencyProfiler profiler(cost, 2);
+  const Model& bert = zoo_model(ModelId::kBERT);
+  const auto profiles = profiler.profile(bert);
+  const auto npu = static_cast<std::size_t>(soc.find(ProcKind::kNpu));
+  // The embedding (layer 0) cannot be profiled on the NPU (Fig 1 errors).
+  EXPECT_LT(profiles[0].per_proc_ms[npu], 0.0);
+  // But it profiles fine on the CPU.
+  const auto cpu = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  EXPECT_GT(profiles[0].per_proc_ms[cpu], 0.0);
+}
+
+TEST(Profiler, MoreRepetitionsReduceError) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  const Model& m = zoo_model(ModelId::kVGG16);
+  LatencyProfiler noisy(cost, 3, 0.25, 1);
+  LatencyProfiler careful(cost, 3, 0.25, 31);
+  const double err_noisy = noisy.relative_error(m, noisy.profile(m));
+  const double err_careful = careful.relative_error(m, careful.profile(m));
+  EXPECT_LT(err_careful, err_noisy);
+}
+
+TEST(Profiler, ZeroNoiseIsExact) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  LatencyProfiler exact(cost, 4, 0.0, 3);
+  const Model& m = zoo_model(ModelId::kSqueezeNet);
+  EXPECT_NEAR(exact.relative_error(m, exact.profile(m)), 0.0, 1e-12);
+}
+
+TEST(Profiler, MedianErrorScalesWithCv) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  const Model& m = zoo_model(ModelId::kMobileNetV2);
+  LatencyProfiler small(cost, 5, 0.05, 5);
+  LatencyProfiler large(cost, 5, 0.40, 5);
+  EXPECT_LT(small.relative_error(m, small.profile(m)),
+            large.relative_error(m, large.profile(m)));
+}
+
+TEST(ThermalDerate, OnlyHotProcessorsLosePeak) {
+  const Soc cold = Soc::kirin990();
+  const Soc hot = thermally_derated(cold);
+  ASSERT_EQ(hot.num_processors(), cold.num_processors());
+  const auto cpu_b = static_cast<std::size_t>(cold.find(ProcKind::kCpuBig));
+  const auto npu = static_cast<std::size_t>(cold.find(ProcKind::kNpu));
+  // The big cluster throttles at sustained load; the NPU does not (Fig 11).
+  EXPECT_LT(hot.processor(cpu_b).peak_gflops, cold.processor(cpu_b).peak_gflops);
+  EXPECT_DOUBLE_EQ(hot.processor(npu).peak_gflops, cold.processor(npu).peak_gflops);
+  EXPECT_NE(hot.name(), cold.name());
+}
+
+TEST(ThermalDerate, IdleUtilizationIsNoOp) {
+  const Soc cold = Soc::kirin990();
+  const Soc idle = thermally_derated(cold, 0.0);
+  for (std::size_t k = 0; k < cold.num_processors(); ++k) {
+    EXPECT_DOUBLE_EQ(idle.processor(k).peak_gflops, cold.processor(k).peak_gflops);
+  }
+}
+
+TEST(ThermalDerate, SustainedLatencyWorseOnCpu) {
+  const Soc cold = Soc::kirin990();
+  const Soc hot = thermally_derated(cold);
+  const CostModel cost_cold(cold), cost_hot(hot);
+  const Model& m = zoo_model(ModelId::kResNet50);
+  const auto cpu_b = static_cast<std::size_t>(cold.find(ProcKind::kCpuBig));
+  EXPECT_GT(cost_hot.model_solo_ms(m, cpu_b), cost_cold.model_solo_ms(m, cpu_b));
+}
+
+}  // namespace
+}  // namespace h2p

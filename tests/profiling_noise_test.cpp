@@ -1,0 +1,135 @@
+// Robustness to profiling error.  The real system builds its cost tables
+// from on-device measurements of T_k^e(i, j), which carry run-to-run noise
+// (DVFS, thermal state, scheduler jitter).  These tests plan against a
+// *noisy* view of the models and evaluate the resulting plan against the
+// true costs: the planner's decisions must degrade gracefully, not
+// catastrophically, under realistic measurement error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "contention/classifier.h"
+#include "core/planner.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+/// Clone a model with every layer's cost fields jittered by a lognormal-ish
+/// multiplicative factor (same layer count, so plans transfer 1:1).
+Model clone_with_noise(const Model& base, Rng& rng, double cv) {
+  std::vector<Layer> layers(base.layers().begin(), base.layers().end());
+  for (Layer& l : layers) {
+    const double f = std::exp(rng.gaussian(0.0, cv));
+    l.flops *= f;
+    const double g = std::exp(rng.gaussian(0.0, cv));
+    l.input_bytes *= g;
+    l.output_bytes *= g;
+    l.working_set_bytes *= g;
+  }
+  return Model(base.name() + "~noisy", std::move(layers));
+}
+
+/// Transplant the slicing decided on the noisy view onto the true plan.
+PipelinePlan transplant(const PipelinePlan& noisy_plan) { return noisy_plan; }
+
+class ProfilingNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProfilingNoiseTest, PlanQualityDegradesGracefully) {
+  const double cv = GetParam();
+  const Soc soc = Soc::kirin990();
+  Rng rng(static_cast<std::uint64_t>(cv * 1000) + 7);
+
+  std::vector<double> ratios;
+  for (int trial = 0; trial < 6; ++trial) {
+    // True models and their noisy profiled view.
+    std::vector<ModelId> ids = {ModelId::kResNet50, ModelId::kBERT,
+                                ModelId::kSqueezeNet, ModelId::kYOLOv4,
+                                ModelId::kMobileNetV2};
+    rng.shuffle(ids);
+    std::vector<const Model*> truth;
+    std::vector<Model> noisy_storage;
+    for (ModelId id : ids) truth.push_back(&zoo_model(id));
+    for (ModelId id : ids) noisy_storage.push_back(clone_with_noise(zoo_model(id), rng, cv));
+    std::vector<const Model*> noisy;
+    for (const Model& m : noisy_storage) noisy.push_back(&m);
+
+    const StaticEvaluator eval_true(soc, truth);
+    const StaticEvaluator eval_noisy(soc, noisy);
+
+    const PlannerReport plan_true = Hetero2PipePlanner(eval_true).plan();
+    const PlannerReport plan_noisy = Hetero2PipePlanner(eval_noisy).plan();
+
+    const double best = simulate_plan(plan_true.plan, eval_true).makespan_ms();
+    const double got =
+        simulate_plan(transplant(plan_noisy.plan), eval_true).makespan_ms();
+    ratios.push_back(got / best);
+  }
+  // A noisily-planned schedule should stay within a modest factor of the
+  // noise-free plan (and can occasionally beat it — the planner is not
+  // exactly optimal).
+  EXPECT_LT(geomean(ratios), GetParam() < 0.15 ? 1.20 : 1.40);
+  EXPECT_GT(geomean(ratios), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, ProfilingNoiseTest,
+                         ::testing::Values(0.05, 0.10, 0.25),
+                         [](const auto& info) {
+                           return "cv" + std::to_string(
+                                             static_cast<int>(info.param * 100));
+                         });
+
+TEST(ProfilingNoise, NoiseFreeCloneIsExact) {
+  Rng rng(1);
+  const Model& base = zoo_model(ModelId::kResNet50);
+  const Model clone = clone_with_noise(base, rng, 0.0);
+  EXPECT_DOUBLE_EQ(clone.total_flops(), base.total_flops());
+}
+
+TEST(ProfilingNoise, NoisePreservesLayerCount) {
+  Rng rng(2);
+  const Model& base = zoo_model(ModelId::kBERT);
+  const Model clone = clone_with_noise(base, rng, 0.3);
+  EXPECT_EQ(clone.num_layers(), base.num_layers());
+  EXPECT_NE(clone.total_flops(), base.total_flops());
+}
+
+TEST(ProfilingNoise, ClassifierLabelsMostlyStableUnderSmallNoise) {
+  // The H/L split drives Algorithm 2; with 10% measurement noise, most
+  // labels should be unchanged.
+  const Soc soc = Soc::kirin990();
+  Rng rng(3);
+  std::vector<const Model*> truth;
+  std::vector<Model> noisy_storage;
+  for (ModelId id : all_model_ids()) truth.push_back(&zoo_model(id));
+  for (ModelId id : all_model_ids()) {
+    noisy_storage.push_back(clone_with_noise(zoo_model(id), rng, 0.10));
+  }
+  std::vector<const Model*> noisy;
+  for (const Model& m : noisy_storage) noisy.push_back(&m);
+
+  const StaticEvaluator ev_true(soc, truth);
+  const StaticEvaluator ev_noisy(soc, noisy);
+  std::vector<double> i_true, i_noisy;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    i_true.push_back(ev_true.model_intensity(i));
+    i_noisy.push_back(ev_noisy.model_intensity(i));
+  }
+  ContentionClassifier c_true(0.7), c_noisy(0.7);
+  c_true.fit(i_true);
+  c_noisy.fit(i_noisy);
+  int agree = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    agree += (c_true.is_high(i_true[i]) == c_noisy.is_high(i_noisy[i]));
+  }
+  EXPECT_GE(agree, 8);  // at most 2 of 10 flips
+}
+
+}  // namespace
+}  // namespace h2p

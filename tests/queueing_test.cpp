@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "sim/queueing.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(Queueing, SerialDelayAccumulates) {
+  Fixture fx(testing_util::mixed_six());
+  const std::size_t cpu_b =
+      static_cast<std::size_t>(fx.soc.find(ProcKind::kCpuBig));
+  const std::vector<double> arrivals(fx.models.size(), 0.0);
+  const QueueStats s = serial_queueing(*fx.eval, cpu_b, arrivals);
+
+  ASSERT_EQ(s.queueing_ms.size(), fx.models.size());
+  // FIFO backlog: queueing delay is non-decreasing for simultaneous arrivals.
+  for (std::size_t i = 1; i < s.queueing_ms.size(); ++i) {
+    EXPECT_GE(s.queueing_ms[i], s.queueing_ms[i - 1] - 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(s.queueing_ms[0], 0.0);
+  EXPECT_GT(s.queueing_ms.back(), 0.0);
+}
+
+TEST(Queueing, SerialRespectsArrivalTimes) {
+  Fixture fx({ModelId::kSqueezeNet, ModelId::kSqueezeNet});
+  // Second request arrives long after the first completes: no queueing.
+  const QueueStats s = serial_queueing(
+      *fx.eval, static_cast<std::size_t>(fx.soc.find(ProcKind::kCpuBig)),
+      {0.0, 1.0e6});
+  EXPECT_DOUBLE_EQ(s.queueing_ms[1], 0.0);
+}
+
+TEST(Queueing, PipelinedBeatsSerialMakespan) {
+  // Fig 2(a): heterogeneous pipelining removes the serial bottleneck.
+  Fixture fx(testing_util::mixed_six());
+  const std::vector<double> arrivals(fx.models.size(), 0.0);
+  const QueueStats serial = serial_queueing(
+      *fx.eval, static_cast<std::size_t>(fx.soc.find(ProcKind::kCpuBig)),
+      arrivals);
+  const QueueStats piped = pipelined_queueing(*fx.eval, arrivals);
+  EXPECT_LT(piped.makespan_ms, serial.makespan_ms);
+}
+
+TEST(Queueing, PipelinedCompletionsPositive) {
+  Fixture fx(testing_util::mixed_four());
+  const std::vector<double> arrivals(fx.models.size(), 0.0);
+  const QueueStats piped = pipelined_queueing(*fx.eval, arrivals);
+  ASSERT_EQ(piped.completion_ms.size(), fx.models.size());
+  for (double c : piped.completion_ms) EXPECT_GT(c, 0.0);
+}
+
+TEST(Queueing, TailRequestGainsMost) {
+  // The last request in a long serial backlog benefits most from pipelining.
+  Fixture fx(testing_util::mixed_six());
+  const std::vector<double> arrivals(fx.models.size(), 0.0);
+  const QueueStats serial = serial_queueing(
+      *fx.eval, static_cast<std::size_t>(fx.soc.find(ProcKind::kCpuBig)),
+      arrivals);
+  const QueueStats piped = pipelined_queueing(*fx.eval, arrivals);
+  const double serial_max =
+      *std::max_element(serial.completion_ms.begin(), serial.completion_ms.end());
+  const double piped_max =
+      *std::max_element(piped.completion_ms.begin(), piped.completion_ms.end());
+  EXPECT_LT(piped_max, serial_max);
+}
+
+}  // namespace
+}  // namespace h2p

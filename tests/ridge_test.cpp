@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "contention/ridge.h"
+#include "models/model_zoo.h"
+#include "soc/perf_counters.h"
+#include "util/rng.h"
+
+namespace h2p {
+namespace {
+
+TEST(Ridge, RecoversKnownLinearModel) {
+  Rng rng(11);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1), c = rng.uniform(-1, 1);
+    x.push_back({a, b, c});
+    y.push_back(0.7 * a - 1.3 * b + 0.2 * c + 0.5);
+  }
+  RidgeRegression ridge(1e-6);
+  ridge.fit(x, y);
+  EXPECT_NEAR(ridge.weights()[0], 0.7, 1e-3);
+  EXPECT_NEAR(ridge.weights()[1], -1.3, 1e-3);
+  EXPECT_NEAR(ridge.weights()[2], 0.2, 1e-3);
+  EXPECT_NEAR(ridge.weights().back(), 0.5, 1e-3);
+  EXPECT_GT(ridge.r2(x, y), 0.999);
+}
+
+TEST(Ridge, RobustToNoise) {
+  Rng rng(12);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back(2.0 * a - b + rng.gaussian(0.0, 0.05));
+  }
+  RidgeRegression ridge(1e-2);
+  ridge.fit(x, y);
+  EXPECT_NEAR(ridge.weights()[0], 2.0, 0.05);
+  EXPECT_NEAR(ridge.weights()[1], -1.0, 0.05);
+  EXPECT_GT(ridge.r2(x, y), 0.95);
+}
+
+TEST(Ridge, RegularizationShrinksWeights) {
+  Rng rng(13);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-1, 1);
+    x.push_back({a});
+    y.push_back(3.0 * a);
+  }
+  RidgeRegression weak(1e-8), strong(100.0);
+  weak.fit(x, y);
+  strong.fit(x, y);
+  EXPECT_LT(std::abs(strong.weights()[0]), std::abs(weak.weights()[0]));
+}
+
+TEST(Ridge, RegularizationHandlesCollinearFeatures) {
+  // Duplicate column: unregularized least squares would be singular.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    const double a = i * 0.1;
+    x.push_back({a, a});
+    y.push_back(2.0 * a);
+  }
+  RidgeRegression ridge(1e-2);
+  EXPECT_NO_THROW(ridge.fit(x, y));
+  EXPECT_NEAR(ridge.predict(std::vector<double>{1.0, 1.0}), 2.0, 0.05);
+}
+
+TEST(Ridge, ThrowsOnBadInput) {
+  RidgeRegression ridge;
+  EXPECT_THROW(ridge.fit({}, std::vector<double>{}), std::runtime_error);
+  EXPECT_THROW(ridge.fit({{1.0}}, std::vector<double>{1.0, 2.0}), std::runtime_error);
+  EXPECT_THROW(ridge.fit({{1.0}, {1.0, 2.0}}, std::vector<double>{1.0, 2.0}),
+               std::runtime_error);
+}
+
+TEST(Ridge, NoBiasVariant) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(4.0 * i);
+  }
+  RidgeRegression ridge(1e-9, /*include_bias=*/false);
+  ridge.fit(x, y);
+  EXPECT_EQ(ridge.weights().size(), 1u);
+  EXPECT_NEAR(ridge.weights()[0], 4.0, 1e-6);
+}
+
+// The paper's Eq-1 use case: learn contention intensity from PMU features
+// across the zoo; prediction should rank models usefully (high R^2 on the
+// training population — only 10 samples, so this is a smoke-level fit).
+TEST(Ridge, LearnsContentionIntensityFromPmu) {
+  const Soc soc = Soc::kirin990();
+  const CostModel cost(soc);
+  const std::size_t cpu_b = static_cast<std::size_t>(soc.find(ProcKind::kCpuBig));
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (ModelId id : all_model_ids()) {
+    const PmuSample s = sample_pmu(zoo_model(id), soc.processor(cpu_b), cost);
+    x.push_back({s.ipc, s.cache_miss_rate, s.stalled_backend_frac});
+    y.push_back(true_contention_intensity(zoo_model(id), cpu_b, cost));
+  }
+  RidgeRegression ridge(1e-3);
+  ridge.fit(x, y);
+  EXPECT_GT(ridge.r2(x, y), 0.6);
+}
+
+}  // namespace
+}  // namespace h2p

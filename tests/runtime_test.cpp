@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/planner.h"
+#include "runtime/executor.h"
+#include "runtime/kernels.h"
+#include "runtime/spsc_queue.h"
+#include "runtime/wsdeque.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(WsDeque, LifoForOwner) {
+  WorkStealingDeque<std::size_t> dq(8);
+  EXPECT_TRUE(dq.push_bottom(1));
+  EXPECT_TRUE(dq.push_bottom(2));
+  EXPECT_EQ(dq.pop_bottom().value(), 2u);
+  EXPECT_EQ(dq.pop_bottom().value(), 1u);
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+}
+
+TEST(WsDeque, FifoForThief) {
+  WorkStealingDeque<std::size_t> dq(8);
+  dq.push_bottom(1);
+  dq.push_bottom(2);
+  dq.push_bottom(3);
+  EXPECT_EQ(dq.steal().value(), 1u);
+  EXPECT_EQ(dq.steal().value(), 2u);
+  EXPECT_EQ(dq.pop_bottom().value(), 3u);
+}
+
+TEST(WsDeque, FullRejectsPush) {
+  WorkStealingDeque<std::size_t> dq(2);
+  EXPECT_TRUE(dq.push_bottom(1));
+  EXPECT_TRUE(dq.push_bottom(2));
+  EXPECT_FALSE(dq.push_bottom(3));
+}
+
+TEST(WsDeque, CapacityRoundedToPowerOfTwo) {
+  WorkStealingDeque<std::size_t> dq(3);  // rounds to 4
+  EXPECT_TRUE(dq.push_bottom(1));
+  EXPECT_TRUE(dq.push_bottom(2));
+  EXPECT_TRUE(dq.push_bottom(3));
+  EXPECT_TRUE(dq.push_bottom(4));
+  EXPECT_FALSE(dq.push_bottom(5));
+}
+
+TEST(WsDeque, ConcurrentStealersEachItemOnce) {
+  constexpr std::size_t kItems = 20000;
+  WorkStealingDeque<std::size_t> dq(32768);
+  for (std::size_t i = 0; i < kItems; ++i) ASSERT_TRUE(dq.push_bottom(i));
+
+  std::vector<std::atomic<int>> taken(kItems);
+  for (auto& t : taken) t.store(0);
+  std::atomic<std::size_t> total{0};
+
+  auto thief = [&] {
+    while (total.load() < kItems) {
+      if (auto v = dq.steal()) {
+        taken[*v].fetch_add(1);
+        total.fetch_add(1);
+      }
+    }
+  };
+  auto owner = [&] {
+    while (total.load() < kItems) {
+      if (auto v = dq.pop_bottom()) {
+        taken[*v].fetch_add(1);
+        total.fetch_add(1);
+      }
+    }
+  };
+
+  std::thread t1(thief), t2(thief), t3(owner);
+  t1.join();
+  t2.join();
+  t3.join();
+
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(taken[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SpscQueue, FullAndEmpty) {
+  SpscQueue<int> q(2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_FALSE(q.push(3));  // full
+  q.pop();
+  EXPECT_TRUE(q.push(3));
+}
+
+TEST(SpscQueue, ThreadedProducerConsumer) {
+  SpscQueue<std::size_t> q(64);
+  constexpr std::size_t kN = 50000;
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kN;) {
+      if (q.push(i)) ++i;
+    }
+  });
+  std::size_t expect = 0;
+  while (expect < kN) {
+    if (auto v = q.pop()) {
+      ASSERT_EQ(*v, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+}
+
+TEST(Kernels, BurnRespectsDuration) {
+  const auto t0 = std::chrono::steady_clock::now();
+  burn_compute_us(2000.0);
+  const double us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(us, 1900.0);
+  EXPECT_LT(us, 50000.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(Kernels, ZeroOrNegativeIsFree) {
+  EXPECT_DOUBLE_EQ(burn_compute_us(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(burn_compute_us(-5.0), 0.0);
+}
+
+TEST(Kernels, CalibrationPositive) {
+  EXPECT_GT(calibrated_flops_per_us(), 0.0);
+}
+
+TEST(Executor, RunsAllJobsExactlyOnce) {
+  Fixture fx(testing_util::mixed_four());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  auto jobs = PipelineExecutor::jobs_from_plan(report.plan, *fx.eval);
+  ASSERT_FALSE(jobs.empty());
+
+  PipelineExecutor exec(fx.soc.num_processors(), {0.5, true});
+  const RuntimeResult r = exec.run(jobs);
+  ASSERT_EQ(r.records.size(), jobs.size());
+  for (const RuntimeRecord& rec : r.records) {
+    EXPECT_GE(rec.end_ms, rec.start_ms);
+  }
+  EXPECT_GT(r.wall_ms, 0.0);
+}
+
+TEST(Executor, PrecedenceRespected) {
+  Fixture fx(testing_util::mixed_four());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  auto jobs = PipelineExecutor::jobs_from_plan(report.plan, *fx.eval);
+
+  PipelineExecutor exec(fx.soc.num_processors(), {0.5, true});
+  const RuntimeResult r = exec.run(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[i].model_idx == jobs[j].model_idx &&
+          jobs[i].seq_in_model + 1 == jobs[j].seq_in_model) {
+        EXPECT_GE(r.records[j].start_ms, r.records[i].start_ms);
+      }
+    }
+  }
+}
+
+TEST(Executor, StealingMovesWorkToIdleWorkers) {
+  // All jobs homed on worker 0, 4 workers: thieves must pick up most work.
+  std::vector<RuntimeJob> jobs;
+  for (std::size_t i = 0; i < 32; ++i) {
+    jobs.push_back({i, 0, 0, 2.0});  // independent jobs, 2 sim-ms each
+  }
+  // Long enough per job (~400 us real) that thieves are guaranteed to be
+  // running before the owner could drain its own deque, even on a loaded
+  // CI machine.
+  PipelineExecutor exec(4, {200.0, true});
+  const RuntimeResult r = exec.run(jobs);
+  EXPECT_GT(r.steals, 0u);
+}
+
+TEST(Executor, NoStealingKeepsJobsHome) {
+  std::vector<RuntimeJob> jobs;
+  for (std::size_t i = 0; i < 8; ++i) jobs.push_back({i, 0, i % 3, 1.0});
+  PipelineExecutor exec(3, {10.0, false});
+  const RuntimeResult r = exec.run(jobs);
+  EXPECT_EQ(r.steals, 0u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(r.records[i].worker, jobs[i].home_proc % 3);
+  }
+}
+
+TEST(Executor, EmptyJobListReturnsImmediately) {
+  PipelineExecutor exec(4);
+  const RuntimeResult r = exec.run({});
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Executor, SingleWorkerSerializes) {
+  std::vector<RuntimeJob> jobs = {{0, 0, 0, 1.0}, {1, 0, 0, 1.0}};
+  PipelineExecutor exec(1, {100.0, true});
+  const RuntimeResult r = exec.run(jobs);
+  const bool disjoint =
+      r.records[0].end_ms <= r.records[1].start_ms + 1.0 ||
+      r.records[1].end_ms <= r.records[0].start_ms + 1.0;
+  EXPECT_TRUE(disjoint);
+}
+
+}  // namespace
+}  // namespace h2p

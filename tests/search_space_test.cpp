@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "core/search_space.h"
+#include "models/model_zoo.h"
+
+namespace h2p {
+namespace {
+
+TEST(SearchSpace, BinomialBasics) {
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(27, 3), 2925.0);
+}
+
+TEST(SearchSpace, DepthTwoIsGpuNpuOnly) {
+  EXPECT_DOUBLE_EQ(count_processor_pipelines(8, 4, 2), 1.0);
+}
+
+TEST(SearchSpace, DepthBelowTwoIsZero) {
+  EXPECT_DOUBLE_EQ(count_processor_pipelines(8, 4, 1), 0.0);
+  EXPECT_DOUBLE_EQ(count_processor_pipelines(8, 4, 0), 0.0);
+}
+
+TEST(SearchSpace, TotalPipelinesEightCoreExample) {
+  // The paper's Appendix-A example: exactly 449 feasible pipelines for an
+  // 8-core (4 big + 4 small) CPU with GPU and NPU.
+  EXPECT_DOUBLE_EQ(count_total_pipelines(8, 4), 449.0);
+}
+
+TEST(SearchSpace, MorePipelinesWithMoreCores) {
+  EXPECT_GT(count_total_pipelines(8, 4), count_total_pipelines(4, 2));
+  EXPECT_GT(count_total_pipelines(10, 4), count_total_pipelines(8, 4));
+}
+
+TEST(SearchSpace, SplitPointsGrowCombinatorially) {
+  // MobileNetV2 (28 layers): the paper quotes billions of split points.
+  const double mobilenet =
+      count_split_points(zoo_model(ModelId::kMobileNetV2).num_layers(), 8, 4);
+  EXPECT_GT(mobilenet, 1.0e8);
+  // More layers -> strictly more choices.
+  EXPECT_GT(count_split_points(40, 8, 4), count_split_points(28, 8, 4));
+}
+
+TEST(SearchSpace, ZeroLayersZeroSplits) {
+  EXPECT_DOUBLE_EQ(count_split_points(0, 8, 4), 0.0);
+}
+
+TEST(SearchSpace, SingleLayerModelHasOnlyTrivialSplits) {
+  // n = 1: C(0, P-1) = 0 unless P = 1, which is below the minimum depth 2.
+  EXPECT_DOUBLE_EQ(count_split_points(1, 8, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/serialize.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(Serialize, SocRoundTrip) {
+  const Soc original = Soc::kirin990();
+  const Soc restored = soc_from_json(Json::parse(soc_to_json(original).dump()));
+  EXPECT_EQ(restored.name(), original.name());
+  ASSERT_EQ(restored.num_processors(), original.num_processors());
+  for (std::size_t k = 0; k < original.num_processors(); ++k) {
+    EXPECT_EQ(restored.processor(k).kind, original.processor(k).kind);
+    EXPECT_DOUBLE_EQ(restored.processor(k).peak_gflops,
+                     original.processor(k).peak_gflops);
+    EXPECT_DOUBLE_EQ(restored.processor(k).l2_bytes, original.processor(k).l2_bytes);
+  }
+  EXPECT_DOUBLE_EQ(restored.bus_bw_gbps(), original.bus_bw_gbps());
+  EXPECT_DOUBLE_EQ(restored.available_bytes(), original.available_bytes());
+  ASSERT_EQ(restored.mem_states().size(), original.mem_states().size());
+}
+
+TEST(Serialize, RestoredSocPlansIdentically) {
+  const Soc original = Soc::kirin990();
+  const Soc restored = soc_from_json(soc_to_json(original));
+  Fixture fx(testing_util::mixed_four(), restored);
+  const PlannerReport r = Hetero2PipePlanner(*fx.eval).plan();
+  Fixture fx2(testing_util::mixed_four(), original);
+  const PlannerReport r2 = Hetero2PipePlanner(*fx2.eval).plan();
+  EXPECT_DOUBLE_EQ(r.static_makespan_ms, r2.static_makespan_ms);
+}
+
+TEST(Serialize, PlanRoundTrip) {
+  Fixture fx(testing_util::mixed_six());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const PipelinePlan restored =
+      plan_from_json(Json::parse(plan_to_json(report.plan).dump()));
+  EXPECT_EQ(restored.num_stages, report.plan.num_stages);
+  ASSERT_EQ(restored.models.size(), report.plan.models.size());
+  for (std::size_t i = 0; i < restored.models.size(); ++i) {
+    EXPECT_EQ(restored.models[i].model_index, report.plan.models[i].model_index);
+    EXPECT_EQ(restored.models[i].high_contention,
+              report.plan.models[i].high_contention);
+    EXPECT_EQ(restored.models[i].slices, report.plan.models[i].slices);
+  }
+  // The restored plan simulates identically.
+  EXPECT_DOUBLE_EQ(simulate_plan(restored, *fx.eval).makespan_ms(),
+                   simulate_plan(report.plan, *fx.eval).makespan_ms());
+}
+
+TEST(Serialize, PlanValidation) {
+  Json j = Json::object();
+  j["num_stages"] = Json::number(2);
+  Json models = Json::array();
+  Json mj = Json::object();
+  mj["model_index"] = Json::number(0);
+  mj["high_contention"] = Json::boolean(false);
+  Json slices = Json::array();  // wrong count: 1 slice for 2 stages
+  Json s = Json::array();
+  s.push_back(Json::number(0));
+  s.push_back(Json::number(3));
+  slices.push_back(std::move(s));
+  mj["slices"] = std::move(slices);
+  models.push_back(std::move(mj));
+  j["models"] = std::move(models);
+  EXPECT_THROW(plan_from_json(j), std::runtime_error);
+}
+
+TEST(Serialize, SocValidation) {
+  Json j = Json::object();
+  j["name"] = Json::string("x");
+  EXPECT_THROW(soc_from_json(j), std::runtime_error);  // missing processors
+
+  Json full = soc_to_json(Soc::kirin990());
+  (void)full["processors"].at(std::size_t{0});  // sanity
+  Json bad = Json::parse(full.dump());
+  bad["processors"] = Json::array();
+  Json pj = Json::object();
+  pj["name"] = Json::string("p");
+  pj["kind"] = Json::string("WEIRD");
+  EXPECT_NO_THROW(bad.dump());
+}
+
+TEST(Serialize, TimelineExport) {
+  Fixture fx(testing_util::mixed_four());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline t = simulate_plan(report.plan, *fx.eval);
+  const Json j = timeline_to_json(t);
+  EXPECT_DOUBLE_EQ(j.at("makespan_ms").as_number(), t.makespan_ms());
+  EXPECT_EQ(j.at("tasks").size(), t.tasks.size());
+  // Parses back as valid JSON.
+  EXPECT_NO_THROW(Json::parse(j.dump()));
+}
+
+TEST(Serialize, UnknownProcKindRejected) {
+  Json j = soc_to_json(Soc::kirin990());
+  Json parsed = Json::parse(j.dump());
+  // Patch a processor kind to garbage and expect a clean failure.
+  std::string text = j.dump();
+  const std::size_t pos = text.find("\"NPU\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "\"XPU\"");
+  EXPECT_THROW(soc_from_json(Json::parse(text)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace h2p

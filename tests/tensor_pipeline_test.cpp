@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "engine/tensor_pipeline.h"
+
+namespace h2p {
+namespace {
+
+Tensor cnn_input(std::uint64_t seed) {
+  Tensor x({3, 16, 16});
+  x.fill_random(seed);
+  return x;
+}
+
+Tensor transformer_input(std::uint64_t seed) {
+  Tensor x({12, 16});
+  x.fill_random(seed, -0.5f, 0.5f);
+  return x;
+}
+
+TEST(TensorNet, SerialRunMatchesComposedRanges) {
+  const TensorNet net = make_demo_cnn(1);
+  const Tensor x = cnn_input(10);
+  const Tensor full = net.run(x);
+  const Tensor staged = net.run_range(net.run_range(x, 0, 3), 3, net.num_ops());
+  EXPECT_TRUE(full.allclose(staged));
+}
+
+TEST(TensorNet, RunRangeValidatesSlice) {
+  const TensorNet net = make_demo_cnn(1);
+  EXPECT_THROW(net.run_range(cnn_input(1), 4, 2), std::out_of_range);
+  EXPECT_THROW(net.run_range(cnn_input(1), 0, net.num_ops() + 1), std::out_of_range);
+}
+
+TEST(TensorNet, DemoNetsAreDeterministic) {
+  const TensorNet a = make_demo_cnn(7);
+  const TensorNet b = make_demo_cnn(7);
+  const Tensor x = cnn_input(3);
+  EXPECT_TRUE(a.run(x).allclose(b.run(x), 0.0f));
+}
+
+TEST(EvenBoundaries, TilesOps) {
+  const auto b = even_boundaries(7, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 7u);
+  for (std::size_t k = 0; k + 1 < b.size(); ++k) EXPECT_LE(b[k], b[k + 1]);
+}
+
+TEST(TensorPipeline, MatchesSerialForOneRequest) {
+  const TensorNet net = make_demo_cnn(11);
+  const Tensor x = cnn_input(20);
+  TensorRequest req{&net, x, even_boundaries(net.num_ops(), 3)};
+  const TensorPipelineResult r = run_tensor_pipeline({req}, 3);
+  ASSERT_EQ(r.outputs.size(), 1u);
+  EXPECT_TRUE(r.outputs[0].allclose(net.run(x)));
+}
+
+TEST(TensorPipeline, MatchesSerialForStreamOfMixedNets) {
+  const TensorNet cnn = make_demo_cnn(5);
+  const TensorNet tf = make_demo_transformer(6);
+  constexpr std::size_t kStages = 3;
+
+  std::vector<TensorRequest> requests;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      Tensor x = cnn_input(100 + i);
+      expected.push_back(cnn.run(x));
+      requests.push_back({&cnn, std::move(x), even_boundaries(cnn.num_ops(), kStages)});
+    } else {
+      Tensor x = transformer_input(200 + i);
+      expected.push_back(tf.run(x));
+      requests.push_back({&tf, std::move(x), even_boundaries(tf.num_ops(), kStages)});
+    }
+  }
+  const TensorPipelineResult r = run_tensor_pipeline(std::move(requests), kStages);
+  ASSERT_EQ(r.outputs.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(r.outputs[i].allclose(expected[i])) << "request " << i;
+  }
+}
+
+TEST(TensorPipeline, EmptyStagesPassThrough) {
+  const TensorNet net = make_demo_transformer(8);
+  const Tensor x = transformer_input(9);
+  // All work in stage 1; stages 0 and 2 are empty.
+  TensorRequest req{&net, x, {0, 0, net.num_ops(), net.num_ops()}};
+  const TensorPipelineResult r = run_tensor_pipeline({req}, 3);
+  EXPECT_TRUE(r.outputs[0].allclose(net.run(x)));
+}
+
+TEST(TensorPipeline, ValidatesBoundaries) {
+  const TensorNet net = make_demo_cnn(2);
+  const Tensor x = cnn_input(1);
+  EXPECT_THROW(run_tensor_pipeline({{&net, x, {0, 2}}}, 3), std::invalid_argument);
+  EXPECT_THROW(run_tensor_pipeline({{&net, x, {0, 3, 2, net.num_ops()}}}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(run_tensor_pipeline({{nullptr, x, {0, 1}}}, 1), std::invalid_argument);
+  EXPECT_THROW(run_tensor_pipeline({}, 0), std::invalid_argument);
+}
+
+TEST(TensorPipeline, EmptyRequestListOk) {
+  const TensorPipelineResult r = run_tensor_pipeline({}, 2);
+  EXPECT_TRUE(r.outputs.empty());
+}
+
+TEST(TensorPipeline, ManyRequestsStressQueues) {
+  const TensorNet net = make_demo_transformer(13);
+  constexpr std::size_t kStages = 4;
+  std::vector<TensorRequest> requests;
+  std::vector<double> checksums;
+  for (int i = 0; i < 32; ++i) {
+    Tensor x = transformer_input(300 + i);
+    checksums.push_back(net.run(x).checksum());
+    requests.push_back({&net, std::move(x), even_boundaries(net.num_ops(), kStages)});
+  }
+  const TensorPipelineResult r = run_tensor_pipeline(std::move(requests), kStages);
+  for (std::size_t i = 0; i < checksums.size(); ++i) {
+    EXPECT_NEAR(r.outputs[i].checksum(), checksums[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace h2p

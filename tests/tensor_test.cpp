@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "engine/tensor.h"
+
+namespace h2p {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_FLOAT_EQ(t[5], 1.5f);
+}
+
+TEST(Tensor, InvalidShapeThrows) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, Indexers) {
+  Tensor m({2, 3});
+  m.at2(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m[5], 7.0f);
+
+  Tensor v({2, 2, 2});
+  v.at3(1, 0, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(v[5], 3.0f);
+}
+
+TEST(Tensor, IndexerRankChecked) {
+  Tensor m({4});
+  EXPECT_THROW(m.at2(0, 0), std::invalid_argument);
+  EXPECT_THROW(m.at3(0, 0, 0), std::invalid_argument);
+}
+
+TEST(Tensor, AllClose) {
+  Tensor a({3}, 1.0f), b({3}, 1.0f);
+  EXPECT_TRUE(a.allclose(b));
+  b[1] = 1.0001f;
+  EXPECT_TRUE(a.allclose(b, 1e-3f));
+  EXPECT_FALSE(a.allclose(b, 1e-6f));
+  Tensor c({4}, 1.0f);
+  EXPECT_FALSE(a.allclose(c));
+}
+
+TEST(Tensor, FillRandomDeterministic) {
+  Tensor a({100}), b({100});
+  a.fill_random(7);
+  b.fill_random(7);
+  EXPECT_TRUE(a.allclose(b, 0.0f));
+  Tensor c({100});
+  c.fill_random(8);
+  EXPECT_FALSE(a.allclose(c, 1e-9f));
+}
+
+TEST(Tensor, FillRandomRange) {
+  Tensor a({1000});
+  a.fill_random(1, 2.0f, 3.0f);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_GE(a[i], 2.0f);
+    EXPECT_LE(a[i], 3.0f);
+  }
+}
+
+TEST(Tensor, ChecksumAndShapeStr) {
+  Tensor a({2, 2}, 0.5f);
+  EXPECT_DOUBLE_EQ(a.checksum(), 2.0);
+  EXPECT_EQ(a.shape_str(), "[2,2]");
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/bubbles.h"
+#include "models/model_zoo.h"
+#include "soc/soc.h"
+
+namespace h2p::testing_util {
+
+/// Owns a Soc + model pointers + evaluator for a zoo subset, so tests can
+/// spin up planning contexts in one line.
+struct Fixture {
+  Soc soc;
+  std::vector<const Model*> models;
+  std::unique_ptr<StaticEvaluator> eval;
+
+  explicit Fixture(std::vector<ModelId> ids, Soc s = Soc::kirin990())
+      : soc(std::move(s)) {
+    for (ModelId id : ids) models.push_back(&zoo_model(id));
+    eval = std::make_unique<StaticEvaluator>(soc, models);
+  }
+};
+
+inline std::vector<ModelId> mixed_four() {
+  return {ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet,
+          ModelId::kMobileNetV2};
+}
+
+inline std::vector<ModelId> mixed_six() {
+  return {ModelId::kYOLOv4,   ModelId::kBERT,     ModelId::kSqueezeNet,
+          ModelId::kResNet50, ModelId::kAlexNet,  ModelId::kMobileNetV2};
+}
+
+}  // namespace h2p::testing_util

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "soc/soc.h"
+#include "soc/thermal.h"
+
+namespace h2p {
+namespace {
+
+Processor proc_of(ProcKind k) {
+  const Soc soc = Soc::kirin990();
+  return soc.processor(static_cast<std::size_t>(soc.find(k)));
+}
+
+TEST(Thermal, StartsAtAmbient) {
+  ThermalModel t(proc_of(ProcKind::kCpuBig), 25.0);
+  EXPECT_DOUBLE_EQ(t.temperature_c(), 25.0);
+  EXPECT_DOUBLE_EQ(t.throttle_factor(), 1.0);
+}
+
+TEST(Thermal, HeatsUnderLoadCoolsWhenIdle) {
+  ThermalModel t(proc_of(ProcKind::kCpuBig));
+  for (int i = 0; i < 100; ++i) t.step(1.0, 1.0);
+  const double hot = t.temperature_c();
+  EXPECT_GT(hot, 40.0);
+  for (int i = 0; i < 500; ++i) t.step(1.0, 0.0);
+  EXPECT_LT(t.temperature_c(), hot);
+}
+
+TEST(Thermal, StepConvergesToSteadyState) {
+  ThermalModel t(proc_of(ProcKind::kCpuBig));
+  const double target = t.steady_state_c(0.8);
+  for (int i = 0; i < 5000; ++i) t.step(0.5, 0.8);
+  EXPECT_NEAR(t.temperature_c(), target, 0.5);
+}
+
+TEST(Thermal, CpuThrottlesAboveSixtyAtFullLoad) {
+  // Fig 11: sustained CPU load exceeds 60 C and derates.
+  ThermalModel t(proc_of(ProcKind::kCpuBig));
+  EXPECT_GT(t.steady_state_c(1.0), 60.0);
+  EXPECT_LT(t.steady_state_throttle(1.0), 1.0);
+}
+
+TEST(Thermal, GpuAndNpuStayCool) {
+  // Fig 11: GPU/NPU remain within ~50 C limits at full utilization.
+  ThermalModel gpu(proc_of(ProcKind::kGpu));
+  ThermalModel npu(proc_of(ProcKind::kNpu));
+  EXPECT_LT(gpu.steady_state_c(1.0), 50.0);
+  EXPECT_LT(npu.steady_state_c(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(gpu.steady_state_throttle(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(npu.steady_state_throttle(1.0), 1.0);
+}
+
+TEST(Thermal, ThrottleFactorBounded) {
+  ThermalModel t(proc_of(ProcKind::kCpuBig));
+  for (int i = 0; i < 10000; ++i) t.step(1.0, 1.0);
+  EXPECT_GE(t.throttle_factor(), 0.55);
+  EXPECT_LE(t.throttle_factor(), 1.0);
+}
+
+TEST(Thermal, NeverBelowAmbient) {
+  ThermalModel t(proc_of(ProcKind::kCpuSmall), 25.0);
+  for (int i = 0; i < 100; ++i) t.step(10.0, 0.0);
+  EXPECT_GE(t.temperature_c(), 25.0);
+}
+
+TEST(Thermal, UtilizationClamped) {
+  ThermalModel t(proc_of(ProcKind::kCpuBig));
+  EXPECT_DOUBLE_EQ(t.steady_state_c(2.0), t.steady_state_c(1.0));
+  EXPECT_DOUBLE_EQ(t.steady_state_c(-1.0), t.steady_state_c(0.0));
+}
+
+}  // namespace
+}  // namespace h2p

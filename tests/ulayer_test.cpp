@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mnn_serial.h"
+#include "baselines/ulayer.h"
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(ULayer, SplitsBalanceCpuAndGpu) {
+  Fixture fx({ModelId::kVGG16});
+  const auto splits = ulayer_splits(*fx.eval, 0);
+  ASSERT_EQ(splits.size(), fx.eval->model(0).num_layers());
+  for (const ULayerSplit& s : splits) {
+    EXPECT_GT(s.cpu_share, 0.0);
+    EXPECT_LT(s.cpu_share, 1.0);
+    EXPECT_GT(s.layer_ms, 0.0);
+    EXPECT_GE(s.merge_ms, 0.0);
+    EXPECT_GT(s.layer_ms, s.merge_ms);
+  }
+}
+
+TEST(ULayer, PerLayerMergeOverheadCharged) {
+  // Sum of split layer times must exceed the ideal parallel bound
+  // (cooperation is never free).
+  Fixture fx({ModelId::kResNet50});
+  const CostModel& cost = fx.eval->cost_model();
+  const auto cpu = static_cast<std::size_t>(fx.soc.find(ProcKind::kCpuBig));
+  const auto gpu = static_cast<std::size_t>(fx.soc.find(ProcKind::kGpu));
+  const auto splits = ulayer_splits(*fx.eval, 0);
+  double coop = 0.0, merges = 0.0;
+  for (const ULayerSplit& s : splits) {
+    coop += s.layer_ms;
+    merges += s.merge_ms;
+  }
+  const double t_cpu = cost.model_solo_ms(fx.eval->model(0), cpu);
+  const double t_gpu = cost.model_solo_ms(fx.eval->model(0), gpu);
+  const double ideal = t_cpu * t_gpu / (t_cpu + t_gpu);
+  EXPECT_GT(coop, ideal);
+  EXPECT_GT(merges, 0.0);
+}
+
+TEST(ULayer, CooperationBeatsSingleProcessorPerModel) {
+  // For one heavy CNN, CPU+GPU cooperation should beat serial CPU_B even
+  // with merge overheads (this is muLayer's own claim).
+  Fixture fx({ModelId::kVGG16});
+  const Timeline coop = run_ulayer(*fx.eval);
+  const Timeline serial = run_mnn_serial(*fx.eval);
+  EXPECT_LT(coop.makespan_ms(), serial.makespan_ms());
+}
+
+TEST(ULayer, OccupiesBothProcessorsConcurrently) {
+  Fixture fx({ModelId::kResNet50});
+  const Timeline t = run_ulayer(*fx.eval);
+  ASSERT_EQ(t.tasks.size(), 2u);
+  // The lock-step halves overlap nearly completely.
+  const double overlap =
+      std::min(t.tasks[0].end_ms, t.tasks[1].end_ms) -
+      std::max(t.tasks[0].start_ms, t.tasks[1].start_ms);
+  EXPECT_GT(overlap, 0.9 * t.tasks[0].duration_ms());
+}
+
+TEST(ULayer, LosesToHetero2PipeOnMultiDnnStreams) {
+  // The paper's §II argument: per-layer merge overhead and the inability to
+  // pipeline across requests make intra-op partitioning inferior for
+  // multi-DNN streams (it also never touches the NPU).
+  Fixture fx(testing_util::mixed_six());
+  const Timeline coop = run_ulayer(*fx.eval);
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const Timeline h2p = simulate_plan(report.plan, *fx.eval);
+  EXPECT_LT(h2p.makespan_ms(), coop.makespan_ms());
+}
+
+TEST(ULayer, ContentionTaxOnEveryLayer) {
+  // Co-running CPU+GPU continuously pays the strongest coupling in the Soc:
+  // the simulated run must exceed the contention-free sum of split times.
+  Fixture fx({ModelId::kVGG16});
+  const auto splits = ulayer_splits(*fx.eval, 0);
+  double solo_total = 0.0;
+  for (const ULayerSplit& s : splits) solo_total += s.layer_ms;
+  const Timeline t = run_ulayer(*fx.eval);
+  EXPECT_GT(t.makespan_ms(), solo_total);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "core/work_stealing.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+TEST(WorkStealing, AlignReducesProfileDistance) {
+  Fixture fx(testing_util::mixed_four());
+  const std::size_t K = fx.soc.num_processors();
+  PipelinePlan plan = horizontal_plan(*fx.eval, K);
+
+  // Target: model 1's (BERT) stage profile; align model 0 (ResNet50) to it.
+  std::vector<double> target(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    target[k] = fx.eval->stage_solo_ms(plan.models[1], k);
+  }
+  auto distance = [&](const ModelPlan& mp) {
+    double d = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      d += std::abs(fx.eval->stage_solo_ms(mp, k) - target[k]);
+    }
+    return d;
+  };
+  const double before = distance(plan.models[0]);
+  align_to_profile(plan.models[0], *fx.eval, target);
+  const double after = distance(plan.models[0]);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(WorkStealing, AlignPreservesCoverage) {
+  Fixture fx(testing_util::mixed_six());
+  const std::size_t K = fx.soc.num_processors();
+  PipelinePlan plan = horizontal_plan(*fx.eval, K);
+  std::vector<double> target(K, 5.0);
+  for (ModelPlan& mp : plan.models) {
+    align_to_profile(mp, *fx.eval, target);
+    EXPECT_TRUE(mp.covers(fx.eval->model(mp.model_index).num_layers()));
+  }
+}
+
+TEST(WorkStealing, VerticalAlignDoesNotWorsenBubbles) {
+  Fixture fx(testing_util::mixed_six());
+  const std::size_t K = fx.soc.num_processors();
+  PipelinePlan plan = horizontal_plan(*fx.eval, K);
+  const double bubbles_before = fx.eval->total_bubble_ms(plan, false);
+
+  PipelinePlan aligned = plan;
+  WorkStealingOptions opts;
+  opts.tail_optimization = false;
+  vertical_align(aligned, *fx.eval, opts);
+
+  const double bubbles_after = fx.eval->total_bubble_ms(aligned, false);
+  // Work stealing targets bubble reduction; allow small tolerance since the
+  // greedy optimizes per-window profile distance, not the global sum.
+  EXPECT_LE(bubbles_after, bubbles_before * 1.05 + 1.0);
+}
+
+TEST(WorkStealing, VerticalAlignKeepsPlansValid) {
+  Fixture fx(testing_util::mixed_six());
+  PipelinePlan plan = horizontal_plan(*fx.eval, fx.soc.num_processors());
+  vertical_align(plan, *fx.eval, {});
+  for (const ModelPlan& mp : plan.models) {
+    EXPECT_TRUE(mp.covers(fx.eval->model(mp.model_index).num_layers()));
+  }
+}
+
+TEST(WorkStealing, TailOptimizationNeverIncreasesMakespan) {
+  Fixture fx(testing_util::mixed_four());
+  PipelinePlan plan = horizontal_plan(*fx.eval, fx.soc.num_processors());
+  const double before = fx.eval->makespan_ms(plan);
+  optimize_tail(plan, *fx.eval);
+  const double after = fx.eval->makespan_ms(plan);
+  EXPECT_LE(after, before + 1e-9);
+  for (const ModelPlan& mp : plan.models) {
+    EXPECT_TRUE(mp.covers(fx.eval->model(mp.model_index).num_layers()));
+  }
+}
+
+TEST(WorkStealing, SingleModelNoCrash) {
+  Fixture fx({ModelId::kAlexNet});
+  PipelinePlan plan = horizontal_plan(*fx.eval, fx.soc.num_processors());
+  EXPECT_EQ(vertical_align(plan, *fx.eval, {}), 0);
+  EXPECT_TRUE(plan.models[0].covers(fx.eval->model(0).num_layers()));
+}
+
+TEST(WorkStealing, SingleStageNoCrash) {
+  Fixture fx(testing_util::mixed_four());
+  PipelinePlan plan = horizontal_plan(*fx.eval, 1);
+  EXPECT_EQ(vertical_align(plan, *fx.eval, {}), 0);
+}
+
+TEST(WorkStealing, MoveCapRespected) {
+  Fixture fx({ModelId::kBERT, ModelId::kVGG16});
+  const std::size_t K = fx.soc.num_processors();
+  PipelinePlan plan = horizontal_plan(*fx.eval, K);
+  std::vector<double> target(K, 1.0);
+  const int moves = align_to_profile(plan.models[0], *fx.eval, target, 3);
+  EXPECT_LE(moves, 3);
+}
+
+}  // namespace
+}  // namespace h2p

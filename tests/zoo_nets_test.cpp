@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/planner.h"
+#include "engine/tensor_pipeline.h"
+#include "engine/zoo_nets.h"
+
+namespace h2p {
+namespace {
+
+class TinyNetTest : public ::testing::TestWithParam<ModelId> {};
+
+TEST_P(TinyNetTest, RunsEndToEnd) {
+  const TensorNet net = make_tiny_net(GetParam(), 5);
+  const Tensor input = make_tiny_input(GetParam(), 6);
+  ASSERT_GT(net.num_ops(), 2u);
+  const Tensor out = net.run(input);
+  EXPECT_GT(out.numel(), 0u);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i]));
+  }
+}
+
+TEST_P(TinyNetTest, DeterministicForSeed) {
+  const TensorNet a = make_tiny_net(GetParam(), 9);
+  const TensorNet b = make_tiny_net(GetParam(), 9);
+  const Tensor input = make_tiny_input(GetParam(), 1);
+  EXPECT_TRUE(a.run(input).allclose(b.run(input), 0.0f));
+}
+
+TEST_P(TinyNetTest, PipelinedMatchesSerial) {
+  const TensorNet net = make_tiny_net(GetParam(), 3);
+  const Tensor input = make_tiny_input(GetParam(), 4);
+  const Tensor expected = net.run(input);
+  TensorRequest req{&net, input, even_boundaries(net.num_ops(), 4)};
+  const TensorPipelineResult r = run_tensor_pipeline({req}, 4);
+  EXPECT_TRUE(r.outputs[0].allclose(expected, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, TinyNetTest,
+                         ::testing::Values(ModelId::kSqueezeNet,
+                                           ModelId::kResNet50,
+                                           ModelId::kMobileNetV2,
+                                           ModelId::kYOLOv4, ModelId::kBERT,
+                                           ModelId::kAlexNet),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(BoundariesFromPlan, ScalesFractions) {
+  ModelPlan mp;
+  mp.slices = {{0, 10}, {10, 20}, {20, 20}, {20, 40}};  // 40 planner layers
+  const auto b = boundaries_from_plan(mp, 40, 8);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 8u);
+  EXPECT_EQ(b[1], 2u);  // 10/40 of 8
+  EXPECT_EQ(b[2], 4u);  // 20/40 of 8
+  EXPECT_EQ(b[3], 4u);  // empty stage stays empty
+  for (std::size_t k = 1; k < b.size(); ++k) EXPECT_LE(b[k - 1], b[k]);
+}
+
+TEST(BoundariesFromPlan, DegenerateInputs) {
+  ModelPlan mp;
+  mp.slices = {{0, 0}, {0, 5}};
+  const auto b = boundaries_from_plan(mp, 5, 6);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 6u);
+  const auto z = boundaries_from_plan(mp, 0, 6);
+  EXPECT_EQ(z.back(), 6u);
+}
+
+TEST(FullStack, PlannerBoundariesDriveCorrectExecution) {
+  // The complete planner -> tensor-pipeline round trip of the full_stack
+  // example, as a regression test.
+  const Soc soc = Soc::kirin990();
+  const std::vector<ModelId> ids = {ModelId::kResNet50, ModelId::kBERT,
+                                    ModelId::kSqueezeNet};
+  std::vector<const Model*> models;
+  for (ModelId id : ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(soc, models);
+  const PlannerReport report = Hetero2PipePlanner(eval).plan();
+
+  std::vector<TensorNet> nets;
+  for (std::size_t slot = 0; slot < report.plan.models.size(); ++slot) {
+    nets.push_back(make_tiny_net(ids[report.plan.models[slot].model_index],
+                                 100 + slot));
+  }
+  std::vector<TensorRequest> requests;
+  std::vector<Tensor> expected;
+  for (std::size_t slot = 0; slot < nets.size(); ++slot) {
+    const ModelPlan& mp = report.plan.models[slot];
+    Tensor input = make_tiny_input(ids[mp.model_index], 200 + slot);
+    expected.push_back(nets[slot].run(input));
+    requests.push_back(
+        {&nets[slot], std::move(input),
+         boundaries_from_plan(mp, eval.model(mp.model_index).num_layers(),
+                              nets[slot].num_ops())});
+  }
+  const TensorPipelineResult r =
+      run_tensor_pipeline(std::move(requests), soc.num_processors());
+  for (std::size_t slot = 0; slot < expected.size(); ++slot) {
+    EXPECT_TRUE(r.outputs[slot].allclose(expected[slot], 1e-4f)) << slot;
+  }
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,243 @@
+// h2p_cli — command-line front end for the Hetero2Pipe library.
+//
+//   h2p_cli socs [--export <name>]          list / dump device descriptions
+//   h2p_cli models                          list the model zoo
+//   h2p_cli plan --models a,b,c [options]   plan + simulate a sequence
+//        options: --soc <kirin990|snapdragon778g|snapdragon870>
+//                 --soc-json <file>   load a custom device description
+//                 --no-ct             disable contention mitigation + tail opt
+//                 --out <file>        write the plan as JSON
+//                 --trace <file>      write a chrome://tracing timeline
+//   h2p_cli simulate --plan <file> --models a,b,c [--soc <name>]
+//   h2p_cli compare --models a,b,c [--soc <name>]   all schemes side by side
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "baselines/band.h"
+#include "baselines/dart.h"
+#include "baselines/mnn_serial.h"
+#include "baselines/pipeit.h"
+#include "baselines/ulayer.h"
+#include "core/planner.h"
+#include "core/serialize.h"
+#include "models/model_zoo.h"
+#include "sim/chrome_trace.h"
+#include "sim/pipeline_sim.h"
+#include "util/table.h"
+
+using namespace h2p;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: h2p_cli <socs|models|plan|simulate|compare> [options]\n"
+               "see the header of tools/h2p_cli.cpp for details\n");
+  return 2;
+}
+
+std::optional<std::string> arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::optional<Soc> builtin_soc(const std::string& name) {
+  if (name == "kirin990") return Soc::kirin990();
+  if (name == "snapdragon778g") return Soc::snapdragon778g();
+  if (name == "snapdragon870") return Soc::snapdragon870();
+  return std::nullopt;
+}
+
+std::optional<Soc> resolve_soc(int argc, char** argv) {
+  if (const auto file = arg_value(argc, argv, "--soc-json")) {
+    std::ifstream in(*file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file->c_str());
+      return std::nullopt;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return soc_from_json(Json::parse(buf.str()));
+  }
+  const std::string name = arg_value(argc, argv, "--soc").value_or("kirin990");
+  auto soc = builtin_soc(name);
+  if (!soc) std::fprintf(stderr, "unknown soc: %s\n", name.c_str());
+  return soc;
+}
+
+std::optional<std::vector<ModelId>> parse_models(const std::string& csv) {
+  std::vector<ModelId> ids;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    bool found = false;
+    for (ModelId id : extended_model_ids()) {
+      std::string lower = to_string(id);
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      if (lower == token) {
+        ids.push_back(id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown model: %s\n", token.c_str());
+      return std::nullopt;
+    }
+  }
+  if (ids.empty()) {
+    std::fprintf(stderr, "no models given\n");
+    return std::nullopt;
+  }
+  return ids;
+}
+
+int cmd_socs(int argc, char** argv) {
+  if (const auto name = arg_value(argc, argv, "--export")) {
+    const auto soc = builtin_soc(*name);
+    if (!soc) return usage();
+    std::printf("%s\n", soc_to_json(*soc).dump().c_str());
+    return 0;
+  }
+  Table table({"Name", "Processors", "Bus (GB/s)", "Free mem (GiB)"});
+  for (const char* name : {"kirin990", "snapdragon778g", "snapdragon870"}) {
+    const Soc soc = *builtin_soc(name);
+    std::string procs;
+    for (const Processor& p : soc.processors()) {
+      procs += std::string(to_string(p.kind)) + " ";
+    }
+    table.add_row({name, procs, Table::fmt(soc.bus_bw_gbps(), 0),
+                   Table::fmt(soc.available_bytes() / (1 << 30), 1)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_models() {
+  Table table({"Model", "Layers", "GFLOPs", "Params (MB)", "NPU", "Size class"});
+  for (ModelId id : extended_model_ids()) {
+    const Model& m = zoo_model(id);
+    table.add_row({to_string(id), std::to_string(m.num_layers()),
+                   Table::fmt(m.total_flops() / 1e9, 2),
+                   Table::fmt(m.total_param_bytes() / 1048576.0, 1),
+                   m.fully_npu_supported() ? "native" : "fallback",
+                   to_string(size_class(id))});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  const auto soc = resolve_soc(argc, argv);
+  const auto models_csv = arg_value(argc, argv, "--models");
+  if (!soc || !models_csv) return usage();
+  const auto ids = parse_models(*models_csv);
+  if (!ids) return 1;
+
+  std::vector<const Model*> models;
+  for (ModelId id : *ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(*soc, models);
+  const PlannerOptions opts =
+      has_flag(argc, argv, "--no-ct") ? PlannerOptions::no_ct() : PlannerOptions{};
+  const PlannerReport report = Hetero2PipePlanner(eval, opts).plan();
+  const Timeline timeline = simulate_plan(report.plan, eval);
+
+  std::printf("%s\n", report.plan.to_string().c_str());
+  std::vector<std::string> names;
+  for (const Processor& p : soc->processors()) names.push_back(p.name);
+  std::printf("%s", timeline.gantt(names).c_str());
+  std::printf("\nmakespan %.2f ms | throughput %.2f inf/s | bubbles %.2f ms\n",
+              timeline.makespan_ms(), timeline.throughput_per_s(),
+              timeline.total_bubble_ms());
+
+  if (const auto out = arg_value(argc, argv, "--out")) {
+    std::ofstream f(*out);
+    f << plan_to_json(report.plan).dump();
+    std::printf("plan written to %s\n", out->c_str());
+  }
+  if (const auto trace = arg_value(argc, argv, "--trace")) {
+    write_chrome_trace(timeline, *soc, *trace);
+    std::printf("chrome trace written to %s\n", trace->c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  const auto soc = resolve_soc(argc, argv);
+  const auto plan_file = arg_value(argc, argv, "--plan");
+  const auto models_csv = arg_value(argc, argv, "--models");
+  if (!soc || !plan_file || !models_csv) return usage();
+  const auto ids = parse_models(*models_csv);
+  if (!ids) return 1;
+
+  std::ifstream in(*plan_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", plan_file->c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const PipelinePlan plan = plan_from_json(Json::parse(buf.str()));
+
+  std::vector<const Model*> models;
+  for (ModelId id : *ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(*soc, models);
+  const Timeline timeline = simulate_plan(plan, eval);
+  std::printf("%s\n", timeline_to_json(timeline).dump().c_str());
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  const auto soc = resolve_soc(argc, argv);
+  const auto models_csv = arg_value(argc, argv, "--models");
+  if (!soc || !models_csv) return usage();
+  const auto ids = parse_models(*models_csv);
+  if (!ids) return 1;
+
+  std::vector<const Model*> models;
+  for (ModelId id : *ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(*soc, models);
+
+  Table table({"Scheme", "Latency (ms)", "Throughput (inf/s)"});
+  auto add = [&](const char* name, const Timeline& t) {
+    table.add_row({name, Table::fmt(t.makespan_ms(), 1),
+                   Table::fmt(t.throughput_per_s(), 2)});
+  };
+  add("MNN (serial CPU_B)", run_mnn_serial(eval));
+  add("Pipe-it", run_pipeit(eval));
+  add("uLayer", run_ulayer(eval));
+  add("DART", run_dart(eval));
+  add("Band", run_band(eval));
+  const PlannerReport no_ct = Hetero2PipePlanner(eval, PlannerOptions::no_ct()).plan();
+  add("Hetero2Pipe (No C/T)", simulate_plan(no_ct.plan, eval));
+  const PlannerReport full = Hetero2PipePlanner(eval).plan();
+  add("Hetero2Pipe", simulate_plan(full.plan, eval));
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "socs") return cmd_socs(argc - 2, argv + 2);
+  if (cmd == "models") return cmd_models();
+  if (cmd == "plan") return cmd_plan(argc - 2, argv + 2);
+  if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+  if (cmd == "compare") return cmd_compare(argc - 2, argv + 2);
+  return usage();
+}
