@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_intra_cluster.dir/bench_fig10_intra_cluster.cpp.o"
+  "CMakeFiles/bench_fig10_intra_cluster.dir/bench_fig10_intra_cluster.cpp.o.d"
+  "bench_fig10_intra_cluster"
+  "bench_fig10_intra_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_intra_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_thermal.dir/bench_fig11_thermal.cpp.o"
+  "CMakeFiles/bench_fig11_thermal.dir/bench_fig11_thermal.cpp.o.d"
+  "bench_fig11_thermal"
+  "bench_fig11_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_memory.dir/bench_fig9_memory.cpp.o"
+  "CMakeFiles/bench_fig9_memory.dir/bench_fig9_memory.cpp.o.d"
+  "bench_fig9_memory"
+  "bench_fig9_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planner_micro.dir/bench_planner_micro.cpp.o"
+  "CMakeFiles/bench_planner_micro.dir/bench_planner_micro.cpp.o.d"
+  "bench_planner_micro"
+  "bench_planner_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planner_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_coexec.dir/bench_table2_coexec.cpp.o"
+  "CMakeFiles/bench_table2_coexec.dir/bench_table2_coexec.cpp.o.d"
+  "bench_table2_coexec"
+  "bench_table2_coexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_coexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_playground.dir/planner_playground.cpp.o"
+  "CMakeFiles/planner_playground.dir/planner_playground.cpp.o.d"
+  "planner_playground"
+  "planner_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_understanding.dir/scene_understanding.cpp.o"
+  "CMakeFiles/scene_understanding.dir/scene_understanding.cpp.o.d"
+  "scene_understanding"
+  "scene_understanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_understanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/annealing.cpp" "src/CMakeFiles/h2p.dir/baselines/annealing.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/annealing.cpp.o.d"
+  "/root/repo/src/baselines/band.cpp" "src/CMakeFiles/h2p.dir/baselines/band.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/band.cpp.o.d"
+  "/root/repo/src/baselines/dart.cpp" "src/CMakeFiles/h2p.dir/baselines/dart.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/dart.cpp.o.d"
+  "/root/repo/src/baselines/exhaustive.cpp" "src/CMakeFiles/h2p.dir/baselines/exhaustive.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/exhaustive.cpp.o.d"
+  "/root/repo/src/baselines/mnn_serial.cpp" "src/CMakeFiles/h2p.dir/baselines/mnn_serial.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/mnn_serial.cpp.o.d"
+  "/root/repo/src/baselines/pipeit.cpp" "src/CMakeFiles/h2p.dir/baselines/pipeit.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/pipeit.cpp.o.d"
+  "/root/repo/src/baselines/ulayer.cpp" "src/CMakeFiles/h2p.dir/baselines/ulayer.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/baselines/ulayer.cpp.o.d"
+  "/root/repo/src/contention/classifier.cpp" "src/CMakeFiles/h2p.dir/contention/classifier.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/contention/classifier.cpp.o.d"
+  "/root/repo/src/contention/contention_model.cpp" "src/CMakeFiles/h2p.dir/contention/contention_model.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/contention/contention_model.cpp.o.d"
+  "/root/repo/src/contention/linalg.cpp" "src/CMakeFiles/h2p.dir/contention/linalg.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/contention/linalg.cpp.o.d"
+  "/root/repo/src/contention/ridge.cpp" "src/CMakeFiles/h2p.dir/contention/ridge.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/contention/ridge.cpp.o.d"
+  "/root/repo/src/core/bubbles.cpp" "src/CMakeFiles/h2p.dir/core/bubbles.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/bubbles.cpp.o.d"
+  "/root/repo/src/core/lap.cpp" "src/CMakeFiles/h2p.dir/core/lap.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/lap.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/CMakeFiles/h2p.dir/core/mitigation.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/mitigation.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/h2p.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/h2p.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/h2p.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "src/CMakeFiles/h2p.dir/core/search_space.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/search_space.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/h2p.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/work_stealing.cpp" "src/CMakeFiles/h2p.dir/core/work_stealing.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/core/work_stealing.cpp.o.d"
+  "/root/repo/src/engine/ops.cpp" "src/CMakeFiles/h2p.dir/engine/ops.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/engine/ops.cpp.o.d"
+  "/root/repo/src/engine/tensor.cpp" "src/CMakeFiles/h2p.dir/engine/tensor.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/engine/tensor.cpp.o.d"
+  "/root/repo/src/engine/tensor_net.cpp" "src/CMakeFiles/h2p.dir/engine/tensor_net.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/engine/tensor_net.cpp.o.d"
+  "/root/repo/src/engine/tensor_pipeline.cpp" "src/CMakeFiles/h2p.dir/engine/tensor_pipeline.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/engine/tensor_pipeline.cpp.o.d"
+  "/root/repo/src/engine/zoo_nets.cpp" "src/CMakeFiles/h2p.dir/engine/zoo_nets.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/engine/zoo_nets.cpp.o.d"
+  "/root/repo/src/models/graph.cpp" "src/CMakeFiles/h2p.dir/models/graph.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/models/graph.cpp.o.d"
+  "/root/repo/src/models/layer.cpp" "src/CMakeFiles/h2p.dir/models/layer.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/models/layer.cpp.o.d"
+  "/root/repo/src/models/model.cpp" "src/CMakeFiles/h2p.dir/models/model.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/models/model.cpp.o.d"
+  "/root/repo/src/models/model_zoo.cpp" "src/CMakeFiles/h2p.dir/models/model_zoo.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/models/model_zoo.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/h2p.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/kernels.cpp" "src/CMakeFiles/h2p.dir/runtime/kernels.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/runtime/kernels.cpp.o.d"
+  "/root/repo/src/sim/chrome_trace.cpp" "src/CMakeFiles/h2p.dir/sim/chrome_trace.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/sim/chrome_trace.cpp.o.d"
+  "/root/repo/src/sim/memory_sim.cpp" "src/CMakeFiles/h2p.dir/sim/memory_sim.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/sim/memory_sim.cpp.o.d"
+  "/root/repo/src/sim/online.cpp" "src/CMakeFiles/h2p.dir/sim/online.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/sim/online.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/CMakeFiles/h2p.dir/sim/pipeline_sim.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/sim/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/queueing.cpp" "src/CMakeFiles/h2p.dir/sim/queueing.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/sim/queueing.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/h2p.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/soc/cost_model.cpp" "src/CMakeFiles/h2p.dir/soc/cost_model.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/cost_model.cpp.o.d"
+  "/root/repo/src/soc/energy.cpp" "src/CMakeFiles/h2p.dir/soc/energy.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/energy.cpp.o.d"
+  "/root/repo/src/soc/memory_governor.cpp" "src/CMakeFiles/h2p.dir/soc/memory_governor.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/memory_governor.cpp.o.d"
+  "/root/repo/src/soc/perf_counters.cpp" "src/CMakeFiles/h2p.dir/soc/perf_counters.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/perf_counters.cpp.o.d"
+  "/root/repo/src/soc/processor.cpp" "src/CMakeFiles/h2p.dir/soc/processor.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/processor.cpp.o.d"
+  "/root/repo/src/soc/profiler.cpp" "src/CMakeFiles/h2p.dir/soc/profiler.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/profiler.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/CMakeFiles/h2p.dir/soc/soc.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/soc.cpp.o.d"
+  "/root/repo/src/soc/thermal.cpp" "src/CMakeFiles/h2p.dir/soc/thermal.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/soc/thermal.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/h2p.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/h2p.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/h2p.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/h2p.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/h2p.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/h2p.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

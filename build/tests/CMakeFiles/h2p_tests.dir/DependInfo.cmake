@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/h2p_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/batching_test.cpp" "tests/CMakeFiles/h2p_tests.dir/batching_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/batching_test.cpp.o.d"
+  "/root/repo/tests/chrome_trace_test.cpp" "tests/CMakeFiles/h2p_tests.dir/chrome_trace_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/chrome_trace_test.cpp.o.d"
+  "/root/repo/tests/classifier_test.cpp" "tests/CMakeFiles/h2p_tests.dir/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/classifier_test.cpp.o.d"
+  "/root/repo/tests/contention_model_test.cpp" "tests/CMakeFiles/h2p_tests.dir/contention_model_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/contention_model_test.cpp.o.d"
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/h2p_tests.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/coverage_extra_test.cpp" "tests/CMakeFiles/h2p_tests.dir/coverage_extra_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/coverage_extra_test.cpp.o.d"
+  "/root/repo/tests/des_invariants_test.cpp" "tests/CMakeFiles/h2p_tests.dir/des_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/des_invariants_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/h2p_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/h2p_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/h2p_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/h2p_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/lap_test.cpp" "tests/CMakeFiles/h2p_tests.dir/lap_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/lap_test.cpp.o.d"
+  "/root/repo/tests/layer_test.cpp" "tests/CMakeFiles/h2p_tests.dir/layer_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/layer_test.cpp.o.d"
+  "/root/repo/tests/linalg_test.cpp" "tests/CMakeFiles/h2p_tests.dir/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/linalg_test.cpp.o.d"
+  "/root/repo/tests/memory_governor_test.cpp" "tests/CMakeFiles/h2p_tests.dir/memory_governor_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/memory_governor_test.cpp.o.d"
+  "/root/repo/tests/memory_sim_test.cpp" "tests/CMakeFiles/h2p_tests.dir/memory_sim_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/memory_sim_test.cpp.o.d"
+  "/root/repo/tests/mitigation_test.cpp" "tests/CMakeFiles/h2p_tests.dir/mitigation_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/mitigation_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/h2p_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/model_zoo_test.cpp" "tests/CMakeFiles/h2p_tests.dir/model_zoo_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/model_zoo_test.cpp.o.d"
+  "/root/repo/tests/online_test.cpp" "tests/CMakeFiles/h2p_tests.dir/online_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/online_test.cpp.o.d"
+  "/root/repo/tests/ops_property_test.cpp" "tests/CMakeFiles/h2p_tests.dir/ops_property_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/ops_property_test.cpp.o.d"
+  "/root/repo/tests/ops_test.cpp" "tests/CMakeFiles/h2p_tests.dir/ops_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/ops_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/h2p_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/perf_counters_test.cpp" "tests/CMakeFiles/h2p_tests.dir/perf_counters_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/perf_counters_test.cpp.o.d"
+  "/root/repo/tests/pipeline_sim_test.cpp" "tests/CMakeFiles/h2p_tests.dir/pipeline_sim_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/pipeline_sim_test.cpp.o.d"
+  "/root/repo/tests/plan_test.cpp" "tests/CMakeFiles/h2p_tests.dir/plan_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/plan_test.cpp.o.d"
+  "/root/repo/tests/planner_test.cpp" "tests/CMakeFiles/h2p_tests.dir/planner_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/planner_test.cpp.o.d"
+  "/root/repo/tests/processor_test.cpp" "tests/CMakeFiles/h2p_tests.dir/processor_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/processor_test.cpp.o.d"
+  "/root/repo/tests/profiler_test.cpp" "tests/CMakeFiles/h2p_tests.dir/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/profiler_test.cpp.o.d"
+  "/root/repo/tests/profiling_noise_test.cpp" "tests/CMakeFiles/h2p_tests.dir/profiling_noise_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/profiling_noise_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/h2p_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/queueing_test.cpp" "tests/CMakeFiles/h2p_tests.dir/queueing_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/queueing_test.cpp.o.d"
+  "/root/repo/tests/ridge_test.cpp" "tests/CMakeFiles/h2p_tests.dir/ridge_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/ridge_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/h2p_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/search_space_test.cpp" "tests/CMakeFiles/h2p_tests.dir/search_space_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/search_space_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/h2p_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/soc_test.cpp" "tests/CMakeFiles/h2p_tests.dir/soc_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/soc_test.cpp.o.d"
+  "/root/repo/tests/tensor_pipeline_test.cpp" "tests/CMakeFiles/h2p_tests.dir/tensor_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/tensor_pipeline_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/h2p_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/thermal_test.cpp" "tests/CMakeFiles/h2p_tests.dir/thermal_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/thermal_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/h2p_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/ulayer_test.cpp" "tests/CMakeFiles/h2p_tests.dir/ulayer_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/ulayer_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/h2p_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/work_stealing_test.cpp" "tests/CMakeFiles/h2p_tests.dir/work_stealing_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/work_stealing_test.cpp.o.d"
+  "/root/repo/tests/zoo_nets_test.cpp" "tests/CMakeFiles/h2p_tests.dir/zoo_nets_test.cpp.o" "gcc" "tests/CMakeFiles/h2p_tests.dir/zoo_nets_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/h2p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_cli.dir/h2p_cli.cpp.o"
+  "CMakeFiles/h2p_cli.dir/h2p_cli.cpp.o.d"
+  "h2p_cli"
+  "h2p_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
