@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/planner.h"
+#include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
 #include "sim/memory_sim.h"
 #include "sim/pipeline_sim.h"
@@ -18,9 +19,10 @@ void run_pipeline(const char* label, const std::vector<ModelId>& ids) {
   for (ModelId id : ids) models.push_back(&zoo_model(id));
   const StaticEvaluator eval(soc, models);
   const PlannerReport report = Hetero2PipePlanner(eval).plan();
-  const Timeline timeline = simulate_plan(report.plan, eval);
-  const auto samples = trace_memory(timeline, report.plan, eval,
-                                    timeline.makespan_ms() / 24.0);
+  const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
+  const Timeline timeline = simulate(soc, tasks_from_compiled(compiled), {});
+  const auto samples =
+      trace_memory(timeline, compiled, soc, timeline.makespan_ms() / 24.0);
 
   std::printf("---- %s ----\n", label);
   Table table({"t (ms)", "mem freq (MHz)", "bw demand (GB/s)", "resident (MB)",
@@ -60,8 +62,9 @@ int main() {
   PlannerOptions opts;
   opts.num_stages = 1;  // NPU only (processor 0)
   const PlannerReport report = Hetero2PipePlanner(eval, opts).plan();
-  const Timeline t = simulate_plan(report.plan, eval);
-  const auto samples = trace_memory(t, report.plan, eval, t.makespan_ms() / 6.0);
+  const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
+  const Timeline t = simulate(soc, tasks_from_compiled(compiled), {});
+  const auto samples = trace_memory(t, compiled, soc, t.makespan_ms() / 6.0);
   double max_mhz = 0.0;
   for (const auto& s : samples) max_mhz = std::max(max_mhz, s.mem_freq_mhz);
   std::printf("Single-stage NPU execution: peak mem frequency %.0f MHz "

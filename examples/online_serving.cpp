@@ -46,8 +46,10 @@ int main(int argc, char** argv) {
   table.print();
 
   const Summary s = summarize(result.completion_ms);
-  std::printf("\nreplans: %d | makespan: %.1f ms | completion mean %.1f / p90 %.1f ms\n",
-              result.replans, result.timeline.makespan_ms(), s.mean, s.p90);
+  std::printf("\nreplans: %d | plan-cache hits: %d | makespan: %.1f ms | "
+              "completion mean %.1f / p90 %.1f ms\n",
+              result.replans, result.cache_hits, result.timeline.makespan_ms(),
+              s.mean, s.p90);
 
   write_chrome_trace(result.timeline, soc, trace_path);
   std::printf("chrome://tracing timeline written to %s\n", trace_path.c_str());

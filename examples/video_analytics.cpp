@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/planner.h"
+#include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
 #include "runtime/executor.h"
 #include "sim/pipeline_sim.h"
@@ -52,11 +53,13 @@ int main() {
   };
   const StaticEvaluator eval(soc, window);
   const PlannerReport report = Hetero2PipePlanner(eval).plan();
-  const Timeline sim = simulate_plan(report.plan, eval);
+  // One lowering feeds both the DES validation and the threaded runtime.
+  const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
+  const Timeline sim = simulate(eval.soc(), tasks_from_compiled(compiled), {});
   std::printf("planned window: %.1f ms simulated makespan, %zu slices\n",
               sim.makespan_ms(), sim.tasks.size());
 
-  const auto jobs = PipelineExecutor::jobs_from_plan(report.plan, eval);
+  const auto jobs = PipelineExecutor::jobs_from_compiled(compiled);
   PipelineExecutor exec(soc.num_processors(), {/*us_per_sim_ms=*/5.0, true});
   const RuntimeResult rt = exec.run(jobs);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "exec/compiled_plan.h"
+
 namespace h2p {
 namespace {
 
@@ -82,47 +84,29 @@ std::vector<BandDispatch> band_dispatch(const StaticEvaluator& eval) {
 
 Timeline run_band(const StaticEvaluator& eval) {
   const std::vector<BandDispatch> dispatches = band_dispatch(eval);
-  std::vector<SimTask> tasks;
+  exec::CompiledPlanBuilder builder(eval);
+  // Dispatch decisions skip 0-layer models, so slots must be registered for
+  // every model index up to the one being lowered to keep slot == model_idx.
+  auto slot_for = [&builder, next = std::size_t{0}](std::size_t model_idx) mutable {
+    while (next <= model_idx) builder.add_slot(next++);
+    return model_idx;
+  };
 
   for (const BandDispatch& d : dispatches) {
-    const Model& model = eval.model(d.model_idx);
-    const std::size_t n = model.num_layers();
-    const CostTable& table = eval.table(d.model_idx);
+    const std::size_t n = eval.model(d.model_idx).num_layers();
+    const std::size_t slot = slot_for(d.model_idx);
 
     if (!d.npu_fallback) {
-      SimTask t;
-      t.model_idx = d.model_idx;
-      t.seq_in_model = 0;
-      t.proc_idx = d.proc_idx;
-      t.solo_ms = table.exec_ms(d.proc_idx, 0, n - 1);
-      t.sensitivity = table.mem_sensitivity(d.proc_idx, 0, n - 1);
-      t.intensity = table.intensity(d.proc_idx, 0, n - 1);
-      tasks.push_back(t);
+      builder.add_range(slot, 0, d.proc_idx, 0, n);
       continue;
     }
-
     std::size_t seq = 0;
     if (d.fallback_layer > 0) {
-      SimTask t;
-      t.model_idx = d.model_idx;
-      t.seq_in_model = seq++;
-      t.proc_idx = d.proc_idx;
-      t.solo_ms = table.exec_ms(d.proc_idx, 0, d.fallback_layer - 1);
-      t.sensitivity = table.mem_sensitivity(d.proc_idx, 0, d.fallback_layer - 1);
-      t.intensity = table.intensity(d.proc_idx, 0, d.fallback_layer - 1);
-      tasks.push_back(t);
+      builder.add_range(slot, seq++, d.proc_idx, 0, d.fallback_layer);
     }
-    SimTask t;
-    t.model_idx = d.model_idx;
-    t.seq_in_model = seq;
-    t.proc_idx = d.fallback_proc;
-    t.solo_ms = table.exec_ms(d.fallback_proc, d.fallback_layer, n - 1) +
-                table.boundary_copy_ms(d.fallback_proc, d.fallback_layer);
-    t.sensitivity = table.mem_sensitivity(d.fallback_proc, d.fallback_layer, n - 1);
-    t.intensity = table.intensity(d.fallback_proc, d.fallback_layer, n - 1);
-    tasks.push_back(t);
+    builder.add_range(slot, seq, d.fallback_proc, d.fallback_layer, n);
   }
-  return simulate(eval.soc(), std::move(tasks), {});
+  return simulate(eval.soc(), tasks_from_compiled(builder.build()), {});
 }
 
 }  // namespace h2p

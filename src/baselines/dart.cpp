@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -18,27 +19,19 @@ Timeline run_dart(const StaticEvaluator& eval) {
 
   // Earliest-finish dispatch over the two workers (DART's load balancer).
   double free_cpu = 0.0, free_gpu = 0.0;
-  std::vector<SimTask> tasks;
+  exec::CompiledPlanBuilder builder(eval);
   for (std::size_t i = 0; i < eval.num_models(); ++i) {
     const Model& m = eval.model(i);
     const std::size_t n = m.num_layers();
+    const std::size_t slot = builder.add_slot(i);
     if (n == 0) continue;
     const double on_cpu = eval.table(i).exec_ms(cpu_i, 0, n - 1);
     const double on_gpu = eval.table(i).exec_ms(gpu_i, 0, n - 1);
     const bool pick_cpu = free_cpu + on_cpu <= free_gpu + on_gpu;
-    const std::size_t proc = pick_cpu ? cpu_i : gpu_i;
     (pick_cpu ? free_cpu : free_gpu) += pick_cpu ? on_cpu : on_gpu;
-
-    SimTask t;
-    t.model_idx = i;
-    t.seq_in_model = 0;
-    t.proc_idx = proc;
-    t.solo_ms = pick_cpu ? on_cpu : on_gpu;
-    t.sensitivity = eval.table(i).mem_sensitivity(proc, 0, n - 1);
-    t.intensity = eval.table(i).intensity(proc, 0, n - 1);
-    tasks.push_back(t);
+    builder.add_range(slot, 0, pick_cpu ? cpu_i : gpu_i, 0, n);
   }
-  return simulate(soc, std::move(tasks), {});
+  return simulate(soc, tasks_from_compiled(builder.build()), {});
 }
 
 }  // namespace h2p

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -10,21 +11,15 @@ Timeline run_mnn_serial(const StaticEvaluator& eval) {
   const int cpu_b = eval.soc().find(ProcKind::kCpuBig);
   if (cpu_b < 0) throw std::runtime_error("run_mnn_serial: Soc has no CPU big cluster");
 
-  std::vector<SimTask> tasks;
+  exec::CompiledPlanBuilder builder(eval);
   for (std::size_t i = 0; i < eval.num_models(); ++i) {
-    const Model& model = eval.model(i);
-    if (model.num_layers() == 0) continue;
-    SimTask t;
-    t.model_idx = i;
-    t.seq_in_model = 0;
-    t.proc_idx = static_cast<std::size_t>(cpu_b);
-    t.solo_ms = eval.table(i).exec_ms(t.proc_idx, 0, model.num_layers() - 1);
-    t.sensitivity = eval.table(i).mem_sensitivity(t.proc_idx, 0, model.num_layers() - 1);
-    t.intensity = eval.table(i).intensity(t.proc_idx, 0, model.num_layers() - 1);
-    tasks.push_back(t);
+    const std::size_t n = eval.model(i).num_layers();
+    const std::size_t slot = builder.add_slot(i);
+    if (n == 0) continue;
+    builder.add_range(slot, 0, static_cast<std::size_t>(cpu_b), 0, n);
   }
   // Single processor: no co-execution, contention model is a no-op.
-  return simulate(eval.soc(), std::move(tasks), {});
+  return simulate(eval.soc(), tasks_from_compiled(builder.build()), {});
 }
 
 double mnn_serial_latency_ms(const StaticEvaluator& eval) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -72,38 +73,18 @@ std::size_t pipeit_split(const StaticEvaluator& eval, std::size_t model_idx) {
 
 Timeline run_pipeit(const StaticEvaluator& eval) {
   const Procs procs = find_procs(eval);
-  std::vector<SimTask> tasks;
+  exec::CompiledPlanBuilder builder(eval);
 
   for (std::size_t i = 0; i < eval.num_models(); ++i) {
-    const Model& m = eval.model(i);
-    const std::size_t n = m.num_layers();
+    const std::size_t n = eval.model(i).num_layers();
+    const std::size_t slot = builder.add_slot(i);
     if (n == 0) continue;
     const std::size_t b = pipeit_split(eval, i);
-    const CostTable& table = eval.table(i);
     std::size_t seq = 0;
-    if (b > 0) {
-      SimTask t;
-      t.model_idx = i;
-      t.seq_in_model = seq++;
-      t.proc_idx = procs.big;
-      t.solo_ms = table.exec_ms(procs.big, 0, b - 1);
-      t.sensitivity = table.mem_sensitivity(procs.big, 0, b - 1);
-      t.intensity = table.intensity(procs.big, 0, b - 1);
-      tasks.push_back(t);
-    }
-    if (b < n) {
-      SimTask t;
-      t.model_idx = i;
-      t.seq_in_model = seq++;
-      t.proc_idx = procs.small;
-      t.solo_ms = table.exec_ms(procs.small, b, n - 1) +
-                  (b > 0 ? table.boundary_copy_ms(procs.small, b) : 0.0);
-      t.sensitivity = table.mem_sensitivity(procs.small, b, n - 1);
-      t.intensity = table.intensity(procs.small, b, n - 1);
-      tasks.push_back(t);
-    }
+    if (b > 0) builder.add_range(slot, seq++, procs.big, 0, b);
+    if (b < n) builder.add_range(slot, seq++, procs.small, b, n);
   }
-  return simulate(eval.soc(), std::move(tasks), {});
+  return simulate(eval.soc(), tasks_from_compiled(builder.build()), {});
 }
 
 }  // namespace h2p

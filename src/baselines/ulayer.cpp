@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -53,11 +54,13 @@ std::vector<ULayerSplit> ulayer_splits(const StaticEvaluator& eval,
 
 Timeline run_ulayer(const StaticEvaluator& eval) {
   const Procs procs = find_procs(eval);
-  std::vector<SimTask> tasks;
+  exec::CompiledPlanBuilder builder(eval);
 
   for (std::size_t i = 0; i < eval.num_models(); ++i) {
     const Model& model = eval.model(i);
-    if (model.num_layers() == 0) continue;
+    const std::size_t n = model.num_layers();
+    const std::size_t slot = builder.add_slot(i);
+    if (n == 0) continue;
     const auto splits = ulayer_splits(eval, i);
     double total_ms = 0.0;
     for (const ULayerSplit& s : splits) total_ms += s.layer_ms;
@@ -65,20 +68,16 @@ Timeline run_ulayer(const StaticEvaluator& eval) {
     // Both processors are occupied lock-step for the whole cooperative
     // execution (same seq: no chain dependency between the halves) and
     // aggress on each other across the bus with the model's own CPU/GPU
-    // contention signatures.
-    const std::size_t n = model.num_layers();
+    // contention signatures.  The execution time is the cooperative
+    // per-layer max-plus-merge model, not the slice's solo time, so it
+    // overrides what lower_range derived.
     for (const std::size_t proc : {procs.cpu, procs.gpu}) {
-      SimTask t;
-      t.model_idx = i;
-      t.seq_in_model = 0;
-      t.proc_idx = proc;
-      t.solo_ms = total_ms;
-      t.sensitivity = eval.table(i).mem_sensitivity(proc, 0, n - 1);
-      t.intensity = eval.table(i).intensity(proc, 0, n - 1);
-      tasks.push_back(t);
+      exec::ScheduledSlice& slice = builder.add_range(slot, 0, proc, 0, n);
+      slice.exec_ms = total_ms;
+      slice.boundary_copy_ms = 0.0;
     }
   }
-  return simulate(eval.soc(), std::move(tasks), {});
+  return simulate(eval.soc(), tasks_from_compiled(builder.build()), {});
 }
 
 }  // namespace h2p

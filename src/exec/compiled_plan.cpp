@@ -1,0 +1,123 @@
+#include "exec/compiled_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h2p::exec {
+
+const ScheduledSlice* CompiledPlan::find(std::size_t model_idx,
+                                         std::size_t seq_in_model) const {
+  for (const ScheduledSlice& s : slices) {
+    if (s.model_idx == model_idx && s.seq_in_model == seq_in_model) return &s;
+  }
+  return nullptr;
+}
+
+double CompiledPlan::total_solo_ms() const {
+  double total = 0.0;
+  for (const ScheduledSlice& s : slices) total += s.solo_ms();
+  return total;
+}
+
+ScheduledSlice lower_range(const StaticEvaluator& eval, std::size_t table_idx,
+                           std::size_t slot, std::size_t seq,
+                           std::size_t proc_idx, std::size_t begin,
+                           std::size_t end) {
+  if (end <= begin) {
+    throw std::invalid_argument("lower_range: empty layer range");
+  }
+  if (table_idx >= eval.num_models()) {
+    throw std::invalid_argument(
+        "lower_range: model index out of range for this evaluator (plan and "
+        "model list disagree?)");
+  }
+  if (proc_idx >= eval.soc().num_processors()) {
+    throw std::invalid_argument("lower_range: processor index out of range");
+  }
+  if (end > eval.model(table_idx).num_layers()) {
+    throw std::invalid_argument("lower_range: layer range exceeds model");
+  }
+  const CostTable& t = eval.table(table_idx);
+  ScheduledSlice s;
+  s.model_idx = slot;
+  s.seq_in_model = seq;
+  s.proc_idx = proc_idx;
+  s.layers = Slice{begin, end};
+  s.exec_ms = t.exec_ms(proc_idx, begin, end - 1);
+  s.boundary_copy_ms = begin > 0 ? t.boundary_copy_ms(proc_idx, begin) : 0.0;
+  s.sensitivity = t.mem_sensitivity(proc_idx, begin, end - 1);
+  s.intensity = t.intensity(proc_idx, begin, end - 1);
+  s.dram_bytes = t.dram_bytes(proc_idx, begin, end - 1);
+  return s;
+}
+
+CompiledPlanBuilder::CompiledPlanBuilder(const StaticEvaluator& eval)
+    : eval_(&eval) {
+  plan_.num_stages = eval.soc().num_processors();
+}
+
+std::size_t CompiledPlanBuilder::add_slot(std::size_t original_index) {
+  const std::size_t slot = plan_.num_models++;
+  plan_.original_index.push_back(original_index);
+  plan_.model_names.push_back(eval_->model(original_index).name());
+  plan_.resident_bytes.push_back(0.0);
+  slot_proc_ranges_.emplace_back(eval_->soc().num_processors());
+  return slot;
+}
+
+ScheduledSlice& CompiledPlanBuilder::add_range(std::size_t slot, std::size_t seq,
+                                               std::size_t proc_idx,
+                                               std::size_t begin,
+                                               std::size_t end) {
+  plan_.slices.push_back(lower_range(*eval_, plan_.original_index.at(slot), slot,
+                                     seq, proc_idx, begin, end));
+  Slice& occupied = slot_proc_ranges_.at(slot).at(proc_idx);
+  if (occupied.empty()) {
+    occupied = Slice{begin, end};
+  } else {
+    occupied.begin = std::min(occupied.begin, begin);
+    occupied.end = std::max(occupied.end, end);
+  }
+  return plan_.slices.back();
+}
+
+CompiledPlan CompiledPlanBuilder::build() {
+  for (std::size_t slot = 0; slot < plan_.num_models; ++slot) {
+    ModelPlan mp;
+    mp.model_index = plan_.original_index[slot];
+    mp.slices = slot_proc_ranges_[slot];
+    plan_.resident_bytes[slot] = eval_->resident_bytes(mp);
+  }
+  return std::move(plan_);
+}
+
+CompiledPlan compile(const PipelinePlan& plan, const StaticEvaluator& eval) {
+  CompiledPlan cp;
+  cp.num_stages = plan.num_stages;
+  cp.num_models = plan.models.size();
+  cp.original_index.reserve(cp.num_models);
+  cp.model_names.reserve(cp.num_models);
+  cp.resident_bytes.reserve(cp.num_models);
+
+  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
+    const ModelPlan& mp = plan.models[slot];
+    if (mp.model_index >= eval.num_models()) {
+      throw std::invalid_argument(
+          "compile: plan references model index beyond the evaluator's model "
+          "list (plan and model list disagree?)");
+    }
+    cp.original_index.push_back(mp.model_index);
+    cp.model_names.push_back(eval.model(mp.model_index).name());
+    cp.resident_bytes.push_back(eval.resident_bytes(mp));
+    std::size_t seq = 0;
+    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
+      const Slice& sl = mp.slices[k];
+      if (sl.empty()) continue;
+      cp.slices.push_back(
+          lower_range(eval, mp.model_index, slot, seq++, k, sl.begin, sl.end));
+    }
+  }
+  return cp;
+}
+
+}  // namespace h2p::exec

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+
+namespace h2p::exec {
+
+/// One lowered schedulable unit: a contiguous layer range of one request
+/// bound to a processor, with every per-slice quantity any consumer needs
+/// precomputed.  Slices of the same slot form a chain ordered by
+/// `seq_in_model`; equal sequence numbers mean the slices co-run with no
+/// chain dependency (cooperative schedules, e.g. the uLayer baseline).
+struct ScheduledSlice {
+  std::size_t model_idx = 0;      // slot in the executed sequence
+  std::size_t seq_in_model = 0;   // position in the slot's chain
+  std::size_t proc_idx = 0;       // processor executing the range
+  Slice layers;                   // [begin, end) in the model's layer chain
+
+  double exec_ms = 0.0;           // uncontended execution (Eq. 2 term 1)
+  double boundary_copy_ms = 0.0;  // inbound boundary tensor copy (Eq. 2 term 2)
+  double sensitivity = 0.0;       // victim-side memory-bound share
+  double intensity = 0.0;         // aggressor-side contention intensity
+  double dram_bytes = 0.0;        // bytes moved over the shared bus
+
+  /// Total uncontended duration — what the planner's Eq. 2 charges before
+  /// the co-execution term.
+  [[nodiscard]] double solo_ms() const { return exec_ms + boundary_copy_ms; }
+
+  friend bool operator==(const ScheduledSlice&, const ScheduledSlice&) = default;
+};
+
+/// The compiled execution IR: one `PipelinePlan` lowered once, consumed by
+/// every backend (DES simulator, threaded executor, queueing, memory and
+/// energy accounting, chrome tracing, the online serving path).  Analogous
+/// to a HETERO-style compiled model: device-affine subgraphs in a single
+/// flat executable form.
+struct CompiledPlan {
+  std::size_t num_stages = 0;
+  std::size_t num_models = 0;                // pipeline slots
+  std::vector<ScheduledSlice> slices;        // slot-major, chain order inside
+
+  // Per-slot metadata (indexed by ScheduledSlice::model_idx).
+  std::vector<std::size_t> original_index;   // slot -> index in the request sequence
+  std::vector<std::string> model_names;      // slot -> model name
+  std::vector<double> resident_bytes;        // slot -> in-flight footprint (constraint 6)
+
+  /// Slice at (slot, seq) or nullptr — the lookup timeline consumers use to
+  /// re-associate a TaskRecord with its lowered slice.
+  [[nodiscard]] const ScheduledSlice* find(std::size_t model_idx,
+                                           std::size_t seq_in_model) const;
+
+  /// Sum of solo times over all slices (work lower bound).
+  [[nodiscard]] double total_solo_ms() const;
+};
+
+/// THE lowering: expand a pipeline plan (stage k of slot i -> processor k;
+/// empty slices skipped) into the flat IR using the evaluator's cost
+/// tables.  Every consumer goes through this function — solo latency,
+/// boundary-copy, sensitivity, intensity and footprint are derived here and
+/// nowhere else.
+[[nodiscard]] CompiledPlan compile(const PipelinePlan& plan,
+                                   const StaticEvaluator& eval);
+
+/// Lower one explicit layer range onto one processor — the escape hatch for
+/// baseline schedulers whose schedules are not stage-k -> processor-k
+/// pipelines (Band's greedy dispatch, Pipe-it's two-stage split, ...).
+/// The inbound boundary copy is charged iff `begin > 0`, matching Eq. 2.
+[[nodiscard]] ScheduledSlice lower_range(const StaticEvaluator& eval,
+                                         std::size_t table_idx,
+                                         std::size_t slot, std::size_t seq,
+                                         std::size_t proc_idx,
+                                         std::size_t begin, std::size_t end);
+
+/// Assembles a CompiledPlan for explicit (non-pipeline-grid) schedules.
+/// Baselines declare *what runs where*; all cost derivation still happens
+/// in lower_range.  Slots must be added in order; ranges may arrive in any
+/// order.  build() fills per-slot footprints from the registered ranges.
+class CompiledPlanBuilder {
+ public:
+  explicit CompiledPlanBuilder(const StaticEvaluator& eval);
+
+  /// Register the next slot, backed by eval.model(original_index).
+  std::size_t add_slot(std::size_t original_index);
+
+  /// Lower layers [begin, end) of the slot's model onto proc_idx as chain
+  /// element `seq` (equal seq values co-run without a dependency).
+  ScheduledSlice& add_range(std::size_t slot, std::size_t seq,
+                            std::size_t proc_idx, std::size_t begin,
+                            std::size_t end);
+
+  [[nodiscard]] CompiledPlan build();
+
+ private:
+  const StaticEvaluator* eval_;
+  CompiledPlan plan_;
+  /// Per-slot occupied layer range per processor, for footprint accounting.
+  std::vector<std::vector<Slice>> slot_proc_ranges_;
+};
+
+}  // namespace h2p::exec

@@ -1,0 +1,65 @@
+#include "exec/plan_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace h2p::exec {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+const CompiledPlan* PlanCache::find(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return &entries_.front().plan;
+}
+
+const CompiledPlan& PlanCache::insert(const std::string& key, CompiledPlan plan) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->plan = std::move(plan);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().plan;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{key, std::move(plan)});
+  index_[key] = entries_.begin();
+  return entries_.front().plan;
+}
+
+void PlanCache::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+std::string PlanCache::make_key(const Soc& soc,
+                                const std::vector<const Model*>& models,
+                                const PlannerOptions& options) {
+  std::vector<std::string> names;
+  names.reserve(models.size());
+  for (const Model* m : models) names.push_back(m ? m->name() : "<null>");
+  std::sort(names.begin(), names.end());
+
+  std::string key = soc.fingerprint();
+  key += "||";
+  for (const std::string& n : names) {
+    key += n;
+    key += ',';
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "||ct=%d,ws=%d,tail=%d,pct=%g,K=%zu",
+                options.contention_mitigation ? 1 : 0,
+                options.work_stealing ? 1 : 0, options.tail_optimization ? 1 : 0,
+                options.classifier_percentile, options.num_stages);
+  key += buf;
+  return key;
+}
+
+}  // namespace h2p::exec

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.h"
+#include "exec/compiled_plan.h"
+#include "models/model.h"
+#include "soc/soc.h"
+
+namespace h2p::exec {
+
+/// LRU cache of compiled plans for the online serving path.
+///
+/// Keyed by (SoC fingerprint, *multiset* of model names, PlannerOptions):
+/// two request windows holding the same models in any order, on the same
+/// device, under the same planner knobs, resolve to the same entry — so a
+/// repeated window skips both the StaticEvaluator's cost-table build and
+/// the O(|M|^3 |H|) planner, the cost §V-C flags as the reason the planner
+/// "should be scheduled more frequently" at high request rates.
+///
+/// Returned pointers stay valid until their entry is evicted or the cache
+/// is cleared; they are not invalidated by lookups or by inserting other
+/// keys.  Not thread-safe; guard externally if shared across threads.
+class PlanCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity = 32);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Lookup; bumps the entry to most-recently-used and counts a hit/miss.
+  [[nodiscard]] const CompiledPlan* find(const std::string& key);
+
+  /// Insert (or overwrite) and return the stored plan; evicts the
+  /// least-recently-used entry when at capacity.
+  const CompiledPlan& insert(const std::string& key, CompiledPlan plan);
+
+  void clear();
+
+  /// Canonical key: Soc fingerprint + sorted model names + planner knobs.
+  [[nodiscard]] static std::string make_key(const Soc& soc,
+                                            const std::vector<const Model*>& models,
+                                            const PlannerOptions& options);
+
+ private:
+  struct Entry {
+    std::string key;
+    CompiledPlan plan;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace h2p::exec

@@ -136,23 +136,24 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
   return result;
 }
 
-std::vector<RuntimeJob> PipelineExecutor::jobs_from_plan(
-    const PipelinePlan& plan, const StaticEvaluator& eval) {
+std::vector<RuntimeJob> PipelineExecutor::jobs_from_compiled(
+    const exec::CompiledPlan& compiled) {
   std::vector<RuntimeJob> jobs;
-  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
-    const ModelPlan& mp = plan.models[slot];
-    std::size_t seq = 0;
-    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
-      if (mp.slices[k].empty()) continue;
-      RuntimeJob job;
-      job.model_idx = slot;
-      job.seq_in_model = seq++;
-      job.home_proc = k;
-      job.solo_ms = eval.stage_solo_ms(mp, k);
-      jobs.push_back(job);
-    }
+  jobs.reserve(compiled.slices.size());
+  for (const exec::ScheduledSlice& s : compiled.slices) {
+    RuntimeJob job;
+    job.model_idx = s.model_idx;
+    job.seq_in_model = s.seq_in_model;
+    job.home_proc = s.proc_idx;
+    job.solo_ms = s.solo_ms();
+    jobs.push_back(job);
   }
   return jobs;
+}
+
+std::vector<RuntimeJob> PipelineExecutor::jobs_from_plan(
+    const PipelinePlan& plan, const StaticEvaluator& eval) {
+  return jobs_from_compiled(exec::compile(plan, eval));
 }
 
 }  // namespace h2p

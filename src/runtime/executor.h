@@ -5,6 +5,7 @@
 
 #include "core/bubbles.h"
 #include "core/plan.h"
+#include "exec/compiled_plan.h"
 
 namespace h2p {
 
@@ -54,7 +55,11 @@ class PipelineExecutor {
   /// repeatedly (workers are spawned per run).
   RuntimeResult run(const std::vector<RuntimeJob>& jobs) const;
 
-  /// Expand a pipeline plan into runtime jobs using planner stage times.
+  /// Map a compiled plan's slices 1:1 onto runtime jobs (home = processor).
+  static std::vector<RuntimeJob> jobs_from_compiled(
+      const exec::CompiledPlan& compiled);
+
+  /// Thin wrapper: lower via exec::compile, then jobs_from_compiled.
   static std::vector<RuntimeJob> jobs_from_plan(const PipelinePlan& plan,
                                                 const StaticEvaluator& eval);
 

@@ -5,9 +5,10 @@
 #include <stdexcept>
 
 namespace h2p {
+namespace {
 
-std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc) {
-  std::ostringstream out;
+void emit_trace(std::ostringstream& out, const Timeline& timeline,
+                const Soc& soc, const exec::CompiledPlan* compiled) {
   out << "{\"traceEvents\":[";
   bool first = true;
 
@@ -24,14 +25,44 @@ std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc) {
   for (const TaskRecord& t : timeline.tasks) {
     if (!first) out << ",";
     first = false;
+    const exec::ScheduledSlice* slice =
+        compiled ? compiled->find(t.model_idx, t.seq_in_model) : nullptr;
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << t.proc_idx << ",\"name\":\"";
+    if (slice != nullptr && t.model_idx < compiled->model_names.size()) {
+      out << compiled->model_names[t.model_idx] << ".s" << t.seq_in_model;
+    } else {
+      out << "m" << t.model_idx << ".s" << t.seq_in_model;
+    }
     // Timestamps in microseconds per the trace-event spec.
-    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << t.proc_idx << ",\"name\":\"m"
-        << t.model_idx << ".s" << t.seq_in_model << "\",\"ts\":"
-        << t.start_ms * 1000.0 << ",\"dur\":" << t.duration_ms() * 1000.0
+    out << "\",\"ts\":" << t.start_ms * 1000.0
+        << ",\"dur\":" << t.duration_ms() * 1000.0
         << ",\"args\":{\"solo_ms\":" << t.solo_ms
-        << ",\"contention_ms\":" << t.contention_ms() << "}}";
+        << ",\"contention_ms\":" << t.contention_ms();
+    if (slice != nullptr) {
+      out << ",\"layers\":\"[" << slice->layers.begin << "," << slice->layers.end
+          << ")\",\"exec_ms\":" << slice->exec_ms
+          << ",\"boundary_copy_ms\":" << slice->boundary_copy_ms
+          << ",\"dram_bytes\":" << slice->dram_bytes
+          << ",\"sensitivity\":" << slice->sensitivity
+          << ",\"intensity\":" << slice->intensity;
+    }
+    out << "}}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc) {
+  std::ostringstream out;
+  emit_trace(out, timeline, soc, nullptr);
+  return out.str();
+}
+
+std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc,
+                                 const exec::CompiledPlan& compiled) {
+  std::ostringstream out;
+  emit_trace(out, timeline, soc, &compiled);
   return out.str();
 }
 
@@ -40,6 +71,14 @@ void write_chrome_trace(const Timeline& timeline, const Soc& soc,
   std::ofstream file(path);
   if (!file) throw std::runtime_error("write_chrome_trace: cannot open " + path);
   file << to_chrome_trace_json(timeline, soc);
+}
+
+void write_chrome_trace(const Timeline& timeline, const Soc& soc,
+                        const exec::CompiledPlan& compiled,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  file << to_chrome_trace_json(timeline, soc, compiled);
 }
 
 }  // namespace h2p

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "exec/compiled_plan.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -13,8 +14,19 @@ namespace h2p {
 /// solo-vs-contended timing in its args.
 std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc);
 
+/// Enriched variant: cross-references each task with its compiled slice and
+/// annotates events with the model name, layer range, boundary-copy split,
+/// DRAM bytes and contention sensitivity/intensity.
+std::string to_chrome_trace_json(const Timeline& timeline, const Soc& soc,
+                                 const exec::CompiledPlan& compiled);
+
 /// Write the JSON to a file; throws std::runtime_error on I/O failure.
 void write_chrome_trace(const Timeline& timeline, const Soc& soc,
+                        const std::string& path);
+
+/// Enriched variant of write_chrome_trace.
+void write_chrome_trace(const Timeline& timeline, const Soc& soc,
+                        const exec::CompiledPlan& compiled,
                         const std::string& path);
 
 }  // namespace h2p

@@ -5,43 +5,50 @@
 namespace h2p {
 
 std::vector<MemorySample> trace_memory(const Timeline& timeline,
-                                       const PipelinePlan& plan,
-                                       const StaticEvaluator& eval,
+                                       const exec::CompiledPlan& compiled,
+                                       const Soc& soc,
                                        double sample_interval_ms) {
   std::vector<MemorySample> samples;
   const double span = timeline.makespan_ms();
   if (span <= 0.0 || sample_interval_ms <= 0.0) return samples;
 
-  // In-flight window and resident footprint per sequence slot.
-  const std::size_t m = plan.models.size();
-  std::vector<double> first(m, span), last(m, 0.0), bytes(m, 0.0);
+  // In-flight window per sequence slot; footprints come off the IR.
+  const std::size_t m = compiled.num_models;
+  std::vector<double> first(m, span), last(m, 0.0);
   for (const TaskRecord& t : timeline.tasks) {
     if (t.model_idx >= m) continue;
     first[t.model_idx] = std::min(first[t.model_idx], t.start_ms);
     last[t.model_idx] = std::max(last[t.model_idx], t.end_ms);
   }
-  for (std::size_t i = 0; i < m; ++i) bytes[i] = eval.resident_bytes(plan.models[i]);
 
-  MemoryGovernor governor(eval.soc());
-  const double bus = eval.soc().bus_bw_gbps();
+  MemoryGovernor governor(soc);
+  const double bus = soc.bus_bw_gbps();
 
   for (double t = 0.0; t <= span + 1e-9; t += sample_interval_ms) {
     MemorySample s;
     s.time_ms = t;
     for (std::size_t i = 0; i < m; ++i) {
-      if (t >= first[i] && t <= last[i]) s.resident_bytes += bytes[i];
+      if (t >= first[i] && t <= last[i]) s.resident_bytes += compiled.resident_bytes[i];
     }
     for (const TaskRecord& task : timeline.tasks) {
       if (t < task.start_ms || t > task.end_ms) continue;
-      const ModelPlan& mp = plan.models[task.model_idx];
-      s.bw_demand_gbps += eval.stage_intensity(mp, task.proc_idx) * bus;
+      const exec::ScheduledSlice* slice =
+          compiled.find(task.model_idx, task.seq_in_model);
+      if (slice != nullptr) s.bw_demand_gbps += slice->intensity * bus;
     }
-    s.available_bytes =
-        std::max(0.0, eval.soc().available_bytes() - s.resident_bytes);
+    s.available_bytes = std::max(0.0, soc.available_bytes() - s.resident_bytes);
     s.mem_freq_mhz = governor.update(s.bw_demand_gbps).mhz;
     samples.push_back(s);
   }
   return samples;
+}
+
+std::vector<MemorySample> trace_memory(const Timeline& timeline,
+                                       const PipelinePlan& plan,
+                                       const StaticEvaluator& eval,
+                                       double sample_interval_ms) {
+  return trace_memory(timeline, exec::compile(plan, eval), eval.soc(),
+                      sample_interval_ms);
 }
 
 double peak_resident_bytes(const std::vector<MemorySample>& samples) {

@@ -4,6 +4,7 @@
 
 #include "core/bubbles.h"
 #include "core/plan.h"
+#include "exec/compiled_plan.h"
 #include "sim/trace.h"
 #include "soc/memory_governor.h"
 
@@ -22,6 +23,13 @@ struct MemorySample {
 /// and peak activation are resident from its first task start to its last
 /// task end; bandwidth demand is the sum of running slices'
 /// intensity * bus bandwidth; the MemoryGovernor picks the DRAM frequency.
+/// Footprints and intensities come straight off the compiled plan.
+std::vector<MemorySample> trace_memory(const Timeline& timeline,
+                                       const exec::CompiledPlan& compiled,
+                                       const Soc& soc,
+                                       double sample_interval_ms = 5.0);
+
+/// Thin wrapper: lower via exec::compile, then trace.
 std::vector<MemorySample> trace_memory(const Timeline& timeline,
                                        const PipelinePlan& plan,
                                        const StaticEvaluator& eval,

@@ -1,7 +1,12 @@
 #include "sim/online.h"
 
 #include <algorithm>
+#include <deque>
+#include <numeric>
+#include <string>
+#include <unordered_map>
 
+#include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -13,7 +18,11 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   std::vector<SimTask> all_tasks;
   // Global slot id per request (model_idx in the merged simulation).
   std::size_t next_slot = 0;
-  std::vector<double> arrival_by_slot;
+  std::vector<std::size_t> request_of_slot;
+
+  exec::PlanCache local_cache(options.plan_cache_capacity);
+  exec::PlanCache* cache =
+      options.shared_cache != nullptr ? options.shared_cache : &local_cache;
 
   for (std::size_t begin = 0; begin < stream.size(); begin += window) {
     const std::size_t end = std::min(begin + window, stream.size());
@@ -24,40 +33,88 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
       models.push_back(stream[i].model);
       window_ready_ms = std::max(window_ready_ms, stream[i].arrival_ms);
     }
-    window_ready_ms += options.planning_overhead_ms;
-    ++result.replans;
 
-    const StaticEvaluator eval(soc, models);
-    const PlannerReport report =
-        Hetero2PipePlanner(eval, options.planner).plan();
-    std::vector<SimTask> tasks = tasks_from_plan(report.plan, eval);
+    exec::CompiledPlan storage;
+    const exec::CompiledPlan* compiled = nullptr;
+    std::string key;
+    if (options.use_plan_cache) {
+      key = exec::PlanCache::make_key(soc, models, options.planner);
+      compiled = cache->find(key);
+    }
+    if (compiled != nullptr) {
+      // Served from cache: no cost-table build, no planner run.
+      ++result.cache_hits;
+      window_ready_ms += options.cache_hit_overhead_ms;
+    } else {
+      ++result.replans;
+      window_ready_ms += options.planning_overhead_ms;
+      const StaticEvaluator eval(soc, models);
+      const PlannerReport report =
+          Hetero2PipePlanner(eval, options.planner).plan();
+      exec::CompiledPlan fresh = exec::compile(report.plan, eval);
+      if (options.use_plan_cache) {
+        compiled = &cache->insert(key, std::move(fresh));
+      } else {
+        storage = std::move(fresh);
+        compiled = &storage;
+      }
+    }
+
+    // Bind plan slots to this window's requests by model name.  The cache
+    // key is a *multiset* of names, so a permuted repeat of a window reuses
+    // the plan with each slot re-bound to a same-named request; for a fresh
+    // (or identically ordered) window this reproduces the plan's own
+    // model_index mapping exactly.
+    const std::size_t m = compiled->num_models;
+    std::vector<std::size_t> window_index(m, 0);
+    {
+      std::unordered_map<std::string, std::deque<std::size_t>> by_name;
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        by_name[models[i]->name()].push_back(i);
+      }
+      std::vector<std::size_t> slot_order(m);
+      std::iota(slot_order.begin(), slot_order.end(), 0);
+      std::sort(slot_order.begin(), slot_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return compiled->original_index[a] < compiled->original_index[b];
+                });
+      for (const std::size_t slot : slot_order) {
+        auto& queue = by_name[compiled->model_names[slot]];
+        window_index[slot] = queue.front();
+        queue.pop_front();
+      }
+    }
 
     // Remap window-local slots to global slots and release each model's
-    // chain at max(its own arrival, window planning time).
-    for (SimTask& t : tasks) {
-      const std::size_t local = t.model_idx;  // slot within the window plan
-      const std::size_t original = begin + report.plan.models[local].model_index;
-      t.model_idx = next_slot + local;
-      if (t.seq_in_model == 0) {
+    // chain at max(its own arrival, window planning/lookup time).
+    for (const exec::ScheduledSlice& s : compiled->slices) {
+      SimTask t;
+      t.model_idx = next_slot + s.model_idx;
+      t.seq_in_model = s.seq_in_model;
+      t.proc_idx = s.proc_idx;
+      t.solo_ms = s.solo_ms();
+      t.sensitivity = s.sensitivity;
+      t.intensity = s.intensity;
+      if (s.seq_in_model == 0) {
+        const std::size_t original = begin + window_index[s.model_idx];
         t.arrival_ms = std::max(window_ready_ms, stream[original].arrival_ms);
       }
       all_tasks.push_back(t);
     }
-    for (std::size_t local = 0; local < report.plan.models.size(); ++local) {
-      const std::size_t original = begin + report.plan.models[local].model_index;
-      if (arrival_by_slot.size() <= next_slot + local) {
-        arrival_by_slot.resize(next_slot + local + 1, 0.0);
-      }
-      arrival_by_slot[next_slot + local] = stream[original].arrival_ms;
+    for (std::size_t slot = 0; slot < m; ++slot) {
+      request_of_slot.push_back(begin + window_index[slot]);
     }
     next_slot += models.size();
   }
 
   result.timeline = simulate(soc, std::move(all_tasks), {});
-  result.completion_ms.resize(next_slot, 0.0);
+  // Latencies are reported per *request* (stream order), so invert the
+  // slot -> request binding — it is a permutation within each window.
+  result.completion_ms.resize(stream.size(), 0.0);
   for (std::size_t slot = 0; slot < next_slot; ++slot) {
-    result.completion_ms[slot] =
-        result.timeline.model_finish_ms(slot) - arrival_by_slot[slot];
+    const std::size_t request = request_of_slot[slot];
+    result.completion_ms[request] =
+        result.timeline.model_finish_ms(slot) - stream[request].arrival_ms;
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/planner.h"
+#include "exec/plan_cache.h"
 #include "models/model.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
@@ -23,24 +24,41 @@ struct OnlineOptions {
   /// keep |M| — and thus the O(|M|^3 |H|) mitigation term — bounded.
   std::size_t replan_window = 4;
   PlannerOptions planner;
-  /// Charged once per replanning event before the window's tasks release,
-  /// modelling the planner's own latency on-device.
+  /// Charged once per *planner invocation* before the window's tasks
+  /// release, modelling the planner's own latency on-device.  Windows
+  /// served from the plan cache skip this entirely.
   double planning_overhead_ms = 1.0;
+
+  /// Reuse compiled plans for repeated request windows (same model multiset
+  /// on the same Soc under the same planner knobs).  A hit skips both the
+  /// cost-table build and the O(|M|^3 |H|) planner.
+  bool use_plan_cache = true;
+  std::size_t plan_cache_capacity = 32;
+  /// Overhead charged on a cache hit (the lookup itself; ~free on-device).
+  double cache_hit_overhead_ms = 0.0;
+  /// Optional externally owned cache, shared across run_online calls (e.g.
+  /// a long-lived serving process).  When null an internal per-call cache
+  /// of `plan_cache_capacity` entries is used.
+  exec::PlanCache* shared_cache = nullptr;
 };
 
 struct OnlineResult {
   Timeline timeline;
   /// Completion latency per request (finish - arrival), in request order.
   std::vector<double> completion_ms;
+  /// Planner invocations (= windows that missed the plan cache).
   int replans = 0;
+  /// Windows served straight from the plan cache.
+  int cache_hits = 0;
 };
 
 /// Online Hetero2Pipe: requests are grouped into windows of
 /// `replan_window` in arrival order; each window is planned independently
-/// (two-step planner) and its tasks are released once all of its requests
-/// have arrived and the plan is made.  Windows pipeline into each other on
-/// the processors via the simulator's FIFO dispatch, so the device never
-/// drains between windows.
+/// (two-step planner), lowered once via exec::compile, and its tasks are
+/// released once all of its requests have arrived and the plan is made.
+/// Windows pipeline into each other on the processors via the simulator's
+/// FIFO dispatch, so the device never drains between windows.  Repeated
+/// windows reuse the cached CompiledPlan and skip the planner.
 OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
                         const OnlineOptions& options = {});
 

@@ -175,25 +175,25 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   return timeline;
 }
 
-std::vector<SimTask> tasks_from_plan(const PipelinePlan& plan,
-                                     const StaticEvaluator& eval) {
+std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled) {
   std::vector<SimTask> tasks;
-  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
-    const ModelPlan& mp = plan.models[slot];
-    std::size_t seq = 0;
-    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
-      if (mp.slices[k].empty()) continue;
-      SimTask t;
-      t.model_idx = slot;
-      t.seq_in_model = seq++;
-      t.proc_idx = k;
-      t.solo_ms = eval.stage_solo_ms(mp, k);
-      t.sensitivity = eval.stage_sensitivity(mp, k);
-      t.intensity = eval.stage_intensity(mp, k);
-      tasks.push_back(t);
-    }
+  tasks.reserve(compiled.slices.size());
+  for (const exec::ScheduledSlice& s : compiled.slices) {
+    SimTask t;
+    t.model_idx = s.model_idx;
+    t.seq_in_model = s.seq_in_model;
+    t.proc_idx = s.proc_idx;
+    t.solo_ms = s.solo_ms();
+    t.sensitivity = s.sensitivity;
+    t.intensity = s.intensity;
+    tasks.push_back(t);
   }
   return tasks;
+}
+
+std::vector<SimTask> tasks_from_plan(const PipelinePlan& plan,
+                                     const StaticEvaluator& eval) {
+  return tasks_from_compiled(exec::compile(plan, eval));
 }
 
 Timeline simulate_plan(const PipelinePlan& plan, const StaticEvaluator& eval,

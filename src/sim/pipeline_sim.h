@@ -6,6 +6,7 @@
 #include "contention/contention_model.h"
 #include "core/bubbles.h"
 #include "core/plan.h"
+#include "exec/compiled_plan.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -44,8 +45,11 @@ struct SimOptions {
 Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
                   const SimOptions& options = {});
 
-/// Expand a pipeline plan into simulator tasks using the evaluator's cost
-/// tables (stage k of slot i -> processor k; empty slices skipped).
+/// Map a compiled plan's slices 1:1 onto simulator tasks (arrivals zeroed;
+/// set them afterwards for streaming workloads).
+std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled);
+
+/// Thin wrapper: lower via exec::compile, then tasks_from_compiled.
 std::vector<SimTask> tasks_from_plan(const PipelinePlan& plan,
                                      const StaticEvaluator& eval);
 

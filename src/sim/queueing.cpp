@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/planner.h"
+#include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -35,11 +36,12 @@ QueueStats pipelined_queueing(const StaticEvaluator& eval,
 
   Hetero2PipePlanner planner(eval);
   const PlannerReport report = planner.plan();
-  std::vector<SimTask> tasks = tasks_from_plan(report.plan, eval);
+  const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
+  std::vector<SimTask> tasks = tasks_from_compiled(compiled);
 
   // Release each model's first task at its arrival time.
   for (SimTask& t : tasks) {
-    const std::size_t original = report.plan.models[t.model_idx].model_index;
+    const std::size_t original = compiled.original_index[t.model_idx];
     if (t.seq_in_model == 0 && original < arrival_ms.size()) {
       t.arrival_ms = arrival_ms[original];
     }
@@ -48,8 +50,8 @@ QueueStats pipelined_queueing(const StaticEvaluator& eval,
   const Timeline timeline = simulate(eval.soc(), std::move(tasks), {});
   stats.completion_ms.resize(m, 0.0);
   stats.queueing_ms.resize(m, 0.0);
-  for (std::size_t slot = 0; slot < report.plan.models.size(); ++slot) {
-    const std::size_t original = report.plan.models[slot].model_index;
+  for (std::size_t slot = 0; slot < compiled.num_models; ++slot) {
+    const std::size_t original = compiled.original_index[slot];
     const double arrive = original < arrival_ms.size() ? arrival_ms[original] : 0.0;
     double first_start = timeline.makespan_ms();
     for (const TaskRecord& t : timeline.tasks) {

@@ -34,6 +34,24 @@ EnergyReport EnergyModel::measure(const Timeline& timeline) const {
   return report;
 }
 
+EnergyReport EnergyModel::measure(const Timeline& timeline,
+                                  const exec::CompiledPlan& compiled) const {
+  EnergyReport report = measure(timeline);
+  const double span_s = timeline.makespan_ms() / 1000.0;
+  if (span_s <= 0.0) return report;
+
+  // Replace the busy-time DRAM proxy with intensity-weighted bus activity
+  // from the compiled slices.
+  double weighted_bus_s = 0.0;
+  for (const TaskRecord& t : timeline.tasks) {
+    const exec::ScheduledSlice* slice =
+        compiled.find(t.model_idx, t.seq_in_model);
+    if (slice != nullptr) weighted_bus_s += t.duration_ms() / 1000.0 * slice->intensity;
+  }
+  report.dram_joules = std::min(weighted_bus_s, span_s) * dram_watts_;
+  return report;
+}
+
 double EnergyModel::joules_per_inference(const Timeline& timeline) const {
   if (timeline.num_models == 0) return 0.0;
   return measure(timeline).total_joules() /

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "exec/compiled_plan.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -40,6 +41,13 @@ class EnergyModel {
       : soc_(&soc), idle_fraction_(idle_fraction), dram_watts_(dram_watts) {}
 
   [[nodiscard]] EnergyReport measure(const Timeline& timeline) const;
+
+  /// IR-aware variant: DRAM energy is charged per task, weighted by its
+  /// compiled slice's bus *intensity* instead of the coarse "any non-NPU
+  /// processor busy" proxy — NPU slices with a quiet dedicated path stop
+  /// being billed as if they saturated the shared bus.
+  [[nodiscard]] EnergyReport measure(const Timeline& timeline,
+                                     const exec::CompiledPlan& compiled) const;
 
   /// Joules per completed inference.
   [[nodiscard]] double joules_per_inference(const Timeline& timeline) const;

@@ -1,5 +1,6 @@
 #include "soc/soc.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace h2p {
@@ -19,6 +20,22 @@ int Soc::find(ProcKind kind) const {
     if (processors_[k].kind == kind) return static_cast<int>(k);
   }
   return -1;
+}
+
+std::string Soc::fingerprint() const {
+  std::string fp = name_;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "|bus=%g|cap=%g|avail=%g", bus_bw_gbps_,
+                mem_capacity_bytes_, available_bytes_);
+  fp += buf;
+  for (const Processor& p : processors_) {
+    std::snprintf(buf, sizeof(buf), "|%s:%d:%g:%g:%g:%g:%d:%g:%g", p.name.c_str(),
+                  static_cast<int>(p.kind), p.peak_gflops, p.mem_bw_gbps,
+                  p.l2_bytes, p.launch_overhead_ms, p.batch_capacity,
+                  p.copy_in_latency_ms, p.tdp_watts);
+    fp += buf;
+  }
+  return fp;
 }
 
 double Soc::coupling(std::size_t p, std::size_t q) const {

@@ -41,6 +41,12 @@ class Soc {
   [[nodiscard]] double available_bytes() const { return available_bytes_; }
   [[nodiscard]] const std::vector<MemFreqState>& mem_states() const { return mem_states_; }
 
+  /// Stable identity string over everything that affects planning: name,
+  /// per-processor roofline parameters, bus bandwidth and memory sizes.
+  /// Two Socs with equal fingerprints produce identical cost tables, so a
+  /// cached CompiledPlan keyed on it is safe to reuse.
+  [[nodiscard]] std::string fingerprint() const;
+
   /// Contention coupling gamma(p, q): how many percent of slowdown a unit of
   /// aggressor contention-intensity on q inflicts on a fully memory-bound
   /// victim on p.  Symmetric.

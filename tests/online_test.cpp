@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "exec/plan_cache.h"
 #include "models/model_zoo.h"
 #include "sim/online.h"
 #include "util/stats.h"
@@ -110,6 +111,107 @@ TEST(Online, WindowsPipelineIntoEachOther) {
     if (t.model_idx >= 2) w2_start = std::min(w2_start, t.start_ms);
   }
   EXPECT_LT(w2_start, w1_finish);
+}
+
+TEST(OnlineCache, RepeatedWindowHitsCacheWithUnchangedTimeline) {
+  // The same 3-model window four times: windows 2..4 must be served from
+  // the plan cache, and caching must not change the simulated timeline.
+  std::vector<ModelId> window = {ModelId::kResNet50, ModelId::kBERT,
+                                 ModelId::kSqueezeNet};
+  std::vector<ModelId> ids;
+  for (int round = 0; round < 4; ++round) {
+    ids.insert(ids.end(), window.begin(), window.end());
+  }
+  const auto stream = burst_stream(ids, 10.0);
+
+  OnlineOptions cached;
+  cached.replan_window = 3;
+  cached.planning_overhead_ms = 0.0;
+  cached.use_plan_cache = true;
+  OnlineOptions uncached = cached;
+  uncached.use_plan_cache = false;
+
+  const OnlineResult with = run_online(Soc::kirin990(), stream, cached);
+  const OnlineResult without = run_online(Soc::kirin990(), stream, uncached);
+
+  EXPECT_EQ(with.replans, 1);
+  EXPECT_EQ(with.cache_hits, 3);
+  EXPECT_EQ(without.replans, 4);
+  EXPECT_EQ(without.cache_hits, 0);
+
+  // Identical plans -> identical timeline, task for task.
+  ASSERT_EQ(with.timeline.tasks.size(), without.timeline.tasks.size());
+  for (std::size_t i = 0; i < with.timeline.tasks.size(); ++i) {
+    EXPECT_EQ(with.timeline.tasks[i].start_ms, without.timeline.tasks[i].start_ms);
+    EXPECT_EQ(with.timeline.tasks[i].end_ms, without.timeline.tasks[i].end_ms);
+    EXPECT_EQ(with.timeline.tasks[i].proc_idx, without.timeline.tasks[i].proc_idx);
+  }
+  ASSERT_EQ(with.completion_ms.size(), without.completion_ms.size());
+  for (std::size_t i = 0; i < with.completion_ms.size(); ++i) {
+    EXPECT_EQ(with.completion_ms[i], without.completion_ms[i]);
+  }
+}
+
+TEST(OnlineCache, PermutedRepeatWindowHitsCache) {
+  // Second window holds the same models in a different arrival order: the
+  // multiset key must still hit, with slots re-bound by model name.
+  std::vector<OnlineRequest> stream = {
+      {&zoo_model(ModelId::kResNet50), 0.0},
+      {&zoo_model(ModelId::kBERT), 5.0},
+      {&zoo_model(ModelId::kSqueezeNet), 10.0},
+      {&zoo_model(ModelId::kSqueezeNet), 100.0},
+      {&zoo_model(ModelId::kResNet50), 105.0},
+      {&zoo_model(ModelId::kBERT), 110.0},
+  };
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.planning_overhead_ms = 0.0;
+  const OnlineResult r = run_online(Soc::kirin990(), stream, opts);
+  EXPECT_EQ(r.replans, 1);
+  EXPECT_EQ(r.cache_hits, 1);
+  ASSERT_EQ(r.completion_ms.size(), stream.size());
+  for (double c : r.completion_ms) EXPECT_GT(c, 0.0);
+}
+
+TEST(OnlineCache, CacheHitOverheadCheaperThanReplanDelaysLess) {
+  std::vector<ModelId> window = {ModelId::kSqueezeNet, ModelId::kResNet50};
+  std::vector<ModelId> ids;
+  for (int round = 0; round < 2; ++round) {
+    ids.insert(ids.end(), window.begin(), window.end());
+  }
+  const auto stream = burst_stream(ids, 0.0);
+
+  OnlineOptions opts;
+  opts.replan_window = 2;
+  opts.planning_overhead_ms = 40.0;
+  opts.cache_hit_overhead_ms = 1.0;
+  const OnlineResult cached = run_online(Soc::kirin990(), stream, opts);
+
+  OnlineOptions off = opts;
+  off.use_plan_cache = false;
+  const OnlineResult uncached = run_online(Soc::kirin990(), stream, off);
+
+  EXPECT_EQ(cached.cache_hits, 1);
+  // The second window is released ~39 ms earlier on the cached path.
+  EXPECT_LT(cached.completion_ms[2], uncached.completion_ms[2]);
+}
+
+TEST(OnlineCache, SharedCachePersistsAcrossCalls) {
+  const auto stream =
+      burst_stream({ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet});
+  exec::PlanCache shared(8);
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.shared_cache = &shared;
+
+  const OnlineResult first = run_online(Soc::kirin990(), stream, opts);
+  EXPECT_EQ(first.replans, 1);
+  EXPECT_EQ(first.cache_hits, 0);
+
+  const OnlineResult second = run_online(Soc::kirin990(), stream, opts);
+  EXPECT_EQ(second.replans, 0);
+  EXPECT_EQ(second.cache_hits, 1);
+  EXPECT_EQ(shared.size(), 1u);
 }
 
 }  // namespace

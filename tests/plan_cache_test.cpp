@@ -1,0 +1,164 @@
+// Tests for exec::PlanCache — the LRU keyed by (SoC fingerprint, model
+// multiset, planner options) that lets the online path skip re-planning
+// repeated request windows.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "exec/plan_cache.h"
+#include "test_helpers.h"
+
+namespace h2p {
+namespace {
+
+using testing_util::Fixture;
+
+exec::CompiledPlan compile_window(const Fixture& fx) {
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  return exec::compile(report.plan, *fx.eval);
+}
+
+std::vector<const Model*> window_of(std::vector<ModelId> ids) {
+  std::vector<const Model*> models;
+  for (ModelId id : ids) models.push_back(&zoo_model(id));
+  return models;
+}
+
+TEST(PlanCacheKey, IdenticalWindowsShareAKey) {
+  const Soc soc = Soc::kirin990();
+  const auto a = window_of({ModelId::kResNet50, ModelId::kBERT});
+  const auto b = window_of({ModelId::kResNet50, ModelId::kBERT});
+  EXPECT_EQ(exec::PlanCache::make_key(soc, a, {}),
+            exec::PlanCache::make_key(soc, b, {}));
+}
+
+TEST(PlanCacheKey, PermutedWindowsShareAKey) {
+  // The key is a multiset of names: arrival order must not matter.
+  const Soc soc = Soc::kirin990();
+  const auto a = window_of({ModelId::kResNet50, ModelId::kBERT,
+                            ModelId::kSqueezeNet, ModelId::kSqueezeNet});
+  const auto b = window_of({ModelId::kSqueezeNet, ModelId::kSqueezeNet,
+                            ModelId::kBERT, ModelId::kResNet50});
+  EXPECT_EQ(exec::PlanCache::make_key(soc, a, {}),
+            exec::PlanCache::make_key(soc, b, {}));
+}
+
+TEST(PlanCacheKey, DifferentMultiplicityDiffersEvenWithSameSupport) {
+  const Soc soc = Soc::kirin990();
+  const auto a = window_of({ModelId::kResNet50, ModelId::kResNet50, ModelId::kBERT});
+  const auto b = window_of({ModelId::kResNet50, ModelId::kBERT, ModelId::kBERT});
+  EXPECT_NE(exec::PlanCache::make_key(soc, a, {}),
+            exec::PlanCache::make_key(soc, b, {}));
+}
+
+TEST(PlanCacheKey, SocAndPlannerOptionsArePartOfTheKey) {
+  const auto models = window_of({ModelId::kResNet50, ModelId::kBERT});
+  const std::string base =
+      exec::PlanCache::make_key(Soc::kirin990(), models, {});
+  EXPECT_NE(base, exec::PlanCache::make_key(Soc::snapdragon870(), models, {}));
+  EXPECT_NE(base, exec::PlanCache::make_key(Soc::kirin990(), models,
+                                            PlannerOptions::no_ct()));
+}
+
+TEST(PlanCache, MissThenHit) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  const std::string key = exec::PlanCache::make_key(soc, fx.models, {});
+
+  exec::PlanCache cache(4);
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const exec::CompiledPlan& stored = cache.insert(key, compile_window(fx));
+  const exec::CompiledPlan* hit = cache.find(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit, &stored);
+  EXPECT_EQ(hit->slices, stored.slices);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, PermutedWindowHitsTheSameEntry) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet}, soc);
+
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+
+  const auto permuted = window_of(
+      {ModelId::kSqueezeNet, ModelId::kResNet50, ModelId::kBERT});
+  EXPECT_NE(cache.find(exec::PlanCache::make_key(soc, permuted, {})), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedAtCapacity) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+  exec::CompiledPlan plan = compile_window(fx);
+
+  exec::PlanCache cache(2);
+  cache.insert("a", plan);
+  cache.insert("b", plan);
+  ASSERT_NE(cache.find("a"), nullptr);  // bump "a" to MRU: "b" is now LRU
+  cache.insert("c", plan);              // evicts "b"
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_EQ(cache.find("b"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+}
+
+TEST(PlanCache, PointerStableUntilEviction) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+  exec::CompiledPlan plan = compile_window(fx);
+
+  exec::PlanCache cache(3);
+  const exec::CompiledPlan* a = &cache.insert("a", plan);
+  cache.insert("b", plan);
+  cache.insert("c", plan);
+  EXPECT_EQ(cache.find("a"), a);  // inserts and lookups did not move it
+}
+
+TEST(PlanCache, InsertOverwritesExistingKey) {
+  const Soc soc = Soc::kirin990();
+  Fixture one({ModelId::kSqueezeNet}, soc);
+  Fixture two({ModelId::kSqueezeNet, ModelId::kResNet50}, soc);
+
+  exec::PlanCache cache(4);
+  cache.insert("k", compile_window(one));
+  cache.insert("k", compile_window(two));
+  const exec::CompiledPlan* found = cache.find("k");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->num_models, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, ClearDropsEntriesButKeepsStats) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+
+  exec::PlanCache cache(4);
+  cache.insert("a", compile_window(fx));
+  ASSERT_NE(cache.find("a"), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find("a"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PlanCache, CapacityClampedToAtLeastOne) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+
+  exec::PlanCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.insert("a", compile_window(fx));
+  cache.insert("b", compile_window(fx));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace h2p

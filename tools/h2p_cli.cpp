@@ -24,6 +24,7 @@
 #include "baselines/ulayer.h"
 #include "core/planner.h"
 #include "core/serialize.h"
+#include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
 #include "sim/chrome_trace.h"
 #include "sim/pipeline_sim.h"
@@ -153,7 +154,9 @@ int cmd_plan(int argc, char** argv) {
   const PlannerOptions opts =
       has_flag(argc, argv, "--no-ct") ? PlannerOptions::no_ct() : PlannerOptions{};
   const PlannerReport report = Hetero2PipePlanner(eval, opts).plan();
-  const Timeline timeline = simulate_plan(report.plan, eval);
+  const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
+  const Timeline timeline =
+      simulate(eval.soc(), tasks_from_compiled(compiled), {});
 
   std::printf("%s\n", report.plan.to_string().c_str());
   std::vector<std::string> names;
@@ -162,6 +165,11 @@ int cmd_plan(int argc, char** argv) {
   std::printf("\nmakespan %.2f ms | throughput %.2f inf/s | bubbles %.2f ms\n",
               timeline.makespan_ms(), timeline.throughput_per_s(),
               timeline.total_bubble_ms());
+  double peak_resident = 0.0;
+  for (double b : compiled.resident_bytes) peak_resident += b;
+  std::printf("compiled: %zu slices | %.2f ms total solo | %.0f MB resident\n",
+              compiled.slices.size(), compiled.total_solo_ms(),
+              peak_resident / 1048576.0);
 
   if (const auto out = arg_value(argc, argv, "--out")) {
     std::ofstream f(*out);
@@ -169,7 +177,7 @@ int cmd_plan(int argc, char** argv) {
     std::printf("plan written to %s\n", out->c_str());
   }
   if (const auto trace = arg_value(argc, argv, "--trace")) {
-    write_chrome_trace(timeline, *soc, *trace);
+    write_chrome_trace(timeline, *soc, compiled, *trace);
     std::printf("chrome trace written to %s\n", trace->c_str());
   }
   return 0;
@@ -195,8 +203,15 @@ int cmd_simulate(int argc, char** argv) {
   std::vector<const Model*> models;
   for (ModelId id : *ids) models.push_back(&zoo_model(id));
   const StaticEvaluator eval(*soc, models);
-  const Timeline timeline = simulate_plan(plan, eval);
-  std::printf("%s\n", timeline_to_json(timeline).dump().c_str());
+  try {
+    const exec::CompiledPlan compiled = exec::compile(plan, eval);
+    const Timeline timeline =
+        simulate(eval.soc(), tasks_from_compiled(compiled), {});
+    std::printf("%s\n", timeline_to_json(timeline).dump().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plan does not fit the given models/soc: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }
 
