@@ -1,13 +1,30 @@
 // Planner micro-benchmarks (google-benchmark): verifies the complexity
 // claims of Sec. V — O(nK) horizontal DP, O(|M|^3) Kuhn-Munkres, and the
-// end-to-end planner cost O(|M|(nK + n + K) + |M|^3 |H|).
+// end-to-end planner cost O(|M|(nK + n + K) + |M|^3 |H|) — and tracks the
+// cold-path planner's wall-clock across worker-thread counts.
+//
+// Usage:
+//   bench_planner_micro [google-benchmark flags] [--json [path]]
+//
+// `--json` additionally writes the full result set as JSON (default path
+// BENCH_planner.json in the current directory) so CI and future PRs keep a
+// perf trajectory.  Run it from the repo root to refresh the checked-in
+// snapshot:
+//   ./build/bench/bench_planner_micro --benchmark_min_time=0.2 --json
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/lap.h"
 #include "core/partition.h"
 #include "core/planner.h"
 #include "models/model_zoo.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace h2p;
 
@@ -67,14 +84,20 @@ BENCHMARK(BM_KuhnMunkres)->RangeMultiplier(2)->Range(8, 128)->Complexity();
 
 // ---- end-to-end planner -----------------------------------------------------
 
-void BM_PlannerEndToEnd(benchmark::State& state) {
-  const std::size_t m = static_cast<std::size_t>(state.range(0));
-  const Soc soc = Soc::kirin990();
+std::vector<const Model*> window_models(std::size_t m) {
   Rng rng(4);
   std::vector<const Model*> models;
   for (std::size_t i = 0; i < m; ++i) {
     models.push_back(&zoo_model(all_model_ids()[rng.index(kNumZooModels)]));
   }
+  return models;
+}
+
+/// Planner complexity in the window size m (sequential).
+void BM_PlannerScaling(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const Soc soc = Soc::kirin990();
+  const std::vector<const Model*> models = window_models(m);
   const StaticEvaluator eval(soc, models);
   for (auto _ : state) {
     Hetero2PipePlanner planner(eval);
@@ -82,7 +105,37 @@ void BM_PlannerEndToEnd(benchmark::State& state) {
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
 }
-BENCHMARK(BM_PlannerEndToEnd)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+BENCHMARK(BM_PlannerScaling)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+/// The tentpole's acceptance metric: one cold 16-model window, planned
+/// end to end (cost-table build + planner) at 1/2/4/8 worker threads.
+/// threads:1 runs the inline sequential path (no pool) — its trajectory
+/// against older snapshots tracks the algorithmic (incremental-scoring)
+/// speedup; higher thread counts track the fan-out scaling.
+void BM_PlannerEndToEnd(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 16;
+  const Soc soc = Soc::kirin990();
+  const std::vector<const Model*> models = window_models(m);
+  std::unique_ptr<ThreadPool> owned =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  ThreadPool* pool = owned.get();
+  for (auto _ : state) {
+    // Cold path end to end: the evaluator's cost tables are part of every
+    // plan-cache miss, so they are measured too.
+    const StaticEvaluator eval(soc, models, pool);
+    Hetero2PipePlanner planner(eval, {}, pool);
+    benchmark::DoNotOptimize(planner.plan());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(threads));
+}
+BENCHMARK(BM_PlannerEndToEnd)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 // ---- cost-table construction ------------------------------------------------
 
@@ -98,4 +151,33 @@ BENCHMARK(BM_CostTableBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json [path]` is sugar for the library's own output flags; rewriting
+  // the argv keeps the JSON path on benchmark's supported surface.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_planner.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    fmt_flag = "--benchmark_out_format=json";
+    passthrough.push_back(out_flag.data());
+    passthrough.push_back(fmt_flag.data());
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

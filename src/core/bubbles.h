@@ -12,6 +12,8 @@
 
 namespace h2p {
 
+class ThreadPool;
+
 /// Static (planning-time) evaluation of a pipeline plan.
 ///
 /// Owns the per-model cost tables and the contention model for one request
@@ -23,7 +25,11 @@ namespace h2p {
 /// truth; this evaluator is what the planner itself optimizes against.
 class StaticEvaluator {
  public:
-  StaticEvaluator(const Soc& soc, std::vector<const Model*> models);
+  /// Cost tables are independent per model; with a `pool` their
+  /// construction fans out (results land in model order, so the evaluator
+  /// is identical to the sequentially built one).  Null pool = inline.
+  StaticEvaluator(const Soc& soc, std::vector<const Model*> models,
+                  ThreadPool* pool = nullptr);
 
   [[nodiscard]] const Soc& soc() const { return *soc_; }
   [[nodiscard]] std::size_t num_models() const { return models_.size(); }
@@ -76,7 +82,10 @@ class StaticEvaluator {
 
 /// Build the default horizontal plan: every model sliced by Algorithm 1 in
 /// the original order (no reordering, no stealing).  The entry point the
-/// planner, baselines and tests share.
-PipelinePlan horizontal_plan(const StaticEvaluator& eval, std::size_t num_stages);
+/// planner, baselines and tests share.  The per-model DPs are independent;
+/// a non-null `pool` fans them out with deterministic, index-ordered
+/// collection (output identical to the sequential build).
+PipelinePlan horizontal_plan(const StaticEvaluator& eval, std::size_t num_stages,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace h2p

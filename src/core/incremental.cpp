@@ -1,0 +1,153 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "contention/contention_model.h"
+
+namespace h2p {
+
+IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
+                                                 const PipelinePlan& plan)
+    : eval_(&eval), m_(plan.models.size()), K_(plan.num_stages) {
+  model_index_.reserve(m_);
+  for (const ModelPlan& mp : plan.models) model_index_.push_back(mp.model_index);
+
+  cells_.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    fill_row(i, plan.models[i].slices, cells_[i]);
+  }
+
+  proc_solo_.assign(K_, 0.0);
+  for (std::size_t k = 0; k < K_; ++k) {
+    for (std::size_t i = 0; i < m_; ++i) proc_solo_[k] += cells_[i][k].solo;
+  }
+
+  if (m_ == 0) return;
+  const std::size_t num_cols = m_ + K_ - 1;
+  colmax_.resize(num_cols);
+  const std::vector<Cell> no_override;
+  for (std::size_t j = 0; j < num_cols; ++j) {
+    // slot = m_ is out of range: every row comes from the cache.
+    colmax_[j] = column_max(j, m_, no_override);
+  }
+  base_score_ = 0.0;
+  for (const double c : colmax_) base_score_ += c;
+}
+
+void IncrementalStaticScorer::fill_row(std::size_t slot,
+                                       std::span<const Slice> slices,
+                                       std::vector<Cell>& row) const {
+  assert(slices.size() == K_);
+  // Route through the evaluator's own accessors so the cached values are
+  // the exact doubles the non-incremental scorer would see.
+  ModelPlan probe;
+  probe.model_index = model_index_[slot];
+  probe.slices.assign(slices.begin(), slices.end());
+  row.resize(K_);
+  for (std::size_t k = 0; k < K_; ++k) {
+    row[k].solo = eval_->stage_solo_ms(probe, k);
+    row[k].intensity = eval_->stage_intensity(probe, k);
+    row[k].sensitivity = eval_->stage_sensitivity(probe, k);
+    row[k].active = !probe.slices[k].empty();
+  }
+}
+
+double IncrementalStaticScorer::column_max(
+    std::size_t j, std::size_t slot,
+    const std::vector<Cell>& row_override) const {
+  // Mirrors StaticEvaluator::stage_times for one column: members gathered
+  // in ascending-stage order, every non-victim member aggresses, then the
+  // makespan loop's max over all valid cells.
+  struct Member {
+    std::size_t k;
+    const Cell* cell;
+  };
+  std::vector<Member> members;
+  std::vector<Aggressor> aggr;
+  members.reserve(K_);
+  aggr.reserve(K_);
+  for (std::size_t k = 0; k < K_; ++k) {
+    if (j < k) continue;
+    const std::size_t i = j - k;
+    if (i >= m_) continue;
+    const Cell& c = i == slot ? row_override[k] : cells_[i][k];
+    if (!c.active) continue;
+    members.push_back(Member{k, &c});
+    aggr.push_back(Aggressor{k, c.intensity});
+  }
+
+  double colmax = 0.0;
+  if (members.size() < 2) {
+    for (const Member& mem : members) colmax = std::max(colmax, mem.cell->solo);
+    return colmax;
+  }
+  const ContentionModel& contention = eval_->contention();
+  std::vector<Aggressor> others;
+  others.reserve(aggr.size() - 1);
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    others.clear();
+    for (std::size_t a = 0; a < aggr.size(); ++a) {
+      if (a != idx) others.push_back(aggr[a]);
+    }
+    const double factor = contention.slowdown(
+        members[idx].k, members[idx].cell->sensitivity, others);
+    colmax = std::max(colmax, members[idx].cell->solo * factor);
+  }
+  return colmax;
+}
+
+double IncrementalStaticScorer::score_with(std::size_t slot,
+                                           std::span<const Slice> slices) const {
+  if (m_ == 0) return 0.0;
+  assert(slot < m_);
+  std::vector<Cell> row;
+  fill_row(slot, slices, row);
+
+  const std::size_t num_cols = m_ + K_ - 1;
+  const std::size_t lo = slot;
+  const std::size_t hi = std::min(slot + K_, num_cols);  // exclusive
+  double total = 0.0;
+  // Full ascending column sum, exactly as makespan_ms performs it — only
+  // the ≤ K affected columns are *recomputed*.
+  for (std::size_t j = 0; j < num_cols; ++j) {
+    total += (j >= lo && j < hi) ? column_max(j, slot, row) : colmax_[j];
+  }
+  return total;
+}
+
+double IncrementalStaticScorer::des_lower_bound_with(
+    std::size_t slot, std::span<const Slice> slices) const {
+  if (m_ == 0) return 0.0;
+  assert(slot < m_);
+  std::vector<Cell> row;
+  fill_row(slot, slices, row);
+  double bound = 0.0;
+  for (std::size_t k = 0; k < K_; ++k) {
+    bound = std::max(bound, proc_solo_[k] - cells_[slot][k].solo + row[k].solo);
+  }
+  return bound;
+}
+
+void IncrementalStaticScorer::apply(std::size_t slot,
+                                    std::span<const Slice> slices) {
+  if (m_ == 0) return;
+  assert(slot < m_);
+  std::vector<Cell> row;
+  fill_row(slot, slices, row);
+  for (std::size_t k = 0; k < K_; ++k) {
+    proc_solo_[k] += row[k].solo - cells_[slot][k].solo;
+  }
+  cells_[slot] = std::move(row);
+
+  const std::size_t num_cols = m_ + K_ - 1;
+  const std::size_t hi = std::min(slot + K_, num_cols);
+  const std::vector<Cell> no_override;
+  for (std::size_t j = slot; j < hi; ++j) {
+    colmax_[j] = column_max(j, m_, no_override);
+  }
+  base_score_ = 0.0;
+  for (const double c : colmax_) base_score_ += c;
+}
+
+}  // namespace h2p

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+
+namespace h2p {
+
+/// Incremental static (wavefront) scorer for single-model plan edits.
+///
+/// `StaticEvaluator::makespan_ms` rebuilds the full stage_times grid and
+/// every wavefront column's contended maximum — O(m·K²) contention work per
+/// call.  The local-search passes, however, only ever change *one* model's
+/// slices between scorings, and model slot i participates only in wavefront
+/// columns j ∈ [i, i+K-1]: all other columns are unaffected.  This class
+/// caches the per-cell solo/intensity/sensitivity values and the per-column
+/// maxima, so re-scoring one model's candidate slices costs O(K²) contention
+/// work plus an O(m+K) column-sum instead of the full grid.
+///
+/// Determinism contract: `score_with` / `base_score` are **bit-identical**
+/// to a fresh `eval.makespan_ms(plan, /*with_contention=*/true)` on the
+/// edited plan.  Affected columns are recomputed with the exact member
+/// enumeration, aggressor ordering and max/sum reduction order of the
+/// non-incremental code, and untouched columns reuse maxima that were
+/// themselves computed that way, so every floating-point operation sequence
+/// matches.  The planner's figure benches therefore reproduce unchanged.
+///
+/// `score_with` and `des_lower_bound_with` are const and touch no shared
+/// mutable state — safe to call concurrently for independent candidates.
+class IncrementalStaticScorer {
+ public:
+  IncrementalStaticScorer(const StaticEvaluator& eval, const PipelinePlan& plan);
+
+  /// Static contended makespan of the current base plan.
+  [[nodiscard]] double base_score() const { return base_score_; }
+
+  /// Static contended makespan of the base plan with model slot `slot`'s
+  /// slices replaced by `slices`.  Bit-identical to the full evaluation.
+  [[nodiscard]] double score_with(std::size_t slot,
+                                  std::span<const Slice> slices) const;
+
+  /// Lower bound on the *discrete-event* makespan of the edited plan: the
+  /// busiest processor's total solo work.  Processors run one task at a
+  /// time and contention only dilates tasks, so no schedule finishes before
+  /// its busiest processor's solo sum.  Used to prune collapse candidates
+  /// before paying for a DES scoring; the bound is conservative so pruning
+  /// never changes which candidate the search accepts.
+  [[nodiscard]] double des_lower_bound_with(std::size_t slot,
+                                            std::span<const Slice> slices) const;
+
+  /// Commit `slices` into the base plan and refresh the affected caches.
+  void apply(std::size_t slot, std::span<const Slice> slices);
+
+ private:
+  struct Cell {
+    double solo = 0.0;
+    double intensity = 0.0;
+    double sensitivity = 0.0;
+    bool active = false;  // non-empty slice (contention-member criterion)
+  };
+
+  /// Per-stage solo/intensity/sensitivity of `slices` for slot's model.
+  void fill_row(std::size_t slot, std::span<const Slice> slices,
+                std::vector<Cell>& row) const;
+
+  /// Contended maximum of wavefront column j, reading row `slot` from
+  /// `row_override` and every other row from the cache.  Reproduces
+  /// StaticEvaluator::stage_times + makespan_ms for that column exactly.
+  [[nodiscard]] double column_max(std::size_t j, std::size_t slot,
+                                  const std::vector<Cell>& row_override) const;
+
+  const StaticEvaluator* eval_;
+  std::size_t m_ = 0;
+  std::size_t K_ = 0;
+  std::vector<std::size_t> model_index_;  // slot -> model table index
+  std::vector<std::vector<Cell>> cells_;  // [slot][stage]
+  std::vector<double> colmax_;            // [m+K-1] contended column maxima
+  std::vector<double> proc_solo_;         // [K] total solo work per processor
+  double base_score_ = 0.0;
+};
+
+}  // namespace h2p

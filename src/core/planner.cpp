@@ -5,6 +5,7 @@
 
 #include "contention/classifier.h"
 #include "sim/pipeline_sim.h"
+#include "util/thread_pool.h"
 
 namespace h2p {
 
@@ -14,7 +15,7 @@ PlannerReport Hetero2PipePlanner::plan() const {
       opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
 
   // Step 1 — horizontal: independent Algorithm-1 slicings.
-  PipelinePlan pipeline = horizontal_plan(*eval_, K);
+  PipelinePlan pipeline = horizontal_plan(*eval_, K, pool_);
 
   // Step 2a — contention mitigation (Algorithm 2).
   std::vector<double> intensities;
@@ -67,28 +68,37 @@ PlannerReport Hetero2PipePlanner::plan() const {
     if (opts_.work_stealing) {
       WorkStealingOptions ws;
       ws.tail_optimization = opts_.tail_optimization;
-      *moves = vertical_align(candidate, *eval_, ws, des_scorer);
+      *moves = vertical_align(candidate, *eval_, ws, des_scorer, pool_);
     } else if (opts_.tail_optimization) {
-      optimize_tail(candidate, *eval_, des_scorer);
+      optimize_tail(candidate, *eval_, des_scorer, pool_);
     }
     return candidate;
   };
 
-  int moves_mitigated = 0;
-  PipelinePlan best = finalize(mitigation.order, &moves_mitigated);
-  report.layers_stolen = moves_mitigated;
-  if (opts_.contention_mitigation && mitigation.relocations > 0) {
-    std::vector<std::size_t> identity(pipeline.models.size());
-    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
-    int moves_identity = 0;
-    PipelinePlan original = finalize(identity, &moves_identity);
-    if (des_scorer(original) + 1e-9 < des_scorer(best)) {
-      best = std::move(original);
-      report.layers_stolen = moves_identity;
-    }
+  // The mitigated-order and original-order branches are independent
+  // alignments of private plan copies; fan them out when both are needed.
+  // The comparison below reads them in a fixed order, so the pooled run
+  // picks the same winner as the sequential one.
+  const bool try_identity =
+      opts_.contention_mitigation && mitigation.relocations > 0;
+  std::vector<std::size_t> identity(pipeline.models.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+
+  PipelinePlan branch[2];
+  int branch_moves[2] = {0, 0};
+  parallel_for(pool_, try_identity ? 2 : 1, [&](std::size_t which) {
+    branch[which] = finalize(which == 0 ? mitigation.order : identity,
+                             &branch_moves[which]);
+  });
+
+  PipelinePlan best = std::move(branch[0]);
+  report.layers_stolen = branch_moves[0];
+  if (try_identity &&
+      des_scorer(branch[1]) + 1e-9 < des_scorer(best)) {
+    best = std::move(branch[1]);
+    report.layers_stolen = branch_moves[1];
   }
-  PipelinePlan pipeline_final = std::move(best);
-  pipeline = std::move(pipeline_final);
+  pipeline = std::move(best);
 
   report.static_makespan_ms = eval_->makespan_ms(pipeline, /*with_contention=*/true);
   report.static_bubble_ms = eval_->total_bubble_ms(pipeline, /*with_contention=*/true);

@@ -5,39 +5,28 @@
 #include <cmath>
 #include <vector>
 
-namespace h2p {
-namespace {
+#include "core/incremental.h"
+#include "util/thread_pool.h"
 
-/// slices <-> boundary representation: b[0]=0 <= b[1] <= ... <= b[K] = n,
-/// stage k spans [b[k], b[k+1]).
-std::vector<std::size_t> to_boundaries(const ModelPlan& mp, std::size_t n) {
+namespace h2p {
+
+std::vector<std::size_t> slices_to_boundaries(const ModelPlan& mp,
+                                              std::size_t num_layers) {
   const std::size_t K = mp.slices.size();
   std::vector<std::size_t> b(K + 1, 0);
-  b[K] = n;
   std::size_t cursor = 0;
   for (std::size_t k = 0; k < K; ++k) {
     b[k] = cursor;
     if (!mp.slices[k].empty()) cursor = mp.slices[k].end;
   }
-  b[K] = n;
+  b[K] = num_layers;
   return b;
 }
 
-void from_boundaries(ModelPlan& mp, const std::vector<std::size_t>& b) {
+void boundaries_to_slices(ModelPlan& mp, const std::vector<std::size_t>& b) {
   const std::size_t K = mp.slices.size();
   for (std::size_t k = 0; k < K; ++k) mp.slices[k] = Slice{b[k], b[k + 1]};
 }
-
-double profile_distance(const ModelPlan& mp, const StaticEvaluator& eval,
-                        std::span<const double> target) {
-  double d = 0.0;
-  for (std::size_t k = 0; k < mp.slices.size(); ++k) {
-    d += std::fabs(eval.stage_solo_ms(mp, k) - target[k]);
-  }
-  return d;
-}
-
-}  // namespace
 
 int align_to_profile(ModelPlan& mp, const StaticEvaluator& eval,
                      std::span<const double> target, std::size_t max_moves) {
@@ -45,44 +34,68 @@ int align_to_profile(ModelPlan& mp, const StaticEvaluator& eval,
   const std::size_t n = eval.model(mp.model_index).num_layers();
   if (K < 2 || n == 0) return 0;
 
-  std::vector<std::size_t> b = to_boundaries(mp, n);
-  from_boundaries(mp, b);  // normalize empties into canonical form
+  std::vector<std::size_t> b = slices_to_boundaries(mp, n);
+  boundaries_to_slices(mp, b);  // normalize empties into canonical form
+
+  // Solo time of stage k spanning [lo, hi) — the same quantity
+  // StaticEvaluator::stage_solo_ms reads, straight off the cost table so
+  // probes need no ModelPlan copies.
+  const CostTable& table = eval.table(mp.model_index);
+  const auto stage_ms = [&table](std::size_t k, std::size_t lo, std::size_t hi) {
+    if (hi <= lo) return 0.0;
+    double ms = table.exec_ms(k, lo, hi - 1);
+    if (lo > 0) ms += table.boundary_copy_ms(k, lo);
+    return ms;
+  };
+
+  // Per-stage deviation from the target profile, maintained incrementally:
+  // shifting boundary k only re-times stages k-1 and k.
+  std::vector<double> dev(K);
+  double current = 0.0;
+  for (std::size_t k = 0; k < K; ++k) {
+    dev[k] = std::fabs(stage_ms(k, b[k], b[k + 1]) - target[k]);
+    current += dev[k];
+  }
 
   int moves = 0;
-  double current = profile_distance(mp, eval, target);
   for (std::size_t iter = 0; iter < max_moves; ++iter) {
     double best = current;
     std::size_t best_k = 0;
     int best_dir = 0;
+    double best_dev_lo = 0.0;
+    double best_dev_hi = 0.0;
     for (std::size_t k = 1; k < K; ++k) {
       for (int dir : {-1, +1}) {
-        const std::size_t nb = b[k] + static_cast<std::size_t>(dir);
-        if (dir < 0 && b[k] == 0) continue;
-        if (dir < 0 && b[k] - 1 < b[k - 1]) continue;
+        if (dir < 0 && (b[k] == 0 || b[k] - 1 < b[k - 1])) continue;
         if (dir > 0 && b[k] + 1 > b[k + 1]) continue;
-        std::vector<std::size_t> trial = b;
-        trial[k] = nb;
-        ModelPlan probe = mp;
-        from_boundaries(probe, trial);
-        const double d = profile_distance(probe, eval, target);
+        const std::size_t nb =
+            dir < 0 ? b[k] - 1 : b[k] + 1;
+        const double dev_lo = std::fabs(stage_ms(k - 1, b[k - 1], nb) - target[k - 1]);
+        const double dev_hi = std::fabs(stage_ms(k, nb, b[k + 1]) - target[k]);
+        const double d = current - dev[k - 1] - dev[k] + dev_lo + dev_hi;
         if (d + 1e-12 < best) {
           best = d;
           best_k = k;
           best_dir = dir;
+          best_dev_lo = dev_lo;
+          best_dev_hi = dev_hi;
         }
       }
     }
     if (best_dir == 0) break;
-    b[best_k] += static_cast<std::size_t>(best_dir);
-    from_boundaries(mp, b);
+    b[best_k] = best_dir < 0 ? b[best_k] - 1 : b[best_k] + 1;
+    dev[best_k - 1] = best_dev_lo;
+    dev[best_k] = best_dev_hi;
     current = best;
     ++moves;
   }
+  boundaries_to_slices(mp, b);
   return moves;
 }
 
 int vertical_align(PipelinePlan& plan, const StaticEvaluator& eval,
-                   const WorkStealingOptions& opts, const PlanScorer& scorer) {
+                   const WorkStealingOptions& opts, const PlanScorer& scorer,
+                   ThreadPool* pool) {
   const std::size_t K = plan.num_stages;
   const std::size_t m = plan.models.size();
   if (K < 2 || m < 2) return 0;
@@ -121,44 +134,105 @@ int vertical_align(PipelinePlan& plan, const StaticEvaluator& eval,
     }
   }
 
-  if (opts.tail_optimization) optimize_tail(plan, eval, scorer);
+  if (opts.tail_optimization) optimize_tail(plan, eval, scorer, pool);
   return total_moves;
 }
 
 bool optimize_tail(PipelinePlan& plan, const StaticEvaluator& eval,
-                   const PlanScorer& scorer) {
+                   const PlanScorer& scorer, ThreadPool* pool) {
   const std::size_t K = plan.num_stages;
   const std::size_t m = plan.models.size();
   if (K < 2 || m == 0) return false;
-  const PlanScorer score = scorer ? scorer : PlanScorer([&eval](const PipelinePlan& p) {
-    return eval.makespan_ms(p, /*with_contention=*/true);
-  });
+  const bool use_static = !scorer;
+
+  IncrementalStaticScorer inc(eval, plan);
+  // Score of the *current* plan, carried across the sweep — both scorers
+  // are deterministic and the plan only changes on an accepted candidate,
+  // so this equals re-scoring the plan from scratch every iteration.
+  double plan_score = use_static ? inc.base_score() : scorer(plan);
 
   // §V-C phase 2: local search re-allocating workloads, tail-first (the
   // drain columns benefit most), then over the rest of the sequence — each
   // model's candidate set is the K single-processor collapses, accepted
-  // only when the static contention-aware makespan strictly improves.
+  // only when the score strictly improves.
   bool changed = false;
+  std::vector<Slice> collapsed(K);
+  std::vector<double> cand_score(K, 0.0);
+  std::vector<char> viable(K, 0);
+  const auto make_collapsed = [&](std::size_t s, std::size_t n) {
+    std::fill(collapsed.begin(), collapsed.end(), Slice{0, 0});
+    collapsed[s] = Slice{0, n};
+  };
   for (std::size_t t = 0; t < m; ++t) {
     const std::size_t i = m - 1 - t;
     const std::size_t n = eval.model(plan.models[i].model_index).num_layers();
-    double best = score(plan);
-    std::vector<Slice> best_slices = plan.models[i].slices;
+    const double best_before = plan_score;
 
-    // Exhaustive over the K single-processor collapses (§V-C: "the search
-    // space is only K").
+    // Pre-filter the K collapses (§V-C: "the search space is only K").
+    // Both skips are decision-preserving: a candidate identical to the
+    // current layout scores exactly plan_score (never a strict
+    // improvement), and a candidate whose busiest-processor solo work
+    // already exceeds the incumbent cannot be accepted by the DES either —
+    // contention and chaining only push the makespan further up.
     for (std::size_t s = 0; s < K; ++s) {
-      std::vector<Slice> collapsed(K, Slice{0, 0});
-      collapsed[s] = Slice{0, n};
-      plan.models[i].slices = collapsed;
-      const double cand = score(plan);
-      if (cand + 1e-9 < best) {
-        best = cand;
-        best_slices = collapsed;
-        changed = true;
+      make_collapsed(s, n);
+      const std::vector<Slice>& cur = plan.models[i].slices;
+      if (std::equal(collapsed.begin(), collapsed.end(), cur.begin(), cur.end())) {
+        viable[s] = 0;
+        continue;
+      }
+      if (!use_static &&
+          inc.des_lower_bound_with(i, collapsed) >= best_before + 1e-6) {
+        viable[s] = 0;
+        continue;
+      }
+      viable[s] = 1;
+    }
+
+    if (use_static) {
+      // Incremental static scoring: only the ≤ K affected wavefront
+      // columns are recomputed per candidate; values are bit-identical to
+      // a fresh full evaluation.
+      for (std::size_t s = 0; s < K; ++s) {
+        if (!viable[s]) continue;
+        make_collapsed(s, n);
+        cand_score[s] = inc.score_with(i, collapsed);
+      }
+    } else {
+      // Full DES scoring for the surviving candidates, by value so pooled
+      // workers never touch the shared plan.
+      std::vector<std::size_t> todo;
+      for (std::size_t s = 0; s < K; ++s) {
+        if (viable[s]) todo.push_back(s);
+      }
+      parallel_for(pool, todo.size(), [&](std::size_t idx) {
+        const std::size_t s = todo[idx];
+        PipelinePlan candidate = plan;
+        std::fill(candidate.models[i].slices.begin(),
+                  candidate.models[i].slices.end(), Slice{0, 0});
+        candidate.models[i].slices[s] = Slice{0, n};
+        cand_score[s] = scorer(candidate);
+      });
+    }
+
+    // Reduce in ascending collapse order — the sequential loop's original
+    // tie-breaking, independent of scoring order.
+    double best = best_before;
+    int accepted = -1;
+    for (std::size_t s = 0; s < K; ++s) {
+      if (!viable[s]) continue;
+      if (cand_score[s] + 1e-9 < best) {
+        best = cand_score[s];
+        accepted = static_cast<int>(s);
       }
     }
-    plan.models[i].slices = best_slices;
+    if (accepted >= 0) {
+      make_collapsed(static_cast<std::size_t>(accepted), n);
+      plan.models[i].slices.assign(collapsed.begin(), collapsed.end());
+      inc.apply(i, plan.models[i].slices);
+      plan_score = best;
+      changed = true;
+    }
   }
   return changed;
 }

@@ -3,15 +3,20 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "core/bubbles.h"
 #include "core/plan.h"
 
 namespace h2p {
 
+class ThreadPool;
+
 /// Plan objective used by the local-search passes: lower is better.
 /// Defaults to the static contention-aware makespan; the planner plugs in
-/// the discrete-event simulator for higher-fidelity scoring.
+/// the discrete-event simulator for higher-fidelity scoring.  Scorers must
+/// be pure (thread-safe const calls): candidate plans are scored
+/// concurrently when a pool is supplied.
 using PlanScorer = std::function<double(const PipelinePlan&)>;
 
 struct WorkStealingOptions {
@@ -22,10 +27,22 @@ struct WorkStealingOptions {
   std::size_t max_moves_per_model = 1024;
 };
 
+/// slices -> boundary representation: b[0] = 0 <= b[1] <= ... <= b[K] = n,
+/// stage k spanning [b[k], b[k+1]).  Empty slices (leading, trailing or
+/// interior) collapse onto the previous boundary, yielding the canonical
+/// form `boundaries_to_slices` reproduces.
+std::vector<std::size_t> slices_to_boundaries(const ModelPlan& mp,
+                                              std::size_t num_layers);
+
+/// Inverse of `slices_to_boundaries`: rewrite mp's slices from boundaries.
+void boundaries_to_slices(ModelPlan& mp, const std::vector<std::size_t>& b);
+
 /// Re-partition one model so its stage-time profile approaches `target`
 /// (the critical path's profile), by stealing layers across adjacent stage
 /// boundaries — Algorithm 3's inner loop, minimizing the Eq. 11 distance
-/// sum |T_k - T_k^{i_c}| greedily one layer at a time.
+/// sum |T_k - T_k^{i_c}| greedily one layer at a time.  A boundary shift at
+/// k only changes stages k-1 and k, so candidates are evaluated via those
+/// two stages' solo-time delta — no plan copies, no allocation per probe.
 /// Returns the number of layers moved.
 int align_to_profile(ModelPlan& mp, const StaticEvaluator& eval,
                      std::span<const double> target,
@@ -34,17 +51,26 @@ int align_to_profile(ModelPlan& mp, const StaticEvaluator& eval,
 /// Algorithm 3: slide a contention window of size K over the sequence; in
 /// each window find the critical-path model and align every other member's
 /// stages to it by work stealing.  Mutates the plan in place and returns
-/// the total number of layer moves.
+/// the total number of layer moves.  `pool` parallelizes the tail pass's
+/// candidate scoring (deterministic; see optimize_tail).
 int vertical_align(PipelinePlan& plan, const StaticEvaluator& eval,
                    const WorkStealingOptions& opts = {},
-                   const PlanScorer& scorer = {});
+                   const PlanScorer& scorer = {}, ThreadPool* pool = nullptr);
 
 /// Tail-bubble optimization (§V-C phase 2): local search re-allocating
 /// workloads, sweeping models tail-first and exhaustively trying the K
 /// single-processor collapses for each (the search space is only K);
 /// a candidate is kept only when `scorer` strictly improves.  Returns true
 /// if the plan changed.
+///
+/// Scoring is incremental: with the default (static) scorer each candidate
+/// re-evaluates only its affected wavefront columns; with a custom (DES)
+/// scorer, candidates are first pruned by a per-processor solo-work lower
+/// bound that can never exclude an acceptable candidate, and the survivors
+/// are scored by value — concurrently when `pool` is non-null.  Candidate
+/// acceptance always reduces in ascending collapse order with the original
+/// tie-breaking, so pooled and sequential runs emit bit-identical plans.
 bool optimize_tail(PipelinePlan& plan, const StaticEvaluator& eval,
-                   const PlanScorer& scorer = {});
+                   const PlanScorer& scorer = {}, ThreadPool* pool = nullptr);
 
 }  // namespace h2p

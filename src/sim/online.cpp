@@ -48,9 +48,9 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     } else {
       ++result.replans;
       window_ready_ms += options.planning_overhead_ms;
-      const StaticEvaluator eval(soc, models);
+      const StaticEvaluator eval(soc, models, options.pool);
       const PlannerReport report =
-          Hetero2PipePlanner(eval, options.planner).plan();
+          Hetero2PipePlanner(eval, options.planner, options.pool).plan();
       exec::CompiledPlan fresh = exec::compile(report.plan, eval);
       if (options.use_plan_cache) {
         compiled = &cache->insert(key, std::move(fresh));

@@ -11,6 +11,8 @@
 
 namespace h2p {
 
+class ThreadPool;
+
 /// One request of an online inference stream.
 struct OnlineRequest {
   const Model* model = nullptr;
@@ -40,6 +42,12 @@ struct OnlineOptions {
   /// a long-lived serving process).  When null an internal per-call cache
   /// of `plan_cache_capacity` entries is used.
   exec::PlanCache* shared_cache = nullptr;
+
+  /// Optional worker pool for the cold path: cache-missing windows build
+  /// their cost tables and run the planner's fan-out points on it.  The
+  /// plans produced are bit-identical to the sequential ones, so this only
+  /// changes scheduler latency, never schedules.  Null = sequential.
+  ThreadPool* pool = nullptr;
 };
 
 struct OnlineResult {

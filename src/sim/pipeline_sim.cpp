@@ -32,29 +32,94 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   if (n == 0) return timeline;
 
   ContentionModel contention(soc);
+  const std::size_t P = soc.num_processors();
 
   // Chain predecessor resolution: latest smaller seq_in_model per model.
+  // Bucketing by model then sorting each bucket replaces the O(n^2) scan;
+  // ties on seq_in_model resolve to the lowest task index, matching the
+  // original first-wins linear scan.
   std::vector<int> pred(n, -1);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (tasks[j].model_idx != tasks[i].model_idx) continue;
-      if (tasks[j].seq_in_model >= tasks[i].seq_in_model) continue;
-      if (pred[i] < 0 ||
-          tasks[static_cast<std::size_t>(pred[i])].seq_in_model < tasks[j].seq_in_model) {
-        pred[i] = static_cast<int>(j);
+  {
+    std::vector<std::vector<std::size_t>> by_model(timeline.num_models);
+    for (std::size_t i = 0; i < n; ++i) by_model[tasks[i].model_idx].push_back(i);
+    for (std::vector<std::size_t>& bucket : by_model) {
+      std::sort(bucket.begin(), bucket.end(), [&](std::size_t a, std::size_t b) {
+        if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
+          return tasks[a].seq_in_model < tasks[b].seq_in_model;
+        }
+        return a < b;
+      });
+      // pred of every member = first task of the previous distinct-seq group.
+      std::size_t group_start = 0;
+      for (std::size_t q = 0; q < bucket.size(); ++q) {
+        if (tasks[bucket[q]].seq_in_model != tasks[bucket[group_start]].seq_in_model) {
+          group_start = q;
+        }
+        if (group_start > 0) {
+          // Find the first member of the group just before group_start.
+          std::size_t prev = group_start - 1;
+          while (prev > 0 && tasks[bucket[prev - 1]].seq_in_model ==
+                                 tasks[bucket[prev]].seq_in_model) {
+            --prev;
+          }
+          pred[bucket[q]] = static_cast<int>(bucket[prev]);
+        }
       }
     }
   }
 
   std::vector<bool> done(n, false);
   std::vector<bool> started(n, false);
-  std::vector<int> proc_running(soc.num_processors(), -1);  // index into running
+  std::vector<int> proc_running(P, -1);  // index into running
   std::vector<Running> running;
+  running.reserve(P);
   timeline.tasks.resize(n);
+
+  // Per-processor dispatch queues sorted by (model, seq, index): the first
+  // ready entry is exactly the min-(model, seq) task the original full scan
+  // selected.  `cursor` skips the done prefix.
+  std::vector<std::vector<std::size_t>> by_proc(P);
+  std::vector<std::size_t> proc_cursor(P, 0);
+  for (std::size_t i = 0; i < n; ++i) by_proc[tasks[i].proc_idx].push_back(i);
+  for (std::vector<std::size_t>& q : by_proc) {
+    std::sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
+      if (tasks[a].model_idx != tasks[b].model_idx) {
+        return tasks[a].model_idx < tasks[b].model_idx;
+      }
+      if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
+        return tasks[a].seq_in_model < tasks[b].seq_in_model;
+      }
+      return a < b;
+    });
+  }
+
+  // Strictly-future arrivals, sorted; `arrival_cursor` advances as `now`
+  // passes them.  Planner-produced task sets all arrive at t=0, so this is
+  // empty and the per-event arrival scans vanish.
+  std::vector<std::size_t> arrivals;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tasks[i].arrival_ms > 0.0) arrivals.push_back(i);
+  }
+  std::sort(arrivals.begin(), arrivals.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].arrival_ms < tasks[b].arrival_ms;
+  });
+  std::size_t arrival_cursor = 0;
 
   double now = 0.0;
   std::size_t completed = 0;
   const double eps = 1e-9;
+
+  // First pending strictly-future arrival, +inf when none.
+  auto next_arrival_ms = [&]() -> double {
+    while (arrival_cursor < arrivals.size()) {
+      const std::size_t i = arrivals[arrival_cursor];
+      if (!started[i] && !done[i] && tasks[i].arrival_ms > now + eps) {
+        return tasks[i].arrival_ms;
+      }
+      ++arrival_cursor;
+    }
+    return std::numeric_limits<double>::infinity();
+  };
 
   auto task_ready = [&](std::size_t i) {
     if (started[i] || done[i]) return false;
@@ -64,16 +129,16 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   };
 
   auto start_eligible = [&] {
-    for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+    for (std::size_t p = 0; p < P; ++p) {
       if (proc_running[p] >= 0) continue;
+      const std::vector<std::size_t>& q = by_proc[p];
+      std::size_t& cur = proc_cursor[p];
+      while (cur < q.size() && done[q[cur]]) ++cur;
       int best = -1;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (tasks[i].proc_idx != p || !task_ready(i)) continue;
-        if (best < 0 ||
-            std::make_pair(tasks[i].model_idx, tasks[i].seq_in_model) <
-                std::make_pair(tasks[static_cast<std::size_t>(best)].model_idx,
-                               tasks[static_cast<std::size_t>(best)].seq_in_model)) {
-          best = static_cast<int>(i);
+      for (std::size_t pos = cur; pos < q.size(); ++pos) {
+        if (task_ready(q[pos])) {
+          best = static_cast<int>(q[pos]);
+          break;  // sorted: first ready is min (model, seq)
         }
       }
       if (best >= 0) {
@@ -86,16 +151,28 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     }
   };
 
-  auto rate_of = [&](const Running& r) {
-    if (!options.contention) return 1.0;
-    std::vector<Aggressor> others;
-    for (const Running& o : running) {
-      if (o.task_idx == r.task_idx) continue;
-      others.push_back(Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
+  // Per-event rates, computed once and reused for both the dt search and
+  // the advance (the original recomputed the identical value twice per
+  // running task, allocating an aggressor list each time).
+  std::vector<double> rates;
+  rates.reserve(P);
+  std::vector<Aggressor> others;
+  others.reserve(P);
+  auto compute_rates = [&] {
+    rates.assign(running.size(), 1.0);
+    if (!options.contention) return;
+    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+      const Running& r = running[ri];
+      others.clear();
+      for (const Running& o : running) {
+        if (o.task_idx == r.task_idx) continue;
+        others.push_back(
+            Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
+      }
+      const double factor = contention.slowdown(
+          tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
+      rates[ri] = 1.0 / factor;
     }
-    const double factor = contention.slowdown(
-        tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
-    return 1.0 / factor;
   };
 
   std::size_t guard = 0;
@@ -110,12 +187,7 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
       // Nothing runnable: jump to the next strictly-future arrival.  Tasks
       // that have already arrived but are chain-blocked don't count — if
       // only those remain, the dependency graph is wedged.
-      double next_arrival = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!started[i] && !done[i] && tasks[i].arrival_ms > now + eps) {
-          next_arrival = std::min(next_arrival, tasks[i].arrival_ms);
-        }
-      }
+      const double next_arrival = next_arrival_ms();
       if (!std::isfinite(next_arrival)) {
         throw std::runtime_error("simulate: deadlock — tasks blocked forever");
       }
@@ -124,24 +196,26 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     }
 
     // Advance to the earliest completion or next arrival under current rates.
+    compute_rates();
     double dt = std::numeric_limits<double>::infinity();
-    for (const Running& r : running) {
-      const double rate = rate_of(r);
-      dt = std::min(dt, r.remaining_solo_ms / std::max(rate, 1e-9));
+    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+      dt = std::min(dt, running[ri].remaining_solo_ms / std::max(rates[ri], 1e-9));
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!started[i] && !done[i] && tasks[i].arrival_ms > now + eps) {
-        dt = std::min(dt, tasks[i].arrival_ms - now);
-      }
-    }
+    const double upcoming = next_arrival_ms();
+    if (std::isfinite(upcoming)) dt = std::min(dt, upcoming - now);
     dt = std::max(dt, 0.0);
 
-    for (Running& r : running) r.remaining_solo_ms -= rate_of(r) * dt;
+    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+      running[ri].remaining_solo_ms -= rates[ri] * dt;
+    }
     now += dt;
 
-    // Retire finished tasks.
-    std::vector<Running> still;
-    for (const Running& r : running) {
+    // Retire finished tasks, compacting `running` in place (stable, so the
+    // aggressor enumeration order next event matches the rebuild-based
+    // original exactly).
+    std::size_t w = 0;
+    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+      const Running& r = running[ri];
       if (r.remaining_solo_ms <= eps) {
         const std::size_t i = r.task_idx;
         done[i] = true;
@@ -154,21 +228,14 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
         rec.end_ms = now;
         rec.solo_ms = r.solo_ms;
         timeline.tasks[i] = rec;
-        proc_running[tasks[i].proc_idx] = -1;
       } else {
-        still.push_back(r);
+        running[w++] = r;
       }
     }
-    // Rebuild running list and the proc -> running index map.
-    running = std::move(still);
-    for (std::size_t p = 0; p < proc_running.size(); ++p) {
-      if (proc_running[p] >= 0) proc_running[p] = -2;  // placeholder, re-resolve
-    }
+    running.resize(w);
+    std::fill(proc_running.begin(), proc_running.end(), -1);
     for (std::size_t ri = 0; ri < running.size(); ++ri) {
       proc_running[tasks[running[ri].task_idx].proc_idx] = static_cast<int>(ri);
-    }
-    for (std::size_t p = 0; p < proc_running.size(); ++p) {
-      if (proc_running[p] == -2) proc_running[p] = -1;
     }
   }
 

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace h2p {
+
+/// Fixed-size worker pool for the planner's fan-out points.
+///
+/// Design constraints (they shape the API):
+///  - Determinism: `run_indexed` gives every task its index; callers write
+///    results[i] and reduce in index order afterwards, so a pooled run is
+///    bit-identical to the inline sequential one.
+///  - Exception propagation: the first-index exception of a batch is
+///    rethrown in the submitting thread; the batch still runs to completion
+///    so no task is left half-submitted.
+///  - Nesting: a task may itself call `run_indexed` on the same pool.  The
+///    waiting thread helps drain the queue instead of blocking, so nested
+///    fan-out cannot deadlock even on a single-worker pool.
+///  - Shutdown: the destructor finishes everything already queued (futures
+///    from `submit` never dangle), then joins the workers.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` uses `configured_threads()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Run fn(0), ..., fn(n-1) across the pool and block until all complete.
+  /// The calling thread participates.  If any task throws, the exception of
+  /// the lowest-index failing task is rethrown after the batch drains.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Fire-and-collect: enqueue one task, get a future for its result (or
+  /// exception).  Used where work outlives the submitting scope.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Worker count from the H2P_THREADS environment variable (positive
+  /// integer), falling back to std::thread::hardware_concurrency().
+  static std::size_t configured_threads();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+  /// Pop one queued task and run it; false if the queue was empty.
+  bool help_run_one();
+
+  std::mutex mu_;
+  std::condition_variable cv_;  // queue became non-empty, or stopping
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n): inline and sequential when `pool` is null,
+/// fanned out on the pool otherwise.  Both paths produce identical results
+/// for independent tasks because collection is by index on the caller's
+/// side — this is the single parallelism entry point the planner uses.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->run_indexed(n, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+}
+
+}  // namespace h2p

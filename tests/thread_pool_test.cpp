@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace h2p {
+namespace {
+
+TEST(ThreadPool, ZeroTaskBatchIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, CollectsResultsByIndex) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 257;  // oversubscribed: far more tasks than workers
+  std::vector<std::size_t> results(kN, 0);
+  pool.run_indexed(kN, [&](std::size_t i) { results[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ThreadPool, ParallelForMatchesSequential) {
+  constexpr std::size_t kN = 100;
+  std::vector<double> seq(kN), par(kN);
+  parallel_for(nullptr, kN, [&](std::size_t i) { seq[i] = 0.1 * static_cast<double>(i); });
+  ThreadPool pool(3);
+  parallel_for(&pool, kN, [&](std::size_t i) { par[i] = 0.1 * static_cast<double>(i); });
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ThreadPool, ExceptionPropagatesLowestIndexFirst) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.run_indexed(64, [&](std::size_t i) {
+      ++ran;
+      if (i == 7) throw std::runtime_error("seven");
+      if (i == 31) throw std::runtime_error("thirty-one");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "seven");
+  }
+  // The batch drains fully before rethrowing — no task is abandoned.
+  EXPECT_EQ(ran.load(), 64);
+  // The pool stays usable after a throwing batch.
+  std::atomic<int> again{0};
+  pool.run_indexed(8, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPool, SubmitReturnsValueAndException) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.submit([] { return 41 + 1; });
+  std::future<int> bad =
+      pool.submit([]() -> int { throw std::logic_error("boom"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([i] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return i;
+      }));
+    }
+    // Destructor runs with most of the queue still pending.
+  }
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(futures[static_cast<std::size_t>(i)].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPool, NestedFanOutDoesNotDeadlock) {
+  // One worker + nested run_indexed: only help-running while waiting can
+  // make progress here — a blocking wait would deadlock.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  pool.run_indexed(4, [&](std::size_t) {
+    pool.run_indexed(4, [&](std::size_t) { ++leaves; });
+  });
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPool, ConfiguredThreadsReadsEnv) {
+  const char* old = std::getenv("H2P_THREADS");
+  const std::string saved = old ? old : "";
+  ::setenv("H2P_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), 3u);
+  ::setenv("H2P_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);  // falls back to hardware
+  if (old) {
+    ::setenv("H2P_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("H2P_THREADS");
+  }
+}
+
+TEST(ThreadPool, DefaultSizeUsesConfiguredThreads) {
+  ThreadPool pool;  // num_threads = 0 -> configured_threads()
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace h2p

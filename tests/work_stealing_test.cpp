@@ -94,6 +94,46 @@ TEST(WorkStealing, SingleStageNoCrash) {
   EXPECT_EQ(vertical_align(plan, *fx.eval, {}), 0);
 }
 
+TEST(WorkStealing, BoundaryRoundTripEmptyLeadingAndTrailing) {
+  // K = 4 stages over n = 10 layers, with empty leading and trailing slices.
+  ModelPlan mp;
+  mp.slices = {Slice{0, 0}, Slice{0, 6}, Slice{6, 10}, Slice{10, 10}};
+  const std::size_t n = 10;
+  const std::vector<std::size_t> b = slices_to_boundaries(mp, n);
+  const std::vector<std::size_t> expected = {0, 0, 6, 10, 10};
+  EXPECT_EQ(b, expected);
+  ModelPlan back = mp;
+  boundaries_to_slices(back, b);
+  EXPECT_EQ(back.slices, mp.slices);
+  EXPECT_TRUE(back.covers(n));
+}
+
+TEST(WorkStealing, BoundaryRoundTripNormalizesInteriorEmpties) {
+  // An interior empty slice with a non-canonical range ({3, 3} could be
+  // written {7, 2} by careless code) still round-trips to canonical form.
+  ModelPlan mp;
+  mp.slices = {Slice{0, 3}, Slice{7, 2}, Slice{3, 9}};
+  const std::size_t n = 9;
+  const std::vector<std::size_t> b = slices_to_boundaries(mp, n);
+  const std::vector<std::size_t> expected = {0, 3, 3, 9};
+  EXPECT_EQ(b, expected);
+  boundaries_to_slices(mp, b);
+  EXPECT_EQ(mp.slices[1], (Slice{3, 3}));
+  EXPECT_TRUE(mp.covers(n));
+  // A second round trip is a fixed point.
+  EXPECT_EQ(slices_to_boundaries(mp, n), expected);
+}
+
+TEST(WorkStealing, BoundaryRoundTripAllLayersInOneStage) {
+  ModelPlan mp;
+  mp.slices = {Slice{0, 0}, Slice{0, 0}, Slice{0, 5}};
+  const std::vector<std::size_t> b = slices_to_boundaries(mp, 5);
+  const std::vector<std::size_t> expected = {0, 0, 0, 5};
+  EXPECT_EQ(b, expected);
+  boundaries_to_slices(mp, b);
+  EXPECT_TRUE(mp.covers(5));
+}
+
 TEST(WorkStealing, MoveCapRespected) {
   Fixture fx({ModelId::kBERT, ModelId::kVGG16});
   const std::size_t K = fx.soc.num_processors();

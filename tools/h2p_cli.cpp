@@ -6,13 +6,18 @@
 //        options: --soc <kirin990|snapdragon778g|snapdragon870>
 //                 --soc-json <file>   load a custom device description
 //                 --no-ct             disable contention mitigation + tail opt
+//                 --threads <n>       planner worker threads (default: the
+//                                     H2P_THREADS env var, else 1; output is
+//                                     identical at every thread count)
 //                 --out <file>        write the plan as JSON
 //                 --trace <file>      write a chrome://tracing timeline
 //   h2p_cli simulate --plan <file> --models a,b,c [--soc <name>]
 //   h2p_cli compare --models a,b,c [--soc <name>]   all schemes side by side
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -29,6 +34,7 @@
 #include "sim/chrome_trace.h"
 #include "sim/pipeline_sim.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace h2p;
 
@@ -53,6 +59,19 @@ bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// Pool for `--threads N` (falling back to H2P_THREADS); null = sequential.
+std::unique_ptr<ThreadPool> make_pool(int argc, char** argv) {
+  std::size_t n = 0;
+  if (const auto v = arg_value(argc, argv, "--threads")) {
+    const long parsed = std::strtol(v->c_str(), nullptr, 10);
+    n = parsed > 0 ? static_cast<std::size_t>(parsed) : 1;
+  } else if (std::getenv("H2P_THREADS") != nullptr) {
+    n = ThreadPool::configured_threads();
+  }
+  if (n <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(n);
 }
 
 std::optional<Soc> builtin_soc(const std::string& name) {
@@ -150,10 +169,11 @@ int cmd_plan(int argc, char** argv) {
 
   std::vector<const Model*> models;
   for (ModelId id : *ids) models.push_back(&zoo_model(id));
-  const StaticEvaluator eval(*soc, models);
+  const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
+  const StaticEvaluator eval(*soc, models, pool.get());
   const PlannerOptions opts =
       has_flag(argc, argv, "--no-ct") ? PlannerOptions::no_ct() : PlannerOptions{};
-  const PlannerReport report = Hetero2PipePlanner(eval, opts).plan();
+  const PlannerReport report = Hetero2PipePlanner(eval, opts, pool.get()).plan();
   const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
   const Timeline timeline =
       simulate(eval.soc(), tasks_from_compiled(compiled), {});
@@ -224,7 +244,8 @@ int cmd_compare(int argc, char** argv) {
 
   std::vector<const Model*> models;
   for (ModelId id : *ids) models.push_back(&zoo_model(id));
-  const StaticEvaluator eval(*soc, models);
+  const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
+  const StaticEvaluator eval(*soc, models, pool.get());
 
   Table table({"Scheme", "Latency (ms)", "Throughput (inf/s)"});
   auto add = [&](const char* name, const Timeline& t) {
@@ -236,9 +257,10 @@ int cmd_compare(int argc, char** argv) {
   add("uLayer", run_ulayer(eval));
   add("DART", run_dart(eval));
   add("Band", run_band(eval));
-  const PlannerReport no_ct = Hetero2PipePlanner(eval, PlannerOptions::no_ct()).plan();
+  const PlannerReport no_ct =
+      Hetero2PipePlanner(eval, PlannerOptions::no_ct(), pool.get()).plan();
   add("Hetero2Pipe (No C/T)", simulate_plan(no_ct.plan, eval));
-  const PlannerReport full = Hetero2PipePlanner(eval).plan();
+  const PlannerReport full = Hetero2PipePlanner(eval, {}, pool.get()).plan();
   add("Hetero2Pipe", simulate_plan(full.plan, eval));
   table.print();
   return 0;
