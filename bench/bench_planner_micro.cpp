@@ -22,7 +22,10 @@
 #include "core/lap.h"
 #include "core/partition.h"
 #include "core/planner.h"
+#include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
+#include "sim/online.h"
+#include "sim/pipeline_sim.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -136,6 +139,105 @@ BENCHMARK(BM_PlannerEndToEnd)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// ---- online serving loop ----------------------------------------------------
+
+/// A cache-cold stream: `num_windows` windows of `per_window` requests, each
+/// window a *distinct* model multiset (consecutive runs over the zoo), so
+/// every window is a cold replan and the loop's planning cost dominates.
+std::vector<OnlineRequest> cold_stream(std::size_t num_windows,
+                                       std::size_t per_window) {
+  std::vector<OnlineRequest> stream;
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    for (std::size_t i = 0; i < per_window; ++i) {
+      stream.push_back(OnlineRequest{
+          &zoo_model(all_model_ids()[(w + i) % kNumZooModels]),
+          static_cast<double>(stream.size()) * 2.0});
+    }
+  }
+  return stream;
+}
+
+/// The tentpole's acceptance metric: the online loop over a cache-cold
+/// 8-window stream, serial vs async-prefetch, at 1/2/4/8 worker threads.
+/// Both variants produce bit-identical timelines (asserted in the tests);
+/// only host wall-clock differs.  threads:1 runs without a pool in both
+/// variants — async falls back to the serial path there.
+void BM_OnlineLoop(benchmark::State& state, bool async) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const Soc soc = Soc::kirin990();
+  const std::vector<OnlineRequest> stream = cold_stream(8, 4);
+  std::unique_ptr<ThreadPool> owned =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  OnlineOptions opts;
+  opts.pool = owned.get();
+  opts.async_planning = async;
+  opts.prefetch_depth = 3;
+  for (auto _ : state) {
+    // A fresh per-call cache each iteration keeps every window cold.
+    benchmark::DoNotOptimize(run_online(soc, stream, opts));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(threads));
+}
+BENCHMARK_CAPTURE(BM_OnlineLoop, serial, false)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_OnlineLoop, async, true)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// ---- warm-start replanning --------------------------------------------------
+
+/// Cold vs warm replan of a window one model away from a cached one.  The
+/// warm path is validated against the cold plan once in setup: it must
+/// exist and simulate within 10% of the cold plan's makespan (score
+/// equivalence; the tests assert the same bound per descriptor).
+void BM_WarmStartReplan(benchmark::State& state, bool warm) {
+  const Soc soc = Soc::kirin990();
+  std::vector<const Model*> seed_models;
+  for (std::size_t i = 0; i < 8; ++i) {
+    seed_models.push_back(&zoo_model(all_model_ids()[i]));
+  }
+  std::vector<const Model*> delta_models = seed_models;
+  delta_models.back() = &zoo_model(all_model_ids()[9]);  // substitute one
+
+  const StaticEvaluator seed_eval(soc, seed_models);
+  const exec::CompiledPlan seed_compiled =
+      exec::compile(Hetero2PipePlanner(seed_eval).plan().plan, seed_eval);
+
+  const StaticEvaluator eval(soc, delta_models);
+  const Hetero2PipePlanner planner(eval);
+  {
+    const std::optional<PlannerReport> check = planner.plan_warm(seed_compiled);
+    if (!check) {
+      state.SkipWithError("plan_warm rejected a one-model-delta seed");
+      return;
+    }
+    const double warm_ms = simulate_plan(check->plan, eval).makespan_ms();
+    const double cold_ms = simulate_plan(planner.plan().plan, eval).makespan_ms();
+    if (warm_ms > 1.10 * cold_ms) {
+      state.SkipWithError("warm plan not score-equivalent to cold");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    if (warm) {
+      benchmark::DoNotOptimize(planner.plan_warm(seed_compiled));
+    } else {
+      benchmark::DoNotOptimize(planner.plan());
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_WarmStartReplan, cold, false);
+BENCHMARK_CAPTURE(BM_WarmStartReplan, warm, true);
 
 // ---- cost-table construction ------------------------------------------------
 

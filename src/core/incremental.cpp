@@ -15,7 +15,7 @@ IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
 
   cells_.resize(m_);
   for (std::size_t i = 0; i < m_; ++i) {
-    fill_row(i, plan.models[i].slices, cells_[i]);
+    fill_row_for(model_index_[i], plan.models[i].slices, cells_[i]);
   }
 
   proc_solo_.assign(K_, 0.0);
@@ -29,20 +29,20 @@ IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
   const std::vector<Cell> no_override;
   for (std::size_t j = 0; j < num_cols; ++j) {
     // slot = m_ is out of range: every row comes from the cache.
-    colmax_[j] = column_max(j, m_, no_override);
+    colmax_[j] = column_max(j, m_, no_override, m_);
   }
   base_score_ = 0.0;
   for (const double c : colmax_) base_score_ += c;
 }
 
-void IncrementalStaticScorer::fill_row(std::size_t slot,
-                                       std::span<const Slice> slices,
-                                       std::vector<Cell>& row) const {
+void IncrementalStaticScorer::fill_row_for(std::size_t model_index,
+                                           std::span<const Slice> slices,
+                                           std::vector<Cell>& row) const {
   assert(slices.size() == K_);
   // Route through the evaluator's own accessors so the cached values are
   // the exact doubles the non-incremental scorer would see.
   ModelPlan probe;
-  probe.model_index = model_index_[slot];
+  probe.model_index = model_index;
   probe.slices.assign(slices.begin(), slices.end());
   row.resize(K_);
   for (std::size_t k = 0; k < K_; ++k) {
@@ -55,7 +55,7 @@ void IncrementalStaticScorer::fill_row(std::size_t slot,
 
 double IncrementalStaticScorer::column_max(
     std::size_t j, std::size_t slot,
-    const std::vector<Cell>& row_override) const {
+    const std::vector<Cell>& row_override, std::size_t num_rows) const {
   // Mirrors StaticEvaluator::stage_times for one column: members gathered
   // in ascending-stage order, every non-victim member aggresses, then the
   // makespan loop's max over all valid cells.
@@ -70,7 +70,7 @@ double IncrementalStaticScorer::column_max(
   for (std::size_t k = 0; k < K_; ++k) {
     if (j < k) continue;
     const std::size_t i = j - k;
-    if (i >= m_) continue;
+    if (i >= num_rows) continue;
     const Cell& c = i == slot ? row_override[k] : cells_[i][k];
     if (!c.active) continue;
     members.push_back(Member{k, &c});
@@ -102,7 +102,7 @@ double IncrementalStaticScorer::score_with(std::size_t slot,
   if (m_ == 0) return 0.0;
   assert(slot < m_);
   std::vector<Cell> row;
-  fill_row(slot, slices, row);
+  fill_row_for(model_index_[slot], slices, row);
 
   const std::size_t num_cols = m_ + K_ - 1;
   const std::size_t lo = slot;
@@ -111,9 +111,42 @@ double IncrementalStaticScorer::score_with(std::size_t slot,
   // Full ascending column sum, exactly as makespan_ms performs it — only
   // the ≤ K affected columns are *recomputed*.
   for (std::size_t j = 0; j < num_cols; ++j) {
-    total += (j >= lo && j < hi) ? column_max(j, slot, row) : colmax_[j];
+    total += (j >= lo && j < hi) ? column_max(j, slot, row, m_) : colmax_[j];
   }
   return total;
+}
+
+double IncrementalStaticScorer::score_appended(
+    std::size_t model_index, std::span<const Slice> slices) const {
+  std::vector<Cell> row;
+  fill_row_for(model_index, slices, row);
+  // Columns j < m_ have no member from the appended row and keep their
+  // cached maxima; columns [m_, m_+K-1] are recomputed with the new row
+  // participating as slot m_ of an (m_+1)-row plan.
+  double total = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) total += colmax_[j];
+  for (std::size_t j = m_; j < m_ + K_; ++j) {
+    total += column_max(j, m_, row, m_ + 1);
+  }
+  return total;
+}
+
+void IncrementalStaticScorer::apply_appended(std::size_t model_index,
+                                             std::span<const Slice> slices) {
+  std::vector<Cell> row;
+  fill_row_for(model_index, slices, row);
+  for (std::size_t k = 0; k < K_; ++k) proc_solo_[k] += row[k].solo;
+  model_index_.push_back(model_index);
+  cells_.push_back(std::move(row));
+  ++m_;
+
+  colmax_.resize(m_ + K_ - 1);
+  const std::vector<Cell> no_override;
+  for (std::size_t j = m_ - 1; j < m_ + K_ - 1; ++j) {
+    colmax_[j] = column_max(j, m_, no_override, m_);
+  }
+  base_score_ = 0.0;
+  for (const double c : colmax_) base_score_ += c;
 }
 
 double IncrementalStaticScorer::des_lower_bound_with(
@@ -121,7 +154,7 @@ double IncrementalStaticScorer::des_lower_bound_with(
   if (m_ == 0) return 0.0;
   assert(slot < m_);
   std::vector<Cell> row;
-  fill_row(slot, slices, row);
+  fill_row_for(model_index_[slot], slices, row);
   double bound = 0.0;
   for (std::size_t k = 0; k < K_; ++k) {
     bound = std::max(bound, proc_solo_[k] - cells_[slot][k].solo + row[k].solo);
@@ -134,7 +167,7 @@ void IncrementalStaticScorer::apply(std::size_t slot,
   if (m_ == 0) return;
   assert(slot < m_);
   std::vector<Cell> row;
-  fill_row(slot, slices, row);
+  fill_row_for(model_index_[slot], slices, row);
   for (std::size_t k = 0; k < K_; ++k) {
     proc_solo_[k] += row[k].solo - cells_[slot][k].solo;
   }
@@ -144,7 +177,7 @@ void IncrementalStaticScorer::apply(std::size_t slot,
   const std::size_t hi = std::min(slot + K_, num_cols);
   const std::vector<Cell> no_override;
   for (std::size_t j = slot; j < hi; ++j) {
-    colmax_[j] = column_max(j, m_, no_override);
+    colmax_[j] = column_max(j, m_, no_override, m_);
   }
   base_score_ = 0.0;
   for (const double c : colmax_) base_score_ += c;

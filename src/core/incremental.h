@@ -42,6 +42,19 @@ class IncrementalStaticScorer {
   [[nodiscard]] double score_with(std::size_t slot,
                                   std::span<const Slice> slices) const;
 
+  /// Static contended makespan of the base plan with a *new* model (cost
+  /// table `model_index`) appended as slot m.  Appending only perturbs the
+  /// trailing wavefront columns j ∈ [m, m+K-1] — every earlier column has no
+  /// member from the new row — so the evaluation is O(K²) contention work,
+  /// like `score_with`.  Bit-identical to a full evaluation of the
+  /// (m+1)-slot plan.  Warm-start replanning uses this to audition candidate
+  /// slicings of the one model a near-miss window adds.
+  [[nodiscard]] double score_appended(std::size_t model_index,
+                                      std::span<const Slice> slices) const;
+
+  /// Commit an appended row: the scorer now tracks m+1 slots.
+  void apply_appended(std::size_t model_index, std::span<const Slice> slices);
+
   /// Lower bound on the *discrete-event* makespan of the edited plan: the
   /// busiest processor's total solo work.  Processors run one task at a
   /// time and contention only dilates tasks, so no schedule finishes before
@@ -62,15 +75,19 @@ class IncrementalStaticScorer {
     bool active = false;  // non-empty slice (contention-member criterion)
   };
 
-  /// Per-stage solo/intensity/sensitivity of `slices` for slot's model.
-  void fill_row(std::size_t slot, std::span<const Slice> slices,
-                std::vector<Cell>& row) const;
+  /// Per-stage solo/intensity/sensitivity of `slices` for one model (by
+  /// cost-table index, so appended rows need no pre-registered slot).
+  void fill_row_for(std::size_t model_index, std::span<const Slice> slices,
+                    std::vector<Cell>& row) const;
 
   /// Contended maximum of wavefront column j, reading row `slot` from
   /// `row_override` and every other row from the cache.  Reproduces
   /// StaticEvaluator::stage_times + makespan_ms for that column exactly.
+  /// `num_rows` is the plan height (m_, or m_+1 when an appended row is
+  /// being evaluated as slot m_).
   [[nodiscard]] double column_max(std::size_t j, std::size_t slot,
-                                  const std::vector<Cell>& row_override) const;
+                                  const std::vector<Cell>& row_override,
+                                  std::size_t num_rows) const;
 
   const StaticEvaluator* eval_;
   std::size_t m_ = 0;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "core/bubbles.h"
 #include "core/mitigation.h"
@@ -10,6 +11,10 @@
 namespace h2p {
 
 class ThreadPool;
+
+namespace exec {
+struct CompiledPlan;
+}  // namespace exec
 
 /// Knobs for the two-step planner.  Disabling `contention_mitigation` and
 /// `tail_optimization` together yields the paper's "No C/T" ablation.
@@ -63,6 +68,27 @@ class Hetero2PipePlanner {
       : eval_(&eval), opts_(opts), pool_(pool) {}
 
   [[nodiscard]] PlannerReport plan() const;
+
+  /// Warm-start replanning from a near-miss cached plan (same SoC + knobs,
+  /// model multiset within one add/remove/substitute of this evaluator's —
+  /// the entries `exec::PlanCache::find_near` serves).  Instead of running
+  /// Algorithm 1 and the full mitigation + alignment passes from scratch,
+  /// the seed's per-model boundaries and its mitigated order are inherited;
+  /// only the one model the window adds (if any) is DP-sliced, placed into
+  /// the removed model's slot (Def.-4 permitting) with its slicing
+  /// auditioned by the incremental static scorer, and the result is settled
+  /// with two DES evaluations plus one DES-scored tail sweep — against the
+  /// cold path's two full DES-aligned branches, which is what makes a warm
+  /// replan several times cheaper than a cold one.  Returns nullopt when
+  /// the seed is unusable (stage-count mismatch, more than one model of
+  /// delta, non-grid seed); callers then fall back to `plan()`.
+  ///
+  /// A warm-started plan is NOT guaranteed bit-identical to the cold plan
+  /// for the same window — it is a different (cheaper) search path.  Tests
+  /// validate score-equivalence on one-model-delta windows, and the online
+  /// loop only takes this path behind `OnlineOptions::warm_start`.
+  [[nodiscard]] std::optional<PlannerReport> plan_warm(
+      const exec::CompiledPlan& seed) const;
 
   [[nodiscard]] const PlannerOptions& options() const { return opts_; }
 

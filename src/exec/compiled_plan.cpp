@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/work_stealing.h"
+
 namespace h2p::exec {
 
 const ScheduledSlice* CompiledPlan::find(std::size_t model_idx,
@@ -49,6 +51,36 @@ ScheduledSlice lower_range(const StaticEvaluator& eval, std::size_t table_idx,
   s.intensity = t.intensity(proc_idx, begin, end - 1);
   s.dram_bytes = t.dram_bytes(proc_idx, begin, end - 1);
   return s;
+}
+
+PipelinePlan to_pipeline_plan(const CompiledPlan& compiled) {
+  PipelinePlan plan;
+  plan.num_stages = compiled.num_stages;
+  plan.models.resize(compiled.num_models);
+  for (std::size_t slot = 0; slot < compiled.num_models; ++slot) {
+    plan.models[slot].model_index = compiled.original_index[slot];
+    plan.models[slot].slices.assign(compiled.num_stages, Slice{0, 0});
+  }
+  for (const ScheduledSlice& s : compiled.slices) {
+    if (s.model_idx >= plan.models.size() || s.proc_idx >= compiled.num_stages) {
+      throw std::invalid_argument("to_pipeline_plan: slice outside the grid");
+    }
+    Slice& cell = plan.models[s.model_idx].slices[s.proc_idx];
+    if (!cell.empty()) {
+      throw std::invalid_argument(
+          "to_pipeline_plan: two slices on one (slot, processor) cell — not a "
+          "pipeline-grid plan");
+    }
+    cell = s.layers;
+  }
+  // Canonicalize empty slices the way the planner's own passes do, so a
+  // reconstructed plan compares bit-identical to the one that was compiled.
+  for (ModelPlan& mp : plan.models) {
+    std::size_t num_layers = 0;
+    for (const Slice& sl : mp.slices) num_layers = std::max(num_layers, sl.end);
+    boundaries_to_slices(mp, slices_to_boundaries(mp, num_layers));
+  }
+  return plan;
 }
 
 CompiledPlanBuilder::CompiledPlanBuilder(const StaticEvaluator& eval)

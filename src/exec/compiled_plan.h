@@ -65,6 +65,16 @@ struct CompiledPlan {
 [[nodiscard]] CompiledPlan compile(const PipelinePlan& plan,
                                    const StaticEvaluator& eval);
 
+/// Inverse of `compile` for pipeline-grid plans (stage k == processor k,
+/// i.e. anything the two-step planner produced): recover each slot's K-way
+/// slicing, with `ModelPlan::model_index` taken from `original_index`.
+/// Stages the slot skips come back as empty slices in the canonical form
+/// `boundaries_to_slices` emits.  Warm-start replanning uses this to seed
+/// Algorithm 1 from a cached plan's boundaries.  Throws
+/// std::invalid_argument if the plan is not a pipeline grid (a cooperative
+/// baseline schedule with duplicate (slot, proc) ranges).
+[[nodiscard]] PipelinePlan to_pipeline_plan(const CompiledPlan& compiled);
+
 /// Lower one explicit layer range onto one processor — the escape hatch for
 /// baseline schedulers whose schedules are not stage-k -> processor-k
 /// pipelines (Band's greedy dispatch, Pipe-it's two-stage split, ...).

@@ -4,6 +4,63 @@
 #include <cstdio>
 
 namespace h2p::exec {
+namespace {
+
+/// Split a make_key-produced key into (soc fingerprint, sorted names, knob
+/// suffix).  Returns false for keys that did not come from make_key — the
+/// fingerprint never contains "||" and the knob suffix is the last "||"
+/// section, so the two outermost separators are unambiguous.
+struct KeyParts {
+  std::string_view soc;
+  std::vector<std::string_view> names;
+  std::string_view knobs;
+};
+
+bool split_key(const std::string& key, KeyParts* out) {
+  const std::size_t first = key.find("||");
+  if (first == std::string::npos) return false;
+  const std::size_t last = key.rfind("||");
+  if (last == first) return false;
+  out->soc = std::string_view(key).substr(0, first);
+  out->knobs = std::string_view(key).substr(last + 2);
+  std::string_view names = std::string_view(key).substr(first + 2, last - first - 2);
+  out->names.clear();
+  while (!names.empty()) {
+    const std::size_t comma = names.find(',');
+    if (comma == std::string_view::npos) return false;  // make_key always
+    out->names.push_back(names.substr(0, comma));       // terminates with ','
+    names.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+/// Multiset edit distance capped at "more than one": both name lists are
+/// sorted (make_key sorts), so a single merge pass counts the elements
+/// unique to each side.
+bool within_one_edit(const std::vector<std::string_view>& a,
+                     const std::vector<std::string_view>& b) {
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      if (++only_a > 1) return false;
+      ++i;
+    } else {
+      if (++only_b > 1) return false;
+      ++j;
+    }
+  }
+  only_a += a.size() - i;
+  only_b += b.size() - j;
+  return only_a <= 1 && only_b <= 1;
+}
+
+}  // namespace
 
 PlanCache::PlanCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
@@ -16,6 +73,36 @@ const CompiledPlan* PlanCache::find(const std::string& key) {
   ++stats_.hits;
   entries_.splice(entries_.begin(), entries_, it->second);
   return &entries_.front().plan;
+}
+
+const CompiledPlan* PlanCache::peek(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &it->second->plan;
+}
+
+const CompiledPlan* PlanCache::find_near(const std::string& key) {
+  KeyParts probe;
+  if (!split_key(key, &probe)) return nullptr;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) continue;  // exact match is find()'s job
+    KeyParts cand;
+    if (!split_key(it->key, &cand)) continue;
+    if (cand.soc != probe.soc || cand.knobs != probe.knobs) continue;
+    if (!within_one_edit(cand.names, probe.names)) continue;
+    ++stats_.warm_hits;
+    entries_.splice(entries_.begin(), entries_, it);
+    return &entries_.front().plan;
+  }
+  return nullptr;
+}
+
+bool PlanCache::near_miss(const std::string& a, const std::string& b) {
+  if (a == b) return false;
+  KeyParts pa;
+  KeyParts pb;
+  if (!split_key(a, &pa) || !split_key(b, &pb)) return false;
+  if (pa.soc != pb.soc || pa.knobs != pb.knobs) return false;
+  return within_one_edit(pa.names, pb.names);
 }
 
 const CompiledPlan& PlanCache::insert(const std::string& key, CompiledPlan plan) {

@@ -22,6 +22,13 @@ namespace h2p::exec {
 /// the O(|M|^3 |H|) planner, the cost §V-C flags as the reason the planner
 /// "should be scheduled more frequently" at high request rates.
 ///
+/// Beyond exact hits, `find_near` serves *near misses*: an entry whose model
+/// multiset differs from the probe key by at most one model added, removed
+/// or substituted (same SoC, same knobs).  Such an entry cannot be executed
+/// directly, but it seeds warm-start replanning
+/// (`Hetero2PipePlanner::plan_warm`), which reuses the cached plan's
+/// boundaries instead of planning the window from scratch.
+///
 /// Returned pointers stay valid until their entry is evicted or the cache
 /// is cleared; they are not invalidated by lookups or by inserting other
 /// keys.  Not thread-safe; guard externally if shared across threads.
@@ -30,6 +37,8 @@ class PlanCache {
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    /// Near-miss (warm-start) lookups that found a one-model-delta entry.
+    std::size_t warm_hits = 0;
     std::size_t evictions = 0;
   };
 
@@ -42,6 +51,19 @@ class PlanCache {
   /// Lookup; bumps the entry to most-recently-used and counts a hit/miss.
   [[nodiscard]] const CompiledPlan* find(const std::string& key);
 
+  /// Non-mutating lookup: no LRU bump, no stats.  The async prefetcher uses
+  /// this to decide whether a window is worth a speculative cold plan
+  /// without perturbing the (deterministic) LRU order the consume path sees.
+  [[nodiscard]] const CompiledPlan* peek(const std::string& key) const;
+
+  /// Near-miss lookup: the most-recently-used entry whose key matches
+  /// `key`'s SoC fingerprint and planner knobs exactly and whose model
+  /// multiset is within one add/remove/substitute of `key`'s.  An *exact*
+  /// match is never returned (that is `find`'s job).  Bumps the source
+  /// entry to MRU and counts a warm hit; returns nullptr (uncounted)
+  /// otherwise.  Keys that did not come from `make_key` never match.
+  [[nodiscard]] const CompiledPlan* find_near(const std::string& key);
+
   /// Insert (or overwrite) and return the stored plan; evicts the
   /// least-recently-used entry when at capacity.
   const CompiledPlan& insert(const std::string& key, CompiledPlan plan);
@@ -52,6 +74,12 @@ class PlanCache {
   [[nodiscard]] static std::string make_key(const Soc& soc,
                                             const std::vector<const Model*>& models,
                                             const PlannerOptions& options);
+
+  /// True if the two make_key-style keys agree on SoC + knobs and their
+  /// name multisets differ by at most one add/remove/substitute (exact
+  /// matches return false).  Exposed for the online loop's prefetch policy
+  /// and for tests; malformed keys never qualify.
+  [[nodiscard]] static bool near_miss(const std::string& a, const std::string& b);
 
  private:
   struct Entry {

@@ -2,63 +2,160 @@
 
 #include <algorithm>
 #include <deque>
+#include <future>
 #include <numeric>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
+#include "util/thread_pool.h"
 
 namespace h2p {
+namespace {
+
+/// One replanning window of the stream, pre-split so the async loop can
+/// look ahead of the window it is currently resolving.
+struct StreamWindow {
+  std::size_t begin = 0;  // first request index (inclusive)
+  std::size_t end = 0;    // last request index (exclusive)
+  std::vector<const Model*> models;
+  double arrival_ms = 0.0;  // when the window's last request arrived
+  std::string key;          // plan-cache key ("" when caching is off)
+};
+
+/// The full cold path for one window: cost tables, two-step planner,
+/// lowering.  Deterministic in (soc, models, planner) — prefetch jobs run
+/// it with a null pool and still produce the bit-identical plan (the PR-2
+/// pooled-planner contract), so *where* a window is planned never shows in
+/// the result.
+exec::CompiledPlan plan_cold(const Soc& soc,
+                             const std::vector<const Model*>& models,
+                             const PlannerOptions& planner, ThreadPool* pool) {
+  const StaticEvaluator eval(soc, models, pool);
+  const PlannerReport report = Hetero2PipePlanner(eval, planner, pool).plan();
+  return exec::compile(report.plan, eval);
+}
+
+}  // namespace
 
 OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
                         const OnlineOptions& options) {
   OnlineResult result;
-  const std::size_t window = std::max<std::size_t>(options.replan_window, 1);
-  std::vector<SimTask> all_tasks;
-  // Global slot id per request (model_idx in the merged simulation).
-  std::size_t next_slot = 0;
-  std::vector<std::size_t> request_of_slot;
+  const std::size_t window_size = std::max<std::size_t>(options.replan_window, 1);
+  const bool caching = options.use_plan_cache;
+  const bool warm = options.warm_start && caching;
+  const bool async = options.async_planning && options.pool != nullptr;
 
   exec::PlanCache local_cache(options.plan_cache_capacity);
   exec::PlanCache* cache =
       options.shared_cache != nullptr ? options.shared_cache : &local_cache;
 
-  for (std::size_t begin = 0; begin < stream.size(); begin += window) {
-    const std::size_t end = std::min(begin + window, stream.size());
-
-    std::vector<const Model*> models;
-    double window_ready_ms = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      models.push_back(stream[i].model);
-      window_ready_ms = std::max(window_ready_ms, stream[i].arrival_ms);
+  std::vector<StreamWindow> windows;
+  for (std::size_t begin = 0; begin < stream.size(); begin += window_size) {
+    StreamWindow win;
+    win.begin = begin;
+    win.end = std::min(begin + window_size, stream.size());
+    for (std::size_t i = win.begin; i < win.end; ++i) {
+      win.models.push_back(stream[i].model);
+      win.arrival_ms = std::max(win.arrival_ms, stream[i].arrival_ms);
     }
+    if (caching) {
+      win.key = exec::PlanCache::make_key(soc, win.models, options.planner);
+    }
+    windows.push_back(std::move(win));
+  }
+
+  // Async mode: cold plans for upcoming windows are computed speculatively
+  // on the pool.  Prefetch is *best-effort and non-binding* — the filters
+  // below (peek = no LRU bump, no stats) only avoid obviously wasted work;
+  // whether a window is served cold, warm or from cache is decided at
+  // consume time from cache state that is identical to a serial run's, and
+  // a prefetched plan that loses that decision is simply discarded.
+  std::unordered_map<std::size_t, std::future<exec::CompiledPlan>> inflight;
+  std::unordered_set<std::string> inflight_keys;
+  const auto pump_prefetch = [&](std::size_t current) {
+    if (!async) return;
+    const std::size_t limit =
+        std::min(windows.size(), current + 1 + options.prefetch_depth);
+    for (std::size_t w = current; w < limit; ++w) {
+      if (inflight.count(w) != 0) continue;
+      const StreamWindow& win = windows[w];
+      if (caching && cache->peek(win.key) != nullptr) continue;
+      if (caching && inflight_keys.count(win.key) != 0) continue;
+      inflight.emplace(
+          w, options.pool->submit(
+                 [&soc, models = win.models, planner = options.planner] {
+                   return plan_cold(soc, models, planner, nullptr);
+                 }));
+      if (caching) inflight_keys.insert(win.key);
+    }
+  };
+
+  std::vector<SimTask> all_tasks;
+  std::size_t next_slot = 0;
+  std::vector<std::size_t> request_of_slot;
+  std::vector<std::size_t> slot_base_of_window;
+  double prev_plan_finish_ms = 0.0;
+
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    pump_prefetch(w);
+    const StreamWindow& win = windows[w];
+
+    WindowStats ws;
+    ws.arrival_ms = win.arrival_ms;
 
     exec::CompiledPlan storage;
     const exec::CompiledPlan* compiled = nullptr;
-    std::string key;
-    if (options.use_plan_cache) {
-      key = exec::PlanCache::make_key(soc, models, options.planner);
-      compiled = cache->find(key);
+    if (caching) {
+      if (const exec::CompiledPlan* hit = cache->find(win.key)) {
+        compiled = hit;
+        ws.source = WindowSource::kCacheHit;
+        ++result.cache_hits;
+        ws.planning_ms = options.cache_hit_overhead_ms;
+      }
     }
-    if (compiled != nullptr) {
-      // Served from cache: no cost-table build, no planner run.
-      ++result.cache_hits;
-      window_ready_ms += options.cache_hit_overhead_ms;
-    } else {
+    if (compiled == nullptr && warm) {
+      if (const exec::CompiledPlan* seed = cache->find_near(win.key)) {
+        const StaticEvaluator eval(soc, win.models, options.pool);
+        const Hetero2PipePlanner planner(eval, options.planner, options.pool);
+        if (std::optional<PlannerReport> report = planner.plan_warm(*seed)) {
+          compiled = &cache->insert(win.key, exec::compile(report->plan, eval));
+          ws.source = WindowSource::kWarmReplan;
+          ++result.replans;
+          ++result.warm_hits;
+          ws.planning_ms = options.warm_planning_overhead_ms;
+        }
+      }
+    }
+    if (compiled == nullptr) {
+      exec::CompiledPlan fresh;
+      if (const auto it = inflight.find(w); it != inflight.end()) {
+        fresh = options.pool->wait_and_help(it->second);
+        inflight.erase(it);
+      } else {
+        fresh = plan_cold(soc, win.models, options.planner, options.pool);
+      }
+      ws.source = WindowSource::kColdReplan;
       ++result.replans;
-      window_ready_ms += options.planning_overhead_ms;
-      const StaticEvaluator eval(soc, models, options.pool);
-      const PlannerReport report =
-          Hetero2PipePlanner(eval, options.planner, options.pool).plan();
-      exec::CompiledPlan fresh = exec::compile(report.plan, eval);
-      if (options.use_plan_cache) {
-        compiled = &cache->insert(key, std::move(fresh));
+      ws.planning_ms = options.planning_overhead_ms;
+      if (caching) {
+        compiled = &cache->insert(win.key, std::move(fresh));
       } else {
         storage = std::move(fresh);
         compiled = &storage;
       }
     }
+
+    // The planner is one on-device component: window w+1's invocation
+    // queues behind window w's.  Its latency is charged here in full; how
+    // much of it the pipeline *hides* behind still-executing earlier
+    // windows is measured from the simulated timeline afterwards.
+    const double plan_start = std::max(win.arrival_ms, prev_plan_finish_ms);
+    ws.release_ms = plan_start + ws.planning_ms;
+    prev_plan_finish_ms = ws.release_ms;
 
     // Bind plan slots to this window's requests by model name.  The cache
     // key is a *multiset* of names, so a permuted repeat of a window reuses
@@ -69,8 +166,8 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     std::vector<std::size_t> window_index(m, 0);
     {
       std::unordered_map<std::string, std::deque<std::size_t>> by_name;
-      for (std::size_t i = 0; i < models.size(); ++i) {
-        by_name[models[i]->name()].push_back(i);
+      for (std::size_t i = 0; i < win.models.size(); ++i) {
+        by_name[win.models[i]->name()].push_back(i);
       }
       std::vector<std::size_t> slot_order(m);
       std::iota(slot_order.begin(), slot_order.end(), 0);
@@ -86,7 +183,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     }
 
     // Remap window-local slots to global slots and release each model's
-    // chain at max(its own arrival, window planning/lookup time).
+    // chain at max(its own arrival, the window's release).
     for (const exec::ScheduledSlice& s : compiled->slices) {
       SimTask t;
       t.model_idx = next_slot + s.model_idx;
@@ -96,15 +193,24 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
       t.sensitivity = s.sensitivity;
       t.intensity = s.intensity;
       if (s.seq_in_model == 0) {
-        const std::size_t original = begin + window_index[s.model_idx];
-        t.arrival_ms = std::max(window_ready_ms, stream[original].arrival_ms);
+        const std::size_t original = win.begin + window_index[s.model_idx];
+        t.arrival_ms = std::max(ws.release_ms, stream[original].arrival_ms);
       }
       all_tasks.push_back(t);
     }
+    slot_base_of_window.push_back(next_slot);
     for (std::size_t slot = 0; slot < m; ++slot) {
-      request_of_slot.push_back(begin + window_index[slot]);
+      request_of_slot.push_back(win.begin + window_index[slot]);
     }
-    next_slot += models.size();
+    next_slot += win.models.size();
+    result.windows.push_back(ws);
+  }
+
+  // Drain discarded prefetches before the captured Soc reference can go out
+  // of scope under the caller's feet.
+  for (auto& [w, fut] : inflight) {
+    (void)w;
+    (void)options.pool->wait_and_help(fut);
   }
 
   result.timeline = simulate(soc, std::move(all_tasks), {});
@@ -115,6 +221,57 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     const std::size_t request = request_of_slot[slot];
     result.completion_ms[request] =
         result.timeline.model_finish_ms(slot) - stream[request].arrival_ms;
+  }
+
+  // Hidden-vs-charged split of each window's release latency.  A window's
+  // lead tasks (seq 0) may have been going to wait anyway — behind earlier
+  // windows still occupying their processors, or for their own request to
+  // arrive.  Only the part of the release delay that opened a real gap in
+  // front of a lead task is *charged* to planning; the rest was hidden
+  // behind the pipeline.
+  {
+    std::vector<std::size_t> order(result.timeline.tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const TaskRecord& ta = result.timeline.tasks[a];
+      const TaskRecord& tb = result.timeline.tasks[b];
+      if (ta.proc_idx != tb.proc_idx) return ta.proc_idx < tb.proc_idx;
+      if (ta.start_ms != tb.start_ms) return ta.start_ms < tb.start_ms;
+      return a < b;
+    });
+    std::vector<double> prev_end_on_proc(result.timeline.tasks.size(), 0.0);
+    std::vector<double> proc_clock(result.timeline.num_procs, 0.0);
+    for (const std::size_t idx : order) {
+      const TaskRecord& t = result.timeline.tasks[idx];
+      prev_end_on_proc[idx] = proc_clock[t.proc_idx];
+      proc_clock[t.proc_idx] = t.end_ms;
+    }
+    // Lead-task record per global slot.
+    std::vector<std::size_t> lead_of_slot(next_slot, result.timeline.tasks.size());
+    for (std::size_t idx = 0; idx < result.timeline.tasks.size(); ++idx) {
+      const TaskRecord& t = result.timeline.tasks[idx];
+      if (t.seq_in_model == 0) lead_of_slot[t.model_idx] = idx;
+    }
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+      WindowStats& ws = result.windows[w];
+      const double release_latency = ws.release_ms - ws.arrival_ms;
+      const std::size_t base = slot_base_of_window[w];
+      const std::size_t count = windows[w].models.size();
+      double charged = 0.0;
+      for (std::size_t slot = base; slot < base + count; ++slot) {
+        const std::size_t idx = lead_of_slot[slot];
+        if (idx >= result.timeline.tasks.size()) continue;
+        const TaskRecord& t = result.timeline.tasks[idx];
+        const double would_start = std::max(
+            stream[request_of_slot[slot]].arrival_ms, prev_end_on_proc[idx]);
+        const double gap = t.start_ms - would_start;
+        charged = std::max(charged, std::clamp(gap, 0.0, release_latency));
+      }
+      ws.charged_ms = charged;
+      ws.hidden_ms = release_latency - charged;
+      result.planning_charged_ms += ws.charged_ms;
+      result.planning_hidden_ms += ws.hidden_ms;
+    }
   }
   return result;
 }

@@ -26,7 +26,7 @@ struct OnlineOptions {
   /// keep |M| — and thus the O(|M|^3 |H|) mitigation term — bounded.
   std::size_t replan_window = 4;
   PlannerOptions planner;
-  /// Charged once per *planner invocation* before the window's tasks
+  /// Charged once per *cold planner invocation* before the window's tasks
   /// release, modelling the planner's own latency on-device.  Windows
   /// served from the plan cache skip this entirely.
   double planning_overhead_ms = 1.0;
@@ -48,16 +48,72 @@ struct OnlineOptions {
   /// plans produced are bit-identical to the sequential ones, so this only
   /// changes scheduler latency, never schedules.  Null = sequential.
   ThreadPool* pool = nullptr;
+
+  /// Pipeline the serving loop itself: while window w is being resolved on
+  /// the calling thread, cold plans for the next `prefetch_depth` windows
+  /// are speculatively computed on `pool` and consumed as futures.  Every
+  /// cache decision (exact hit, near-miss warm start, insert, eviction)
+  /// still happens on the calling thread in stream order, and cold plans
+  /// are deterministic functions of (Soc, window, knobs), so an async run
+  /// produces a bit-identical Timeline, plans and stats to a serial run —
+  /// only host wall-clock changes.  Ignored when `pool` is null.
+  bool async_planning = false;
+  /// How many windows ahead the async loop keeps in flight.
+  std::size_t prefetch_depth = 2;
+
+  /// Cross-window warm-start replanning: when a window misses the cache
+  /// exactly but a cached plan for a *near-miss* window exists (same Soc +
+  /// knobs, model multiset within one add/remove/substitute —
+  /// exec::PlanCache::find_near), seed Hetero2PipePlanner::plan_warm from
+  /// it instead of replanning cold.  The warm plan inherits the seed's
+  /// boundaries and order and settles with a handful of DES evaluations
+  /// instead of the cold path's DES-scored search loops, so it is several
+  /// times cheaper; it is score-validated against cold in the tests but
+  /// NOT bit-identical to a cold plan, hence opt-in.  Requires
+  /// `use_plan_cache`.
+  bool warm_start = false;
+  /// Charged for a warm replan (between a cache hit and a cold replan).
+  double warm_planning_overhead_ms = 0.25;
+};
+
+/// How one window's plan was obtained.
+enum class WindowSource { kColdReplan, kWarmReplan, kCacheHit };
+
+/// Per-window accounting of the serving loop.
+struct WindowStats {
+  WindowSource source = WindowSource::kColdReplan;
+  /// When the window's last request arrived (the planner cannot start
+  /// earlier: the window's multiset is unknown until then).
+  double arrival_ms = 0.0;
+  /// When the window's tasks released: planning finished, chained behind
+  /// the previous window's planner (one planner, run per window in order).
+  double release_ms = 0.0;
+  /// Modeled planner latency charged for this window (cold / warm / hit).
+  double planning_ms = 0.0;
+  /// Split of the release latency (release - arrival = hidden + charged):
+  /// `charged_ms` is the part that actually delayed this window's first
+  /// tasks on their processors; `hidden_ms` ran behind the previous
+  /// window's still-executing tasks and cost nothing.
+  double hidden_ms = 0.0;
+  double charged_ms = 0.0;
 };
 
 struct OnlineResult {
   Timeline timeline;
   /// Completion latency per request (finish - arrival), in request order.
   std::vector<double> completion_ms;
-  /// Planner invocations (= windows that missed the plan cache).
+  /// Planner invocations (= windows not served from the plan cache),
+  /// cold and warm together; cold replans = replans - warm_hits.
   int replans = 0;
-  /// Windows served straight from the plan cache.
+  /// Windows served straight from the plan cache (exact key hit).
   int cache_hits = 0;
+  /// Windows replanned warm from a near-miss cached plan.
+  int warm_hits = 0;
+  /// Totals of WindowStats::hidden_ms / charged_ms over all windows.
+  double planning_hidden_ms = 0.0;
+  double planning_charged_ms = 0.0;
+  /// One entry per window, in stream order.
+  std::vector<WindowStats> windows;
 };
 
 /// Online Hetero2Pipe: requests are grouped into windows of
@@ -66,7 +122,10 @@ struct OnlineResult {
 /// released once all of its requests have arrived and the plan is made.
 /// Windows pipeline into each other on the processors via the simulator's
 /// FIFO dispatch, so the device never drains between windows.  Repeated
-/// windows reuse the cached CompiledPlan and skip the planner.
+/// windows reuse the cached CompiledPlan and skip the planner; near-miss
+/// windows can warm-start from it (`warm_start`); and the planning itself
+/// can run concurrently with the loop (`async_planning`) without changing
+/// any modeled number.
 OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
                         const OnlineOptions& options = {});
 

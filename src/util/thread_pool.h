@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -52,6 +53,25 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     enqueue([task] { (*task)(); });
     return fut;
+  }
+
+  /// Pop one queued task and run it on the calling thread; false when the
+  /// queue was empty.  Lets a thread blocked on a `submit` future help the
+  /// pool instead of sleeping — the async online loop waits this way so a
+  /// prefetched replan can never deadlock behind its own waiter, even on a
+  /// one-worker pool.
+  bool help_one() { return help_run_one(); }
+
+  /// Block until `fut` is ready, draining queued tasks on the calling
+  /// thread while waiting, then return the future's value (rethrowing its
+  /// exception, if any).
+  template <typename R>
+  R wait_and_help(std::future<R>& fut) {
+    while (fut.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!help_one()) fut.wait_for(std::chrono::milliseconds(1));
+    }
+    return fut.get();
   }
 
   /// Worker count from the H2P_THREADS environment variable (positive

@@ -1,0 +1,229 @@
+// Async online-loop determinism: run_online with async_planning prefetches
+// cold plans on a worker pool, but every modeled number — Timeline,
+// completion latencies, per-window stats, cache decisions — must be
+// bit-identical to a serial run.  These suites run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "sim/online.h"
+#include "util/thread_pool.h"
+
+namespace h2p {
+namespace {
+
+/// A stream exercising every consume path: cold windows, an exact repeat,
+/// a permuted repeat, and two near-miss (one-model-delta) windows.
+std::vector<OnlineRequest> mixed_stream() {
+  const std::vector<ModelId> ids = {
+      // w0: cold
+      ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet,
+      // w1: near miss of w0 (SqueezeNet -> AlexNet)
+      ModelId::kResNet50, ModelId::kBERT, ModelId::kAlexNet,
+      // w2: exact repeat of w0
+      ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet,
+      // w3: cold
+      ModelId::kMobileNetV2, ModelId::kGoogLeNet, ModelId::kViT,
+      // w4: permuted repeat of w1
+      ModelId::kBERT, ModelId::kAlexNet, ModelId::kResNet50,
+      // w5: near miss of w3 (ViT -> AlexNet)
+      ModelId::kMobileNetV2, ModelId::kGoogLeNet, ModelId::kAlexNet,
+  };
+  std::vector<OnlineRequest> stream;
+  for (ModelId id : ids) {
+    stream.push_back({&zoo_model(id), static_cast<double>(stream.size()) * 5.0});
+  }
+  return stream;
+}
+
+void expect_identical(const OnlineResult& a, const OnlineResult& b) {
+  ASSERT_EQ(a.timeline.tasks.size(), b.timeline.tasks.size());
+  for (std::size_t i = 0; i < a.timeline.tasks.size(); ++i) {
+    const TaskRecord& ta = a.timeline.tasks[i];
+    const TaskRecord& tb = b.timeline.tasks[i];
+    EXPECT_EQ(ta.model_idx, tb.model_idx);
+    EXPECT_EQ(ta.seq_in_model, tb.seq_in_model);
+    EXPECT_EQ(ta.proc_idx, tb.proc_idx);
+    EXPECT_EQ(ta.start_ms, tb.start_ms);  // bit-identical, not approximate
+    EXPECT_EQ(ta.end_ms, tb.end_ms);
+  }
+  ASSERT_EQ(a.completion_ms.size(), b.completion_ms.size());
+  for (std::size_t i = 0; i < a.completion_ms.size(); ++i) {
+    EXPECT_EQ(a.completion_ms[i], b.completion_ms[i]);
+  }
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.warm_hits, b.warm_hits);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t w = 0; w < a.windows.size(); ++w) {
+    EXPECT_EQ(a.windows[w].source, b.windows[w].source);
+    EXPECT_EQ(a.windows[w].arrival_ms, b.windows[w].arrival_ms);
+    EXPECT_EQ(a.windows[w].release_ms, b.windows[w].release_ms);
+    EXPECT_EQ(a.windows[w].planning_ms, b.windows[w].planning_ms);
+    EXPECT_EQ(a.windows[w].hidden_ms, b.windows[w].hidden_ms);
+    EXPECT_EQ(a.windows[w].charged_ms, b.windows[w].charged_ms);
+  }
+  EXPECT_EQ(a.planning_hidden_ms, b.planning_hidden_ms);
+  EXPECT_EQ(a.planning_charged_ms, b.planning_charged_ms);
+}
+
+class OnlineAsyncSocs : public ::testing::TestWithParam<const char*> {
+ protected:
+  static Soc soc() {
+    const std::string name = GetParam();
+    if (name == "kirin990") return Soc::kirin990();
+    if (name == "snapdragon778g") return Soc::snapdragon778g();
+    return Soc::snapdragon870();
+  }
+};
+
+TEST_P(OnlineAsyncSocs, AsyncMatchesSerialAcrossThreadCounts) {
+  const Soc soc = OnlineAsyncSocs::soc();
+  const auto stream = mixed_stream();
+  OnlineOptions base;
+  base.replan_window = 3;
+  base.warm_start = true;
+
+  const OnlineResult serial = run_online(soc, stream, base);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    OnlineOptions async = base;
+    async.pool = &pool;
+    async.async_planning = true;
+    expect_identical(serial, run_online(soc, stream, async));
+  }
+}
+
+TEST_P(OnlineAsyncSocs, PooledSerialMatchesSequentialSerial) {
+  // The pool alone (no async prefetch) must also not change anything: the
+  // cold path's internal fan-out is bit-deterministic.
+  const Soc soc = OnlineAsyncSocs::soc();
+  const auto stream = mixed_stream();
+  OnlineOptions base;
+  base.replan_window = 3;
+  const OnlineResult serial = run_online(soc, stream, base);
+  ThreadPool pool(2);
+  OnlineOptions pooled = base;
+  pooled.pool = &pool;
+  expect_identical(serial, run_online(soc, stream, pooled));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSocs, OnlineAsyncSocs,
+                         ::testing::Values("kirin990", "snapdragon778g",
+                                           "snapdragon870"));
+
+TEST(OnlineAsync, PrefetchDepthDoesNotChangeResults) {
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  ThreadPool pool(2);
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.pool = &pool;
+  opts.async_planning = true;
+  opts.prefetch_depth = 1;
+  const OnlineResult shallow = run_online(soc, stream, opts);
+  opts.prefetch_depth = 5;
+  expect_identical(shallow, run_online(soc, stream, opts));
+}
+
+TEST(OnlineAsync, AsyncWithoutPoolFallsBackToSerial) {
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  OnlineOptions serial;
+  serial.replan_window = 3;
+  OnlineOptions async = serial;
+  async.async_planning = true;  // pool is null: must behave serially
+  expect_identical(run_online(soc, stream, serial),
+                   run_online(soc, stream, async));
+}
+
+TEST(OnlineAsync, AsyncWorksWithCacheDisabled) {
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  OnlineOptions serial;
+  serial.replan_window = 3;
+  serial.use_plan_cache = false;
+  ThreadPool pool(2);
+  OnlineOptions async = serial;
+  async.pool = &pool;
+  async.async_planning = true;
+  const OnlineResult a = run_online(soc, stream, serial);
+  const OnlineResult b = run_online(soc, stream, async);
+  EXPECT_EQ(a.replans, 6);  // every window replans without a cache
+  expect_identical(a, b);
+}
+
+TEST(OnlineAsync, WindowStatsInvariants) {
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.warm_start = true;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  ASSERT_EQ(r.windows.size(), 2u * 3u);
+  int cold = 0;
+  int warm = 0;
+  int hits = 0;
+  double hidden = 0.0;
+  double charged = 0.0;
+  double prev_release = 0.0;
+  for (const WindowStats& ws : r.windows) {
+    switch (ws.source) {
+      case WindowSource::kColdReplan: ++cold; break;
+      case WindowSource::kWarmReplan: ++warm; break;
+      case WindowSource::kCacheHit: ++hits; break;
+    }
+    // Release chains behind the previous window's planner and never
+    // precedes the window's own arrival.
+    EXPECT_GE(ws.release_ms,
+              std::max(ws.arrival_ms, prev_release) + ws.planning_ms - 1e-12);
+    prev_release = ws.release_ms;
+    // hidden + charged partitions the release latency.
+    EXPECT_GE(ws.hidden_ms, 0.0);
+    EXPECT_GE(ws.charged_ms, 0.0);
+    EXPECT_NEAR(ws.hidden_ms + ws.charged_ms, ws.release_ms - ws.arrival_ms,
+                1e-9);
+    hidden += ws.hidden_ms;
+    charged += ws.charged_ms;
+  }
+  EXPECT_EQ(cold + warm, r.replans);
+  EXPECT_EQ(warm, r.warm_hits);
+  EXPECT_EQ(hits, r.cache_hits);
+  EXPECT_EQ(r.cache_hits, 2);           // w2 exact + w4 permuted repeat
+  EXPECT_EQ(r.warm_hits, 2);            // w1 and w5 near misses
+  EXPECT_EQ(r.replans - r.warm_hits, 2);  // w0 and w3 cold
+  EXPECT_DOUBLE_EQ(r.planning_hidden_ms, hidden);
+  EXPECT_DOUBLE_EQ(r.planning_charged_ms, charged);
+}
+
+TEST(OnlineAsync, BusyPipelineHidesPlanningOverhead) {
+  // A burst stream keeps the processors busy when later windows' planner
+  // runs: most of their planning latency must be reported as hidden, and
+  // the hidden+charged totals must account for every window's release
+  // latency.
+  std::vector<OnlineRequest> stream;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (ModelId id : {ModelId::kYOLOv4, ModelId::kBERT, ModelId::kViT}) {
+      stream.push_back({&zoo_model(id), 0.0});
+    }
+  }
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.planning_overhead_ms = 5.0;
+  opts.use_plan_cache = false;  // every window replans: 4 planner runs
+  const OnlineResult r = run_online(Soc::kirin990(), stream, opts);
+  ASSERT_EQ(r.windows.size(), 4u);
+  // The first window has nothing to hide behind.
+  EXPECT_GT(r.windows[0].charged_ms, 0.0);
+  // Later windows plan while the device still chews on earlier ones.
+  EXPECT_GT(r.planning_hidden_ms, 0.0);
+  for (std::size_t w = 1; w < r.windows.size(); ++w) {
+    EXPECT_GT(r.windows[w].hidden_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace h2p

@@ -148,6 +148,159 @@ TEST(PlanCache, ClearDropsEntriesButKeepsStats) {
   EXPECT_EQ(cache.stats().misses, 1u);
 }
 
+// ---- near-miss lookup (warm-start seeds) ------------------------------------
+
+TEST(PlanCacheNear, OneModelSubstitutionIsServedAndCounted) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet}, soc);
+  exec::PlanCache cache(4);
+  const exec::CompiledPlan& stored =
+      cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+
+  const auto probe = window_of(
+      {ModelId::kResNet50, ModelId::kBERT, ModelId::kAlexNet});
+  const exec::CompiledPlan* near =
+      cache.find_near(exec::PlanCache::make_key(soc, probe, {}));
+  ASSERT_NE(near, nullptr);
+  EXPECT_EQ(near, &stored);
+  EXPECT_EQ(cache.stats().warm_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);  // warm hits are counted separately
+}
+
+TEST(PlanCacheNear, AdditionAndRemovalAreServed) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+
+  const auto added = window_of(
+      {ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet});
+  EXPECT_NE(cache.find_near(exec::PlanCache::make_key(soc, added, {})), nullptr);
+  const auto removed = window_of({ModelId::kResNet50});
+  EXPECT_NE(cache.find_near(exec::PlanCache::make_key(soc, removed, {})), nullptr);
+  EXPECT_EQ(cache.stats().warm_hits, 2u);
+}
+
+TEST(PlanCacheNear, ExactMatchIsNeverServed) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(4);
+  const std::string key = exec::PlanCache::make_key(soc, fx.models, {});
+  cache.insert(key, compile_window(fx));
+  EXPECT_EQ(cache.find_near(key), nullptr);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
+TEST(PlanCacheNear, TwoEditsRejected) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+  const auto probe = window_of({ModelId::kAlexNet, ModelId::kSqueezeNet});
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(soc, probe, {})), nullptr);
+}
+
+TEST(PlanCacheNear, SocOrKnobMismatchRejected) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+
+  const auto probe = window_of({ModelId::kResNet50, ModelId::kAlexNet});
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(Soc::snapdragon870(),
+                                                      probe, {})),
+            nullptr);
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(
+                soc, probe, PlannerOptions::no_ct())),
+            nullptr);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
+TEST(PlanCacheNear, EmptyWindowIsOneEditFromSingleton) {
+  // Edge: a zero-model key parses and is exactly one removal away from any
+  // single-model window under the same SoC and knobs.
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+  const std::string empty_key = exec::PlanCache::make_key(soc, {}, {});
+  EXPECT_NE(cache.find_near(empty_key), nullptr);
+  EXPECT_TRUE(exec::PlanCache::near_miss(
+      empty_key, exec::PlanCache::make_key(soc, fx.models, {})));
+}
+
+TEST(PlanCacheNear, DuplicateModelsCountMultiplicity) {
+  // The key is a multiset: {R,R,B} vs {R,B,B} is one substitution (served);
+  // {R,R,B} vs {B} is two removals (rejected).
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+
+  const auto swapped = window_of(
+      {ModelId::kResNet50, ModelId::kBERT, ModelId::kBERT});
+  EXPECT_NE(cache.find_near(exec::PlanCache::make_key(soc, swapped, {})), nullptr);
+  const auto shrunk = window_of({ModelId::kBERT});
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(soc, shrunk, {})), nullptr);
+}
+
+TEST(PlanCacheNear, MalformedKeysNeverMatch) {
+  // Hand-made keys (no make_key structure) must neither match nor be
+  // matched — near-miss parsing rejects them instead of guessing.
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+  exec::PlanCache cache(4);
+  cache.insert("a", compile_window(fx));
+  EXPECT_EQ(cache.find_near("b"), nullptr);
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(soc, fx.models, {})),
+            nullptr);
+  EXPECT_FALSE(exec::PlanCache::near_miss("a", "b"));
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
+TEST(PlanCacheNear, BumpsSourceEntryToMru) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(2);
+  const std::string seed_key = exec::PlanCache::make_key(soc, fx.models, {});
+  cache.insert(seed_key, compile_window(fx));
+  cache.insert("filler-but-newer", compile_window(fx));  // seed is now LRU
+
+  const auto probe = window_of({ModelId::kResNet50, ModelId::kAlexNet});
+  ASSERT_NE(cache.find_near(exec::PlanCache::make_key(soc, probe, {})), nullptr);
+  cache.insert("third", compile_window(fx));  // evicts the filler, not the seed
+  EXPECT_NE(cache.peek(seed_key), nullptr);
+  EXPECT_EQ(cache.peek("filler-but-newer"), nullptr);
+}
+
+TEST(PlanCacheNear, CapacityOneEvictionDropsSeed) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+  cache.insert("unrelated", compile_window(fx));  // evicts the only seed
+
+  const auto probe = window_of({ModelId::kResNet50, ModelId::kAlexNet});
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(soc, probe, {})), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
+TEST(PlanCachePeek, DoesNotBumpLruOrTouchStats) {
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kSqueezeNet}, soc);
+  exec::PlanCache cache(2);
+  cache.insert("a", compile_window(fx));
+  cache.insert("b", compile_window(fx));  // "a" is LRU
+  ASSERT_NE(cache.peek("a"), nullptr);    // peek must NOT bump "a"
+  EXPECT_EQ(cache.peek("missing"), nullptr);
+  cache.insert("c", compile_window(fx));  // evicts "a" (still LRU)
+  EXPECT_EQ(cache.peek("a"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
 TEST(PlanCache, CapacityClampedToAtLeastOne) {
   const Soc soc = Soc::kirin990();
   Fixture fx({ModelId::kSqueezeNet}, soc);

@@ -13,6 +13,16 @@
 //                 --trace <file>      write a chrome://tracing timeline
 //   h2p_cli simulate --plan <file> --models a,b,c [--soc <name>]
 //   h2p_cli compare --models a,b,c [--soc <name>]   all schemes side by side
+//   h2p_cli online --models a,b,c [options]   online serving loop (JSON out)
+//        options: --window <n>        requests per replanning window (def. 4)
+//                 --period <ms>       inter-arrival gap of the stream (def. 5)
+//                 --repeat <r>        repeat the model list r times (def. 1)
+//                 --async             prefetch cold plans on the worker pool
+//                 --prefetch <n>      async lookahead depth (default 2)
+//                 --warm-start        near-miss warm-start replanning
+//                 --no-cache          disable the plan cache
+//                 --threads <n>       worker pool size (also the async pool)
+//                 plus --soc/--soc-json/--no-ct as for `plan`
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +42,9 @@
 #include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
 #include "sim/chrome_trace.h"
+#include "sim/online.h"
 #include "sim/pipeline_sim.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -42,7 +54,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: h2p_cli <socs|models|plan|simulate|compare> [options]\n"
+               "usage: h2p_cli <socs|models|plan|simulate|compare|online> "
+               "[options]\n"
                "see the header of tools/h2p_cli.cpp for details\n");
   return 2;
 }
@@ -266,6 +279,85 @@ int cmd_compare(int argc, char** argv) {
   return 0;
 }
 
+long int_arg(int argc, char** argv, const char* flag, long fallback) {
+  if (const auto v = arg_value(argc, argv, flag)) {
+    const long parsed = std::strtol(v->c_str(), nullptr, 10);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+const char* window_source_name(WindowSource s) {
+  switch (s) {
+    case WindowSource::kCacheHit: return "cache_hit";
+    case WindowSource::kWarmReplan: return "warm_replan";
+    case WindowSource::kColdReplan: return "cold_replan";
+  }
+  return "?";
+}
+
+int cmd_online(int argc, char** argv) {
+  const auto soc = resolve_soc(argc, argv);
+  const auto models_csv = arg_value(argc, argv, "--models");
+  if (!soc || !models_csv) return usage();
+  const auto ids = parse_models(*models_csv);
+  if (!ids) return 1;
+
+  const long repeat = int_arg(argc, argv, "--repeat", 1);
+  const double period =
+      static_cast<double>(int_arg(argc, argv, "--period", 5));
+  std::vector<OnlineRequest> stream;
+  for (long r = 0; r < repeat; ++r) {
+    for (ModelId id : *ids) {
+      stream.push_back(OnlineRequest{
+          &zoo_model(id), static_cast<double>(stream.size()) * period});
+    }
+  }
+
+  const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
+  OnlineOptions opts;
+  opts.replan_window =
+      static_cast<std::size_t>(int_arg(argc, argv, "--window", 4));
+  if (has_flag(argc, argv, "--no-ct")) opts.planner = PlannerOptions::no_ct();
+  opts.use_plan_cache = !has_flag(argc, argv, "--no-cache");
+  opts.pool = pool.get();
+  opts.async_planning = has_flag(argc, argv, "--async");
+  opts.prefetch_depth =
+      static_cast<std::size_t>(int_arg(argc, argv, "--prefetch", 2));
+  opts.warm_start = has_flag(argc, argv, "--warm-start");
+
+  const OnlineResult result = run_online(*soc, stream, opts);
+
+  Json out = Json::object();
+  out["requests"] = Json::number(static_cast<double>(stream.size()));
+  out["makespan_ms"] = Json::number(result.timeline.makespan_ms());
+  out["throughput_per_s"] = Json::number(result.timeline.throughput_per_s());
+  double total = 0.0;
+  for (const double c : result.completion_ms) total += c;
+  out["mean_completion_ms"] =
+      Json::number(stream.empty() ? 0.0 : total / stream.size());
+  out["replans"] = Json::number(result.replans);
+  out["cold_replans"] = Json::number(result.replans - result.warm_hits);
+  out["warm_hits"] = Json::number(result.warm_hits);
+  out["cache_hits"] = Json::number(result.cache_hits);
+  out["planning_hidden_ms"] = Json::number(result.planning_hidden_ms);
+  out["planning_charged_ms"] = Json::number(result.planning_charged_ms);
+  Json windows = Json::array();
+  for (const WindowStats& ws : result.windows) {
+    Json w = Json::object();
+    w["source"] = Json::string(window_source_name(ws.source));
+    w["arrival_ms"] = Json::number(ws.arrival_ms);
+    w["release_ms"] = Json::number(ws.release_ms);
+    w["planning_ms"] = Json::number(ws.planning_ms);
+    w["hidden_ms"] = Json::number(ws.hidden_ms);
+    w["charged_ms"] = Json::number(ws.charged_ms);
+    windows.push_back(std::move(w));
+  }
+  out["windows"] = std::move(windows);
+  std::printf("%s\n", out.dump().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,5 +368,6 @@ int main(int argc, char** argv) {
   if (cmd == "plan") return cmd_plan(argc - 2, argv + 2);
   if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
   if (cmd == "compare") return cmd_compare(argc - 2, argv + 2);
+  if (cmd == "online") return cmd_online(argc - 2, argv + 2);
   return usage();
 }
