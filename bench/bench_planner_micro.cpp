@@ -15,6 +15,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -161,8 +162,9 @@ std::vector<OnlineRequest> cold_stream(std::size_t num_windows,
 /// The tentpole's acceptance metric: the online loop over a cache-cold
 /// 8-window stream, serial vs async-prefetch, at 1/2/4/8 worker threads.
 /// Both variants produce bit-identical timelines (asserted in the tests);
-/// only host wall-clock differs.  threads:1 runs without a pool in both
-/// variants — async falls back to the serial path there.
+/// only host wall-clock differs.  threads:1 has no pool, and run_online
+/// rejects async planning without one, so it runs the serial path in both
+/// variants (the async curve's threads:1 point doubles as its baseline).
 void BM_OnlineLoop(benchmark::State& state, bool async) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
   const Soc soc = Soc::kirin990();
@@ -171,7 +173,7 @@ void BM_OnlineLoop(benchmark::State& state, bool async) {
       threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
   OnlineOptions opts;
   opts.pool = owned.get();
-  opts.async_planning = async;
+  opts.async_planning = async && owned != nullptr;
   opts.prefetch_depth = 3;
   for (auto _ : state) {
     // A fresh per-call cache each iteration keeps every window cold.
@@ -193,6 +195,46 @@ BENCHMARK_CAPTURE(BM_OnlineLoop, async, true)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+/// Fault-tolerant serving under the flagship robustness scenario: the NPU
+/// drops out permanently mid-stream and every later window replans
+/// degraded on the survivors.  Measures the loop's host cost with the
+/// fault layer active and records the *modeled* cost of losing the NPU as
+/// counters: makespan_inflation (faulted / healthy makespan; bounded by the
+/// lost fraction of the SoC's compute — on kirin990 the NPU carries most of
+/// it, so ~8x, tracked here so regressions in degraded replanning show up)
+/// and degraded_replans.
+void BM_OnlineNpuDropout(benchmark::State& state) {
+  const Soc soc = Soc::kirin990();
+  // Repeated windows so the degraded path warm-starts from cached healthy
+  // plans — the intended serving configuration.
+  std::vector<OnlineRequest> stream;
+  for (std::size_t w = 0; w < 8; ++w) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      stream.push_back(OnlineRequest{
+          &zoo_model(all_model_ids()[i]),
+          static_cast<double>(stream.size()) * 2.0});
+    }
+  }
+  const double healthy_makespan =
+      run_online(soc, stream, {}).timeline.makespan_ms();
+  const FaultScript faults({FaultEvent{
+      FaultKind::kDropout, 0, 20.0, std::numeric_limits<double>::infinity(),
+      1.0}});
+  OnlineOptions opts;
+  opts.faults = &faults;
+  double faulted_makespan = 0.0;
+  double degraded = 0.0;
+  for (auto _ : state) {
+    const OnlineResult r = run_online(soc, stream, opts);
+    faulted_makespan = r.timeline.makespan_ms();
+    degraded = static_cast<double>(r.degraded_hits);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["makespan_inflation"] = faulted_makespan / healthy_makespan;
+  state.counters["degraded_replans"] = degraded;
+}
+BENCHMARK(BM_OnlineNpuDropout)->UseRealTime();
 
 // ---- warm-start replanning --------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "core/bubbles.h"
 #include "core/mitigation.h"
@@ -89,6 +90,23 @@ class Hetero2PipePlanner {
   /// loop only takes this path behind `OnlineOptions::warm_start`.
   [[nodiscard]] std::optional<PlannerReport> plan_warm(
       const exec::CompiledPlan& seed) const;
+
+  /// Degraded warm-start: replan the SAME window after processors dropped
+  /// out, seeding from the plan compiled for the healthy SoC.  This
+  /// planner's evaluator must be built for the degraded SoC view (one stage
+  /// per surviving processor); `kept_procs[k]` names the healthy-plan stage
+  /// that degraded stage k corresponds to (strictly increasing).  Each
+  /// model keeps its slicing on surviving stages; a dropped stage's layer
+  /// range is merged into the adjacent surviving stage (previous if one
+  /// exists, else next), and the imbalance that merge introduces is settled
+  /// the same way plan_warm settles: a DES-arbitrated static re-alignment
+  /// plus one DES-scored tail sweep.  Returns nullopt when the seed is
+  /// unusable (stage/processor-map mismatch, different model multiset,
+  /// non-grid seed); callers then fall back to a cold plan on the degraded
+  /// view.
+  [[nodiscard]] std::optional<PlannerReport> plan_degraded(
+      const exec::CompiledPlan& seed,
+      const std::vector<std::size_t>& kept_procs) const;
 
   [[nodiscard]] const PlannerOptions& options() const { return opts_; }
 

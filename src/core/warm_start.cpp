@@ -256,4 +256,157 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_warm(
   return report;
 }
 
+std::optional<PlannerReport> Hetero2PipePlanner::plan_degraded(
+    const exec::CompiledPlan& seed,
+    const std::vector<std::size_t>& kept_procs) const {
+  const std::size_t K =
+      opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
+  if (K == 0 || kept_procs.size() != K || seed.num_stages <= K) {
+    return std::nullopt;
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    if (kept_procs[k] >= seed.num_stages) return std::nullopt;
+    if (k > 0 && kept_procs[k] <= kept_procs[k - 1]) return std::nullopt;
+  }
+
+  PipelinePlan seed_plan;
+  try {
+    seed_plan = exec::to_pipeline_plan(seed);
+  } catch (const std::exception&) {
+    return std::nullopt;  // cooperative (non-grid) schedule; cannot seed
+  }
+
+  // The window is unchanged — only the hardware shrank — so the model
+  // multiset must match this evaluator's exactly.
+  const std::size_t m = eval_->num_models();
+  if (seed.num_models != m) return std::nullopt;
+  std::unordered_map<std::string, std::deque<std::size_t>> free_by_name;
+  for (std::size_t i = 0; i < m; ++i) {
+    free_by_name[eval_->model(i).name()].push_back(i);
+  }
+  std::vector<std::size_t> slot_match(seed.num_models, m);
+  for (std::size_t slot = 0; slot < seed.num_models; ++slot) {
+    auto& queue = free_by_name[seed.model_names[slot]];
+    if (queue.empty()) return std::nullopt;  // multiset mismatch
+    slot_match[slot] = queue.front();
+    queue.pop_front();
+  }
+
+  std::vector<bool> kept(seed.num_stages, false);
+  for (const std::size_t p : kept_procs) kept[p] = true;
+
+  // Project every model's slicing onto the surviving stages.  A model's
+  // slices partition its layer chain in stage order, so a dropped stage's
+  // range merges contiguously into the previous surviving stage's range —
+  // or is carried forward into the first surviving stage when the drop
+  // precedes every survivor.
+  PipelinePlan plan;
+  plan.num_stages = K;
+  plan.models.reserve(m);
+  for (std::size_t slot = 0; slot < seed.num_models; ++slot) {
+    ModelPlan deg;
+    deg.model_index = slot_match[slot];
+    deg.slices.assign(K, Slice{0, 0});
+    std::ptrdiff_t j = -1;        // degraded stage of the last kept healthy stage
+    bool carry = false;           // dropped layers awaiting a home
+    Slice carried{0, 0};
+    for (std::size_t k = 0; k < seed.num_stages; ++k) {
+      if (kept[k]) ++j;
+      const Slice r = seed_plan.models[slot].slices[k];
+      if (r.empty()) continue;
+      if (kept[k]) {
+        Slice& cell = deg.slices[static_cast<std::size_t>(j)];
+        cell = r;
+        if (carry) {
+          cell.begin = std::min(cell.begin, carried.begin);
+          cell.end = std::max(cell.end, carried.end);
+          carry = false;
+        }
+      } else if (j >= 0) {
+        Slice& cell = deg.slices[static_cast<std::size_t>(j)];
+        if (cell.empty()) {
+          cell = r;
+        } else {
+          cell.end = std::max(cell.end, r.end);
+        }
+      } else if (carry) {
+        carried.begin = std::min(carried.begin, r.begin);
+        carried.end = std::max(carried.end, r.end);
+      } else {
+        carry = true;
+        carried = r;
+      }
+    }
+    if (carry) {
+      // Nothing survived after the carried range: give it to stage 0.
+      Slice& cell = deg.slices.front();
+      if (cell.empty()) {
+        cell = carried;
+      } else {
+        cell.begin = std::min(cell.begin, carried.begin);
+        cell.end = std::max(cell.end, carried.end);
+      }
+    }
+    const std::size_t n = eval_->model(deg.model_index).num_layers();
+    if (!deg.covers(n)) return std::nullopt;  // same name, different arch
+    boundaries_to_slices(deg, slices_to_boundaries(deg, n));  // canonical form
+    plan.models.push_back(std::move(deg));
+  }
+
+  // Labels are re-fit on the degraded evaluator's intensities (the cost
+  // tables — and thus the classifier's percentile — see only survivors).
+  std::vector<double> intensities;
+  intensities.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) intensities.push_back(eval_->model_intensity(i));
+  ContentionClassifier classifier(opts_.classifier_percentile);
+  classifier.fit(intensities);
+  std::vector<bool> high;
+  high.reserve(m);
+  for (const double v : intensities) high.push_back(classifier.is_high(v));
+  for (ModelPlan& mp : plan.models) mp.high_contention = high[mp.model_index];
+
+  // The merge concentrated the dropped stage's work onto one survivor, so
+  // unlike plan_warm the static re-alignment is usually needed — but its
+  // wavefront objective still mustn't win unarbitrated (see plan_warm).
+  int layers_stolen = 0;
+  const bool polish = opts_.work_stealing || opts_.tail_optimization;
+  if (polish && !plan.models.empty()) {
+    const PlanScorer des = [this](const PipelinePlan& p) {
+      double score = simulate_plan(p, *eval_).makespan_ms();
+      if (!eval_->satisfies_memory(p)) score *= 1.5;  // constraint (6)
+      return score;
+    };
+    if (opts_.work_stealing) {
+      PipelinePlan aligned = plan;
+      WorkStealingOptions ws;
+      ws.tail_optimization = opts_.tail_optimization;
+      const int moves = vertical_align(aligned, *eval_, ws, /*scorer=*/{}, nullptr);
+      if (des(aligned) + 1e-9 < des(plan)) {
+        plan = std::move(aligned);
+        layers_stolen = moves;
+      }
+    }
+    if (opts_.tail_optimization) {
+      optimize_tail(plan, *eval_, des, nullptr);
+    }
+  }
+
+  PlannerReport report;
+  report.static_makespan_ms = eval_->makespan_ms(plan, /*with_contention=*/true);
+  report.static_bubble_ms = eval_->total_bubble_ms(plan, /*with_contention=*/true);
+  report.memory_ok = eval_->satisfies_memory(plan);
+  report.layers_stolen = layers_stolen;
+  report.mitigation.high = std::move(high);
+  for (const ModelPlan& mp : plan.models) {
+    report.mitigation.order.push_back(mp.model_index);
+  }
+  {
+    std::vector<bool> in_order;
+    for (const ModelPlan& mp : plan.models) in_order.push_back(mp.high_contention);
+    report.mitigation.fully_mitigated = !has_window_violation(in_order, K);
+  }
+  report.plan = std::move(plan);
+  return report;
+}
+
 }  // namespace h2p

@@ -53,6 +53,29 @@ ScheduledSlice lower_range(const StaticEvaluator& eval, std::size_t table_idx,
   return s;
 }
 
+void attach_fallback_costs(CompiledPlan& plan, const StaticEvaluator& eval) {
+  const std::size_t P = eval.soc().num_processors();
+  if (plan.fallback_procs == P && plan.fallback.size() == plan.slices.size() * P) {
+    return;  // already attached by a previous caller of this cache entry
+  }
+  plan.fallback_procs = P;
+  plan.fallback.assign(plan.slices.size() * P, CompiledPlan::FallbackCost{});
+  for (std::size_t i = 0; i < plan.slices.size(); ++i) {
+    const ScheduledSlice& s = plan.slices[i];
+    for (std::size_t q = 0; q < P; ++q) {
+      CompiledPlan::FallbackCost& fc = plan.fallback[i * P + q];
+      if (q == s.proc_idx) {
+        fc = {s.solo_ms(), s.sensitivity, s.intensity};
+        continue;
+      }
+      const ScheduledSlice alt =
+          lower_range(eval, plan.original_index[s.model_idx], s.model_idx,
+                      s.seq_in_model, q, s.layers.begin, s.layers.end);
+      fc = {alt.solo_ms(), alt.sensitivity, alt.intensity};
+    }
+  }
+}
+
 PipelinePlan to_pipeline_plan(const CompiledPlan& compiled) {
   PipelinePlan plan;
   plan.num_stages = compiled.num_stages;

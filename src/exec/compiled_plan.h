@@ -48,6 +48,20 @@ struct CompiledPlan {
   std::vector<std::string> model_names;      // slot -> model name
   std::vector<double> resident_bytes;        // slot -> in-flight footprint (constraint 6)
 
+  /// Optional fallback cost table (attach_fallback_costs): entry
+  /// [slice * fallback_procs + q] is what slice `slice` would cost on
+  /// processor q of the compiling evaluator's Soc.  The fault-aware online
+  /// path hands these to the DES so work stranded by a permanent processor
+  /// drop-out can migrate (SimTask::alt).  Empty unless requested; a
+  /// non-finite solo_ms marks a processor the slice cannot run on.
+  struct FallbackCost {
+    double solo_ms = 0.0;
+    double sensitivity = 0.0;
+    double intensity = 0.0;
+  };
+  std::vector<FallbackCost> fallback;
+  std::size_t fallback_procs = 0;
+
   /// Slice at (slot, seq) or nullptr — the lookup timeline consumers use to
   /// re-associate a TaskRecord with its lowered slice.
   [[nodiscard]] const ScheduledSlice* find(std::size_t model_idx,
@@ -64,6 +78,12 @@ struct CompiledPlan {
 /// nowhere else.
 [[nodiscard]] CompiledPlan compile(const PipelinePlan& plan,
                                    const StaticEvaluator& eval);
+
+/// Fill `plan.fallback` with every slice's cost on every processor of
+/// `eval`'s Soc (the same cost derivation as `lower_range`).  Idempotent;
+/// O(slices × procs) table lookups, paid once per compiled plan and cached
+/// with it in the plan cache.
+void attach_fallback_costs(CompiledPlan& plan, const StaticEvaluator& eval);
 
 /// Inverse of `compile` for pipeline-grid plans (stage k == processor k,
 /// i.e. anything the two-step planner produced): recover each slot's K-way

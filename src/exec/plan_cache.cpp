@@ -129,6 +129,13 @@ void PlanCache::clear() {
 std::string PlanCache::make_key(const Soc& soc,
                                 const std::vector<const Model*>& models,
                                 const PlannerOptions& options) {
+  return make_key(soc, models, options, PlanEnv{});
+}
+
+std::string PlanCache::make_key(const Soc& soc,
+                                const std::vector<const Model*>& models,
+                                const PlannerOptions& options,
+                                const PlanEnv& env) {
   std::vector<std::string> names;
   names.reserve(models.size());
   for (const Model* m : models) names.push_back(m ? m->name() : "<null>");
@@ -140,11 +147,18 @@ std::string PlanCache::make_key(const Soc& soc,
     key += n;
     key += ',';
   }
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "||ct=%d,ws=%d,tail=%d,pct=%g,K=%zu",
+  // Normalize the mask to the SoC's processor count so the all-ones default
+  // and an explicit "everything healthy" mask produce identical keys.
+  const std::size_t P = soc.num_processors();
+  const std::uint64_t full = P >= 64 ? ~0ull : ((1ull << P) - 1);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "||ct=%d,ws=%d,tail=%d,pct=%g,K=%zu,av=%llx,tb=%zu",
                 options.contention_mitigation ? 1 : 0,
                 options.work_stealing ? 1 : 0, options.tail_optimization ? 1 : 0,
-                options.classifier_percentile, options.num_stages);
+                options.classifier_percentile, options.num_stages,
+                static_cast<unsigned long long>(env.avail_mask & full),
+                env.thermal_bucket);
   key += buf;
   return key;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -70,10 +71,30 @@ class PlanCache {
 
   void clear();
 
-  /// Canonical key: Soc fingerprint + sorted model names + planner knobs.
+  /// Execution-environment part of the key.  A plan laid out for the full
+  /// SoC is useless once a processor has dropped out, and one tuned for a
+  /// cool chip misprices a throttled one — so the availability mask and a
+  /// coarse thermal bucket (see soc/thermal.h) key separate entries.  Both
+  /// live in the knob suffix, so `find_near` only warm-starts from plans
+  /// laid out under the *same* environment.
+  struct PlanEnv {
+    /// Bit p set = processor p usable.  Truncated to the SoC's processor
+    /// count, so the all-ones default means "fully healthy".
+    std::uint64_t avail_mask = ~0ull;
+    /// Coarse thermal state bucket; 0 = cool/nominal.
+    std::size_t thermal_bucket = 0;
+  };
+
+  /// Canonical key: Soc fingerprint + sorted model names + planner knobs
+  /// (+ execution environment; the overload without one means "fully
+  /// healthy, nominal thermals").
   [[nodiscard]] static std::string make_key(const Soc& soc,
                                             const std::vector<const Model*>& models,
                                             const PlannerOptions& options);
+  [[nodiscard]] static std::string make_key(const Soc& soc,
+                                            const std::vector<const Model*>& models,
+                                            const PlannerOptions& options,
+                                            const PlanEnv& env);
 
   /// True if the two make_key-style keys agree on SoC + knobs and their
   /// name multisets differ by at most one add/remove/substitute (exact

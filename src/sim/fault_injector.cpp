@@ -1,0 +1,238 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace h2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Window-membership epsilon.  The DES lands its clock on window edges by
+/// accumulating dt steps, so a query a hair before an edge must resolve to
+/// the state *after* it; every membership test shares this tolerance.
+constexpr double kEdgeEps = 1e-9;
+
+bool covers(const FaultEvent& e, double t_ms) {
+  return t_ms >= e.begin_ms - kEdgeEps && t_ms < e.end_ms - kEdgeEps;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kDropout: return "dropout";
+  }
+  return "?";
+}
+
+FaultScript::FaultScript(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  normalize();
+}
+
+void FaultScript::normalize() {
+  for (const FaultEvent& e : events_) {
+    if (e.begin_ms < 0.0 || std::isnan(e.begin_ms)) {
+      throw std::invalid_argument("FaultScript: negative or NaN begin_ms");
+    }
+    if (!(e.end_ms > e.begin_ms)) {
+      throw std::invalid_argument("FaultScript: end_ms must exceed begin_ms");
+    }
+    if (e.kind == FaultKind::kSlowdown &&
+        !(e.factor > 0.0 && e.factor <= 1.0)) {
+      throw std::invalid_argument("FaultScript: slowdown factor outside (0, 1]");
+    }
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.begin_ms != b.begin_ms) return a.begin_ms < b.begin_ms;
+              if (a.proc_idx != b.proc_idx) return a.proc_idx < b.proc_idx;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+FaultScript FaultScript::sample(const Soc& soc, std::uint64_t seed,
+                                const FaultSamplerOptions& options) {
+  // Mix the seed so seed 0 is as good as any other.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull);
+  const std::size_t P = soc.num_processors();
+  std::vector<FaultEvent> events;
+  std::size_t permanent_drops = 0;
+  // Processors are swept in index order and each one's events in time
+  // order, so the rng consumption sequence — and thus the script — is a
+  // pure function of (P, seed, options).
+  for (std::size_t p = 0; p < P; ++p) {
+    double t = 0.0;
+    while (true) {
+      t += -options.mean_gap_ms * std::log(1.0 - rng.uniform(0.0, 1.0));
+      if (t >= options.horizon_ms) break;
+      FaultEvent e;
+      e.proc_idx = p;
+      e.begin_ms = t;
+      if (rng.chance(options.dropout_prob)) {
+        e.kind = FaultKind::kDropout;
+        const bool permanent =
+            rng.chance(options.permanent_prob) &&
+            (!options.keep_one_alive || permanent_drops + 1 < P);
+        const double outage =
+            -options.mean_outage_ms * std::log(1.0 - rng.uniform(0.0, 1.0));
+        e.end_ms = permanent ? kInf : t + std::max(outage, 1.0);
+        if (permanent) {
+          ++permanent_drops;
+          events.push_back(e);
+          break;  // nothing later on this processor matters
+        }
+      } else {
+        e.kind = FaultKind::kSlowdown;
+        const double span =
+            -options.mean_slowdown_ms * std::log(1.0 - rng.uniform(0.0, 1.0));
+        e.end_ms = t + std::max(span, 1.0);
+        e.factor = rng.uniform(options.min_factor, options.max_factor);
+      }
+      events.push_back(e);
+      t = std::max(t, std::isinf(e.end_ms) ? t : e.end_ms);
+    }
+  }
+  return FaultScript(std::move(events));
+}
+
+bool FaultScript::available(std::size_t proc, double t_ms) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDropout && e.proc_idx == proc && covers(e, t_ms)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultScript::permanently_down(std::size_t proc, double t_ms) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDropout && e.proc_idx == proc &&
+        std::isinf(e.end_ms) && covers(e, t_ms)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultScript::slowdown(std::size_t proc, double t_ms) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSlowdown && e.proc_idx == proc && covers(e, t_ms)) {
+      factor *= e.factor;
+    }
+  }
+  return std::max(factor, 0.05);
+}
+
+std::uint64_t FaultScript::availability_mask(double t_ms,
+                                             std::size_t num_procs) const {
+  if (num_procs > 64) {
+    throw std::invalid_argument("availability_mask: more than 64 processors");
+  }
+  std::uint64_t mask = num_procs == 64 ? ~0ull : (1ull << num_procs) - 1;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDropout && e.proc_idx < num_procs &&
+        covers(e, t_ms)) {
+      mask &= ~(1ull << e.proc_idx);
+    }
+  }
+  return mask;
+}
+
+double FaultScript::next_change_after(double t_ms) const {
+  double next = kInf;
+  for (const FaultEvent& e : events_) {
+    if (e.begin_ms > t_ms + kEdgeEps) next = std::min(next, e.begin_ms);
+    if (std::isfinite(e.end_ms) && e.end_ms > t_ms + kEdgeEps) {
+      next = std::min(next, e.end_ms);
+    }
+  }
+  return next;
+}
+
+std::vector<double> FaultScript::edges() const {
+  std::vector<double> out;
+  out.reserve(events_.size() * 2);
+  for (const FaultEvent& e : events_) {
+    out.push_back(e.begin_ms);
+    if (std::isfinite(e.end_ms)) out.push_back(e.end_ms);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Json fault_script_to_json(const FaultScript& script) {
+  Json events = Json::array();
+  for (const FaultEvent& e : script.events()) {
+    Json j = Json::object();
+    j["kind"] = Json::string(to_string(e.kind));
+    j["proc"] = Json::number(static_cast<double>(e.proc_idx));
+    j["begin_ms"] = Json::number(e.begin_ms);
+    if (std::isfinite(e.end_ms)) {
+      j["end_ms"] = Json::number(e.end_ms);
+    } else {
+      j["end_ms"] = Json();  // null = permanent
+    }
+    if (e.kind == FaultKind::kSlowdown) j["factor"] = Json::number(e.factor);
+    events.push_back(std::move(j));
+  }
+  Json out = Json::object();
+  out["events"] = std::move(events);
+  return out;
+}
+
+FaultScript fault_script_from_json(const Json& json) {
+  std::vector<FaultEvent> events;
+  const Json& list = json.at("events");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Json& j = list.at(i);
+    FaultEvent e;
+    const std::string& kind = j.at("kind").as_string();
+    if (kind == "slowdown") {
+      e.kind = FaultKind::kSlowdown;
+    } else if (kind == "dropout") {
+      e.kind = FaultKind::kDropout;
+    } else {
+      throw std::runtime_error("fault script: unknown kind '" + kind + "'");
+    }
+    e.proc_idx = static_cast<std::size_t>(j.at("proc").as_number());
+    e.begin_ms = j.at("begin_ms").as_number();
+    e.end_ms = kInf;
+    if (j.contains("end_ms") && !j.at("end_ms").is_null()) {
+      const double end = j.at("end_ms").as_number();
+      if (std::isfinite(end)) e.end_ms = end;
+    }
+    if (j.contains("factor")) e.factor = j.at("factor").as_number();
+    events.push_back(e);
+  }
+  return FaultScript(std::move(events));
+}
+
+std::optional<std::string> verify_timeline_against_faults(
+    const Timeline& timeline, const FaultScript& script) {
+  for (std::size_t i = 0; i < timeline.tasks.size(); ++i) {
+    const TaskRecord& t = timeline.tasks[i];
+    // A hair of grace past the start: the DES starts tasks exactly at
+    // recovery edges it reached by summing float dt steps.
+    if (!script.available(t.proc_idx, t.start_ms + 1e-6)) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "task %zu (slot %zu seq %zu) started at %.6f ms on "
+                    "processor %zu while it was dropped out",
+                    i, t.model_idx, t.seq_in_model, t.start_ms, t.proc_idx);
+      return std::string(buf);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace h2p

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "soc/soc.h"
+#include "util/json.h"
+
+namespace h2p {
+
+/// What goes wrong with a processor.  The fault model covers the three
+/// behaviours the paper's own motivation documents on real devices:
+/// transient throughput loss (Fig. 11 thermal throttling, background-app
+/// bus contention), transient unavailability with recovery (an NPU driver
+/// reset), and permanent drop-out (the driver never comes back; the HiAI
+/// fallback scenario).
+enum class FaultKind : std::uint8_t {
+  /// Processor delivers `factor` of its throughput over [begin, end).  It
+  /// stays available: tasks may still be placed on and started by it.
+  kSlowdown,
+  /// Processor is unavailable over [begin, end): it starts no new task.  A
+  /// task already running when the window opens is frozen (its driver queue
+  /// survives the reset) and resumes at recovery.  `end = +inf` makes the
+  /// drop-out permanent: pending work must migrate or it never completes.
+  kDropout,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault against one processor.  Times are modeled stream
+/// milliseconds (the same clock OnlineRequest::arrival_ms uses).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSlowdown;
+  std::size_t proc_idx = 0;
+  double begin_ms = 0.0;
+  /// Exclusive end of the fault window; +inf = never recovers.
+  double end_ms = 0.0;
+  /// Throughput factor in (0, 1] while a kSlowdown is active; ignored for
+  /// drop-outs.
+  double factor = 1.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Knobs for seed-driven random fault sampling (FaultScript::sample).
+struct FaultSamplerOptions {
+  /// Sampling horizon: no fault begins at or after this time.
+  double horizon_ms = 500.0;
+  /// Mean inter-arrival gap of fault events per processor.
+  double mean_gap_ms = 120.0;
+  /// Probability an event is a drop-out (else a slowdown).
+  double dropout_prob = 0.35;
+  /// Probability a sampled drop-out is permanent (end = +inf).
+  double permanent_prob = 0.15;
+  /// Outage / slowdown durations are exponential with these means.
+  double mean_outage_ms = 25.0;
+  double mean_slowdown_ms = 60.0;
+  /// Slowdown factors are uniform in [min_factor, max_factor].
+  double min_factor = 0.4;
+  double max_factor = 0.9;
+  /// Never fault processor 0 permanently when it is the only survivor:
+  /// the sampler skips a permanent drop-out that would leave no processor
+  /// alive at any point in time.
+  bool keep_one_alive = true;
+};
+
+/// A deterministic, replayable set of fault events against one Soc.
+///
+/// The script is the *environment*: the discrete-event simulator consumes
+/// it as ground truth (a processor in a drop-out window dispatches nothing;
+/// a slowed processor's tasks progress at `factor` of their rate), while
+/// the online serving loop only observes it through point queries at plan
+/// time — it reacts to the present, never peeks at the future.  Replaying
+/// the same script (or the same sample seed) reproduces every timeline,
+/// plan and statistic bit-identically, serial or async.
+class FaultScript {
+ public:
+  FaultScript() = default;
+  explicit FaultScript(std::vector<FaultEvent> events);
+
+  /// Deterministic random script: the same (soc, seed, options) triple
+  /// always yields the same events.  Distinct seeds decorrelate.
+  static FaultScript sample(const Soc& soc, std::uint64_t seed,
+                            const FaultSamplerOptions& options = {});
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// True when no drop-out window covers `t_ms` on `proc`.  Slowdowns do
+  /// not affect availability.
+  [[nodiscard]] bool available(std::size_t proc, double t_ms) const;
+
+  /// True when a drop-out with end = +inf covers `t_ms` on `proc`.
+  [[nodiscard]] bool permanently_down(std::size_t proc, double t_ms) const;
+
+  /// Product of the factors of every slowdown window covering `t_ms` on
+  /// `proc` (1.0 when none), clamped below at 0.05.
+  [[nodiscard]] double slowdown(std::size_t proc, double t_ms) const;
+
+  /// Bit p set = processor p available at `t_ms`.  `num_procs` <= 64.
+  [[nodiscard]] std::uint64_t availability_mask(double t_ms,
+                                                std::size_t num_procs) const;
+
+  /// Earliest fault-window begin or (finite) end strictly after `t_ms`;
+  /// +inf when the fault state never changes again.  The DES advances its
+  /// clock past these edges so every integration interval has constant
+  /// fault state.
+  [[nodiscard]] double next_change_after(double t_ms) const;
+
+  /// All finite window edges (begins and ends), sorted ascending.
+  [[nodiscard]] std::vector<double> edges() const;
+
+ private:
+  void normalize();
+
+  std::vector<FaultEvent> events_;  // sorted by (begin, proc, kind)
+};
+
+/// JSON round-trip for scripted faults (`h2p_cli online --faults f.json`).
+/// Schema: {"events": [{"kind": "slowdown"|"dropout", "proc": 0,
+///                      "begin_ms": 0, "end_ms": 40 | null, "factor": 0.5}]}
+/// A null / absent / non-finite end_ms means permanent.
+[[nodiscard]] Json fault_script_to_json(const FaultScript& script);
+[[nodiscard]] FaultScript fault_script_from_json(const Json& json);
+
+/// Post-hoc safety checker used by every fault test: scans a simulated
+/// timeline and returns a description of the first task that *started* on a
+/// processor inside one of the script's drop-out windows, or nullopt when
+/// the timeline is clean.  Starting is the violation — a task that began
+/// before the window opened and was frozen across it is legal.
+[[nodiscard]] std::optional<std::string> verify_timeline_against_faults(
+    const Timeline& timeline, const FaultScript& script);
+
+}  // namespace h2p

@@ -1,128 +1,352 @@
 #include "sim/online.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <future>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
+#include "soc/cost_model.h"
 #include "util/thread_pool.h"
 
 namespace h2p {
 namespace {
 
-/// One replanning window of the stream, pre-split so the async loop can
-/// look ahead of the window it is currently resolving.
-struct StreamWindow {
-  std::size_t begin = 0;  // first request index (inclusive)
-  std::size_t end = 0;    // last request index (exclusive)
-  std::vector<const Model*> models;
-  double arrival_ms = 0.0;  // when the window's last request arrived
-  std::string key;          // plan-cache key ("" when caching is off)
-};
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// The full cold path for one window: cost tables, two-step planner,
 /// lowering.  Deterministic in (soc, models, planner) — prefetch jobs run
 /// it with a null pool and still produce the bit-identical plan (the PR-2
 /// pooled-planner contract), so *where* a window is planned never shows in
-/// the result.
+/// the result.  `with_fallback` additionally lowers the per-slice fallback
+/// cost table the fault-aware DES migrates with.
 exec::CompiledPlan plan_cold(const Soc& soc,
                              const std::vector<const Model*>& models,
-                             const PlannerOptions& planner, ThreadPool* pool) {
+                             const PlannerOptions& planner, ThreadPool* pool,
+                             bool with_fallback) {
   const StaticEvaluator eval(soc, models, pool);
   const PlannerReport report = Hetero2PipePlanner(eval, planner, pool).plan();
-  return exec::compile(report.plan, eval);
+  exec::CompiledPlan cp = exec::compile(report.plan, eval);
+  if (with_fallback) exec::attach_fallback_costs(cp, eval);
+  return cp;
+}
+
+/// The SoC as the serving loop currently believes it: the surviving
+/// processors (original roofline parameters — transient slowdowns are the
+/// DES's business, not the planner's), plus the map from degraded stage
+/// index back to the physical processor.
+struct SocView {
+  Soc soc;
+  std::vector<std::size_t> kept;  // degraded stage k -> full processor index
+};
+
+SocView make_view(const Soc& full, std::uint64_t mask) {
+  std::vector<Processor> procs;
+  std::vector<std::size_t> kept;
+  for (std::size_t p = 0; p < full.num_processors(); ++p) {
+    if ((mask >> p) & 1ull) {
+      procs.push_back(full.processor(p));
+      kept.push_back(p);
+    }
+  }
+  return SocView{Soc(full.name(), std::move(procs), full.bus_bw_gbps(),
+                     full.mem_capacity_bytes(), full.available_bytes(),
+                     full.mem_states()),
+                 std::move(kept)};
 }
 
 }  // namespace
 
 OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
                         const OnlineOptions& options) {
+  // Fail fast on option combinations that previously degraded silently —
+  // a misconfigured serving loop should never limp along unnoticed.
+  if (options.replan_window == 0) {
+    throw std::invalid_argument("run_online: replan_window must be >= 1");
+  }
+  if (options.warm_start && !options.use_plan_cache) {
+    throw std::invalid_argument(
+        "run_online: warm_start requires use_plan_cache (the warm seed lives "
+        "in the plan cache)");
+  }
+  if (options.async_planning && options.pool == nullptr) {
+    throw std::invalid_argument(
+        "run_online: async_planning requires a worker pool");
+  }
+  if (options.async_planning && options.prefetch_depth == 0) {
+    throw std::invalid_argument(
+        "run_online: async_planning with prefetch_depth 0 prefetches "
+        "nothing; disable async_planning instead");
+  }
+
   OnlineResult result;
-  const std::size_t window_size = std::max<std::size_t>(options.replan_window, 1);
+  const std::size_t P = soc.num_processors();
+  const std::size_t window_size = options.replan_window;
   const bool caching = options.use_plan_cache;
-  const bool warm = options.warm_start && caching;
-  const bool async = options.async_planning && options.pool != nullptr;
+  const bool warm = options.warm_start;
+  const bool async = options.async_planning;
+  const FaultScript* faults = options.faults;
+  if (faults != nullptr && faults->empty()) faults = nullptr;
+  const std::uint64_t full_mask = P >= 64 ? ~0ull : ((1ull << P) - 1);
+  const FaultToleranceOptions& ft = options.fault_tolerance;
 
   exec::PlanCache local_cache(options.plan_cache_capacity);
   exec::PlanCache* cache =
       options.shared_cache != nullptr ? options.shared_cache : &local_cache;
 
-  std::vector<StreamWindow> windows;
-  for (std::size_t begin = 0; begin < stream.size(); begin += window_size) {
-    StreamWindow win;
-    win.begin = begin;
-    win.end = std::min(begin + window_size, stream.size());
-    for (std::size_t i = win.begin; i < win.end; ++i) {
-      win.models.push_back(stream[i].model);
-      win.arrival_ms = std::max(win.arrival_ms, stream[i].arrival_ms);
+  result.admitted.assign(stream.size(), false);
+  result.completion_ms.assign(stream.size(), -1.0);
+  result.declared_dead_ms.assign(P, -1.0);
+
+  // Requests not yet assigned to an executed window, in serving order.
+  // Without deferrals this is consumed in fixed chunks of `window_size`,
+  // reproducing the static pre-split exactly; a deferred request re-enters
+  // at the front of the next window.
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < stream.size(); ++i) pending.push_back(i);
+  std::vector<std::size_t> defer_count(stream.size(), 0);
+
+  // Degraded SoC views by availability mask, built once each.
+  std::unordered_map<std::uint64_t, SocView> views;
+  const auto view_for = [&](std::uint64_t mask) -> const SocView& {
+    auto it = views.find(mask);
+    if (it == views.end()) it = views.emplace(mask, make_view(soc, mask)).first;
+    return it->second;
+  };
+
+  // DES lower bound on one request's chain: every layer must execute
+  // somewhere among the surviving processors, contention and faults only
+  // dilate, so completion >= sum of per-layer best solo times (the
+  // IncrementalStaticScorer::des_lower_bound_with solo-work argument,
+  // per-request).  +inf when some layer has no surviving processor at all.
+  const CostModel lb_cost(soc);
+  const auto chain_lower_bound_ms = [&](const Model& model,
+                                        std::uint64_t mask) -> double {
+    double total = 0.0;
+    for (const Layer& layer : model.layers()) {
+      double best = kInf;
+      for (std::size_t p = 0; p < P; ++p) {
+        if (((mask >> p) & 1ull) == 0) continue;
+        const Processor& proc = soc.processor(p);
+        if (!proc.supports(layer.kind)) continue;
+        best = std::min(best, lb_cost.layer_time_ms(layer, proc));
+      }
+      if (!std::isfinite(best)) return kInf;
+      total += best;
     }
-    if (caching) {
-      win.key = exec::PlanCache::make_key(soc, win.models, options.planner);
-    }
-    windows.push_back(std::move(win));
-  }
+    return total;
+  };
 
   // Async mode: cold plans for upcoming windows are computed speculatively
-  // on the pool.  Prefetch is *best-effort and non-binding* — the filters
-  // below (peek = no LRU bump, no stats) only avoid obviously wasted work;
-  // whether a window is served cold, warm or from cache is decided at
-  // consume time from cache state that is identical to a serial run's, and
-  // a prefetched plan that loses that decision is simply discarded.
-  std::unordered_map<std::size_t, std::future<exec::CompiledPlan>> inflight;
-  std::unordered_set<std::string> inflight_keys;
-  const auto pump_prefetch = [&](std::size_t current) {
+  // on the pool, keyed by the plan-cache key they were predicted under.
+  // Prefetch is *best-effort and non-binding*: keys are predicted with the
+  // availability mask of the last resolved window, and a prefetched plan
+  // whose key no longer matches at consume time (a fault flipped the mask,
+  // a deferral reshaped the window) is discarded — whether a window is
+  // served cold, warm, degraded or from cache is decided at consume time
+  // from cache state identical to a serial run's.
+  std::unordered_map<std::string, std::future<exec::CompiledPlan>> inflight;
+  std::uint64_t believed_mask = full_mask;
+  const auto pump_prefetch = [&] {
     if (!async) return;
-    const std::size_t limit =
-        std::min(windows.size(), current + 1 + options.prefetch_depth);
-    for (std::size_t w = current; w < limit; ++w) {
-      if (inflight.count(w) != 0) continue;
-      const StreamWindow& win = windows[w];
-      if (caching && cache->peek(win.key) != nullptr) continue;
-      if (caching && inflight_keys.count(win.key) != 0) continue;
+    const SocView& view = view_for(believed_mask);
+    const exec::PlanCache::PlanEnv env{believed_mask, options.thermal_bucket};
+    std::size_t offset = 0;
+    for (std::size_t ahead = 0; ahead <= options.prefetch_depth; ++ahead) {
+      if (offset >= pending.size()) break;
+      const std::size_t take = std::min(window_size, pending.size() - offset);
+      std::vector<const Model*> models;
+      models.reserve(take);
+      for (std::size_t k = 0; k < take; ++k) {
+        models.push_back(stream[pending[offset + k]].model);
+      }
+      offset += take;
+      std::string key =
+          exec::PlanCache::make_key(view.soc, models, options.planner, env);
+      if (inflight.count(key) != 0) continue;
+      if (caching && cache->peek(key) != nullptr) continue;
       inflight.emplace(
-          w, options.pool->submit(
-                 [&soc, models = win.models, planner = options.planner] {
-                   return plan_cold(soc, models, planner, nullptr);
-                 }));
-      if (caching) inflight_keys.insert(win.key);
+          key, options.pool->submit([view_soc = view.soc,
+                                     models = std::move(models),
+                                     planner = options.planner,
+                                     hook = options.prefetch_job_hook,
+                                     with_fallback = faults != nullptr] {
+            if (hook) hook();
+            return plan_cold(view_soc, models, planner, nullptr, with_fallback);
+          }));
     }
   };
 
+  std::vector<bool> believed_dead(P, false);
   std::vector<SimTask> all_tasks;
   std::size_t next_slot = 0;
   std::vector<std::size_t> request_of_slot;
+  std::vector<std::size_t> window_of_slot;
   std::vector<std::size_t> slot_base_of_window;
+  std::vector<std::size_t> slot_count_of_window;
   double prev_plan_finish_ms = 0.0;
 
-  for (std::size_t w = 0; w < windows.size(); ++w) {
-    pump_prefetch(w);
-    const StreamWindow& win = windows[w];
+  while (!pending.empty()) {
+    pump_prefetch();
+
+    // ---- 1. Form the next window candidate set -------------------------
+    const std::size_t take = std::min(window_size, pending.size());
+    std::vector<std::size_t> cand(pending.begin(),
+                                  pending.begin() + static_cast<std::ptrdiff_t>(take));
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(take));
+    double win_arrival = 0.0;
+    for (const std::size_t i : cand) {
+      win_arrival = std::max(win_arrival, stream[i].arrival_ms);
+    }
+
+    // ---- 2. Probe processor availability at planning time --------------
+    const double t0 = std::max(win_arrival, prev_plan_finish_ms);
+    double t = t0;
+    if (faults != nullptr) {
+      // Cheap re-probe: a processor declared dead earlier rejoins the
+      // moment it reports available again.
+      for (std::size_t p = 0; p < P; ++p) {
+        if (believed_dead[p] && faults->available(p, t)) believed_dead[p] = false;
+      }
+      // Capped exponential backoff on processors that just went dark — a
+      // transient drop-out often outlasts one probe but not the whole
+      // ladder.  Processors already declared dead are not waited on.
+      double backoff = ft.initial_backoff_ms;
+      for (std::size_t attempt = 0; attempt < ft.max_retries; ++attempt) {
+        bool any_down = false;
+        for (std::size_t p = 0; p < P; ++p) {
+          if (!believed_dead[p] && !faults->available(p, t)) any_down = true;
+        }
+        if (!any_down) break;
+        t += backoff;
+        backoff = std::min(backoff * ft.backoff_multiplier, ft.max_backoff_ms);
+      }
+      // Whatever is still dark after the ladder is declared dead: planning
+      // proceeds without it (and keeps re-probing at later windows).
+      for (std::size_t p = 0; p < P; ++p) {
+        if (!believed_dead[p] && !faults->available(p, t)) {
+          believed_dead[p] = true;
+          if (result.declared_dead_ms[p] < 0.0) result.declared_dead_ms[p] = t;
+        }
+      }
+    }
+    std::uint64_t mask =
+        faults != nullptr ? faults->availability_mask(t, P) : full_mask;
+    while (mask == 0) {
+      const double next = faults->next_change_after(t);
+      if (!std::isfinite(next)) {
+        throw std::runtime_error(
+            "run_online: every processor is unavailable forever");
+      }
+      t = next;
+      mask = faults->availability_mask(t, P);
+    }
+    believed_mask = mask;
+
+    // ---- 3. Deadline admission -----------------------------------------
+    std::vector<std::size_t> admitted;
+    std::vector<std::size_t> deferred;
+    std::size_t shed_here = 0;
+    if (options.deadline_policy == DeadlinePolicy::kNone) {
+      admitted = std::move(cand);
+    } else {
+      for (const std::size_t i : cand) {
+        const double deadline = stream[i].deadline_ms;
+        if (!std::isfinite(deadline)) {
+          admitted.push_back(i);
+          continue;
+        }
+        const double start_lb = std::max(stream[i].arrival_ms, t);
+        if (start_lb + chain_lower_bound_ms(*stream[i].model, mask) <=
+            deadline + 1e-9) {
+          admitted.push_back(i);
+          continue;
+        }
+        // Provably late under current capacity.  Defer only when a
+        // recovery could still save it: meetable on the healthy SoC, defer
+        // budget left.
+        if (options.deadline_policy == DeadlinePolicy::kDefer &&
+            defer_count[i] < options.max_defers &&
+            start_lb + chain_lower_bound_ms(*stream[i].model, full_mask) <=
+                deadline + 1e-9) {
+          ++defer_count[i];
+          ++result.deferred_requests;
+          deferred.push_back(i);
+          continue;
+        }
+        ++shed_here;
+        ++result.shed_requests;
+      }
+      for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+        pending.push_front(*it);
+      }
+    }
+    if (admitted.empty()) {
+      // The whole window was shed or deferred; nothing executes, no stats
+      // entry.  If we deferred hoping for a recovery, advance the modeled
+      // clock to the next fault transition so the retry actually observes
+      // different hardware (otherwise the defer budget alone terminates).
+      if (!deferred.empty() && faults != nullptr) {
+        const double next = faults->next_change_after(t);
+        if (std::isfinite(next)) {
+          prev_plan_finish_ms = std::max(prev_plan_finish_ms, next);
+        }
+      }
+      continue;
+    }
+
+    std::vector<const Model*> models;
+    models.reserve(admitted.size());
+    for (const std::size_t i : admitted) models.push_back(stream[i].model);
+
+    const SocView& view = view_for(mask);
+    const exec::PlanCache::PlanEnv env{mask, options.thermal_bucket};
+    const std::string key =
+        exec::PlanCache::make_key(view.soc, models, options.planner, env);
 
     WindowStats ws;
-    ws.arrival_ms = win.arrival_ms;
+    ws.arrival_ms = win_arrival;
+    ws.avail_mask = mask;
+    ws.backoff_wait_ms = t - t0;
+    ws.shed = shed_here;
+    ws.deferred = deferred.size();
 
+    // ---- 4. Resolve the window's plan ----------------------------------
     exec::CompiledPlan storage;
     const exec::CompiledPlan* compiled = nullptr;
     if (caching) {
-      if (const exec::CompiledPlan* hit = cache->find(win.key)) {
+      if (const exec::CompiledPlan* hit = cache->find(key)) {
         compiled = hit;
         ws.source = WindowSource::kCacheHit;
         ++result.cache_hits;
         ws.planning_ms = options.cache_hit_overhead_ms;
+        // A shared cache populated by a fault-oblivious run may hold plans
+        // without the fallback table the fault-aware DES migrates with.
+        if (faults != nullptr &&
+            hit->fallback_procs != view.soc.num_processors()) {
+          storage = *hit;
+          const StaticEvaluator eval(view.soc, models, options.pool);
+          exec::attach_fallback_costs(storage, eval);
+          compiled = &storage;
+        }
       }
     }
     if (compiled == nullptr && warm) {
-      if (const exec::CompiledPlan* seed = cache->find_near(win.key)) {
-        const StaticEvaluator eval(soc, win.models, options.pool);
+      if (const exec::CompiledPlan* seed = cache->find_near(key)) {
+        const StaticEvaluator eval(view.soc, models, options.pool);
         const Hetero2PipePlanner planner(eval, options.planner, options.pool);
         if (std::optional<PlannerReport> report = planner.plan_warm(*seed)) {
-          compiled = &cache->insert(win.key, exec::compile(report->plan, eval));
+          exec::CompiledPlan fresh = exec::compile(report->plan, eval);
+          if (faults != nullptr) exec::attach_fallback_costs(fresh, eval);
+          compiled = &cache->insert(key, std::move(fresh));
           ws.source = WindowSource::kWarmReplan;
           ++result.replans;
           ++result.warm_hits;
@@ -130,19 +354,50 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
         }
       }
     }
+    if (compiled == nullptr && caching && mask != full_mask) {
+      // Degraded warm start: the same window planned while the SoC was
+      // healthy seeds a cheap replan on the survivors.
+      const std::string healthy_key = exec::PlanCache::make_key(
+          soc, models, options.planner,
+          exec::PlanCache::PlanEnv{full_mask, options.thermal_bucket});
+      if (const exec::CompiledPlan* seed = cache->peek(healthy_key)) {
+        const StaticEvaluator eval(view.soc, models, options.pool);
+        const Hetero2PipePlanner planner(eval, options.planner, options.pool);
+        if (std::optional<PlannerReport> report =
+                planner.plan_degraded(*seed, view.kept)) {
+          exec::CompiledPlan fresh = exec::compile(report->plan, eval);
+          if (faults != nullptr) exec::attach_fallback_costs(fresh, eval);
+          compiled = &cache->insert(key, std::move(fresh));
+          ws.source = WindowSource::kDegradedReplan;
+          ++result.replans;
+          ++result.degraded_hits;
+          ws.planning_ms = options.warm_planning_overhead_ms;
+        }
+      }
+    }
     if (compiled == nullptr) {
       exec::CompiledPlan fresh;
-      if (const auto it = inflight.find(w); it != inflight.end()) {
-        fresh = options.pool->wait_and_help(it->second);
+      bool resolved = false;
+      if (const auto it = inflight.find(key); it != inflight.end()) {
+        // A prefetch job that threw (a planner bug, a test hook) must not
+        // take the serving loop down: swallow, fall back to a serial cold
+        // replan on the calling thread.
+        try {
+          fresh = options.pool->wait_and_help(it->second);
+          resolved = true;
+        } catch (...) {
+        }
         inflight.erase(it);
-      } else {
-        fresh = plan_cold(soc, win.models, options.planner, options.pool);
+      }
+      if (!resolved) {
+        fresh = plan_cold(view.soc, models, options.planner, options.pool,
+                          faults != nullptr);
       }
       ws.source = WindowSource::kColdReplan;
       ++result.replans;
       ws.planning_ms = options.planning_overhead_ms;
       if (caching) {
-        compiled = &cache->insert(win.key, std::move(fresh));
+        compiled = &cache->insert(key, std::move(fresh));
       } else {
         storage = std::move(fresh);
         compiled = &storage;
@@ -153,8 +408,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     // queues behind window w's.  Its latency is charged here in full; how
     // much of it the pipeline *hides* behind still-executing earlier
     // windows is measured from the simulated timeline afterwards.
-    const double plan_start = std::max(win.arrival_ms, prev_plan_finish_ms);
-    ws.release_ms = plan_start + ws.planning_ms;
+    ws.release_ms = t + ws.planning_ms;
     prev_plan_finish_ms = ws.release_ms;
 
     // Bind plan slots to this window's requests by model name.  The cache
@@ -166,8 +420,8 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     std::vector<std::size_t> window_index(m, 0);
     {
       std::unordered_map<std::string, std::deque<std::size_t>> by_name;
-      for (std::size_t i = 0; i < win.models.size(); ++i) {
-        by_name[win.models[i]->name()].push_back(i);
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        by_name[models[i]->name()].push_back(i);
       }
       std::vector<std::size_t> slot_order(m);
       std::iota(slot_order.begin(), slot_order.end(), 0);
@@ -182,45 +436,73 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
       }
     }
 
-    // Remap window-local slots to global slots and release each model's
-    // chain at max(its own arrival, the window's release).
-    for (const exec::ScheduledSlice& s : compiled->slices) {
-      SimTask t;
-      t.model_idx = next_slot + s.model_idx;
-      t.seq_in_model = s.seq_in_model;
-      t.proc_idx = s.proc_idx;
-      t.solo_ms = s.solo_ms();
-      t.sensitivity = s.sensitivity;
-      t.intensity = s.intensity;
+    // Remap window-local slots to global slots — and degraded stage
+    // indices back to physical processors — and release each model's chain
+    // at max(its own arrival, the window's release).
+    const std::size_t fp = compiled->fallback_procs;
+    for (std::size_t k = 0; k < compiled->slices.size(); ++k) {
+      const exec::ScheduledSlice& s = compiled->slices[k];
+      SimTask task;
+      task.model_idx = next_slot + s.model_idx;
+      task.seq_in_model = s.seq_in_model;
+      task.proc_idx = view.kept[s.proc_idx];
+      task.solo_ms = s.solo_ms();
+      task.sensitivity = s.sensitivity;
+      task.intensity = s.intensity;
       if (s.seq_in_model == 0) {
-        const std::size_t original = win.begin + window_index[s.model_idx];
-        t.arrival_ms = std::max(ws.release_ms, stream[original].arrival_ms);
+        const std::size_t original = admitted[window_index[s.model_idx]];
+        task.arrival_ms = std::max(ws.release_ms, stream[original].arrival_ms);
       }
-      all_tasks.push_back(t);
+      if (faults != nullptr && fp == view.kept.size() &&
+          compiled->fallback.size() == compiled->slices.size() * fp) {
+        // Fallback costs are per degraded stage; spread them over the full
+        // processor space with removed processors marked illegal.
+        task.alt.assign(P, SimTask::AltCost{kInf, 0.0, 0.0});
+        for (std::size_t q = 0; q < fp; ++q) {
+          const exec::CompiledPlan::FallbackCost& fc =
+              compiled->fallback[k * fp + q];
+          task.alt[view.kept[q]] =
+              SimTask::AltCost{fc.solo_ms, fc.sensitivity, fc.intensity};
+        }
+      }
+      all_tasks.push_back(std::move(task));
     }
     slot_base_of_window.push_back(next_slot);
+    slot_count_of_window.push_back(m);
     for (std::size_t slot = 0; slot < m; ++slot) {
-      request_of_slot.push_back(win.begin + window_index[slot]);
+      const std::size_t request = admitted[window_index[slot]];
+      request_of_slot.push_back(request);
+      window_of_slot.push_back(result.windows.size());
+      result.admitted[request] = true;
     }
-    next_slot += win.models.size();
+    next_slot += m;
     result.windows.push_back(ws);
   }
 
-  // Drain discarded prefetches before the captured Soc reference can go out
-  // of scope under the caller's feet.
-  for (auto& [w, fut] : inflight) {
-    (void)w;
-    (void)options.pool->wait_and_help(fut);
+  // Drain discarded prefetches before the captured state goes away; a
+  // throwing job is of no further interest.
+  for (auto& [key, fut] : inflight) {
+    (void)key;
+    try {
+      (void)options.pool->wait_and_help(fut);
+    } catch (...) {
+    }
   }
 
-  result.timeline = simulate(soc, std::move(all_tasks), {});
+  SimOptions sim_options;
+  sim_options.faults = faults;
+  result.timeline = simulate(soc, std::move(all_tasks), sim_options);
   // Latencies are reported per *request* (stream order), so invert the
   // slot -> request binding — it is a permutation within each window.
-  result.completion_ms.resize(stream.size(), 0.0);
   for (std::size_t slot = 0; slot < next_slot; ++slot) {
     const std::size_t request = request_of_slot[slot];
-    result.completion_ms[request] =
-        result.timeline.model_finish_ms(slot) - stream[request].arrival_ms;
+    const double finish = result.timeline.model_finish_ms(slot);
+    result.completion_ms[request] = finish - stream[request].arrival_ms;
+    if (std::isfinite(stream[request].deadline_ms) &&
+        finish > stream[request].deadline_ms + 1e-9) {
+      ++result.deadline_misses;
+      ++result.windows[window_of_slot[slot]].deadline_misses;
+    }
   }
 
   // Hidden-vs-charged split of each window's release latency.  A window's
@@ -256,7 +538,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
       WindowStats& ws = result.windows[w];
       const double release_latency = ws.release_ms - ws.arrival_ms;
       const std::size_t base = slot_base_of_window[w];
-      const std::size_t count = windows[w].models.size();
+      const std::size_t count = slot_count_of_window[w];
       double charged = 0.0;
       for (std::size_t slot = base; slot < base + count; ++slot) {
         const std::size_t idx = lead_of_slot[slot];

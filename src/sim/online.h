@@ -1,11 +1,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/planner.h"
 #include "exec/plan_cache.h"
 #include "models/model.h"
+#include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -17,6 +21,41 @@ class ThreadPool;
 struct OnlineRequest {
   const Model* model = nullptr;
   double arrival_ms = 0.0;
+  /// Absolute completion deadline (SLO); +inf = best-effort.  What happens
+  /// to a request that provably cannot meet it is governed by
+  /// OnlineOptions::deadline_policy.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+};
+
+/// What the admission controller does with a request whose deadline
+/// provably cannot be met (the proof is a DES lower bound: a request's
+/// chain must run serially, contention and faults only dilate it, so its
+/// completion is at least max(arrival, plan start) plus the sum over its
+/// layers of each layer's best surviving-processor solo time — the same
+/// solo-work argument IncrementalStaticScorer::des_lower_bound_with uses).
+enum class DeadlinePolicy {
+  /// Admit everything; misses are only counted after the fact.
+  kNone,
+  /// Drop provably-late requests at window admission (never executed).
+  kShed,
+  /// Push a provably-late request into the next window when the miss is due
+  /// to degraded capacity (it would fit on the healthy SoC — i.e. waiting
+  /// for a recovery can save it); shed when it is hopeless even healthy or
+  /// after `max_defers` attempts.
+  kDefer,
+};
+
+/// Reaction policy to processor faults observed by the serving loop.
+struct FaultToleranceOptions {
+  /// First wait when a processor probes unavailable at planning time.
+  double initial_backoff_ms = 2.0;
+  /// Capped exponential growth of that wait.
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 16.0;
+  /// Backoff probes before the processor is declared dead and planning
+  /// proceeds without it.  A dead processor is still cheaply re-probed at
+  /// every later window and rejoins the moment it reports available.
+  std::size_t max_retries = 3;
 };
 
 struct OnlineOptions {
@@ -24,6 +63,7 @@ struct OnlineOptions {
   /// window.  The paper (§V-C complexity discussion) notes the planner
   /// "should be scheduled more frequently" as the request rate grows, to
   /// keep |M| — and thus the O(|M|^3 |H|) mitigation term — bounded.
+  /// Must be >= 1 (validated at run_online entry).
   std::size_t replan_window = 4;
   PlannerOptions planner;
   /// Charged once per *cold planner invocation* before the window's tasks
@@ -50,34 +90,68 @@ struct OnlineOptions {
   ThreadPool* pool = nullptr;
 
   /// Pipeline the serving loop itself: while window w is being resolved on
-  /// the calling thread, cold plans for the next `prefetch_depth` windows
-  /// are speculatively computed on `pool` and consumed as futures.  Every
-  /// cache decision (exact hit, near-miss warm start, insert, eviction)
-  /// still happens on the calling thread in stream order, and cold plans
-  /// are deterministic functions of (Soc, window, knobs), so an async run
-  /// produces a bit-identical Timeline, plans and stats to a serial run —
-  /// only host wall-clock changes.  Ignored when `pool` is null.
+  /// the calling thread, cold plans for upcoming windows are speculatively
+  /// computed on `pool` and consumed as futures.  Every cache decision
+  /// (exact hit, near-miss warm start, insert, eviction) still happens on
+  /// the calling thread in stream order, and cold plans are deterministic
+  /// functions of (Soc view, window, knobs), so an async run produces a
+  /// bit-identical Timeline, plans and stats to a serial run — only host
+  /// wall-clock changes.  A prefetched plan whose predicted cache key no
+  /// longer matches at consume time (a fault changed the availability mask,
+  /// a deferral reshaped the window) is simply discarded.  Requires a
+  /// non-null `pool` and `prefetch_depth` >= 1 (validated at entry).
   bool async_planning = false;
   /// How many windows ahead the async loop keeps in flight.
   std::size_t prefetch_depth = 2;
 
   /// Cross-window warm-start replanning: when a window misses the cache
   /// exactly but a cached plan for a *near-miss* window exists (same Soc +
-  /// knobs, model multiset within one add/remove/substitute —
-  /// exec::PlanCache::find_near), seed Hetero2PipePlanner::plan_warm from
-  /// it instead of replanning cold.  The warm plan inherits the seed's
-  /// boundaries and order and settles with a handful of DES evaluations
-  /// instead of the cold path's DES-scored search loops, so it is several
-  /// times cheaper; it is score-validated against cold in the tests but
-  /// NOT bit-identical to a cold plan, hence opt-in.  Requires
-  /// `use_plan_cache`.
+  /// knobs + availability/thermal environment, model multiset within one
+  /// add/remove/substitute — exec::PlanCache::find_near), seed
+  /// Hetero2PipePlanner::plan_warm from it instead of replanning cold.  The
+  /// warm plan inherits the seed's boundaries and order and settles with a
+  /// handful of DES evaluations instead of the cold path's DES-scored
+  /// search loops, so it is several times cheaper; it is score-validated
+  /// against cold in the tests but NOT bit-identical to a cold plan, hence
+  /// opt-in.  Requires `use_plan_cache` (validated at entry).
   bool warm_start = false;
   /// Charged for a warm replan (between a cache hit and a cold replan).
   double warm_planning_overhead_ms = 0.25;
+
+  /// Optional fault environment (also handed to the DES as ground truth).
+  /// Each window plans against the availability mask the loop observes at
+  /// planning time: transiently-down processors are retried with capped
+  /// exponential backoff (`fault_tolerance`), then declared dead and
+  /// planned around; the plan cache is keyed on the mask, and a window
+  /// whose healthy plan is cached replans *degraded* from it
+  /// (Hetero2PipePlanner::plan_degraded) instead of cold.  Faults that
+  /// strike after planning are absorbed by the simulator: transient
+  /// drop-outs freeze in-flight work until recovery, permanent ones migrate
+  /// it via the compiled plan's fallback cost table.  Null = healthy,
+  /// bit-identical to a run without this layer.
+  const FaultScript* faults = nullptr;
+  FaultToleranceOptions fault_tolerance;
+
+  /// Deadline/SLO admission (see DeadlinePolicy).
+  DeadlinePolicy deadline_policy = DeadlinePolicy::kNone;
+  /// kDefer: how often one request may be pushed into a later window before
+  /// it is shed.
+  std::size_t max_defers = 4;
+
+  /// Coarse thermal-state bucket (soc/thermal.h coarse_thermal_bucket) the
+  /// device is serving in; keys the plan cache so plans laid out for a cool
+  /// chip are not replayed on a throttled one.
+  std::size_t thermal_bucket = 0;
+
+  /// Test-only: invoked inside every speculative prefetch job, on the pool
+  /// thread, before it plans.  A throwing hook exercises the loop's
+  /// exception hardening: the future's exception is swallowed at consume
+  /// time and the window falls back to a serial cold replan.
+  std::function<void()> prefetch_job_hook;
 };
 
 /// How one window's plan was obtained.
-enum class WindowSource { kColdReplan, kWarmReplan, kCacheHit };
+enum class WindowSource { kColdReplan, kWarmReplan, kCacheHit, kDegradedReplan };
 
 /// Per-window accounting of the serving loop.
 struct WindowStats {
@@ -96,36 +170,68 @@ struct WindowStats {
   /// window's still-executing tasks and cost nothing.
   double hidden_ms = 0.0;
   double charged_ms = 0.0;
+  /// Availability mask the window planned against (bit p = processor p).
+  std::uint64_t avail_mask = ~0ull;
+  /// Fault-induced stall before planning could start: backoff retries on
+  /// transiently-down processors, plus any all-down wait.
+  double backoff_wait_ms = 0.0;
+  /// Admission outcomes decided when this window formed.
+  std::size_t shed = 0;
+  std::size_t deferred = 0;
+  /// Admitted requests of this window that still finished past deadline.
+  std::size_t deadline_misses = 0;
 };
 
 struct OnlineResult {
   Timeline timeline;
-  /// Completion latency per request (finish - arrival), in request order.
+  /// Completion latency per request (finish - arrival), in request order;
+  /// -1 for requests the admission controller shed (never executed).
   std::vector<double> completion_ms;
-  /// Planner invocations (= windows not served from the plan cache),
-  /// cold and warm together; cold replans = replans - warm_hits.
+  /// Per request: false when the request was shed.
+  std::vector<bool> admitted;
+  /// Planner invocations (= windows not served from the plan cache):
+  /// cold + warm + degraded; cold replans = replans - warm_hits - degraded_hits.
   int replans = 0;
   /// Windows served straight from the plan cache (exact key hit).
   int cache_hits = 0;
   /// Windows replanned warm from a near-miss cached plan.
   int warm_hits = 0;
+  /// Windows replanned degraded from their cached healthy plan after a
+  /// processor drop-out (Hetero2PipePlanner::plan_degraded).
+  int degraded_hits = 0;
   /// Totals of WindowStats::hidden_ms / charged_ms over all windows.
   double planning_hidden_ms = 0.0;
   double planning_charged_ms = 0.0;
-  /// One entry per window, in stream order.
+  /// Deadline/SLO totals over the whole stream.
+  std::size_t deadline_misses = 0;
+  std::size_t shed_requests = 0;
+  /// Defer *events* (one request deferred twice counts twice).
+  std::size_t deferred_requests = 0;
+  /// Per processor: modeled time at which the loop declared it dead after
+  /// exhausting backoff retries; -1 = never declared.
+  std::vector<double> declared_dead_ms;
+  /// One entry per executed window, in stream order (windows whose every
+  /// request was shed or deferred do not execute and leave no entry).
   std::vector<WindowStats> windows;
 };
 
 /// Online Hetero2Pipe: requests are grouped into windows of
 /// `replan_window` in arrival order; each window is planned independently
-/// (two-step planner), lowered once via exec::compile, and its tasks are
-/// released once all of its requests have arrived and the plan is made.
-/// Windows pipeline into each other on the processors via the simulator's
-/// FIFO dispatch, so the device never drains between windows.  Repeated
-/// windows reuse the cached CompiledPlan and skip the planner; near-miss
-/// windows can warm-start from it (`warm_start`); and the planning itself
-/// can run concurrently with the loop (`async_planning`) without changing
-/// any modeled number.
+/// (two-step planner) against the processors currently believed available,
+/// lowered once via exec::compile, and its tasks are released once all of
+/// its requests have arrived and the plan is made.  Windows pipeline into
+/// each other on the processors via the simulator's FIFO dispatch, so the
+/// device never drains between windows.  Repeated windows reuse the cached
+/// CompiledPlan and skip the planner; near-miss windows can warm-start from
+/// it (`warm_start`); windows hit by a processor drop-out replan degraded
+/// from their cached healthy plan; and the planning itself can run
+/// concurrently with the loop (`async_planning`) without changing any
+/// modeled number.
+///
+/// Throws std::invalid_argument for inconsistent options (replan_window of
+/// 0, warm_start without use_plan_cache, async_planning without a pool or
+/// with prefetch_depth 0) — misconfigurations that previously degraded
+/// silently.
 OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream,
                         const OnlineOptions& options = {});
 

@@ -33,6 +33,14 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
 
   ContentionModel contention(soc);
   const std::size_t P = soc.num_processors();
+  const FaultScript* faults = options.faults;
+  if (faults != nullptr && faults->empty()) faults = nullptr;
+
+  // Fault-window edges: the clock never integrates across one, so the fault
+  // state (availability, slowdown factor) is constant over every dt step.
+  std::vector<double> fault_edges;
+  std::size_t fault_cursor = 0;
+  if (faults != nullptr) fault_edges = faults->edges();
 
   // Chain predecessor resolution: latest smaller seq_in_model per model.
   // Bucketing by model then sorting each bucket replaces the O(n^2) scan;
@@ -121,6 +129,17 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     return std::numeric_limits<double>::infinity();
   };
 
+  // First fault edge strictly after `now`, +inf when none remain.
+  auto next_fault_edge_ms = [&]() -> double {
+    while (fault_cursor < fault_edges.size() &&
+           fault_edges[fault_cursor] <= now + eps) {
+      ++fault_cursor;
+    }
+    return fault_cursor < fault_edges.size()
+               ? fault_edges[fault_cursor]
+               : std::numeric_limits<double>::infinity();
+  };
+
   auto task_ready = [&](std::size_t i) {
     if (started[i] || done[i]) return false;
     if (tasks[i].arrival_ms > now + eps) return false;
@@ -128,9 +147,79 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     return true;
   };
 
+  // Permanent-drop-out handling: once a processor's drop-out is known to be
+  // permanent, every pending task assigned to it (queued or running; a
+  // running one loses its progress) migrates to its cheapest legal fallback
+  // per SimTask::alt, keeping its (model, seq) chain position.  Determinism:
+  // procs are swept in index order and targets break ties on the lowest
+  // index, so replays are bit-identical.
+  std::vector<bool> proc_dead(P, false);
+  auto migrate_task = [&](std::size_t i) {
+    const SimTask& t = tasks[i];
+    std::size_t best = P;
+    double best_solo = std::numeric_limits<double>::infinity();
+    for (std::size_t q = 0; q < t.alt.size() && q < P; ++q) {
+      if (q == t.proc_idx || proc_dead[q]) continue;
+      if (faults->permanently_down(q, now)) continue;
+      if (!(t.alt[q].solo_ms < best_solo)) continue;
+      best = q;
+      best_solo = t.alt[q].solo_ms;
+    }
+    if (best >= P) {
+      throw std::runtime_error(
+          "simulate: task stranded on a permanently dropped processor with "
+          "no usable fallback (SimTask::alt)");
+    }
+    tasks[i].proc_idx = best;
+    tasks[i].solo_ms = t.alt[best].solo_ms;
+    tasks[i].sensitivity = t.alt[best].sensitivity;
+    tasks[i].intensity = t.alt[best].intensity;
+    started[i] = false;
+    std::vector<std::size_t>& q = by_proc[best];
+    const auto pos = std::lower_bound(
+        q.begin(), q.end(), i, [&](std::size_t a, std::size_t b) {
+          if (tasks[a].model_idx != tasks[b].model_idx) {
+            return tasks[a].model_idx < tasks[b].model_idx;
+          }
+          if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
+            return tasks[a].seq_in_model < tasks[b].seq_in_model;
+          }
+          return a < b;
+        });
+    const auto idx = static_cast<std::size_t>(pos - q.begin());
+    q.insert(pos, i);
+    proc_cursor[best] = std::min(proc_cursor[best], idx);
+  };
+  auto sweep_permanent_faults = [&] {
+    if (faults == nullptr) return;
+    for (std::size_t p = 0; p < P; ++p) {
+      if (proc_dead[p] || !faults->permanently_down(p, now)) continue;
+      proc_dead[p] = true;
+      // Abort the running task first so it migrates like the queued ones.
+      if (proc_running[p] >= 0) {
+        const auto ri = static_cast<std::size_t>(proc_running[p]);
+        started[running[ri].task_idx] = false;
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(ri));
+        std::fill(proc_running.begin(), proc_running.end(), -1);
+        for (std::size_t rj = 0; rj < running.size(); ++rj) {
+          proc_running[tasks[running[rj].task_idx].proc_idx] =
+              static_cast<int>(rj);
+        }
+      }
+      std::vector<std::size_t> pending;
+      for (std::size_t pos = proc_cursor[p]; pos < by_proc[p].size(); ++pos) {
+        if (!done[by_proc[p][pos]]) pending.push_back(by_proc[p][pos]);
+      }
+      by_proc[p].clear();
+      proc_cursor[p] = 0;
+      for (const std::size_t i : pending) migrate_task(i);
+    }
+  };
+
   auto start_eligible = [&] {
     for (std::size_t p = 0; p < P; ++p) {
       if (proc_running[p] >= 0) continue;
+      if (faults != nullptr && !faults->available(p, now)) continue;
       const std::vector<std::size_t>& q = by_proc[p];
       std::size_t& cur = proc_cursor[p];
       while (cur < q.size() && done[q[cur]]) ++cur;
@@ -160,49 +249,74 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   others.reserve(P);
   auto compute_rates = [&] {
     rates.assign(running.size(), 1.0);
-    if (!options.contention) return;
-    for (std::size_t ri = 0; ri < running.size(); ++ri) {
-      const Running& r = running[ri];
-      others.clear();
-      for (const Running& o : running) {
-        if (o.task_idx == r.task_idx) continue;
-        others.push_back(
-            Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
+    if (options.contention) {
+      for (std::size_t ri = 0; ri < running.size(); ++ri) {
+        const Running& r = running[ri];
+        others.clear();
+        for (const Running& o : running) {
+          if (o.task_idx == r.task_idx) continue;
+          others.push_back(
+              Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
+        }
+        const double factor = contention.slowdown(
+            tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
+        rates[ri] = 1.0 / factor;
       }
-      const double factor = contention.slowdown(
-          tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
-      rates[ri] = 1.0 / factor;
+    }
+    if (faults != nullptr) {
+      // Fault state is constant over [now, now + dt): dt never crosses an
+      // edge.  A transiently dropped processor freezes its running task
+      // (rate 0, driver queue preserved); a slowed one derates it.
+      for (std::size_t ri = 0; ri < running.size(); ++ri) {
+        const std::size_t p = tasks[running[ri].task_idx].proc_idx;
+        if (!faults->available(p, now)) {
+          rates[ri] = 0.0;
+        } else {
+          rates[ri] *= faults->slowdown(p, now);
+        }
+      }
     }
   };
 
   std::size_t guard = 0;
-  const std::size_t guard_max = 4 * n + 16;
+  const std::size_t guard_max = 4 * n + 16 + 8 * fault_edges.size();
   while (completed < n) {
     if (++guard > guard_max + n * n) {
       throw std::runtime_error("simulate: no progress (dependency cycle?)");
     }
+    sweep_permanent_faults();
     start_eligible();
 
     if (running.empty()) {
-      // Nothing runnable: jump to the next strictly-future arrival.  Tasks
-      // that have already arrived but are chain-blocked don't count — if
-      // only those remain, the dependency graph is wedged.
-      const double next_arrival = next_arrival_ms();
-      if (!std::isfinite(next_arrival)) {
+      // Nothing runnable: jump to the next strictly-future arrival or fault
+      // edge (a recovery can unblock a queue no arrival would).  Tasks that
+      // have already arrived but are chain-blocked don't count — if only
+      // those remain, the dependency graph is wedged.
+      const double next_wake = std::min(next_arrival_ms(), next_fault_edge_ms());
+      if (!std::isfinite(next_wake)) {
         throw std::runtime_error("simulate: deadlock — tasks blocked forever");
       }
-      now = next_arrival;
+      now = next_wake;
       continue;
     }
 
-    // Advance to the earliest completion or next arrival under current rates.
+    // Advance to the earliest completion, next arrival or fault edge under
+    // current rates (frozen tasks never finish within the step).
     compute_rates();
     double dt = std::numeric_limits<double>::infinity();
     for (std::size_t ri = 0; ri < running.size(); ++ri) {
+      if (rates[ri] <= 0.0) continue;
       dt = std::min(dt, running[ri].remaining_solo_ms / std::max(rates[ri], 1e-9));
     }
     const double upcoming = next_arrival_ms();
     if (std::isfinite(upcoming)) dt = std::min(dt, upcoming - now);
+    const double fault_edge = next_fault_edge_ms();
+    if (std::isfinite(fault_edge)) dt = std::min(dt, fault_edge - now);
+    if (!std::isfinite(dt)) {
+      throw std::runtime_error(
+          "simulate: every running task is frozen forever (permanent "
+          "drop-out without migration?)");
+    }
     dt = std::max(dt, 0.0);
 
     for (std::size_t ri = 0; ri < running.size(); ++ri) {
@@ -245,7 +359,11 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
 std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled) {
   std::vector<SimTask> tasks;
   tasks.reserve(compiled.slices.size());
-  for (const exec::ScheduledSlice& s : compiled.slices) {
+  const std::size_t fp = compiled.fallback_procs;
+  const bool with_alt =
+      fp > 0 && compiled.fallback.size() == compiled.slices.size() * fp;
+  for (std::size_t k = 0; k < compiled.slices.size(); ++k) {
+    const exec::ScheduledSlice& s = compiled.slices[k];
     SimTask t;
     t.model_idx = s.model_idx;
     t.seq_in_model = s.seq_in_model;
@@ -253,7 +371,14 @@ std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled) {
     t.solo_ms = s.solo_ms();
     t.sensitivity = s.sensitivity;
     t.intensity = s.intensity;
-    tasks.push_back(t);
+    if (with_alt) {
+      t.alt.resize(fp);
+      for (std::size_t q = 0; q < fp; ++q) {
+        const exec::CompiledPlan::FallbackCost& fc = compiled.fallback[k * fp + q];
+        t.alt[q] = SimTask::AltCost{fc.solo_ms, fc.sensitivity, fc.intensity};
+      }
+    }
+    tasks.push_back(std::move(t));
   }
   return tasks;
 }

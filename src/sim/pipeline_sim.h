@@ -7,6 +7,7 @@
 #include "core/bubbles.h"
 #include "core/plan.h"
 #include "exec/compiled_plan.h"
+#include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -23,11 +24,32 @@ struct SimTask {
   double sensitivity = 0.0;   // memory-bound share (victim side)
   double intensity = 0.0;     // contention intensity (aggressor side)
   double arrival_ms = 0.0;    // earliest start (release time)
+
+  /// Cost of this task were it to run on processor q instead (the HiAI-style
+  /// emergency fallback when `proc_idx` drops out permanently mid-run).  A
+  /// non-finite solo_ms marks q as not a legal target.  Empty = the task
+  /// cannot migrate; it is only consulted under SimOptions::faults.
+  struct AltCost {
+    double solo_ms = 0.0;
+    double sensitivity = 0.0;
+    double intensity = 0.0;
+  };
+  std::vector<AltCost> alt;
 };
 
 struct SimOptions {
   /// Apply the co-execution slowdown model; off = ideal shared bus.
   bool contention = true;
+
+  /// Optional fault environment.  When set, the simulator enforces it as
+  /// ground truth: a processor inside a drop-out window starts no task (a
+  /// task already running is frozen and resumes at recovery), a slowed
+  /// processor's tasks progress at the script's factor, and when a drop-out
+  /// turns out to be permanent every pending task assigned to that
+  /// processor migrates to its cheapest surviving fallback (per
+  /// SimTask::alt; a running task loses its progress).  Null = the healthy
+  /// simulator, bit-identical to before.
+  const FaultScript* faults = nullptr;
 };
 
 /// Rate-based discrete-event simulator.

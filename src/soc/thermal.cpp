@@ -81,4 +81,19 @@ Soc thermally_derated(const Soc& soc, double utilization) {
              soc.mem_capacity_bytes(), soc.available_bytes(), soc.mem_states());
 }
 
+std::size_t coarse_thermal_bucket(double worst_throttle_factor) {
+  const double derate = 1.0 - std::clamp(worst_throttle_factor, 0.0, 1.0);
+  if (derate <= 0.0) return 0;
+  // ceil(derate / 0.1), robust to float edges: derate 0.1 -> bucket 1.
+  return static_cast<std::size_t>((derate - 1e-12) / 0.1) + 1;
+}
+
+std::size_t coarse_thermal_bucket(const Soc& soc, double utilization) {
+  double worst = 1.0;
+  for (const Processor& p : soc.processors()) {
+    worst = std::min(worst, ThermalModel(p).steady_state_throttle(utilization));
+  }
+  return coarse_thermal_bucket(worst);
+}
+
 }  // namespace h2p

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "soc/processor.h"
 #include "soc/soc.h"
 
@@ -52,5 +54,16 @@ class ThermalModel {
 /// derated by each one's steady-state throttle factor at the given
 /// utilization — plan/simulate against it to model sustained operation.
 Soc thermally_derated(const Soc& soc, double utilization = 1.0);
+
+/// Coarse thermal-state bucket for plan-cache keying (exec::PlanCache
+/// re-keys on it): 0 = nominal (no processor throttling), then one bucket
+/// per 10% of worst-case derating — bucket = ceil((1 - min throttle) / 0.1).
+/// Coarse on purpose: temperature drifts continuously, and keying the cache
+/// on a fine-grained reading would make every window a cold miss.
+std::size_t coarse_thermal_bucket(double worst_throttle_factor);
+
+/// Convenience: the bucket the whole SoC is in at a sustained utilization —
+/// the worst (lowest) steady-state throttle factor across processors.
+std::size_t coarse_thermal_bucket(const Soc& soc, double utilization);
 
 }  // namespace h2p

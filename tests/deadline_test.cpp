@@ -1,0 +1,229 @@
+// Deadline SLOs and the admission controller: requests that provably
+// cannot meet their deadline (DES solo-work lower bound) are shed or
+// deferred per DeadlinePolicy; admitted-but-late requests are only
+// counted.  Shedding must never fire on a loose deadline — the lower
+// bound is sound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "sim/fault_injector.h"
+#include "sim/online.h"
+#include "soc/cost_model.h"
+
+namespace h2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The admission controller's own lower bound, recomputed independently:
+/// each layer's best solo time over the supporting processors in `mask`.
+double chain_lb_ms(const Soc& soc, const Model& model, std::uint64_t mask) {
+  const CostModel cost(soc);
+  double total = 0.0;
+  for (const Layer& layer : model.layers()) {
+    double best = kInf;
+    for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+      if (((mask >> p) & 1ull) == 0) continue;
+      if (!soc.processor(p).supports(layer.kind)) continue;
+      best = std::min(best, cost.layer_time_ms(layer, soc.processor(p)));
+    }
+    total += best;
+  }
+  return total;
+}
+
+std::vector<OnlineRequest> one_window(double deadline_ms) {
+  std::vector<OnlineRequest> stream;
+  for (ModelId id : {ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet}) {
+    OnlineRequest req;
+    req.model = &zoo_model(id);
+    req.arrival_ms = 0.0;
+    req.deadline_ms = deadline_ms;
+    stream.push_back(req);
+  }
+  return stream;
+}
+
+TEST(Deadline, LooseDeadlinesNeverShedOrMiss) {
+  // Soundness: a deadline far beyond any execution is met, and the lower
+  // bound must never shed it.
+  const Soc soc = Soc::kirin990();
+  for (const DeadlinePolicy policy :
+       {DeadlinePolicy::kNone, DeadlinePolicy::kShed, DeadlinePolicy::kDefer}) {
+    OnlineOptions opts;
+    opts.replan_window = 3;
+    opts.deadline_policy = policy;
+    const OnlineResult r = run_online(soc, one_window(1e6), opts);
+    EXPECT_EQ(r.shed_requests, 0u);
+    EXPECT_EQ(r.deferred_requests, 0u);
+    EXPECT_EQ(r.deadline_misses, 0u);
+    for (std::size_t i = 0; i < r.completion_ms.size(); ++i) {
+      EXPECT_TRUE(r.admitted[i]);
+      EXPECT_GE(r.completion_ms[i], 0.0);
+    }
+  }
+}
+
+TEST(Deadline, ShedPolicyDropsProvablyLateRequests) {
+  const Soc soc = Soc::kirin990();
+  const std::uint64_t full = (1ull << soc.num_processors()) - 1;
+  // A deadline below even the solo-work lower bound is hopeless; give one
+  // request of the window such a deadline and the rest none.
+  auto stream = one_window(kInf);
+  const double lb = chain_lb_ms(soc, *stream[0].model, full);
+  ASSERT_GT(lb, 0.0);
+  stream[0].deadline_ms = 0.5 * lb;
+
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.deadline_policy = DeadlinePolicy::kShed;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  EXPECT_EQ(r.shed_requests, 1u);
+  EXPECT_FALSE(r.admitted[0]);
+  EXPECT_EQ(r.completion_ms[0], -1.0);  // never executed
+  // The surviving two-model window still executes and completes.
+  ASSERT_EQ(r.windows.size(), 1u);
+  EXPECT_EQ(r.windows[0].shed, 1u);
+  EXPECT_EQ(r.windows[0].deferred, 0u);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_TRUE(r.admitted[i]);
+    EXPECT_GE(r.completion_ms[i], 0.0);
+  }
+  // No timeline task belongs to the shed request's slot: exactly two
+  // models' chains executed.
+  EXPECT_EQ(r.timeline.num_models, 2u);
+}
+
+TEST(Deadline, NonePolicyOnlyCountsMisses) {
+  // Same hopeless deadline, kNone: everything is admitted and executed,
+  // the miss is counted after the fact.
+  const Soc soc = Soc::kirin990();
+  const std::uint64_t full = (1ull << soc.num_processors()) - 1;
+  auto stream = one_window(kInf);
+  stream[0].deadline_ms = 0.5 * chain_lb_ms(soc, *stream[0].model, full);
+
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.deadline_policy = DeadlinePolicy::kNone;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  EXPECT_EQ(r.shed_requests, 0u);
+  EXPECT_GE(r.deadline_misses, 1u);
+  ASSERT_EQ(r.windows.size(), 1u);
+  EXPECT_GE(r.windows[0].deadline_misses, 1u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_TRUE(r.admitted[i]);
+    EXPECT_GE(r.completion_ms[i], 0.0);
+  }
+}
+
+TEST(Deadline, DeferSavesRequestAcrossRecovery) {
+  // A request that cannot meet its deadline on the degraded SoC but could
+  // on the healthy one is pushed to a later window; once the NPU recovers
+  // it is admitted and executes.
+  const Soc soc = Soc::kirin990();
+  const std::uint64_t full = (1ull << soc.num_processors()) - 1;
+  const Model& model = zoo_model(ModelId::kResNet50);
+  const double lb_healthy = chain_lb_ms(soc, model, full);
+  const double lb_degraded = chain_lb_ms(soc, model, full & ~1ull);
+  // Precondition of the scenario: losing the NPU must cost the chain more
+  // than the timing slack the test builds in.
+  ASSERT_GT(lb_degraded, lb_healthy + 4.5);
+
+  const FaultScript faults({FaultEvent{FaultKind::kDropout, 0, 0.0, 5.0, 1.0}});
+  std::vector<OnlineRequest> stream;
+  OnlineRequest req;
+  req.model = &model;
+  req.arrival_ms = 0.0;
+  // Meetable healthy even after the recovery at t=5 (admission only —
+  // actual completion may still miss; what matters is it runs).
+  req.deadline_ms = 5.5 + lb_healthy;
+  stream.push_back(req);
+
+  OnlineOptions opts;
+  opts.replan_window = 1;
+  opts.deadline_policy = DeadlinePolicy::kDefer;
+  opts.faults = &faults;
+  // Tiny ladder so the NPU is declared dead at t=0.5+1=1.5, well before
+  // the outage ends — forcing a degraded admission decision.
+  opts.fault_tolerance.initial_backoff_ms = 0.5;
+  opts.fault_tolerance.max_backoff_ms = 1.0;
+  opts.fault_tolerance.max_retries = 2;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  // Deferred exactly once (degraded LB busts the deadline, healthy LB
+  // fits), then admitted after the recovery edge at t=5.
+  EXPECT_EQ(r.deferred_requests, 1u);
+  EXPECT_EQ(r.shed_requests, 0u);
+  ASSERT_EQ(r.windows.size(), 1u);
+  EXPECT_EQ(r.windows[0].avail_mask, full);
+  EXPECT_TRUE(r.admitted[0]);
+  EXPECT_GE(r.completion_ms[0], 0.0);
+  const auto violation = verify_timeline_against_faults(r.timeline, faults);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST(Deadline, DeferExhaustionShedsUnderPermanentDegradation) {
+  // The NPU never comes back: a request meetable only on the healthy SoC
+  // is deferred max_defers times (no recovery ever observed), then shed.
+  const Soc soc = Soc::kirin990();
+  const std::uint64_t full = (1ull << soc.num_processors()) - 1;
+  const Model& model = zoo_model(ModelId::kResNet50);
+  const double lb_healthy = chain_lb_ms(soc, model, full);
+  const double lb_degraded = chain_lb_ms(soc, model, full & ~1ull);
+  ASSERT_GT(lb_degraded, lb_healthy + 4.5);
+
+  const FaultScript faults({FaultEvent{FaultKind::kDropout, 0, 0.0, kInf, 1.0}});
+  std::vector<OnlineRequest> stream;
+  OnlineRequest req;
+  req.model = &model;
+  req.arrival_ms = 0.0;
+  // Between the two bounds (with room for the short declare-dead ladder):
+  // healthy admission would pass, degraded provably cannot.
+  req.deadline_ms = 2.0 + 0.5 * (lb_healthy + lb_degraded);
+  stream.push_back(req);
+
+  OnlineOptions opts;
+  opts.replan_window = 1;
+  opts.deadline_policy = DeadlinePolicy::kDefer;
+  opts.max_defers = 3;
+  opts.faults = &faults;
+  opts.fault_tolerance.initial_backoff_ms = 0.5;
+  opts.fault_tolerance.max_backoff_ms = 1.0;
+  opts.fault_tolerance.max_retries = 2;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  EXPECT_EQ(r.deferred_requests, 3u);  // one per defer budget notch
+  EXPECT_EQ(r.shed_requests, 1u);
+  EXPECT_FALSE(r.admitted[0]);
+  EXPECT_EQ(r.completion_ms[0], -1.0);
+  EXPECT_TRUE(r.windows.empty());  // nothing ever executed
+}
+
+TEST(Deadline, HopelessRequestIsShedEvenUnderDefer) {
+  // Deferral only helps when waiting could help: a deadline below even
+  // the *healthy* lower bound is shed immediately, no defer churn.
+  const Soc soc = Soc::kirin990();
+  const std::uint64_t full = (1ull << soc.num_processors()) - 1;
+  auto stream = one_window(kInf);
+  stream[1].deadline_ms = 0.5 * chain_lb_ms(soc, *stream[1].model, full);
+
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.deadline_policy = DeadlinePolicy::kDefer;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  EXPECT_EQ(r.deferred_requests, 0u);
+  EXPECT_EQ(r.shed_requests, 1u);
+  EXPECT_FALSE(r.admitted[1]);
+  EXPECT_EQ(r.completion_ms[1], -1.0);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -1,0 +1,153 @@
+// FaultScript: deterministic sampling, state queries, JSON round-trip, and
+// the post-hoc timeline safety checker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fault_injector.h"
+#include "soc/soc.h"
+
+namespace h2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FaultScript two_phase_script() {
+  // proc 1: transient drop-out [10, 20); proc 2: slowdown 0.5 on [5, 30);
+  // proc 0: permanent drop-out from 40.
+  return FaultScript({
+      FaultEvent{FaultKind::kDropout, 1, 10.0, 20.0, 1.0},
+      FaultEvent{FaultKind::kSlowdown, 2, 5.0, 30.0, 0.5},
+      FaultEvent{FaultKind::kDropout, 0, 40.0, kInf, 1.0},
+  });
+}
+
+TEST(FaultScript, AvailabilityQueries) {
+  const FaultScript s = two_phase_script();
+  EXPECT_TRUE(s.available(1, 9.0));
+  EXPECT_FALSE(s.available(1, 10.0));
+  EXPECT_FALSE(s.available(1, 19.999));
+  EXPECT_TRUE(s.available(1, 20.0));  // recovery edge is exclusive
+  EXPECT_TRUE(s.available(0, 39.0));
+  EXPECT_FALSE(s.available(0, 40.0));
+  EXPECT_FALSE(s.available(0, 1e9));  // permanent
+  EXPECT_TRUE(s.permanently_down(0, 50.0));
+  EXPECT_FALSE(s.permanently_down(1, 15.0));  // transient
+}
+
+TEST(FaultScript, SlowdownMultipliesAndClamps) {
+  const FaultScript s({
+      FaultEvent{FaultKind::kSlowdown, 0, 0.0, 10.0, 0.5},
+      FaultEvent{FaultKind::kSlowdown, 0, 5.0, 10.0, 0.4},
+  });
+  EXPECT_DOUBLE_EQ(s.slowdown(0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.slowdown(0, 7.0), 0.2);  // overlapping windows multiply
+  EXPECT_DOUBLE_EQ(s.slowdown(0, 11.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.slowdown(1, 7.0), 1.0);  // other proc untouched
+}
+
+TEST(FaultScript, AvailabilityMask) {
+  const FaultScript s = two_phase_script();
+  EXPECT_EQ(s.availability_mask(0.0, 4), 0b1111ull);
+  EXPECT_EQ(s.availability_mask(15.0, 4), 0b1101ull);  // proc 1 down
+  EXPECT_EQ(s.availability_mask(50.0, 4), 0b1110ull);  // proc 0 gone
+}
+
+TEST(FaultScript, EdgesAndNextChange) {
+  const FaultScript s = two_phase_script();
+  const std::vector<double> edges = s.edges();
+  EXPECT_EQ(edges, (std::vector<double>{5.0, 10.0, 20.0, 30.0, 40.0}));
+  EXPECT_DOUBLE_EQ(s.next_change_after(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.next_change_after(20.0), 30.0);
+  EXPECT_TRUE(std::isinf(s.next_change_after(40.0)));
+}
+
+TEST(FaultScript, RejectsMalformedEvents) {
+  EXPECT_THROW(
+      FaultScript({FaultEvent{FaultKind::kDropout, 0, -1.0, 5.0, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultScript({FaultEvent{FaultKind::kDropout, 0, 5.0, 5.0, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultScript({FaultEvent{FaultKind::kSlowdown, 0, 0.0, 5.0, 1.5}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultScript({FaultEvent{FaultKind::kSlowdown, 0, 0.0, 5.0, 0.0}}),
+      std::invalid_argument);
+}
+
+TEST(FaultScript, SamplingIsDeterministicInSeed) {
+  const Soc soc = Soc::kirin990();
+  const FaultScript a = FaultScript::sample(soc, 7);
+  const FaultScript b = FaultScript::sample(soc, 7);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].proc_idx, b.events()[i].proc_idx);
+    EXPECT_EQ(a.events()[i].begin_ms, b.events()[i].begin_ms);  // bit-identical
+    EXPECT_EQ(a.events()[i].end_ms, b.events()[i].end_ms);
+    EXPECT_EQ(a.events()[i].factor, b.events()[i].factor);
+  }
+  // Different seeds explore different fault sequences (overwhelmingly).
+  const FaultScript c = FaultScript::sample(soc, 8);
+  bool differs = a.events().size() != c.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].begin_ms != c.events()[i].begin_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultScript, SamplerKeepsOneProcessorAlive) {
+  const Soc soc = Soc::kirin990();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    FaultSamplerOptions opts;
+    opts.dropout_prob = 1.0;
+    opts.permanent_prob = 1.0;  // every fault wants to be a permanent dropout
+    const FaultScript s = FaultScript::sample(soc, seed, opts);
+    std::size_t permanent = 0;
+    for (const FaultEvent& e : s.events()) {
+      if (e.kind == FaultKind::kDropout && std::isinf(e.end_ms)) ++permanent;
+    }
+    EXPECT_LT(permanent, soc.num_processors()) << "seed " << seed;
+  }
+}
+
+TEST(FaultScript, JsonRoundTrip) {
+  const FaultScript s = two_phase_script();
+  const FaultScript back = fault_script_from_json(fault_script_to_json(s));
+  ASSERT_EQ(back.events().size(), s.events().size());
+  for (std::size_t i = 0; i < s.events().size(); ++i) {
+    EXPECT_EQ(back.events()[i].kind, s.events()[i].kind);
+    EXPECT_EQ(back.events()[i].proc_idx, s.events()[i].proc_idx);
+    EXPECT_EQ(back.events()[i].begin_ms, s.events()[i].begin_ms);
+    EXPECT_EQ(back.events()[i].end_ms, s.events()[i].end_ms);  // inf via null
+    if (s.events()[i].kind == FaultKind::kSlowdown) {
+      EXPECT_EQ(back.events()[i].factor, s.events()[i].factor);
+    }
+  }
+  // Text-level stability too: dump -> parse -> dump is a fixed point.
+  const std::string dumped = fault_script_to_json(s).dump();
+  EXPECT_EQ(fault_script_to_json(fault_script_from_json(Json::parse(dumped))).dump(),
+            dumped);
+}
+
+TEST(FaultScript, TimelineCheckerFlagsViolations) {
+  const FaultScript s = two_phase_script();
+  Timeline ok;
+  ok.num_procs = 4;
+  ok.tasks.push_back(TaskRecord{0, 0, 1, 25.0, 28.0, 3.0});  // after recovery
+  EXPECT_FALSE(verify_timeline_against_faults(ok, s).has_value());
+
+  Timeline bad = ok;
+  bad.tasks.push_back(TaskRecord{1, 0, 1, 12.0, 14.0, 2.0});  // inside dropout
+  const auto err = verify_timeline_against_faults(bad, s);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("processor 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2p

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "models/model_zoo.h"
@@ -128,15 +129,60 @@ TEST(OnlineAsync, PrefetchDepthDoesNotChangeResults) {
   expect_identical(shallow, run_online(soc, stream, opts));
 }
 
-TEST(OnlineAsync, AsyncWithoutPoolFallsBackToSerial) {
+TEST(OnlineAsync, AsyncWithoutPoolThrows) {
+  // Previously this silently fell back to a serial run; a misconfigured
+  // serving loop must fail fast instead.
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  OnlineOptions async;
+  async.replan_window = 3;
+  async.async_planning = true;  // pool is null
+  EXPECT_THROW(run_online(soc, stream, async), std::invalid_argument);
+}
+
+TEST(OnlineAsync, InvalidOptionCombinationsThrow) {
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  ThreadPool pool(2);
+  {
+    OnlineOptions o;
+    o.replan_window = 0;
+    EXPECT_THROW(run_online(soc, stream, o), std::invalid_argument);
+  }
+  {
+    OnlineOptions o;
+    o.warm_start = true;
+    o.use_plan_cache = false;
+    EXPECT_THROW(run_online(soc, stream, o), std::invalid_argument);
+  }
+  {
+    OnlineOptions o;
+    o.pool = &pool;
+    o.async_planning = true;
+    o.prefetch_depth = 0;
+    EXPECT_THROW(run_online(soc, stream, o), std::invalid_argument);
+  }
+}
+
+TEST(OnlineAsync, ThrowingPrefetchJobFallsBackToSerialColdReplan) {
+  // Regression: an exception inside a speculative prefetch job must not
+  // tear down the serving loop (or leak via the drained futures).  The
+  // affected windows silently fall back to a serial cold replan, so the
+  // results stay bit-identical to a serial run.
   const Soc soc = Soc::kirin990();
   const auto stream = mixed_stream();
   OnlineOptions serial;
   serial.replan_window = 3;
+  const OnlineResult expected = run_online(soc, stream, serial);
+
+  ThreadPool pool(2);
   OnlineOptions async = serial;
-  async.async_planning = true;  // pool is null: must behave serially
-  expect_identical(run_online(soc, stream, serial),
-                   run_online(soc, stream, async));
+  async.pool = &pool;
+  async.async_planning = true;
+  async.prefetch_job_hook = [] {
+    throw std::runtime_error("injected prefetch failure");
+  };
+  expect_identical(expected, run_online(soc, stream, async));
 }
 
 TEST(OnlineAsync, AsyncWorksWithCacheDisabled) {

@@ -59,6 +59,41 @@ TEST(PlanCacheKey, SocAndPlannerOptionsArePartOfTheKey) {
                                             PlannerOptions::no_ct()));
 }
 
+TEST(PlanCacheKey, ExecutionEnvironmentIsPartOfTheKey) {
+  // A plan laid out for the full SoC must not be served once a processor
+  // has dropped out or the chip has throttled: mask and thermal bucket key
+  // separate entries.
+  const Soc soc = Soc::kirin990();
+  const auto models = window_of({ModelId::kResNet50, ModelId::kBERT});
+  const std::string base = exec::PlanCache::make_key(soc, models, {});
+
+  exec::PlanCache::PlanEnv degraded;
+  degraded.avail_mask = ((1ull << soc.num_processors()) - 1) & ~1ull;  // no NPU
+  EXPECT_NE(base, exec::PlanCache::make_key(soc, models, {}, degraded));
+
+  exec::PlanCache::PlanEnv hot;
+  hot.thermal_bucket = 2;
+  EXPECT_NE(base, exec::PlanCache::make_key(soc, models, {}, hot));
+  EXPECT_NE(exec::PlanCache::make_key(soc, models, {}, degraded),
+            exec::PlanCache::make_key(soc, models, {}, hot));
+}
+
+TEST(PlanCacheKey, DefaultEnvEqualsExplicitlyHealthy) {
+  // The all-ones default mask is normalized to the SoC's processor count,
+  // so "no environment given" and "everything healthy, nominal thermals"
+  // are the same entry.
+  const Soc soc = Soc::kirin990();
+  const auto models = window_of({ModelId::kResNet50, ModelId::kBERT});
+  exec::PlanCache::PlanEnv healthy;
+  healthy.avail_mask = (1ull << soc.num_processors()) - 1;
+  healthy.thermal_bucket = 0;
+  EXPECT_EQ(exec::PlanCache::make_key(soc, models, {}),
+            exec::PlanCache::make_key(soc, models, {}, healthy));
+  exec::PlanCache::PlanEnv defaulted;  // mask ~0ull
+  EXPECT_EQ(exec::PlanCache::make_key(soc, models, {}),
+            exec::PlanCache::make_key(soc, models, {}, defaulted));
+}
+
 TEST(PlanCache, MissThenHit) {
   const Soc soc = Soc::kirin990();
   Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
@@ -212,6 +247,28 @@ TEST(PlanCacheNear, SocOrKnobMismatchRejected) {
             nullptr);
   EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(
                 soc, probe, PlannerOptions::no_ct())),
+            nullptr);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
+TEST(PlanCacheNear, EnvironmentMismatchRejected) {
+  // Warm starts must not cross execution environments: a near-miss window
+  // probed under a degraded mask (or hotter bucket) never reuses a plan
+  // laid out for the healthy chip.
+  const Soc soc = Soc::kirin990();
+  Fixture fx({ModelId::kResNet50, ModelId::kBERT}, soc);
+  exec::PlanCache cache(4);
+  cache.insert(exec::PlanCache::make_key(soc, fx.models, {}), compile_window(fx));
+
+  const auto probe = window_of({ModelId::kResNet50, ModelId::kAlexNet});
+  exec::PlanCache::PlanEnv degraded;
+  degraded.avail_mask = ((1ull << soc.num_processors()) - 1) & ~1ull;
+  EXPECT_EQ(
+      cache.find_near(exec::PlanCache::make_key(soc, probe, {}, degraded)),
+      nullptr);
+  exec::PlanCache::PlanEnv hot;
+  hot.thermal_bucket = 3;
+  EXPECT_EQ(cache.find_near(exec::PlanCache::make_key(soc, probe, {}, hot)),
             nullptr);
   EXPECT_EQ(cache.stats().warm_hits, 0u);
 }

@@ -69,5 +69,83 @@ TEST(Thermal, UtilizationClamped) {
   EXPECT_DOUBLE_EQ(t.steady_state_c(-1.0), t.steady_state_c(0.0));
 }
 
+TEST(Thermal, ThrottleClampsAtCriticalTemperature) {
+  // Past critical_c the governor sits at min_factor and never goes lower,
+  // no matter how absurdly hot the die is driven (CpuBig: 85 C / 0.55).
+  ThermalModel t(proc_of(ProcKind::kCpuBig), 85.0);
+  EXPECT_DOUBLE_EQ(t.throttle_factor(), 0.55);
+  ThermalModel hotter(proc_of(ProcKind::kCpuBig), 300.0);
+  EXPECT_DOUBLE_EQ(hotter.throttle_factor(), 0.55);
+  // The same clamp holds for the closed-form steady-state path.
+  EXPECT_GE(hotter.steady_state_throttle(1.0), 0.55);
+}
+
+TEST(Thermal, SteadyStateMonotoneInUtilization) {
+  for (ProcKind k : {ProcKind::kCpuBig, ProcKind::kCpuSmall, ProcKind::kGpu,
+                     ProcKind::kNpu}) {
+    ThermalModel t(proc_of(k));
+    double prev_temp = -1.0;
+    double prev_throttle = 2.0;
+    for (double u = 0.0; u <= 1.0 + 1e-9; u += 0.05) {
+      const double temp = t.steady_state_c(u);
+      const double throttle = t.steady_state_throttle(u);
+      EXPECT_GE(temp, prev_temp) << "kind " << static_cast<int>(k) << " u " << u;
+      EXPECT_LE(throttle, prev_throttle)
+          << "kind " << static_cast<int>(k) << " u " << u;
+      prev_temp = temp;
+      prev_throttle = throttle;
+    }
+  }
+}
+
+TEST(Thermal, DeratedSocNeverGainsThroughput) {
+  for (const Soc& soc :
+       {Soc::kirin990(), Soc::snapdragon778g(), Soc::snapdragon870()}) {
+    for (double u : {0.0, 0.5, 1.0}) {
+      const Soc derated = thermally_derated(soc, u);
+      ASSERT_EQ(derated.num_processors(), soc.num_processors());
+      for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+        EXPECT_LE(derated.processor(p).peak_gflops,
+                  soc.processor(p).peak_gflops + 1e-12)
+            << soc.name() << " proc " << p << " u " << u;
+        EXPECT_GT(derated.processor(p).peak_gflops, 0.0);
+      }
+    }
+    // Idle is exactly nominal: no spurious derating at zero load.
+    const Soc idle = thermally_derated(soc, 0.0);
+    for (std::size_t p = 0; p < soc.num_processors(); ++p) {
+      EXPECT_DOUBLE_EQ(idle.processor(p).peak_gflops,
+                       soc.processor(p).peak_gflops);
+    }
+  }
+}
+
+TEST(Thermal, CoarseBucketEdges) {
+  EXPECT_EQ(coarse_thermal_bucket(1.0), 0u);
+  EXPECT_EQ(coarse_thermal_bucket(0.95), 1u);
+  EXPECT_EQ(coarse_thermal_bucket(0.9), 1u);   // derate 0.1 rounds into 1
+  EXPECT_EQ(coarse_thermal_bucket(0.89), 2u);
+  EXPECT_EQ(coarse_thermal_bucket(0.55), 5u);
+  EXPECT_EQ(coarse_thermal_bucket(0.0), 10u);
+  // Out-of-range inputs clamp instead of wrapping.
+  EXPECT_EQ(coarse_thermal_bucket(1.5), 0u);
+  EXPECT_EQ(coarse_thermal_bucket(-0.5), 10u);
+}
+
+TEST(Thermal, CoarseBucketOfSocTracksWorstProcessor) {
+  const Soc soc = Soc::kirin990();
+  // Idle: nothing throttles, bucket 0.
+  EXPECT_EQ(coarse_thermal_bucket(soc, 0.0), 0u);
+  // Sustained full load: the big CPU cluster throttles (Fig 11), so the
+  // SoC-level bucket is nonzero and matches the worst per-proc factor.
+  double worst = 1.0;
+  for (const Processor& p : soc.processors()) {
+    worst = std::min(worst, ThermalModel(p).steady_state_throttle(1.0));
+  }
+  ASSERT_LT(worst, 1.0);
+  EXPECT_EQ(coarse_thermal_bucket(soc, 1.0), coarse_thermal_bucket(worst));
+  EXPECT_GT(coarse_thermal_bucket(soc, 1.0), 0u);
+}
+
 }  // namespace
 }  // namespace h2p

@@ -22,6 +22,12 @@
 //                 --warm-start        near-miss warm-start replanning
 //                 --no-cache          disable the plan cache
 //                 --threads <n>       worker pool size (also the async pool)
+//                 --faults <f.json>   scripted processor faults (see
+//                                     sim/fault_injector.h for the schema)
+//                 --fault-seed <n>    sample a deterministic random fault
+//                                     script instead (ignored with --faults)
+//                 --deadline <ms>     per-request deadline: arrival + ms
+//                 --deadline-policy <none|shed|defer>   admission control
 //                 plus --soc/--soc-json/--no-ct as for `plan`
 #include <cstdio>
 #include <cstdlib>
@@ -292,6 +298,7 @@ const char* window_source_name(WindowSource s) {
     case WindowSource::kCacheHit: return "cache_hit";
     case WindowSource::kWarmReplan: return "warm_replan";
     case WindowSource::kColdReplan: return "cold_replan";
+    case WindowSource::kDegradedReplan: return "degraded_replan";
   }
   return "?";
 }
@@ -306,12 +313,37 @@ int cmd_online(int argc, char** argv) {
   const long repeat = int_arg(argc, argv, "--repeat", 1);
   const double period =
       static_cast<double>(int_arg(argc, argv, "--period", 5));
+  const long deadline = int_arg(argc, argv, "--deadline", 0);
   std::vector<OnlineRequest> stream;
   for (long r = 0; r < repeat; ++r) {
     for (ModelId id : *ids) {
-      stream.push_back(OnlineRequest{
-          &zoo_model(id), static_cast<double>(stream.size()) * period});
+      OnlineRequest req;
+      req.model = &zoo_model(id);
+      req.arrival_ms = static_cast<double>(stream.size()) * period;
+      if (deadline > 0) {
+        req.deadline_ms = req.arrival_ms + static_cast<double>(deadline);
+      }
+      stream.push_back(req);
     }
+  }
+
+  // Fault environment: a scripted JSON file, or a seed-sampled script.
+  FaultScript faults;
+  bool with_faults = false;
+  if (const auto file = arg_value(argc, argv, "--faults")) {
+    std::ifstream in(*file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file->c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    faults = fault_script_from_json(Json::parse(buf.str()));
+    with_faults = true;
+  } else if (const auto seed = arg_value(argc, argv, "--fault-seed")) {
+    faults = FaultScript::sample(
+        *soc, static_cast<std::uint64_t>(std::strtoull(seed->c_str(), nullptr, 10)));
+    with_faults = true;
   }
 
   const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
@@ -325,23 +357,66 @@ int cmd_online(int argc, char** argv) {
   opts.prefetch_depth =
       static_cast<std::size_t>(int_arg(argc, argv, "--prefetch", 2));
   opts.warm_start = has_flag(argc, argv, "--warm-start");
+  if (with_faults) opts.faults = &faults;
+  if (const auto policy = arg_value(argc, argv, "--deadline-policy")) {
+    if (*policy == "none") {
+      opts.deadline_policy = DeadlinePolicy::kNone;
+    } else if (*policy == "shed") {
+      opts.deadline_policy = DeadlinePolicy::kShed;
+    } else if (*policy == "defer") {
+      opts.deadline_policy = DeadlinePolicy::kDefer;
+    } else {
+      std::fprintf(stderr, "unknown deadline policy: %s\n", policy->c_str());
+      return 1;
+    }
+  }
 
   const OnlineResult result = run_online(*soc, stream, opts);
+  if (with_faults) {
+    if (const auto violation =
+            verify_timeline_against_faults(result.timeline, faults)) {
+      std::fprintf(stderr, "FAULT SAFETY VIOLATION: %s\n", violation->c_str());
+      return 1;
+    }
+  }
 
   Json out = Json::object();
   out["requests"] = Json::number(static_cast<double>(stream.size()));
   out["makespan_ms"] = Json::number(result.timeline.makespan_ms());
   out["throughput_per_s"] = Json::number(result.timeline.throughput_per_s());
   double total = 0.0;
-  for (const double c : result.completion_ms) total += c;
+  std::size_t executed = 0;
+  for (const double c : result.completion_ms) {
+    if (c >= 0.0) {
+      total += c;
+      ++executed;
+    }
+  }
   out["mean_completion_ms"] =
-      Json::number(stream.empty() ? 0.0 : total / stream.size());
+      Json::number(executed == 0 ? 0.0 : total / static_cast<double>(executed));
   out["replans"] = Json::number(result.replans);
-  out["cold_replans"] = Json::number(result.replans - result.warm_hits);
+  out["cold_replans"] =
+      Json::number(result.replans - result.warm_hits - result.degraded_hits);
   out["warm_hits"] = Json::number(result.warm_hits);
   out["cache_hits"] = Json::number(result.cache_hits);
+  out["degraded_replans"] = Json::number(result.degraded_hits);
   out["planning_hidden_ms"] = Json::number(result.planning_hidden_ms);
   out["planning_charged_ms"] = Json::number(result.planning_charged_ms);
+  out["deadline_misses"] =
+      Json::number(static_cast<double>(result.deadline_misses));
+  out["shed_requests"] = Json::number(static_cast<double>(result.shed_requests));
+  out["deferred_requests"] =
+      Json::number(static_cast<double>(result.deferred_requests));
+  Json dead = Json::array();
+  for (std::size_t p = 0; p < result.declared_dead_ms.size(); ++p) {
+    if (result.declared_dead_ms[p] >= 0.0) {
+      Json d = Json::object();
+      d["proc"] = Json::number(static_cast<double>(p));
+      d["declared_dead_ms"] = Json::number(result.declared_dead_ms[p]);
+      dead.push_back(std::move(d));
+    }
+  }
+  out["declared_dead"] = std::move(dead);
   Json windows = Json::array();
   for (const WindowStats& ws : result.windows) {
     Json w = Json::object();
@@ -351,6 +426,15 @@ int cmd_online(int argc, char** argv) {
     w["planning_ms"] = Json::number(ws.planning_ms);
     w["hidden_ms"] = Json::number(ws.hidden_ms);
     w["charged_ms"] = Json::number(ws.charged_ms);
+    if (with_faults) {
+      w["avail_mask"] = Json::number(static_cast<double>(ws.avail_mask));
+      w["backoff_wait_ms"] = Json::number(ws.backoff_wait_ms);
+    }
+    if (opts.deadline_policy != DeadlinePolicy::kNone) {
+      w["shed"] = Json::number(static_cast<double>(ws.shed));
+      w["deferred"] = Json::number(static_cast<double>(ws.deferred));
+    }
+    w["deadline_misses"] = Json::number(static_cast<double>(ws.deadline_misses));
     windows.push_back(std::move(w));
   }
   out["windows"] = std::move(windows);
