@@ -13,10 +13,13 @@
 //   ./build/bench/bench_planner_micro --benchmark_min_time=0.2 --json
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,9 +28,12 @@
 #include "core/planner.h"
 #include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
 #include "sim/online.h"
 #include "sim/pipeline_sim.h"
+#include "util/json.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 using namespace h2p;
@@ -293,6 +299,50 @@ void BM_CostTableBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CostTableBuild);
 
+/// Rewrite the --benchmark_out JSON in place with an "h2p_context" header:
+/// the recording host (cpu count, H2P_THREADS — the snapshot's 1-core caveat
+/// becomes self-describing) and a per-benchmark-family real_time Summary
+/// (util/stats summarize + summary_to_json, the same serializer the metrics
+/// snapshot uses).  Best-effort: a malformed file is left untouched.
+void annotate_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const std::exception&) {
+    return;
+  }
+  if (!doc.contains("benchmarks")) return;
+
+  // Family = benchmark name up to the first '/' (strips the arg suffix).
+  std::map<std::string, std::vector<double>> family_times;
+  const Json& benches = doc.at("benchmarks");
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    const Json& b = benches.at(i);
+    if (!b.contains("name") || !b.contains("real_time")) continue;
+    std::string name = b.at("name").as_string();
+    const std::size_t slash = name.find('/');
+    if (slash != std::string::npos) name.resize(slash);
+    family_times[name].push_back(b.at("real_time").as_number());
+  }
+  Json families = Json::object();
+  for (const auto& [name, times] : family_times) {
+    families[name] = summary_to_json(summarize(times));
+  }
+
+  Json context = Json::object();
+  context["host"] = obs::host_info_json();
+  context["family_real_time"] = std::move(families);
+  doc["h2p_context"] = std::move(context);
+
+  std::ofstream out(path);
+  if (!out) return;
+  out << doc.dump();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -323,5 +373,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) annotate_bench_json(json_path);
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "core/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "soc/perf_counters.h"
 #include "util/thread_pool.h"
 
@@ -14,6 +16,11 @@ namespace h2p {
 StaticEvaluator::StaticEvaluator(const Soc& soc, std::vector<const Model*> models,
                                  ThreadPool* pool)
     : soc_(&soc), models_(std::move(models)), cost_(soc), contention_(soc) {
+  static obs::Histogram& build_ms =
+      obs::Registry::global().histogram("planner.cost_tables_ms");
+  const obs::ScopedLatency latency(build_ms);
+  obs::Span span("planner.cost_tables");
+  span.arg("models", static_cast<double>(models_.size()));
   const std::size_t n = models_.size();
   const int cpu_b = soc.find(ProcKind::kCpuBig);
   const std::size_t intensity_proc = cpu_b >= 0 ? static_cast<std::size_t>(cpu_b) : 0;

@@ -4,35 +4,52 @@
 #include <vector>
 
 #include "contention/classifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pipeline_sim.h"
 #include "util/thread_pool.h"
 
 namespace h2p {
 
 PlannerReport Hetero2PipePlanner::plan() const {
+  static obs::Counter& cold_plans =
+      obs::Registry::global().counter("planner.cold_plans");
+  static obs::Histogram& cold_ms =
+      obs::Registry::global().histogram("planner.cold_ms");
+  cold_plans.inc();
+  const obs::ScopedLatency latency(cold_ms);
+  obs::Span plan_span("planner.plan_cold");
+  plan_span.arg("models", static_cast<double>(eval_->num_models()));
+
   PlannerReport report;
   const std::size_t K =
       opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
 
   // Step 1 — horizontal: independent Algorithm-1 slicings.
-  PipelinePlan pipeline = horizontal_plan(*eval_, K, pool_);
+  PipelinePlan pipeline = [&] {
+    obs::Span span("planner.horizontal");
+    return horizontal_plan(*eval_, K, pool_);
+  }();
 
   // Step 2a — contention mitigation (Algorithm 2).
-  std::vector<double> intensities;
-  intensities.reserve(eval_->num_models());
-  for (std::size_t i = 0; i < eval_->num_models(); ++i) {
-    intensities.push_back(eval_->model_intensity(i));
-  }
   MitigationResult mitigation;
-  if (opts_.contention_mitigation) {
-    mitigation =
-        mitigate_contention(intensities, K, opts_.classifier_percentile);
-  } else {
-    mitigation.order.resize(eval_->num_models());
-    for (std::size_t i = 0; i < mitigation.order.size(); ++i) mitigation.order[i] = i;
-    ContentionClassifier classifier(opts_.classifier_percentile);
-    classifier.fit(intensities);
-    for (double v : intensities) mitigation.high.push_back(classifier.is_high(v));
+  {
+    obs::Span span("planner.mitigation");
+    std::vector<double> intensities;
+    intensities.reserve(eval_->num_models());
+    for (std::size_t i = 0; i < eval_->num_models(); ++i) {
+      intensities.push_back(eval_->model_intensity(i));
+    }
+    if (opts_.contention_mitigation) {
+      mitigation =
+          mitigate_contention(intensities, K, opts_.classifier_percentile);
+    } else {
+      mitigation.order.resize(eval_->num_models());
+      for (std::size_t i = 0; i < mitigation.order.size(); ++i) mitigation.order[i] = i;
+      ContentionClassifier classifier(opts_.classifier_percentile);
+      classifier.fit(intensities);
+      for (double v : intensities) mitigation.high.push_back(classifier.is_high(v));
+    }
   }
 
   // Stamp H/L labels on the horizontal plans.

@@ -25,6 +25,8 @@
 #include "core/planner.h"
 #include "core/work_stealing.h"
 #include "exec/compiled_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pipeline_sim.h"
 
 namespace h2p {
@@ -65,6 +67,15 @@ bool audition_collapses(IncrementalStaticScorer& inc, PipelinePlan& plan,
 
 std::optional<PlannerReport> Hetero2PipePlanner::plan_warm(
     const exec::CompiledPlan& seed) const {
+  static obs::Counter& warm_plans =
+      obs::Registry::global().counter("planner.warm_plans");
+  static obs::Histogram& warm_ms =
+      obs::Registry::global().histogram("planner.warm_ms");
+  warm_plans.inc();
+  const obs::ScopedLatency latency(warm_ms);
+  obs::Span span("planner.plan_warm");
+  span.arg("models", static_cast<double>(eval_->num_models()));
+
   const std::size_t K =
       opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
   if (seed.num_stages != K) return std::nullopt;
@@ -259,6 +270,15 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_warm(
 std::optional<PlannerReport> Hetero2PipePlanner::plan_degraded(
     const exec::CompiledPlan& seed,
     const std::vector<std::size_t>& kept_procs) const {
+  static obs::Counter& degraded_plans =
+      obs::Registry::global().counter("planner.degraded_plans");
+  static obs::Histogram& degraded_ms =
+      obs::Registry::global().histogram("planner.degraded_ms");
+  degraded_plans.inc();
+  const obs::ScopedLatency latency(degraded_ms);
+  obs::Span span("planner.plan_degraded");
+  span.arg("kept_procs", static_cast<double>(kept_procs.size()));
+
   const std::size_t K =
       opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
   if (K == 0 || kept_procs.size() != K || seed.num_stages <= K) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/incremental.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace h2p {
@@ -143,6 +144,8 @@ bool optimize_tail(PipelinePlan& plan, const StaticEvaluator& eval,
   const std::size_t K = plan.num_stages;
   const std::size_t m = plan.models.size();
   if (K < 2 || m == 0) return false;
+  obs::Span span("planner.tail_sweep");
+  span.arg("models", static_cast<double>(m));
   const bool use_static = !scorer;
 
   IncrementalStaticScorer inc(eval, plan);

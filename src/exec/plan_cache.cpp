@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace h2p::exec {
 namespace {
 
@@ -65,12 +68,19 @@ bool within_one_edit(const std::vector<std::string_view>& a,
 PlanCache::PlanCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 const CompiledPlan* PlanCache::find(const std::string& key) {
+  static obs::Counter& hits = obs::Registry::global().counter("plan_cache.hits");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("plan_cache.misses");
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    misses.inc();
+    obs::Tracer::global().instant("plan_cache.miss");
     return nullptr;
   }
   ++stats_.hits;
+  hits.inc();
+  obs::Tracer::global().instant("plan_cache.hit");
   entries_.splice(entries_.begin(), entries_, it->second);
   return &entries_.front().plan;
 }
@@ -90,6 +100,10 @@ const CompiledPlan* PlanCache::find_near(const std::string& key) {
     if (cand.soc != probe.soc || cand.knobs != probe.knobs) continue;
     if (!within_one_edit(cand.names, probe.names)) continue;
     ++stats_.warm_hits;
+    static obs::Counter& warm_hits =
+        obs::Registry::global().counter("plan_cache.warm_hits");
+    warm_hits.inc();
+    obs::Tracer::global().instant("plan_cache.warm_hit");
     entries_.splice(entries_.begin(), entries_, it);
     return &entries_.front().plan;
   }
@@ -115,6 +129,9 @@ const CompiledPlan& PlanCache::insert(const std::string& key, CompiledPlan plan)
     index_.erase(entries_.back().key);
     entries_.pop_back();
     ++stats_.evictions;
+    static obs::Counter& evictions =
+        obs::Registry::global().counter("plan_cache.evictions");
+    evictions.inc();
   }
   entries_.push_front(Entry{key, std::move(plan)});
   index_[key] = entries_.begin();

@@ -1,0 +1,122 @@
+#include "obs/log.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace h2p::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan; null keeps the line parseable
+    return;
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Log& Log::global() {
+  static Log log;
+  return log;
+}
+
+void Log::set_sink_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.close();
+  file_.clear();
+  file_.open(path, std::ios::app);
+  if (!file_) throw std::runtime_error("obs::Log: cannot open " + path);
+  stream_ = nullptr;
+}
+
+void Log::set_sink_stream(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) file_.close();
+  stream_ = os;
+}
+
+void Log::emit(LogLevel level, std::string_view event,
+               std::initializer_list<LogField> fields) {
+  if (!should_log(level)) return;
+  const double ts_ms = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - epoch_)
+                           .count() /
+                       1.0e6;
+  std::string line;
+  line.reserve(96);
+  line += "{\"ts_ms\":";
+  append_number(line, ts_ms);
+  line += ",\"level\":\"";
+  line += to_string(level);
+  line += "\",\"event\":";
+  append_escaped(line, event);
+  for (const LogField& f : fields) {
+    line += ',';
+    append_escaped(line, f.key);
+    line += ':';
+    switch (f.kind) {
+      case LogField::Kind::kNumber: append_number(line, f.number); break;
+      case LogField::Kind::kText: append_escaped(line, f.text); break;
+      case LogField::Kind::kBool: line += f.flag ? "true" : "false"; break;
+    }
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) {
+    file_ << line;
+    file_.flush();
+  } else if (stream_ != nullptr) {
+    (*stream_) << line;
+    stream_->flush();
+  } else {
+    std::fputs(line.c_str(), stderr);
+  }
+}
+
+}  // namespace h2p::obs

@@ -1,0 +1,238 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace h2p::obs {
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const detail::CounterShard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Gauge::value() const { return v_.load(std::memory_order_relaxed); }
+
+Histogram::Histogram(const Registry* owner, std::vector<double> bounds)
+    : owner_(owner),
+      bounds_(std::move(bounds)),
+      num_buckets_(bounds_.size() + 1),
+      buckets_(detail::kShards * num_buckets_) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "obs::Histogram: bucket bounds must be strictly ascending");
+    }
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Scalars& s : scalars_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Scalars& s : scalars_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(num_buckets_, 0);
+  for (std::size_t shard = 0; shard < detail::kShards; ++shard) {
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      out[b] += buckets_[shard * num_buckets_ + b].v.load(
+          std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+Summary Histogram::summary() const {
+  Summary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  s.mean = sum() / static_cast<double>(s.count);
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (const Scalars& sc : scalars_) {
+    mn = std::min(mn, sc.min.load(std::memory_order_relaxed));
+    mx = std::max(mx, sc.max.load(std::memory_order_relaxed));
+  }
+  s.min = mn;
+  s.max = mx;
+
+  // Percentiles interpolated inside the bucket containing the rank; the
+  // first bucket interpolates from 0 (or the observed min when tighter) and
+  // the overflow bucket is pinned to the observed max.
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  const auto pct = [&](double q) {
+    const double rank = q * static_cast<double>(s.count);
+    double below = 0.0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      const double here = static_cast<double>(counts[b]);
+      if (below + here >= rank && here > 0.0) {
+        if (b == counts.size() - 1) return mx;
+        const double hi = bounds_[b];
+        double lo = b == 0 ? std::min(0.0, mn) : bounds_[b - 1];
+        lo = std::max(lo, mn);
+        const double frac = std::clamp((rank - below) / here, 0.0, 1.0);
+        return std::clamp(lo + (hi - lo) * frac, mn, mx);
+      }
+      below += here;
+    }
+    return mx;
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  // stddev is not recoverable from (count, sum, buckets); left 0.
+  return s;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(this)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(this))).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_latency_buckets();
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(this, std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<double> Registry::default_latency_buckets() {
+  std::vector<double> bounds;
+  for (double b = 0.001; b <= 8192.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Json host_info_json() {
+  Json host = Json::object();
+  host["cpus"] =
+      Json::number(static_cast<double>(std::thread::hardware_concurrency()));
+  long threads = 0;
+  if (const char* env = std::getenv("H2P_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) threads = v;
+  }
+  host["h2p_threads"] = Json::number(static_cast<double>(threads));
+  return host;
+}
+
+Json Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  out["host"] = host_info_json();
+
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters[name] = Json::number(static_cast<double>(c->value()));
+  }
+  out["counters"] = std::move(counters);
+
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges[name] = Json::number(g->value());
+  }
+  out["gauges"] = std::move(gauges);
+
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::object();
+    entry["summary"] = summary_to_json(h->summary());
+    Json buckets = Json::array();
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      Json bucket = Json::object();
+      // The overflow bucket has no finite bound; serialize it as null.
+      bucket["le"] = b < h->bounds().size() ? Json::number(h->bounds()[b])
+                                            : Json();
+      bucket["count"] = Json::number(static_cast<double>(counts[b]));
+      buckets.push_back(std::move(bucket));
+    }
+    entry["buckets"] = std::move(buckets);
+    histograms[name] = std::move(entry);
+  }
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    for (detail::CounterShard& s : c->shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, g] : gauges_) {
+    g->v_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (detail::CounterShard& s : h->buckets_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+    for (Histogram::Scalars& s : h->scalars_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0.0, std::memory_order_relaxed);
+      s.min.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      s.max.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+    }
+  }
+}
+
+ScopedLatency::ScopedLatency(Histogram& h) {
+  if (!h.owner_->enabled()) return;
+  h_ = &h;
+  t0_ = std::chrono::steady_clock::now();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (h_ == nullptr) return;
+  const double ms = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count() /
+                    1.0e6;
+  h_->observe(ms);
+}
+
+}  // namespace h2p::obs

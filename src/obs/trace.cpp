@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+namespace h2p::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  track_of_thread_.clear();
+  track_names_.clear();
+  next_track_ = 0;
+}
+
+std::uint32_t Tracer::track_for_current_thread_locked() {
+  const std::thread::id me = std::this_thread::get_id();
+  const auto it = track_of_thread_.find(me);
+  if (it != track_of_thread_.end()) return it->second;
+  const std::uint32_t track = next_track_++;
+  track_of_thread_.emplace(me, track);
+  return track;
+}
+
+void Tracer::name_current_thread(const std::string& name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[track_for_current_thread_locked()] = name;
+}
+
+void Tracer::record(std::string name, double start_us, double dur_us,
+                    std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.track = track_for_current_thread_locked();
+  ev.start_us = start_us;
+  ev.dur_us = dur_us;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string name, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  const double t = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.track = track_for_current_thread_locked();
+  ev.start_us = t;
+  ev.instant = true;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<std::uint32_t, std::string> Tracer::track_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return track_names_;
+}
+
+}  // namespace h2p::obs

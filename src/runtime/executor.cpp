@@ -7,6 +7,9 @@
 #include <optional>
 #include <thread>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/kernels.h"
 #include "runtime/wsdeque.h"
 
@@ -86,6 +89,10 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
   const auto t0 = Clock::now();
 
   auto worker_fn = [&](std::size_t me) {
+    if (obs::Tracer::global().enabled()) {
+      obs::Tracer::global().name_current_thread("executor-worker-" +
+                                                std::to_string(me));
+    }
     auto& my_deque = *deques[me];
     auto& my_inbox = *inboxes[me];
     std::size_t victim = (me + 1) % num_procs_;
@@ -115,9 +122,21 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
       rec.worker = me;
       rec.stolen = was_stolen || (jobs[i].home_proc % num_procs_) != me;
       rec.start_ms = ms_since(t0);
-      burn_compute_us(jobs[i].solo_ms * options_.us_per_sim_ms);
+      {
+        obs::Span job_span("rt.job");
+        job_span.arg("model", static_cast<double>(jobs[i].model_idx));
+        job_span.arg("seq", static_cast<double>(jobs[i].seq_in_model));
+        burn_compute_us(jobs[i].solo_ms * options_.us_per_sim_ms);
+      }
       rec.end_ms = ms_since(t0);
-      if (rec.stolen) steals.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& c_jobs = obs::Registry::global().counter("rt.jobs");
+      c_jobs.inc();
+      if (rec.stolen) {
+        steals.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter& c_steals =
+            obs::Registry::global().counter("rt.steals");
+        c_steals.inc();
+      }
 
       for (std::size_t s : succ[i]) {
         inboxes[jobs[s].home_proc % num_procs_]->post(s);
@@ -133,6 +152,10 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
 
   result.wall_ms = ms_since(t0);
   result.steals = steals.load();
+  obs::Log::global().info("rt.run_done", {{"jobs", n},
+                                          {"workers", num_procs_},
+                                          {"steals", result.steals},
+                                          {"wall_ms", result.wall_ms}});
   return result;
 }
 

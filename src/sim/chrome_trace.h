@@ -3,6 +3,7 @@
 #include <string>
 
 #include "exec/compiled_plan.h"
+#include "obs/trace.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -28,5 +29,22 @@ void write_chrome_trace(const Timeline& timeline, const Soc& soc,
 void write_chrome_trace(const Timeline& timeline, const Soc& soc,
                         const exec::CompiledPlan& compiled,
                         const std::string& path);
+
+/// Merged export: the DES timeline (pid 1, "device (modeled time)", one tid
+/// per processor) side by side with the host span tracer (pid 2,
+/// "host (wall clock)", one tid per recorded host thread — planner phases,
+/// plan-cache decisions, online-loop window steps, pool jobs).  One
+/// Perfetto-loadable file replaces the previously disconnected DES-only
+/// trace and ad-hoc planner prints.  The two processes run on independent
+/// clocks (modeled stream ms vs. host wall ms); Perfetto renders them as
+/// separate process groups.
+std::string to_merged_chrome_trace_json(const Timeline& timeline,
+                                        const Soc& soc,
+                                        const obs::Tracer& tracer);
+
+/// Write the merged trace; throws std::runtime_error on I/O failure.
+void write_merged_chrome_trace(const Timeline& timeline, const Soc& soc,
+                               const obs::Tracer& tracer,
+                               const std::string& path);
 
 }  // namespace h2p

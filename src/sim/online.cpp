@@ -12,6 +12,9 @@
 #include <utility>
 
 #include "exec/compiled_plan.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pipeline_sim.h"
 #include "soc/cost_model.h"
 #include "util/thread_pool.h"
@@ -86,6 +89,22 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
         "nothing; disable async_planning instead");
   }
 
+  // Registry mirrors of the OnlineResult counters (satellite of the
+  // telemetry layer): the CLI reads these back from the snapshot, and a
+  // test asserts they equal the result fields so the two cannot drift.
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Counter& c_windows = reg.counter("online.windows");
+  static obs::Counter& c_cache_hits = reg.counter("online.cache_hits");
+  static obs::Counter& c_warm_hits = reg.counter("online.warm_hits");
+  static obs::Counter& c_degraded = reg.counter("online.degraded_replans");
+  static obs::Counter& c_cold = reg.counter("online.cold_replans");
+  static obs::Counter& c_shed = reg.counter("online.shed_requests");
+  static obs::Counter& c_deferred = reg.counter("online.deferred_requests");
+  static obs::Counter& c_misses = reg.counter("online.deadline_misses");
+  static obs::Counter& c_discarded = reg.counter("online.prefetch_discarded");
+  static obs::Histogram& h_window_ms = reg.histogram("online.window_resolve_ms");
+  obs::Log& log = obs::Log::global();
+
   OnlineResult result;
   const std::size_t P = soc.num_processors();
   const std::size_t window_size = options.replan_window;
@@ -156,6 +175,8 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   std::uint64_t believed_mask = full_mask;
   const auto pump_prefetch = [&] {
     if (!async) return;
+    obs::Span span("online.prefetch_pump");
+    std::size_t submitted = 0;
     const SocView& view = view_for(believed_mask);
     const exec::PlanCache::PlanEnv env{believed_mask, options.thermal_bucket};
     std::size_t offset = 0;
@@ -181,7 +202,9 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
             if (hook) hook();
             return plan_cold(view_soc, models, planner, nullptr, with_fallback);
           }));
+      ++submitted;
     }
+    span.arg("submitted", static_cast<double>(submitted));
   };
 
   std::vector<bool> believed_dead(P, false);
@@ -210,44 +233,55 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     // ---- 2. Probe processor availability at planning time --------------
     const double t0 = std::max(win_arrival, prev_plan_finish_ms);
     double t = t0;
-    if (faults != nullptr) {
-      // Cheap re-probe: a processor declared dead earlier rejoins the
-      // moment it reports available again.
-      for (std::size_t p = 0; p < P; ++p) {
-        if (believed_dead[p] && faults->available(p, t)) believed_dead[p] = false;
-      }
-      // Capped exponential backoff on processors that just went dark — a
-      // transient drop-out often outlasts one probe but not the whole
-      // ladder.  Processors already declared dead are not waited on.
-      double backoff = ft.initial_backoff_ms;
-      for (std::size_t attempt = 0; attempt < ft.max_retries; ++attempt) {
-        bool any_down = false;
+    std::uint64_t mask = full_mask;
+    {
+      obs::Span probe_span("online.probe");
+      if (faults != nullptr) {
+        // Cheap re-probe: a processor declared dead earlier rejoins the
+        // moment it reports available again.
         for (std::size_t p = 0; p < P; ++p) {
-          if (!believed_dead[p] && !faults->available(p, t)) any_down = true;
+          if (believed_dead[p] && faults->available(p, t)) {
+            believed_dead[p] = false;
+            log.info("online.proc_rejoined", {{"proc", p}, {"t_ms", t}});
+          }
         }
-        if (!any_down) break;
-        t += backoff;
-        backoff = std::min(backoff * ft.backoff_multiplier, ft.max_backoff_ms);
-      }
-      // Whatever is still dark after the ladder is declared dead: planning
-      // proceeds without it (and keeps re-probing at later windows).
-      for (std::size_t p = 0; p < P; ++p) {
-        if (!believed_dead[p] && !faults->available(p, t)) {
-          believed_dead[p] = true;
-          if (result.declared_dead_ms[p] < 0.0) result.declared_dead_ms[p] = t;
+        // Capped exponential backoff on processors that just went dark — a
+        // transient drop-out often outlasts one probe but not the whole
+        // ladder.  Processors already declared dead are not waited on.
+        double backoff = ft.initial_backoff_ms;
+        for (std::size_t attempt = 0; attempt < ft.max_retries; ++attempt) {
+          bool any_down = false;
+          for (std::size_t p = 0; p < P; ++p) {
+            if (!believed_dead[p] && !faults->available(p, t)) any_down = true;
+          }
+          if (!any_down) break;
+          t += backoff;
+          backoff = std::min(backoff * ft.backoff_multiplier, ft.max_backoff_ms);
+        }
+        // Whatever is still dark after the ladder is declared dead: planning
+        // proceeds without it (and keeps re-probing at later windows).
+        for (std::size_t p = 0; p < P; ++p) {
+          if (!believed_dead[p] && !faults->available(p, t)) {
+            believed_dead[p] = true;
+            if (result.declared_dead_ms[p] < 0.0) result.declared_dead_ms[p] = t;
+            log.warn("online.proc_declared_dead", {{"proc", p}, {"t_ms", t}});
+          }
+        }
+        mask = faults->availability_mask(t, P);
+        while (mask == 0) {
+          const double next = faults->next_change_after(t);
+          if (!std::isfinite(next)) {
+            log.error("online.all_procs_down",
+                      {{"t_ms", t}, {"recoverable", false}});
+            throw std::runtime_error(
+                "run_online: every processor is unavailable forever");
+          }
+          t = next;
+          mask = faults->availability_mask(t, P);
         }
       }
-    }
-    std::uint64_t mask =
-        faults != nullptr ? faults->availability_mask(t, P) : full_mask;
-    while (mask == 0) {
-      const double next = faults->next_change_after(t);
-      if (!std::isfinite(next)) {
-        throw std::runtime_error(
-            "run_online: every processor is unavailable forever");
-      }
-      t = next;
-      mask = faults->availability_mask(t, P);
+      probe_span.arg("mask", static_cast<double>(mask));
+      probe_span.arg("backoff_wait_ms", t - t0);
     }
     believed_mask = mask;
 
@@ -279,11 +313,19 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
                 deadline + 1e-9) {
           ++defer_count[i];
           ++result.deferred_requests;
+          c_deferred.inc();
+          log.debug("online.request_deferred",
+                    {{"request", i},
+                     {"deadline_ms", deadline},
+                     {"defers", defer_count[i]}});
           deferred.push_back(i);
           continue;
         }
         ++shed_here;
         ++result.shed_requests;
+        c_shed.inc();
+        log.debug("online.request_shed",
+                  {{"request", i}, {"deadline_ms", deadline}});
       }
       for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
         pending.push_front(*it);
@@ -320,13 +362,18 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     ws.deferred = deferred.size();
 
     // ---- 4. Resolve the window's plan ----------------------------------
+    const obs::ScopedLatency window_latency(h_window_ms);
     exec::CompiledPlan storage;
     const exec::CompiledPlan* compiled = nullptr;
+    {
+    obs::Span plan_span("online.plan");
+    plan_span.arg("window", static_cast<double>(result.windows.size()));
     if (caching) {
       if (const exec::CompiledPlan* hit = cache->find(key)) {
         compiled = hit;
         ws.source = WindowSource::kCacheHit;
         ++result.cache_hits;
+        c_cache_hits.inc();
         ws.planning_ms = options.cache_hit_overhead_ms;
         // A shared cache populated by a fault-oblivious run may hold plans
         // without the fallback table the fault-aware DES migrates with.
@@ -350,6 +397,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
           ws.source = WindowSource::kWarmReplan;
           ++result.replans;
           ++result.warm_hits;
+          c_warm_hits.inc();
           ws.planning_ms = options.warm_planning_overhead_ms;
         }
       }
@@ -371,6 +419,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
           ws.source = WindowSource::kDegradedReplan;
           ++result.replans;
           ++result.degraded_hits;
+          c_degraded.inc();
           ws.planning_ms = options.warm_planning_overhead_ms;
         }
       }
@@ -381,11 +430,18 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
       if (const auto it = inflight.find(key); it != inflight.end()) {
         // A prefetch job that threw (a planner bug, a test hook) must not
         // take the serving loop down: swallow, fall back to a serial cold
-        // replan on the calling thread.
+        // replan on the calling thread — but no longer silently (the log
+        // records which window's prefetch died and why the loop went
+        // serial).
         try {
+          const obs::Span wait_span("online.prefetch_wait");
           fresh = options.pool->wait_and_help(it->second);
           resolved = true;
+        } catch (const std::exception& e) {
+          log.warn("online.prefetch_failed",
+                   {{"key", key}, {"what", e.what()}});
         } catch (...) {
+          log.warn("online.prefetch_failed", {{"key", key}});
         }
         inflight.erase(it);
       }
@@ -395,6 +451,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
       }
       ws.source = WindowSource::kColdReplan;
       ++result.replans;
+      c_cold.inc();
       ws.planning_ms = options.planning_overhead_ms;
       if (caching) {
         compiled = &cache->insert(key, std::move(fresh));
@@ -403,6 +460,12 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
         compiled = &storage;
       }
     }
+    plan_span.arg("source",
+                  ws.source == WindowSource::kCacheHit         ? "cache_hit"
+                  : ws.source == WindowSource::kWarmReplan     ? "warm_replan"
+                  : ws.source == WindowSource::kDegradedReplan ? "degraded_replan"
+                                                               : "cold_replan");
+    }
 
     // The planner is one on-device component: window w+1's invocation
     // queues behind window w's.  Its latency is charged here in full; how
@@ -410,6 +473,10 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     // windows is measured from the simulated timeline afterwards.
     ws.release_ms = t + ws.planning_ms;
     prev_plan_finish_ms = ws.release_ms;
+
+    obs::Span consume_span("online.consume");
+    consume_span.arg("window", static_cast<double>(result.windows.size()));
+    consume_span.arg("models", static_cast<double>(compiled->num_models));
 
     // Bind plan slots to this window's requests by model name.  The cache
     // key is a *multiset* of names, so a permuted repeat of a window reuses
@@ -477,15 +544,21 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     }
     next_slot += m;
     result.windows.push_back(ws);
+    c_windows.inc();
   }
 
   // Drain discarded prefetches before the captured state goes away; a
-  // throwing job is of no further interest.
+  // throwing job is of no further interest (but is logged — a silently
+  // dying prefetch was previously invisible).
   for (auto& [key, fut] : inflight) {
-    (void)key;
+    c_discarded.inc();
+    log.debug("online.prefetch_discarded", {{"key", key}});
     try {
       (void)options.pool->wait_and_help(fut);
+    } catch (const std::exception& e) {
+      log.warn("online.prefetch_failed", {{"key", key}, {"what", e.what()}});
     } catch (...) {
+      log.warn("online.prefetch_failed", {{"key", key}});
     }
   }
 
@@ -502,6 +575,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
         finish > stream[request].deadline_ms + 1e-9) {
       ++result.deadline_misses;
       ++result.windows[window_of_slot[slot]].deadline_misses;
+      c_misses.inc();
     }
   }
 

@@ -6,6 +6,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace h2p {
 namespace {
 
@@ -30,6 +34,13 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     timeline.num_models = std::max(timeline.num_models, t.model_idx + 1);
   }
   if (n == 0) return timeline;
+
+  static obs::Counter& c_tasks = obs::Registry::global().counter("des.tasks");
+  static obs::Counter& c_migrations =
+      obs::Registry::global().counter("des.migrations");
+  c_tasks.inc(n);
+  obs::Span des_span("des.simulate");
+  des_span.arg("tasks", static_cast<double>(n));
 
   ContentionModel contention(soc);
   const std::size_t P = soc.num_processors();
@@ -166,10 +177,18 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
       best_solo = t.alt[q].solo_ms;
     }
     if (best >= P) {
+      obs::Log::global().error(
+          "des.task_stranded",
+          {{"task", i}, {"proc", t.proc_idx}, {"t_ms", now}});
       throw std::runtime_error(
           "simulate: task stranded on a permanently dropped processor with "
           "no usable fallback (SimTask::alt)");
     }
+    c_migrations.inc();
+    obs::Tracer::global().instant(
+        "des.migrate", {{"task", static_cast<double>(i)},
+                        {"from", static_cast<double>(t.proc_idx)},
+                        {"to", static_cast<double>(best)}});
     tasks[i].proc_idx = best;
     tasks[i].solo_ms = t.alt[best].solo_ms;
     tasks[i].sensitivity = t.alt[best].sensitivity;
@@ -195,6 +214,10 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     for (std::size_t p = 0; p < P; ++p) {
       if (proc_dead[p] || !faults->permanently_down(p, now)) continue;
       proc_dead[p] = true;
+      obs::Log::global().warn("des.proc_permanently_down",
+                              {{"proc", p}, {"t_ms", now}});
+      obs::Tracer::global().instant("des.proc_permanently_down",
+                                    {{"proc", static_cast<double>(p)}});
       // Abort the running task first so it migrates like the queued ones.
       if (proc_running[p] >= 0) {
         const auto ri = static_cast<std::size_t>(proc_running[p]);
@@ -313,6 +336,9 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     const double fault_edge = next_fault_edge_ms();
     if (std::isfinite(fault_edge)) dt = std::min(dt, fault_edge - now);
     if (!std::isfinite(dt)) {
+      obs::Log::global().error("des.frozen_forever",
+                               {{"t_ms", now},
+                                {"running", running.size()}});
       throw std::runtime_error(
           "simulate: every running task is frozen forever (permanent "
           "drop-out without migration?)");

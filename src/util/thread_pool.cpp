@@ -6,6 +6,9 @@
 #include <exception>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace h2p {
 namespace {
 
@@ -69,6 +72,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    static obs::Counter& jobs = obs::Registry::global().counter("pool.jobs");
+    jobs.inc();
+    const obs::Span span("pool.job");
     task();
   }
 }
@@ -81,6 +87,10 @@ bool ThreadPool::help_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  static obs::Counter& help_runs =
+      obs::Registry::global().counter("pool.help_runs");
+  help_runs.inc();
+  const obs::Span span("pool.job");
   task();
   return true;
 }

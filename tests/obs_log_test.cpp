@@ -1,0 +1,112 @@
+// obs::Log: structured JSONL event log.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "util/json.h"
+
+namespace h2p {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(ObsLog, ParseLogLevel) {
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::parse_log_level("verbose").has_value());
+}
+
+TEST(ObsLog, LinesAreValidJsonWithTypedFields) {
+  obs::Log log;
+  std::ostringstream out;
+  log.set_sink_stream(&out);
+  log.set_level(obs::LogLevel::kDebug);
+  log.info("online.proc_rejoined", {{"proc", 2},
+                                    {"t_ms", 12.5},
+                                    {"name", "gpu"},
+                                    {"recoverable", true}});
+  log.set_sink_stream(nullptr);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const Json rec = Json::parse(lines[0]);
+  EXPECT_EQ(rec.at("level").as_string(), "info");
+  EXPECT_EQ(rec.at("event").as_string(), "online.proc_rejoined");
+  EXPECT_GE(rec.at("ts_ms").as_number(), 0.0);
+  EXPECT_EQ(rec.at("proc").as_number(), 2.0);
+  EXPECT_EQ(rec.at("t_ms").as_number(), 12.5);
+  EXPECT_EQ(rec.at("name").as_string(), "gpu");
+  EXPECT_EQ(rec.at("recoverable").dump(), "true");
+}
+
+TEST(ObsLog, LevelFiltersRecords) {
+  obs::Log log;  // default level: warn
+  std::ostringstream out;
+  log.set_sink_stream(&out);
+  log.debug("quiet");
+  log.info("quiet");
+  log.warn("loud");
+  log.error("loud");
+  log.set_sink_stream(nullptr);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(Json::parse(lines[0]).at("level").as_string(), "warn");
+  EXPECT_EQ(Json::parse(lines[1]).at("level").as_string(), "error");
+
+  EXPECT_FALSE(log.should_log(obs::LogLevel::kInfo));
+  EXPECT_TRUE(log.should_log(obs::LogLevel::kError));
+  log.set_level(obs::LogLevel::kOff);
+  EXPECT_FALSE(log.should_log(obs::LogLevel::kError));
+}
+
+TEST(ObsLog, NonFiniteNumbersSerializeAsNull) {
+  obs::Log log;
+  std::ostringstream out;
+  log.set_sink_stream(&out);
+  log.error("des.frozen_forever",
+            {{"bad", std::numeric_limits<double>::infinity()}});
+  log.set_sink_stream(nullptr);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const Json rec = Json::parse(lines[0]);  // must still be valid JSON
+  EXPECT_TRUE(rec.at("bad").is_null());
+}
+
+TEST(ObsLog, EscapesEventAndTextFields) {
+  obs::Log log;
+  std::ostringstream out;
+  log.set_sink_stream(&out);
+  log.warn("weird\"event", {{"what", "line\nbreak \\ \"quote\""}});
+  log.set_sink_stream(nullptr);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);  // the newline inside the field is escaped
+  const Json rec = Json::parse(lines[0]);
+  EXPECT_EQ(rec.at("event").as_string(), "weird\"event");
+  EXPECT_EQ(rec.at("what").as_string(), "line\nbreak \\ \"quote\"");
+}
+
+TEST(ObsLog, FileSinkFailureThrows) {
+  obs::Log log;
+  EXPECT_THROW(log.set_sink_file("/nonexistent-dir-h2p/obs.log"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace h2p

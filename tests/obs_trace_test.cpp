@@ -1,0 +1,154 @@
+// obs::Tracer span collection and the merged device+host chrome trace.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/chrome_trace.h"
+#include "sim/trace.h"
+#include "soc/soc.h"
+#include "util/json.h"
+
+namespace h2p {
+namespace {
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;
+  {
+    obs::Span span(tracer, "phase");
+    span.arg("k", 1.0);
+  }
+  tracer.instant("tick");
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(ObsTrace, SpanRecordsNameDurationAndArgs) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span span(tracer, "planner.plan_cold");
+    span.arg("models", 3.0);
+    span.arg("source", "cold");
+  }
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "planner.plan_cold");
+  EXPECT_FALSE(events[0].instant);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].key, "models");
+  EXPECT_TRUE(events[0].args[0].is_number);
+  EXPECT_EQ(events[0].args[0].number, 3.0);
+  EXPECT_EQ(events[0].args[1].text, "cold");
+}
+
+TEST(ObsTrace, InstantEventsAndClear) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.instant("plan_cache.hit", {{"key", "abc"}});
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_TRUE(tracer.events()[0].instant);
+  EXPECT_EQ(tracer.events()[0].dur_us, 0.0);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.track_names().empty());
+}
+
+TEST(ObsTrace, ThreadsGetDistinctNamedTracks) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.name_current_thread("main-loop");
+  tracer.record("a", 0.0, 1.0);
+  std::thread worker([&] {
+    tracer.name_current_thread("worker-0");
+    tracer.record("b", 0.0, 1.0);
+  });
+  worker.join();
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].track, events[1].track);
+  const std::map<std::uint32_t, std::string> names = tracer.track_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names.at(events[0].track), "main-loop");
+  EXPECT_EQ(names.at(events[1].track), "worker-0");
+}
+
+// Acceptance criterion: one file holds both clock domains — DES processor
+// rows under pid 1 and host tracer rows under pid 2 — and parses as JSON.
+TEST(ObsTrace, MergedTraceHasDeviceAndHostProcesses) {
+  Timeline timeline;
+  timeline.num_procs = 2;
+  timeline.num_models = 1;
+  TaskRecord task;
+  task.model_idx = 0;
+  task.seq_in_model = 0;
+  task.proc_idx = 1;
+  task.start_ms = 0.0;
+  task.end_ms = 2.0;
+  task.solo_ms = 1.5;
+  timeline.tasks.push_back(task);
+
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.name_current_thread("planner");
+  {
+    obs::Span span(tracer, "planner.plan_cold");
+    span.arg("models", 1.0);
+  }
+  tracer.instant("plan_cache.miss");
+
+  const std::string text =
+      to_merged_chrome_trace_json(timeline, Soc::kirin990(), tracer);
+  const Json doc = Json::parse(text);
+  ASSERT_TRUE(doc.contains("traceEvents"));
+
+  bool device_slice = false;
+  bool host_span = false;
+  bool host_instant = false;
+  bool device_process_name = false;
+  bool host_process_name = false;
+  const Json& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    const double pid = e.at("pid").as_number();
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "process_name") {
+      if (pid == 1.0) device_process_name = true;
+      if (pid == 2.0) host_process_name = true;
+    }
+    if (ph == "X" && pid == 1.0) device_slice = true;
+    if (ph == "X" && pid == 2.0 &&
+        e.at("name").as_string() == "planner.plan_cold") {
+      host_span = true;
+      EXPECT_EQ(e.at("args").at("models").as_number(), 1.0);
+    }
+    if (ph == "i" && pid == 2.0 &&
+        e.at("name").as_string() == "plan_cache.miss") {
+      host_instant = true;
+    }
+  }
+  EXPECT_TRUE(device_process_name);
+  EXPECT_TRUE(host_process_name);
+  EXPECT_TRUE(device_slice);
+  EXPECT_TRUE(host_span);
+  EXPECT_TRUE(host_instant);
+}
+
+TEST(ObsTrace, MergedTraceEscapesSpecialCharacters) {
+  Timeline timeline;
+  timeline.num_procs = 1;
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.name_current_thread("quote\"back\\slash");
+  tracer.instant("evt", {{"text", "line\nbreak\ttab"}});
+  const std::string text =
+      to_merged_chrome_trace_json(timeline, Soc::kirin990(), tracer);
+  const Json doc = Json::parse(text);  // throws if escaping is broken
+  ASSERT_TRUE(doc.contains("traceEvents"));
+}
+
+}  // namespace
+}  // namespace h2p

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "models/model_zoo.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/online.h"
 #include "util/thread_pool.h"
 
@@ -221,6 +225,9 @@ TEST(OnlineAsync, WindowStatsInvariants) {
       case WindowSource::kColdReplan: ++cold; break;
       case WindowSource::kWarmReplan: ++warm; break;
       case WindowSource::kCacheHit: ++hits; break;
+      case WindowSource::kDegradedReplan:
+        ADD_FAILURE() << "degraded replan in a fault-free stream";
+        break;
     }
     // Release chains behind the previous window's planner and never
     // precedes the window's own arrival.
@@ -243,6 +250,48 @@ TEST(OnlineAsync, WindowStatsInvariants) {
   EXPECT_EQ(r.replans - r.warm_hits, 2);  // w0 and w3 cold
   EXPECT_DOUBLE_EQ(r.planning_hidden_ms, hidden);
   EXPECT_DOUBLE_EQ(r.planning_charged_ms, charged);
+}
+
+TEST(OnlineAsync, InstrumentationDoesNotPerturbResults) {
+  // The tentpole's determinism contract: metrics, tracing and debug logging
+  // are strictly observational — an async serving run with everything
+  // enabled is bit-identical to the same run with everything disabled.
+  const Soc soc = Soc::kirin990();
+  const auto stream = mixed_stream();
+  OnlineOptions serial;
+  serial.replan_window = 3;
+  serial.warm_start = true;
+  const OnlineResult expected = run_online(soc, stream, serial);
+
+  obs::Registry::global().reset();
+  obs::Registry::global().set_enabled(true);
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(true);
+  std::ostringstream sink;
+  obs::Log::global().set_sink_stream(&sink);
+  obs::Log::global().set_level(obs::LogLevel::kDebug);
+
+  ThreadPool pool(2);
+  OnlineOptions async = serial;
+  async.pool = &pool;
+  async.async_planning = true;
+  const OnlineResult instrumented = run_online(soc, stream, async);
+
+  obs::Log::global().set_level(obs::LogLevel::kWarn);
+  obs::Log::global().set_sink_stream(nullptr);
+  obs::Tracer::global().set_enabled(false);
+  obs::Registry::global().set_enabled(false);
+
+  expect_identical(expected, instrumented);
+  // The instrumentation did observe the run.
+  EXPECT_EQ(obs::Registry::global().counter("online.windows").value(),
+            instrumented.windows.size());
+  bool saw_plan_span = false;
+  for (const obs::TraceEvent& e : obs::Tracer::global().events()) {
+    if (e.name == "online.plan") saw_plan_span = true;
+  }
+  EXPECT_TRUE(saw_plan_span);
+  obs::Tracer::global().clear();
 }
 
 TEST(OnlineAsync, BusyPipelineHidesPlanningOverhead) {

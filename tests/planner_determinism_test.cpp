@@ -7,6 +7,8 @@
 #include "core/planner.h"
 #include "core/work_stealing.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pipeline_sim.h"
 #include "test_helpers.h"
 #include "util/rng.h"
@@ -84,6 +86,30 @@ TEST_P(PlannerDeterminism, HorizontalPlanBitIdentical) {
   for (std::size_t i = 0; i < seq.models.size(); ++i) {
     EXPECT_EQ(seq.models[i].slices, par.models[i].slices);
   }
+}
+
+TEST_P(PlannerDeterminism, InstrumentationDoesNotPerturbPlans) {
+  // Metrics + tracing are strictly observational: a cold plan with the
+  // global registry and tracer enabled is bit-identical to one without.
+  Fixture fx(mixed_eight(), soc_by_name(GetParam()));
+  const PlannerReport off = Hetero2PipePlanner(*fx.eval).plan();
+
+  obs::Registry::global().reset();
+  obs::Registry::global().set_enabled(true);
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(true);
+  const PlannerReport on = Hetero2PipePlanner(*fx.eval).plan();
+  obs::Tracer::global().set_enabled(false);
+  obs::Registry::global().set_enabled(false);
+
+  expect_identical(off, on);
+  EXPECT_GE(obs::Registry::global().counter("planner.cold_plans").value(), 1u);
+  bool saw_cold_span = false;
+  for (const obs::TraceEvent& e : obs::Tracer::global().events()) {
+    if (e.name == "planner.plan_cold") saw_cold_span = true;
+  }
+  EXPECT_TRUE(saw_cold_span);
+  obs::Tracer::global().clear();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSocs, PlannerDeterminism,

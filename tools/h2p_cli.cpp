@@ -29,6 +29,14 @@
 //                 --deadline <ms>     per-request deadline: arrival + ms
 //                 --deadline-policy <none|shed|defer>   admission control
 //                 plus --soc/--soc-json/--no-ct as for `plan`
+//        telemetry (plan and online):
+//                 --metrics-out <f>   write the obs::Registry snapshot JSON
+//                 --trace-out <f>     write ONE merged Perfetto/chrome-trace
+//                                     file: DES processor rows (modeled
+//                                     time) + host spans (planner phases,
+//                                     cache decisions, window steps)
+//                 --log-level <l>     debug|info|warn|error|off (def. warn)
+//                 --log-out <f>       JSONL event log file (def. stderr)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +55,9 @@
 #include "core/serialize.h"
 #include "exec/compiled_plan.h"
 #include "models/model_zoo.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/chrome_trace.h"
 #include "sim/online.h"
 #include "sim/pipeline_sim.h"
@@ -91,6 +102,36 @@ std::unique_ptr<ThreadPool> make_pool(int argc, char** argv) {
   }
   if (n <= 1) return nullptr;
   return std::make_unique<ThreadPool>(n);
+}
+
+/// Telemetry flags shared by `plan` and `online`.  Returns false (after
+/// printing a diagnostic) for an invalid --log-level.  The registry is
+/// enabled + reset unconditionally for `online` (its JSON output reads
+/// counters back); the tracer only when a trace file was asked for.
+struct ObsFlags {
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
+};
+
+bool setup_obs(int argc, char** argv, ObsFlags* flags) {
+  flags->metrics_out = arg_value(argc, argv, "--metrics-out");
+  flags->trace_out = arg_value(argc, argv, "--trace-out");
+  if (flags->trace_out) {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+  }
+  if (const auto level = arg_value(argc, argv, "--log-level")) {
+    const auto parsed = obs::parse_log_level(*level);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown log level: %s\n", level->c_str());
+      return false;
+    }
+    obs::Log::global().set_level(*parsed);
+  }
+  if (const auto path = arg_value(argc, argv, "--log-out")) {
+    obs::Log::global().set_sink_file(*path);
+  }
+  return true;
 }
 
 std::optional<Soc> builtin_soc(const std::string& name) {
@@ -186,6 +227,12 @@ int cmd_plan(int argc, char** argv) {
   const auto ids = parse_models(*models_csv);
   if (!ids) return 1;
 
+  ObsFlags obs_flags;
+  if (!setup_obs(argc, argv, &obs_flags)) return 1;
+  obs::Registry::global().reset();
+  obs::Registry::global().set_enabled(true);
+  if (obs_flags.trace_out) obs::Tracer::global().name_current_thread("planner");
+
   std::vector<const Model*> models;
   for (ModelId id : *ids) models.push_back(&zoo_model(id));
   const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
@@ -218,6 +265,16 @@ int cmd_plan(int argc, char** argv) {
   if (const auto trace = arg_value(argc, argv, "--trace")) {
     write_chrome_trace(timeline, *soc, compiled, *trace);
     std::printf("chrome trace written to %s\n", trace->c_str());
+  }
+  if (obs_flags.trace_out) {
+    write_merged_chrome_trace(timeline, *soc, obs::Tracer::global(),
+                              *obs_flags.trace_out);
+    std::printf("merged trace written to %s\n", obs_flags.trace_out->c_str());
+  }
+  if (obs_flags.metrics_out) {
+    std::ofstream f(*obs_flags.metrics_out);
+    f << obs::Registry::global().snapshot().dump();
+    std::printf("metrics written to %s\n", obs_flags.metrics_out->c_str());
   }
   return 0;
 }
@@ -309,6 +366,16 @@ int cmd_online(int argc, char** argv) {
   if (!soc || !models_csv) return usage();
   const auto ids = parse_models(*models_csv);
   if (!ids) return 1;
+
+  ObsFlags obs_flags;
+  if (!setup_obs(argc, argv, &obs_flags)) return 1;
+  // Counters stay on unconditionally: the plan_cache block of the JSON
+  // below reads them back from the registry.
+  obs::Registry::global().reset();
+  obs::Registry::global().set_enabled(true);
+  if (obs_flags.trace_out) {
+    obs::Tracer::global().name_current_thread("online-loop");
+  }
 
   const long repeat = int_arg(argc, argv, "--repeat", 1);
   const double period =
@@ -438,6 +505,32 @@ int cmd_online(int argc, char** argv) {
     windows.push_back(std::move(w));
   }
   out["windows"] = std::move(windows);
+
+  // Plan-cache counters come straight from the metrics registry — the same
+  // counters the cache increments — so this block cannot drift from the
+  // cache implementation (a test asserts they match OnlineResult).
+  {
+    obs::Registry& reg = obs::Registry::global();
+    Json pc = Json::object();
+    pc["hits"] = Json::number(
+        static_cast<double>(reg.counter("plan_cache.hits").value()));
+    pc["misses"] = Json::number(
+        static_cast<double>(reg.counter("plan_cache.misses").value()));
+    pc["warm_hits"] = Json::number(
+        static_cast<double>(reg.counter("plan_cache.warm_hits").value()));
+    pc["evictions"] = Json::number(
+        static_cast<double>(reg.counter("plan_cache.evictions").value()));
+    out["plan_cache"] = std::move(pc);
+  }
+
+  if (obs_flags.trace_out) {
+    write_merged_chrome_trace(result.timeline, *soc, obs::Tracer::global(),
+                              *obs_flags.trace_out);
+  }
+  if (obs_flags.metrics_out) {
+    std::ofstream f(*obs_flags.metrics_out);
+    f << obs::Registry::global().snapshot().dump();
+  }
   std::printf("%s\n", out.dump().c_str());
   return 0;
 }
