@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/graph_planner.h"
 #include "core/lap.h"
 #include "core/partition.h"
 #include "core/planner.h"
@@ -146,6 +147,35 @@ BENCHMARK(BM_PlannerEndToEnd)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+/// Graph-native planning end to end: the branchy zoo cells through the
+/// GraphPlanner cold path — chain baseline plan, articulation-restricted
+/// re-slicing, branch affinity, and the two DES arbitration runs.  The
+/// `graphs` arg sweeps window size by cycling the zoo cells; counters
+/// record whether the fork/join candidate beat the chain and how many
+/// branches it offloaded (correctness of acceptance is asserted in the
+/// tests — here it is only a perf-trajectory annotation).
+void BM_DagPlannerEndToEnd(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const Soc soc = Soc::kirin990();
+  std::vector<const GraphModel*> graphs;
+  for (std::size_t i = 0; i < m; ++i) {
+    graphs.push_back(&zoo_graph(all_graph_ids()[i % kNumZooGraphs]));
+  }
+  double accepted = 0.0;
+  double offloaded = 0.0;
+  for (auto _ : state) {
+    GraphPlanner planner(soc, graphs);
+    const GraphPlannerReport rep = planner.plan();
+    accepted = rep.dag_accepted ? 1.0 : 0.0;
+    offloaded = static_cast<double>(rep.offloaded_branches);
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["dag_accepted"] = accepted;
+  state.counters["offloaded_branches"] = offloaded;
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+BENCHMARK(BM_DagPlannerEndToEnd)->ArgName("graphs")->Arg(1)->Arg(3)->Arg(6);
 
 // ---- online serving loop ----------------------------------------------------
 

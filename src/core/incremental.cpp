@@ -183,4 +183,56 @@ void IncrementalStaticScorer::apply(std::size_t slot,
   for (const double c : colmax_) base_score_ += c;
 }
 
+double fork_join_wavefront_ms(const ContentionModel& contention,
+                              std::span<const exec::ScheduledSlice> slices,
+                              bool with_contention) {
+  const std::size_t n = slices.size();
+  if (n == 0) return 0.0;
+
+  // Longest-path level per slice; deps always point at earlier entries
+  // (slices arrive in a topological order), so one forward pass suffices.
+  std::vector<std::size_t> level(n, 0);
+  std::size_t num_levels = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t d : slices[i].deps) {
+      assert(d < i && "fork_join_wavefront_ms: window not self-contained");
+      level[i] = std::max(level[i], level[d] + 1);
+    }
+    num_levels = std::max(num_levels, level[i] + 1);
+  }
+
+  std::vector<std::size_t> members;
+  std::vector<Aggressor> others;
+  double total = 0.0;
+  for (std::size_t lv = 0; lv < num_levels; ++lv) {
+    members.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level[i] == lv) members.push_back(i);
+    }
+    // Per-processor serialized sum of the level's contended member times;
+    // the level takes its slowest processor.
+    double level_ms = 0.0;
+    for (const std::size_t i : members) {
+      double proc_ms = 0.0;
+      for (const std::size_t j : members) {
+        if (slices[j].proc_idx != slices[i].proc_idx) continue;
+        double t = slices[j].solo_ms();
+        if (with_contention) {
+          others.clear();
+          for (const std::size_t o : members) {
+            if (slices[o].proc_idx == slices[j].proc_idx) continue;
+            others.push_back(Aggressor{slices[o].proc_idx, slices[o].intensity});
+          }
+          t *= contention.slowdown(slices[j].proc_idx, slices[j].sensitivity,
+                                   others);
+        }
+        proc_ms += t;
+      }
+      level_ms = std::max(level_ms, proc_ms);
+    }
+    total += level_ms;
+  }
+  return total;
+}
+
 }  // namespace h2p

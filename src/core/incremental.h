@@ -6,6 +6,7 @@
 
 #include "core/bubbles.h"
 #include "core/plan.h"
+#include "exec/compiled_plan.h"
 
 namespace h2p {
 
@@ -98,5 +99,22 @@ class IncrementalStaticScorer {
   std::vector<double> proc_solo_;         // [K] total solo work per processor
   double base_score_ = 0.0;
 };
+
+/// Static makespan of a fork/join slice window — the DAG analogue of the
+/// Def.-3 wavefront column sum, used by the graph planner to rank branch
+/// offload candidates before paying for a DES scoring.
+///
+/// Slices are levelized by longest-path depth over their `deps` edges
+/// (which must index into `slices` itself, i.e. the window is
+/// self-contained).  A level's members co-run: each member is dilated by
+/// the contention model against the level's members on *other* processors,
+/// members sharing a processor serialize, and the level takes the slowest
+/// processor's total.  Levels execute back-to-back, so the result is the
+/// sum of level times — an upper-bound-flavoured surrogate (the DES lets
+/// levels overlap) that preserves the ranking the greedy pass needs and is
+/// exact for a chain window, where it reduces to the sum of slice times.
+double fork_join_wavefront_ms(const ContentionModel& contention,
+                              std::span<const exec::ScheduledSlice> slices,
+                              bool with_contention = true);
 
 }  // namespace h2p

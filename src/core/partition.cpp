@@ -136,6 +136,40 @@ PartitionResult partition_minmax_reference(const StageCostFn& cost, std::size_t 
   return result;
 }
 
+PartitionResult partition_minmax_restricted(
+    const StageCostFn& cost, std::size_t n, std::size_t K,
+    const std::vector<std::size_t>& legal_boundaries) {
+  PartitionResult result;
+  if (K == 0) return result;
+  if (n == 0) {
+    result.slices.assign(K, Slice{0, 0});
+    return result;
+  }
+
+  // Canonical boundary list: sorted, unique, clipped to [0, n], with the
+  // ends always present.  bounds[u] .. bounds[u+1] is super-unit u.
+  std::vector<std::size_t> bounds{0, n};
+  for (const std::size_t b : legal_boundaries) {
+    if (b > 0 && b < n) bounds.push_back(b);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  const std::size_t m = bounds.size() - 1;  // super-units
+  const StageCostFn super_cost = [&](std::size_t k, std::size_t i,
+                                     std::size_t j) {
+    return cost(k, bounds[i], bounds[j + 1] - 1);
+  };
+  const PartitionResult collapsed = partition_minmax(super_cost, m, K);
+
+  result.slices.reserve(collapsed.slices.size());
+  for (const Slice& s : collapsed.slices) {
+    result.slices.push_back(Slice{bounds[s.begin], bounds[s.end]});
+  }
+  result.bottleneck_ms = collapsed.bottleneck_ms;
+  return result;
+}
+
 StageCostFn stage_cost_fn(const CostTable& table) {
   return [&table](std::size_t k, std::size_t i, std::size_t j) {
     double t = table.exec_ms(k, i, j);

@@ -38,6 +38,19 @@ PartitionResult partition_minmax_reference(const StageCostFn& cost,
                                            std::size_t num_layers,
                                            std::size_t num_stages);
 
+/// Algorithm 1 restricted to a legal boundary set — the DAG case, where a
+/// sequential cut is only sound immediately after an articulation node (a
+/// cut inside a fork would sever a live branch edge).  Stage boundaries are
+/// chosen from `legal_boundaries` (positions in [0, n]; 0 and n are always
+/// treated as legal, out-of-range entries ignored).  Implemented by
+/// collapsing each inter-boundary run into one super-unit and running the
+/// parametric solver on the collapsed chain, so monotone costs stay exact
+/// and the probe costs O(B log B) per budget.  With all n-1 interior
+/// boundaries legal this degenerates to `partition_minmax` bit-for-bit.
+PartitionResult partition_minmax_restricted(
+    const StageCostFn& cost, std::size_t num_layers, std::size_t num_stages,
+    const std::vector<std::size_t>& legal_boundaries);
+
 /// Convenience: partition one model over the Soc's processors using the
 /// cost table's stage costs (exec + inbound boundary copy).
 PartitionResult partition_model(const CostTable& table, std::size_t num_stages);

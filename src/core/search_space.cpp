@@ -77,17 +77,24 @@ double count_split_points(std::size_t num_layers, std::size_t cpu_cores,
   // pipelines at that depth).  Depth for a (P_b, P_s) pair with both
   // accelerators attached is P_b + P_s + 2.
   if (num_layers == 0) return 0.0;
+  return count_split_points_restricted(num_layers - 1, cpu_cores, big_cores);
+}
+
+double count_split_points_restricted(std::size_t num_interior_boundaries,
+                                     std::size_t cpu_cores,
+                                     std::size_t big_cores) {
+  const std::size_t B = num_interior_boundaries;
   const std::size_t small_cores = cpu_cores - big_cores;
-  // GPU + NPU only: depth 2.
-  double total = binomial(num_layers - 1, 1);
+  // GPU + NPU only: depth 2, one cut chosen among the legal positions.
+  double total = binomial(B, 1);
   for (std::size_t p_b = 1; p_b <= big_cores; ++p_b) {
     for (std::size_t p_s = 1; p_s <= small_cores; ++p_s) {
       const double d_b = compositions(big_cores, p_b);
       const double d_s = compositions(small_cores, p_s);
       const std::size_t depth_both = p_b + p_s + 2;
       const std::size_t depth_single = p_b + p_s + 1;
-      total += 4.0 * d_b * d_s * binomial(num_layers - 1, depth_both - 1);
-      total += 3.0 * (d_b + d_s) * binomial(num_layers - 1, depth_single - 1);
+      total += 4.0 * d_b * d_s * binomial(B, depth_both - 1);
+      total += 3.0 * (d_b + d_s) * binomial(B, depth_single - 1);
     }
   }
   return total;

@@ -29,4 +29,13 @@ double count_total_pipelines(std::size_t cpu_cores, std::size_t big_cores);
 double count_split_points(std::size_t num_layers, std::size_t cpu_cores,
                           std::size_t big_cores);
 
+/// Eq. 14 generalized to a DAG sliced at articulation points: a chain of n
+/// layers offers n-1 interior cut positions, but a graph only the
+/// boundaries after its articulation nodes — pass that count (B) and the
+/// C(n-1, P-1) factor becomes C(B, P-1).  `count_split_points(n, ...)` ==
+/// `count_split_points_restricted(n - 1, ...)`.
+double count_split_points_restricted(std::size_t num_interior_boundaries,
+                                     std::size_t cpu_cores,
+                                     std::size_t big_cores);
+
 }  // namespace h2p

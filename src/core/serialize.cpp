@@ -127,6 +127,67 @@ PipelinePlan plan_from_json(const Json& j) {
   return plan;
 }
 
+Json graph_to_json(const GraphModel& graph) {
+  Json j = Json::object();
+  j["name"] = Json::string(graph.name());
+  Json nodes = Json::array();
+  for (std::size_t id = 0; id < graph.num_nodes(); ++id) {
+    const Layer& l = graph.layer(id);
+    Json nj = Json::object();
+    nj["name"] = Json::string(l.name);
+    nj["kind"] = Json::string(to_string(l.kind));
+    nj["flops"] = Json::number(l.flops);
+    nj["param_bytes"] = Json::number(l.param_bytes);
+    nj["input_bytes"] = Json::number(l.input_bytes);
+    nj["output_bytes"] = Json::number(l.output_bytes);
+    nj["working_set_bytes"] = Json::number(l.working_set_bytes);
+    nj["locality"] = Json::number(l.locality);
+    Json inputs = Json::array();
+    for (const std::size_t in : graph.inputs(id)) {
+      inputs.push_back(Json::number(static_cast<double>(in)));
+    }
+    nj["inputs"] = std::move(inputs);
+    nodes.push_back(std::move(nj));
+  }
+  j["nodes"] = std::move(nodes);
+  return j;
+}
+
+GraphModel graph_from_json(const Json& j) {
+  GraphModel graph(j.at("name").as_string());
+  const Json& nodes = j.at("nodes");
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const Json& nj = nodes.at(id);
+    Layer l;
+    l.name = nj.at("name").as_string();
+    if (!layer_kind_from_string(nj.at("kind").as_string(), &l.kind)) {
+      throw std::runtime_error("graph_from_json: unknown layer kind " +
+                               nj.at("kind").as_string());
+    }
+    l.flops = nj.at("flops").as_number();
+    l.param_bytes = nj.at("param_bytes").as_number();
+    l.input_bytes = nj.at("input_bytes").as_number();
+    l.output_bytes = nj.at("output_bytes").as_number();
+    l.working_set_bytes = nj.at("working_set_bytes").as_number();
+    l.locality = nj.at("locality").as_number();
+    const Json& inputs = nj.at("inputs");
+    std::vector<std::size_t> ins;
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      const double v = inputs.at(k).as_number();
+      if (v < 0 || static_cast<std::size_t>(v) >= id) {
+        throw std::runtime_error(
+            "graph_from_json: node input must reference an earlier node");
+      }
+      ins.push_back(static_cast<std::size_t>(v));
+    }
+    graph.add(std::move(l), std::move(ins));
+  }
+  if (!graph.is_valid_dag()) {
+    throw std::runtime_error("graph_from_json: not a DAG");
+  }
+  return graph;
+}
+
 Json timeline_to_json(const Timeline& timeline) {
   Json j = Json::object();
   j["num_procs"] = Json::number(static_cast<double>(timeline.num_procs));

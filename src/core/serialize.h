@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/plan.h"
+#include "models/graph.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 #include "util/json.h"
@@ -17,6 +18,17 @@ Soc soc_from_json(const Json& j);
 
 Json plan_to_json(const PipelinePlan& plan);
 PipelinePlan plan_from_json(const Json& j);
+
+/// DAG model wire format: `{"name": ..., "nodes": [{"name", "kind",
+/// "flops", "param_bytes", "input_bytes", "output_bytes",
+/// "working_set_bytes", "locality", "inputs": [node indices]}, ...]}`.
+/// Node order in the array is the node-id order; `inputs` reference earlier
+/// array positions.  `graph_from_json` validates that the result is a DAG
+/// and throws std::runtime_error on unknown layer kinds, out-of-range
+/// inputs, or cycles.  Round-trip is exact: the reparsed graph has the same
+/// `topology_hash()`.
+Json graph_to_json(const GraphModel& graph);
+GraphModel graph_from_json(const Json& j);
 
 /// One-way: timelines are results, not inputs.
 Json timeline_to_json(const Timeline& timeline);

@@ -79,6 +79,11 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_warm(
   const std::size_t K =
       opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
   if (seed.num_stages != K) return std::nullopt;
+  // A DAG plan can occupy one (slot, proc) cell per slice and still carry
+  // fork/join edges the grid round-trip would silently drop — refuse those
+  // seeds up front, not just the cooperative duplicates to_pipeline_plan
+  // throws on.
+  if (!seed.chain_precedence()) return std::nullopt;
 
   PipelinePlan seed_plan;
   try {
@@ -288,6 +293,9 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_degraded(
     if (kept_procs[k] >= seed.num_stages) return std::nullopt;
     if (k > 0 && kept_procs[k] <= kept_procs[k - 1]) return std::nullopt;
   }
+  // Same guard as plan_warm: fork/join seeds don't survive the grid
+  // round-trip the stage projection below relies on.
+  if (!seed.chain_precedence()) return std::nullopt;
 
   PipelinePlan seed_plan;
   try {

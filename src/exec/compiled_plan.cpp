@@ -1,6 +1,7 @@
 #include "exec/compiled_plan.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 #include "core/work_stealing.h"
@@ -19,6 +20,25 @@ double CompiledPlan::total_solo_ms() const {
   double total = 0.0;
   for (const ScheduledSlice& s : slices) total += s.solo_ms();
   return total;
+}
+
+bool CompiledPlan::chain_precedence() const {
+  // prev[slot] = global index of the slot's last-seen slice.
+  std::vector<std::size_t> prev(num_models, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> count(num_models, 0);
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const ScheduledSlice& s = slices[i];
+    if (s.model_idx >= num_models) return false;
+    if (s.seq_in_model != count[s.model_idx]) return false;
+    if (s.seq_in_model == 0) {
+      if (!s.deps.empty()) return false;
+    } else if (s.deps.size() != 1 || s.deps[0] != prev[s.model_idx]) {
+      return false;
+    }
+    prev[s.model_idx] = i;
+    ++count[s.model_idx];
+  }
+  return true;
 }
 
 ScheduledSlice lower_range(const StaticEvaluator& eval, std::size_t table_idx,
@@ -143,6 +163,30 @@ CompiledPlan CompiledPlanBuilder::build() {
     mp.slices = slot_proc_ranges_[slot];
     plan_.resident_bytes[slot] = eval_->resident_bytes(mp);
   }
+  // Resolve precedence with the chain semantics the simulator has always
+  // applied to baseline schedules: within a slot, a slice waits on the
+  // first-registered member of the previous distinct seq group; equal-seq
+  // slices co-run; the lowest seq group waits on nothing.  Registration
+  // order breaks ties, so a plan rebuilt range-by-range in compile() order
+  // carries bit-identical edges.
+  std::vector<std::vector<std::size_t>> by_slot(plan_.num_models);
+  for (std::size_t i = 0; i < plan_.slices.size(); ++i) {
+    by_slot[plan_.slices[i].model_idx].push_back(i);
+  }
+  for (const std::vector<std::size_t>& members : by_slot) {
+    std::map<std::size_t, std::size_t> first_of_seq;  // seq -> first global idx
+    for (std::size_t idx : members) {
+      first_of_seq.emplace(plan_.slices[idx].seq_in_model, idx);
+    }
+    for (std::size_t idx : members) {
+      auto it = first_of_seq.find(plan_.slices[idx].seq_in_model);
+      if (it == first_of_seq.begin()) {
+        plan_.slices[idx].deps.clear();
+      } else {
+        plan_.slices[idx].deps.assign(1, std::prev(it)->second);
+      }
+    }
+  }
   return std::move(plan_);
 }
 
@@ -165,11 +209,16 @@ CompiledPlan compile(const PipelinePlan& plan, const StaticEvaluator& eval) {
     cp.model_names.push_back(eval.model(mp.model_index).name());
     cp.resident_bytes.push_back(eval.resident_bytes(mp));
     std::size_t seq = 0;
+    std::size_t prev = static_cast<std::size_t>(-1);
     for (std::size_t k = 0; k < mp.slices.size(); ++k) {
       const Slice& sl = mp.slices[k];
       if (sl.empty()) continue;
       cp.slices.push_back(
           lower_range(eval, mp.model_index, slot, seq++, k, sl.begin, sl.end));
+      if (prev != static_cast<std::size_t>(-1)) {
+        cp.slices.back().deps.push_back(prev);
+      }
+      prev = cp.slices.size() - 1;
     }
   }
   return cp;

@@ -20,6 +20,12 @@ struct ScheduledSlice {
   std::size_t proc_idx = 0;       // processor executing the range
   Slice layers;                   // [begin, end) in the model's layer chain
 
+  /// Explicit precedence: global indices into `CompiledPlan::slices` that
+  /// must retire before this slice may start.  Chain lowering emits the
+  /// trivial previous-slice edge per slot; DAG plans carry real fork/join
+  /// edges (a join slice lists every branch tail).  Roots have no deps.
+  std::vector<std::size_t> deps;
+
   double exec_ms = 0.0;           // uncontended execution (Eq. 2 term 1)
   double boundary_copy_ms = 0.0;  // inbound boundary tensor copy (Eq. 2 term 2)
   double sensitivity = 0.0;       // victim-side memory-bound share
@@ -69,6 +75,13 @@ struct CompiledPlan {
 
   /// Sum of solo times over all slices (work lower bound).
   [[nodiscard]] double total_solo_ms() const;
+
+  /// True when every slot is a simple chain: slice j of a slot carries seq
+  /// j and depends exactly on slice j-1 (roots on nothing).  Warm-start
+  /// replanning only reuses plans for which the pipeline-grid round-trip
+  /// (`to_pipeline_plan`) is faithful — DAG plans with fork/join edges are
+  /// not, even when each (slot, processor) cell is unique.
+  [[nodiscard]] bool chain_precedence() const;
 };
 
 /// THE lowering: expand a pipeline plan (stage k of slot i -> processor k;
@@ -108,7 +121,11 @@ void attach_fallback_costs(CompiledPlan& plan, const StaticEvaluator& eval);
 /// Assembles a CompiledPlan for explicit (non-pipeline-grid) schedules.
 /// Baselines declare *what runs where*; all cost derivation still happens
 /// in lower_range.  Slots must be added in order; ranges may arrive in any
-/// order.  build() fills per-slot footprints from the registered ranges.
+/// order.  build() fills per-slot footprints from the registered ranges and
+/// resolves every slice's `deps` from the seq numbering (chain semantics;
+/// equal seq values co-run), overwriting any manually assigned edges —
+/// schedulers with genuine fork/join structure assemble CompiledPlan
+/// directly instead.
 class CompiledPlanBuilder {
  public:
   explicit CompiledPlanBuilder(const StaticEvaluator& eval);

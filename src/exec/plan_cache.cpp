@@ -143,19 +143,18 @@ void PlanCache::clear() {
   index_.clear();
 }
 
-std::string PlanCache::make_key(const Soc& soc,
-                                const std::vector<const Model*>& models,
-                                const PlannerOptions& options) {
-  return make_key(soc, models, options, PlanEnv{});
+namespace {
+
+/// `name#<hex structural hash>` — the per-model key component.
+std::string model_key_component(const std::string& name, std::uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "#%llx", static_cast<unsigned long long>(hash));
+  return name + buf;
 }
 
-std::string PlanCache::make_key(const Soc& soc,
-                                const std::vector<const Model*>& models,
-                                const PlannerOptions& options,
-                                const PlanEnv& env) {
-  std::vector<std::string> names;
-  names.reserve(models.size());
-  for (const Model* m : models) names.push_back(m ? m->name() : "<null>");
+std::string assemble_key(const Soc& soc, std::vector<std::string> names,
+                         const PlannerOptions& options,
+                         const PlanCache::PlanEnv& env) {
   std::sort(names.begin(), names.end());
 
   std::string key = soc.fingerprint();
@@ -178,6 +177,46 @@ std::string PlanCache::make_key(const Soc& soc,
                 env.thermal_bucket);
   key += buf;
   return key;
+}
+
+}  // namespace
+
+std::string PlanCache::make_key(const Soc& soc,
+                                const std::vector<const Model*>& models,
+                                const PlannerOptions& options) {
+  return make_key(soc, models, options, PlanEnv{});
+}
+
+std::string PlanCache::make_key(const Soc& soc,
+                                const std::vector<const Model*>& models,
+                                const PlannerOptions& options,
+                                const PlanEnv& env) {
+  std::vector<std::string> names;
+  names.reserve(models.size());
+  for (const Model* m : models) {
+    names.push_back(m ? model_key_component(m->name(), m->content_hash())
+                      : "<null>");
+  }
+  return assemble_key(soc, std::move(names), options, env);
+}
+
+std::string PlanCache::make_graph_key(const Soc& soc,
+                                      const std::vector<const GraphModel*>& graphs,
+                                      const PlannerOptions& options) {
+  return make_graph_key(soc, graphs, options, PlanEnv{});
+}
+
+std::string PlanCache::make_graph_key(const Soc& soc,
+                                      const std::vector<const GraphModel*>& graphs,
+                                      const PlannerOptions& options,
+                                      const PlanEnv& env) {
+  std::vector<std::string> names;
+  names.reserve(graphs.size());
+  for (const GraphModel* g : graphs) {
+    names.push_back(g ? model_key_component(g->name(), g->topology_hash())
+                      : "<null>");
+  }
+  return assemble_key(soc, std::move(names), options, env);
 }
 
 }  // namespace h2p::exec

@@ -9,6 +9,7 @@
 
 #include "core/planner.h"
 #include "exec/compiled_plan.h"
+#include "models/graph.h"
 #include "models/model.h"
 #include "soc/soc.h"
 
@@ -16,9 +17,11 @@ namespace h2p::exec {
 
 /// LRU cache of compiled plans for the online serving path.
 ///
-/// Keyed by (SoC fingerprint, *multiset* of model names, PlannerOptions):
-/// two request windows holding the same models in any order, on the same
-/// device, under the same planner knobs, resolve to the same entry — so a
+/// Keyed by (SoC fingerprint, *multiset* of `name#<structural hash>` model
+/// components, PlannerOptions): two request windows holding the same models
+/// in any order, on the same device, under the same planner knobs, resolve
+/// to the same entry — and two different topologies never collide even when
+/// their layer multisets (or names) coincide — so a
 /// repeated window skips both the StaticEvaluator's cost-table build and
 /// the O(|M|^3 |H|) planner, the cost §V-C flags as the reason the planner
 /// "should be scheduled more frequently" at high request rates.
@@ -85,9 +88,14 @@ class PlanCache {
     std::size_t thermal_bucket = 0;
   };
 
-  /// Canonical key: Soc fingerprint + sorted model names + planner knobs
-  /// (+ execution environment; the overload without one means "fully
-  /// healthy, nominal thermals").
+  /// Canonical key: Soc fingerprint + sorted `name#<topology hash>` model
+  /// components + planner knobs (+ execution environment; the overload
+  /// without one means "fully healthy, nominal thermals").  The structural
+  /// hash keys on what the model *is*, not what it is called: two graphs
+  /// with identical layer multisets but different edges (an Inception cell
+  /// vs. its linearized chain) get distinct entries, while a chain graph
+  /// and the equivalent `Model` share one (`Model::content_hash` ==
+  /// `GraphModel::topology_hash` for linear graphs).
   [[nodiscard]] static std::string make_key(const Soc& soc,
                                             const std::vector<const Model*>& models,
                                             const PlannerOptions& options);
@@ -95,6 +103,15 @@ class PlanCache {
                                             const std::vector<const Model*>& models,
                                             const PlannerOptions& options,
                                             const PlanEnv& env);
+  /// Graph front end to the same key space: a chain GraphModel keys
+  /// identically to its linearized Model (distinct name to avoid braced-init
+  /// ambiguity with the Model overloads).
+  [[nodiscard]] static std::string make_graph_key(
+      const Soc& soc, const std::vector<const GraphModel*>& graphs,
+      const PlannerOptions& options);
+  [[nodiscard]] static std::string make_graph_key(
+      const Soc& soc, const std::vector<const GraphModel*>& graphs,
+      const PlannerOptions& options, const PlanEnv& env);
 
   /// True if the two make_key-style keys agree on SoC + knobs and their
   /// name multisets differ by at most one add/remove/substitute (exact

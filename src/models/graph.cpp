@@ -2,8 +2,21 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace h2p {
+
+GraphModel GraphModel::from_chain(const Model& model) {
+  GraphModel g(model.name());
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    if (i == 0) {
+      g.add(model.layer(i));
+    } else {
+      g.add(model.layer(i), {i - 1});
+    }
+  }
+  return g;
+}
 
 std::size_t GraphModel::add(Layer layer, std::vector<std::size_t> inputs) {
   for (std::size_t dep : inputs) {
@@ -55,6 +68,154 @@ std::vector<std::size_t> GraphModel::topological_order() const {
   return order;
 }
 
+bool GraphModel::is_chain() const {
+  if (nodes_.empty()) return true;
+  const std::vector<std::size_t> order = topological_order();
+  if (!nodes_[order[0]].inputs.empty()) return false;
+  for (std::size_t pos = 1; pos < order.size(); ++pos) {
+    const std::vector<std::size_t>& in = nodes_[order[pos]].inputs;
+    if (in.size() != 1 || in[0] != order[pos - 1]) return false;
+  }
+  return true;
+}
+
+GraphDecomposition GraphModel::decompose() const {
+  GraphDecomposition d;
+  const std::size_t n = nodes_.size();
+  d.order = topological_order();
+  d.position.assign(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) d.position[d.order[pos]] = pos;
+
+  // cross(i) = #edges (u, v) with pos(u) < i < pos(v); position i is an
+  // articulation point iff cross(i) == 0.  Sweep with a difference array:
+  // each edge contributes +1 over positions [pos(u)+1, pos(v)-1].
+  std::vector<long long> diff(n + 1, 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::size_t pv = d.position[id];
+    for (std::size_t dep : nodes_[id].inputs) {
+      const std::size_t pu = d.position[dep];
+      if (pu + 1 < pv) {
+        ++diff[pu + 1];
+        --diff[pv];
+      }
+    }
+  }
+  d.articulation.assign(n, false);
+  long long cross = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    cross += diff[pos];
+    d.articulation[pos] = cross == 0;
+  }
+
+  // Segments between consecutive articulation positions with a non-empty
+  // interior; interior nodes group into branches by weak connectivity.
+  std::vector<std::size_t> artic;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (d.articulation[pos]) artic.push_back(pos);
+  }
+  // Interior is the half-open position range [lo, join_pos); for a real
+  // fork node, lo == fork_pos + 1.  A multi-source head has no fork node:
+  // fork_pos is meaningless there and lo starts at 0.
+  auto emit_segment = [&](std::size_t fork_pos, std::size_t lo,
+                          std::size_t join_pos) {
+    if (lo >= join_pos) return;
+    GraphDecomposition::Segment seg;
+    seg.fork_pos = fork_pos;
+    seg.join_pos = join_pos;
+    // Union-find over interior positions, merged along interior edges.
+    std::vector<std::size_t> parent(join_pos - lo);
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    auto find = [&](std::size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (std::size_t pos = lo; pos < join_pos; ++pos) {
+      for (std::size_t dep : nodes_[d.order[pos]].inputs) {
+        const std::size_t pd = d.position[dep];
+        if (pd >= lo && pd < join_pos) {
+          parent[find(pos - lo)] = find(pd - lo);
+        }
+      }
+    }
+    std::vector<std::vector<std::size_t>> by_root(parent.size());
+    for (std::size_t pos = lo; pos < join_pos; ++pos) {
+      by_root[find(pos - lo)].push_back(pos);
+    }
+    for (std::vector<std::size_t>& branch : by_root) {
+      if (!branch.empty()) seg.branches.push_back(std::move(branch));
+    }
+    std::sort(seg.branches.begin(), seg.branches.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    d.segments.push_back(std::move(seg));
+  };
+
+  std::size_t prev = 0;
+  bool have_prev = false;
+  for (std::size_t pos : artic) {
+    if (have_prev) {
+      emit_segment(prev, prev + 1, pos);
+    } else if (pos > 0) {
+      // Multi-source head: the graph forks before its first articulation
+      // point; branches start at position 0 with no fork node.
+      emit_segment(pos, 0, pos);
+    }
+    prev = pos;
+    have_prev = true;
+  }
+  if (n > 0) {
+    if (!have_prev) {
+      emit_segment(n, 0, n);  // no articulation point at all
+    } else if (prev + 1 < n) {
+      emit_segment(prev, prev + 1, n);  // trailing multi-sink fork
+    }
+  }
+  return d;
+}
+
+std::vector<std::size_t> GraphModel::articulation_points() const {
+  const GraphDecomposition d = decompose();
+  std::vector<std::size_t> ids;
+  for (std::size_t pos = 0; pos < d.order.size(); ++pos) {
+    if (d.articulation[pos]) ids.push_back(d.order[pos]);
+  }
+  return ids;
+}
+
+double GraphModel::nodes_flops(std::span<const std::size_t> ids) const {
+  double total = 0.0;
+  for (std::size_t id : ids) total += nodes_[id].layer.flops;
+  return total;
+}
+
+double GraphModel::nodes_param_bytes(std::span<const std::size_t> ids) const {
+  double total = 0.0;
+  for (std::size_t id : ids) total += nodes_[id].layer.param_bytes;
+  return total;
+}
+
+double GraphModel::nodes_peak_working_set_bytes(
+    std::span<const std::size_t> ids) const {
+  double peak = 0.0;
+  for (std::size_t id : ids) {
+    peak = std::max(peak, nodes_[id].layer.working_set_bytes);
+  }
+  return peak;
+}
+
+double GraphModel::cut_in_bytes(std::span<const std::size_t> ids) const {
+  const std::unordered_set<std::size_t> inside(ids.begin(), ids.end());
+  double total = 0.0;
+  for (std::size_t id : ids) {
+    const std::vector<std::size_t>& in = nodes_[id].inputs;
+    const bool boundary =
+        in.empty() || std::any_of(in.begin(), in.end(), [&](std::size_t dep) {
+          return inside.count(dep) == 0;
+        });
+    if (boundary) total += nodes_[id].layer.input_bytes;
+  }
+  return total;
+}
+
 double GraphModel::critical_path_flops() const {
   std::vector<double> longest(nodes_.size(), 0.0);
   double best = 0.0;
@@ -73,6 +234,27 @@ double GraphModel::total_flops() const {
   double total = 0.0;
   for (const Node& node : nodes_) total += node.layer.flops;
   return total;
+}
+
+std::uint64_t GraphModel::topology_hash() const {
+  // Record stream matching Model::content_hash for a linear graph: per node
+  // in topological order, the layer fields, then the input count, then the
+  // inputs as topological positions in ascending order.
+  const std::vector<std::size_t> order = topological_order();
+  std::vector<std::size_t> position(nodes_.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) position[order[pos]] = pos;
+
+  std::uint64_t h = kHashSeed;
+  for (std::size_t id : order) {
+    h = layer_hash(nodes_[id].layer, h);
+    std::vector<std::size_t> in_pos;
+    in_pos.reserve(nodes_[id].inputs.size());
+    for (std::size_t dep : nodes_[id].inputs) in_pos.push_back(position[dep]);
+    std::sort(in_pos.begin(), in_pos.end());
+    h = hash_mix(h, static_cast<std::uint64_t>(in_pos.size()));
+    for (std::size_t p : in_pos) h = hash_mix(h, static_cast<std::uint64_t>(p));
+  }
+  return hash_mix(h, static_cast<std::uint64_t>(nodes_.size()));
 }
 
 Model GraphModel::linearize() const {

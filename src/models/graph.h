@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,20 +11,53 @@
 
 namespace h2p {
 
-/// Directed-acyclic operator graph — the form real frameworks (MNN, ONNX)
-/// hand the planner before slicing.  Branchy architectures (Inception
-/// cells, residual blocks, detection necks) are authored as DAGs and then
-/// *linearized* into the chain form Def. 1 slices on: a topological order
-/// in which every branch's layers are contiguous with their merge point.
+/// Fork/join structure of a DAG, anchored at its articulation points — the
+/// nodes every source-to-sink walk passes through.  In a topological order,
+/// node at position i is an articulation point iff no edge jumps over it
+/// (pos(u) < i < pos(v)); the set is independent of which topological order
+/// was chosen.  Between consecutive articulation points lies a *segment*:
+/// its interior nodes group into *branches* (weakly connected components)
+/// that are mutually independent and may execute on different processors —
+/// the intra-model parallelism a chain linearization throws away.
+struct GraphDecomposition {
+  std::vector<std::size_t> order;     // position -> node id (topological)
+  std::vector<std::size_t> position;  // node id -> position
+  std::vector<bool> articulation;     // per position
+  struct Segment {
+    /// Position of the opening articulation node; equals join_pos when the
+    /// segment starts at the graph inputs (multi-source head, no fork node).
+    std::size_t fork_pos = 0;
+    /// Position of the closing articulation node, or order.size() when the
+    /// graph ends in a multi-sink fork that never rejoins.
+    std::size_t join_pos = 0;
+    /// Interior positions grouped by weak component, each list ascending;
+    /// ordered by their first position.
+    std::vector<std::vector<std::size_t>> branches;
+  };
+  std::vector<Segment> segments;  // only segments with a non-empty interior
+};
+
+/// Directed-acyclic operator graph — the planner's first-class model input.
+/// Branchy architectures (Inception cells, residual blocks, detection
+/// necks) are authored as DAGs; `GraphPlanner` slices them at articulation
+/// points and may spread independent branches over processors.  Chains are
+/// the degenerate single-path case: `from_chain` lifts a legacy `Model`,
+/// and `linearize` lowers back to the chain form (a topological order in
+/// which every branch's layers stay contiguous with their merge point).
 class GraphModel {
  public:
   explicit GraphModel(std::string name) : name_(std::move(name)) {}
+
+  /// Lift a linear chain model: node i consumes node i-1.  The degenerate
+  /// case every legacy entry point maps to; `linearize()` round-trips it.
+  [[nodiscard]] static GraphModel from_chain(const Model& model);
 
   /// Add an operator depending on the given producer nodes; returns its id.
   /// Dependencies must refer to already-added nodes (ids are topological by
   /// construction, which keeps the graph acyclic by construction too).
   std::size_t add(Layer layer, std::vector<std::size_t> inputs = {});
 
+  [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] const Layer& layer(std::size_t id) const { return nodes_[id].layer; }
   [[nodiscard]] const std::vector<std::size_t>& inputs(std::size_t id) const {
@@ -37,6 +72,30 @@ class GraphModel {
   /// built through add(); guards hand-patched graphs).
   [[nodiscard]] bool is_valid_dag() const;
 
+  /// True when the graph is exactly a chain: node i's only input is node
+  /// i-1 in topological order.  Chain graphs plan byte-identically to the
+  /// legacy `Model` path.
+  [[nodiscard]] bool is_chain() const;
+
+  /// Node ids every source-to-sink walk passes through, in topological
+  /// order (see GraphDecomposition).  Every node of a chain qualifies.
+  [[nodiscard]] std::vector<std::size_t> articulation_points() const;
+
+  /// Full fork/join decomposition (topological order, articulation flags,
+  /// segments with their branches).
+  [[nodiscard]] GraphDecomposition decompose() const;
+
+  // ---- aggregate queries over an arbitrary node set ------------------------
+  [[nodiscard]] double nodes_flops(std::span<const std::size_t> ids) const;
+  [[nodiscard]] double nodes_param_bytes(std::span<const std::size_t> ids) const;
+  /// Largest single working set in the set (peak-memory accounting).
+  [[nodiscard]] double nodes_peak_working_set_bytes(
+      std::span<const std::size_t> ids) const;
+  /// Activation bytes entering the set across the cut: the input bytes of
+  /// every member whose producers are not all inside the set (graph inputs
+  /// count as outside) — what a device-affine subgraph must receive.
+  [[nodiscard]] double cut_in_bytes(std::span<const std::size_t> ids) const;
+
   /// Critical-path FLOPs: the heaviest dependency chain — a lower bound on
   /// intra-model parallel speedup arguments.
   [[nodiscard]] double critical_path_flops() const;
@@ -44,7 +103,14 @@ class GraphModel {
   /// Sum of all node FLOPs.
   [[nodiscard]] double total_flops() const;
 
-  /// Linearize into the chain Model the pipeline planner consumes.
+  /// Structural fingerprint over the topology AND every layer's cost
+  /// fields: two graphs with identical layer multisets but different edges
+  /// hash differently (an Inception cell vs. its linearized chain).  For a
+  /// chain graph this equals `Model::content_hash()` of the linearization,
+  /// so both entry points share plan-cache entries.
+  [[nodiscard]] std::uint64_t topology_hash() const;
+
+  /// Linearize into the chain Model the legacy pipeline planner consumes.
   [[nodiscard]] Model linearize() const;
 
  private:

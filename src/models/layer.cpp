@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace h2p {
 namespace {
@@ -33,6 +34,58 @@ const char* to_string(LayerKind kind) {
     case LayerKind::kUpsample: return "Upsample";
   }
   return "?";
+}
+
+bool layer_kind_from_string(const std::string& s, LayerKind* out) {
+  for (LayerKind k :
+       {LayerKind::kConv2D, LayerKind::kDepthwiseConv2D,
+        LayerKind::kFullyConnected, LayerKind::kMatMul, LayerKind::kAttention,
+        LayerKind::kLayerNorm, LayerKind::kBatchNorm, LayerKind::kPool,
+        LayerKind::kReLU, LayerKind::kGELU, LayerKind::kMish,
+        LayerKind::kLeakyReLU, LayerKind::kSoftmax, LayerKind::kAdd,
+        LayerKind::kConcat, LayerKind::kEmbedding, LayerKind::kUpsample}) {
+    if (s == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_mix(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return hash_mix(h, bits);
+}
+
+std::uint64_t hash_mix(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return hash_mix(h, static_cast<std::uint64_t>(s.size()));
+}
+
+std::uint64_t layer_hash(const Layer& layer, std::uint64_t h) {
+  h = hash_mix(h, layer.name);
+  h = hash_mix(h, static_cast<std::uint64_t>(layer.kind));
+  h = hash_mix(h, layer.flops);
+  h = hash_mix(h, layer.param_bytes);
+  h = hash_mix(h, layer.input_bytes);
+  h = hash_mix(h, layer.output_bytes);
+  h = hash_mix(h, layer.working_set_bytes);
+  h = hash_mix(h, layer.locality);
+  return h;
 }
 
 double Layer::arithmetic_intensity() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -65,6 +66,22 @@ struct Layer {
 /// canonical fallback triggers (the paper's Fig. 1 reports YOLOv4 and BERT
 /// erroring out on the Kirin 990 NPU for exactly these).
 bool npu_supports(LayerKind kind);
+
+/// Inverse of to_string(LayerKind); false for unknown spellings.  The graph
+/// JSON wire format (core/serialize) round-trips kinds through this.
+bool layer_kind_from_string(const std::string& s, LayerKind* out);
+
+/// FNV-1a style mixing used by the structural fingerprints (Model content
+/// hash, GraphModel topology hash, PlanCache keys).  Stable across runs and
+/// platforms: doubles are hashed by bit pattern.
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v);
+std::uint64_t hash_mix(std::uint64_t h, double v);
+std::uint64_t hash_mix(std::uint64_t h, const std::string& s);
+inline constexpr std::uint64_t kHashSeed = 1469598103934665603ull;  // FNV offset
+
+/// Structural hash of one layer: every cost-relevant field, but not the
+/// address or any container position.
+std::uint64_t layer_hash(const Layer& layer, std::uint64_t h = kHashSeed);
 
 // ---- Factory helpers (dimensions -> cost fields) --------------------------
 

@@ -86,6 +86,20 @@ bool Model::fully_npu_supported() const {
   return first_npu_unsupported(0, layers_.size() - 1) == layers_.size();
 }
 
+std::uint64_t Model::content_hash() const {
+  // One record per node, in order: the layer fields, then the input edge
+  // list (a chain: node i consumes node i-1).  GraphModel::topology_hash
+  // emits the identical record stream for a linear graph.
+  std::uint64_t h = kHashSeed;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layer_hash(layers_[i], h);
+    const std::uint64_t num_inputs = i == 0 ? 0 : 1;
+    h = hash_mix(h, num_inputs);
+    if (i > 0) h = hash_mix(h, static_cast<std::uint64_t>(i - 1));
+  }
+  return hash_mix(h, static_cast<std::uint64_t>(layers_.size()));
+}
+
 Model make_batched_model(const Model& base, int batch) {
   if (batch <= 1) return base;
   const double b = batch;

@@ -53,6 +53,13 @@ class Model {
   /// True if every operator in the model is NPU-runnable.
   [[nodiscard]] bool fully_npu_supported() const;
 
+  /// Structural fingerprint: every layer's cost fields plus the implicit
+  /// chain edge i-1 -> i.  Equal to `GraphModel::topology_hash()` of the
+  /// same layers authored as a linear graph, so chain and graph entry
+  /// points resolve to the same plan-cache entries.  The name is NOT part
+  /// of the hash (cache keys carry it separately).
+  [[nodiscard]] std::uint64_t content_hash() const;
+
  private:
   void build_prefix_sums();
 

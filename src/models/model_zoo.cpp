@@ -535,4 +535,138 @@ const char* to_string(SizeClass c) {
   return "?";
 }
 
+// ---- DAG zoo ---------------------------------------------------------------
+
+namespace {
+
+/// GoogLeNet-style cell with the fork/join explicit instead of fused: a stem
+/// articulation, four parallel branches over a 56x56 map (heavy enough that
+/// running them on different processors beats serializing them), a concat
+/// join, and a small classifier tail.
+GraphModel build_inception_cell() {
+  GraphModel g("inception_cell");
+  const int h = 56, w = 56;
+  const std::size_t stem =
+      g.add(make_conv2d("stem_conv3x3", 64, 192, 3, h, w));
+  // Branch 0: 1x1 projection.
+  const std::size_t b0 =
+      g.add(make_conv2d("b0_conv1x1", 192, 96, 1, h, w), {stem});
+  // Branch 1: 1x1 reduce -> 3x3.
+  const std::size_t b1a =
+      g.add(make_conv2d("b1_reduce1x1", 192, 96, 1, h, w), {stem});
+  const std::size_t b1b =
+      g.add(make_conv2d("b1_conv3x3", 96, 128, 3, h, w), {b1a});
+  // Branch 2: 1x1 reduce -> 5x5.
+  const std::size_t b2a =
+      g.add(make_conv2d("b2_reduce1x1", 192, 48, 1, h, w), {stem});
+  const std::size_t b2b =
+      g.add(make_conv2d("b2_conv5x5", 48, 96, 5, h, w), {b2a});
+  // Branch 3: pool -> 1x1 projection.
+  const std::size_t b3a = g.add(make_pool("b3_pool3x3", 192, h, w, 3), {stem});
+  const std::size_t b3b =
+      g.add(make_conv2d("b3_proj1x1", 192, 64, 1, h, w), {b3a});
+  const double cat_elems = static_cast<double>((96 + 128 + 96 + 64) * h * w);
+  const std::size_t cat =
+      g.add(make_concat("concat", cat_elems), {b0, b1b, b2b, b3b});
+  const std::size_t head =
+      g.add(make_conv2d("head_conv3x3", 384, 256, 3, h / 2, w / 2), {cat});
+  const std::size_t pool = g.add(make_pool("head_pool", 256, 7, 7, 2), {head});
+  g.add(make_fully_connected("head_fc", 256 * 7 * 7, 1000), {pool});
+  return g;
+}
+
+/// Detection-style neck: a shared backbone articulation chain feeding a
+/// classification head and a box-regression head that never rejoin (the
+/// trailing multi-sink segment case).
+GraphModel build_two_head_neck() {
+  GraphModel g("two_head_neck");
+  const int h = 28, w = 28;
+  const std::size_t c1 = g.add(make_conv2d("bb_conv1", 128, 256, 3, h, w));
+  const std::size_t c2 =
+      g.add(make_conv2d("bb_conv2", 256, 256, 3, h, w), {c1});
+  const std::size_t neck =
+      g.add(make_conv2d("neck_conv1x1", 256, 192, 1, h, w), {c2});
+  // Classification head.
+  const std::size_t cls1 =
+      g.add(make_conv2d("cls_conv3x3", 192, 256, 3, h, w), {neck});
+  const std::size_t cls2 =
+      g.add(make_pool("cls_pool", 256, 7, 7, 4), {cls1});
+  const std::size_t cls3 =
+      g.add(make_fully_connected("cls_fc", 256 * 7 * 7, 80 * 9), {cls2});
+  g.add(make_softmax("cls_softmax", 80.0 * 9.0), {cls3});
+  // Box-regression head.
+  const std::size_t box1 =
+      g.add(make_conv2d("box_conv3x3", 192, 256, 3, h, w), {neck});
+  const std::size_t box2 =
+      g.add(make_conv2d("box_conv3x3b", 256, 256, 3, h, w), {box1});
+  g.add(make_conv2d("box_out1x1", 256, 4 * 9, 1, h, w), {box2});
+  return g;
+}
+
+/// MobileViT-style hybrid block: a local convolution stack and a global
+/// self-attention branch over the same feature map, fused by addition.  The
+/// attention branch (LayerNorm -> MHSA) is outside the mobile-NPU op set,
+/// so its layers fall back when scheduled there — the chain lowering must
+/// drag the *whole* fused segment onto a fallback processor, while the
+/// graph planner can keep the conv branch on the NPU and co-run the
+/// attention branch on the big CPU.  This is the zoo's canonical
+/// fork-wins-under-op-holes case.
+GraphModel build_hybrid_attn_cell() {
+  GraphModel g("hybrid_attn_cell");
+  const int h = 14, w = 14, dim = 512, seq = h * w;
+  const std::size_t stem =
+      g.add(make_conv2d("stem_conv3x3", 256, dim, 3, h, w));
+  // Local branch: two 3x3 convs (NPU-native).
+  const std::size_t la =
+      g.add(make_conv2d("local_conv3x3_a", dim, dim, 3, h, w), {stem});
+  const std::size_t lb =
+      g.add(make_conv2d("local_conv3x3_b", dim, dim, 3, h, w), {la});
+  // Global branch: LayerNorm -> fused MHSA (NPU fallback triggers).
+  const std::size_t ln = g.add(make_layer_norm("global_ln", seq, dim), {stem});
+  const std::size_t attn =
+      g.add(make_attention("global_attn", seq, dim, 8), {ln});
+  const std::size_t fuse = g.add(
+      make_add("fuse_add", static_cast<double>(seq * dim)), {lb, attn});
+  const std::size_t head =
+      g.add(make_conv2d("head_conv1x1", dim, dim, 1, h, w), {fuse});
+  const std::size_t pool = g.add(make_pool("head_pool", dim, 7, 7, 2), {head});
+  g.add(make_fully_connected("head_fc", dim * 7 * 7, 1000), {pool});
+  return g;
+}
+
+}  // namespace
+
+const char* to_string(GraphId id) {
+  switch (id) {
+    case GraphId::kInceptionCell: return "inception_cell";
+    case GraphId::kTwoHeadNeck: return "two_head_neck";
+    case GraphId::kHybridAttnCell: return "hybrid_attn_cell";
+  }
+  return "?";
+}
+
+const std::vector<GraphId>& all_graph_ids() {
+  static const std::vector<GraphId> ids = {GraphId::kInceptionCell,
+                                           GraphId::kTwoHeadNeck,
+                                           GraphId::kHybridAttnCell};
+  return ids;
+}
+
+GraphModel build_graph_model(GraphId id) {
+  switch (id) {
+    case GraphId::kInceptionCell: return build_inception_cell();
+    case GraphId::kTwoHeadNeck: return build_two_head_neck();
+    case GraphId::kHybridAttnCell: return build_hybrid_attn_cell();
+  }
+  return GraphModel("empty");
+}
+
+const GraphModel& zoo_graph(GraphId id) {
+  static const std::array<GraphModel, kNumZooGraphs> cache = {
+      build_graph_model(GraphId::kInceptionCell),
+      build_graph_model(GraphId::kTwoHeadNeck),
+      build_graph_model(GraphId::kHybridAttnCell)};
+  return cache[static_cast<std::size_t>(id)];
+}
+
 }  // namespace h2p

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "models/graph.h"
 #include "models/model.h"
 
 namespace h2p {
@@ -53,5 +54,26 @@ const Model& zoo_model(ModelId id);
 enum class SizeClass : std::uint8_t { kLight, kMedium, kLarge };
 SizeClass size_class(ModelId id);
 const char* to_string(SizeClass c);
+
+/// Branchy architectures authored as real DAGs for the graph-native planner
+/// (the chain zoo fuses these shapes into super-layers; here the fork/join
+/// structure is explicit so `GraphPlanner` can spread branches over
+/// processors).
+enum class GraphId : std::uint8_t {
+  kInceptionCell,  // stem -> {1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1} -> concat -> head
+  kTwoHeadNeck,    // shared backbone -> {classification head | box-regression head}
+  kHybridAttnCell, // stem -> {local conv stack | LN -> attention} -> add -> head
+};
+
+inline constexpr std::size_t kNumZooGraphs = 3;
+
+const char* to_string(GraphId id);
+const std::vector<GraphId>& all_graph_ids();
+
+/// Build a fresh DAG model for the given id.
+GraphModel build_graph_model(GraphId id);
+
+/// Shared immutable instance (built once, thread-safe since C++11 statics).
+const GraphModel& zoo_graph(GraphId id);
 
 }  // namespace h2p

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "obs/log.h"
@@ -57,21 +58,37 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
   result.records.resize(n);
   if (n == 0) return result;
 
-  // Chain predecessors / successors.
-  std::vector<int> pred(n, -1);
+  // Predecessors / successors: a job either carries explicit fork/join
+  // edges or falls back to the legacy chain rule (latest smaller seq of the
+  // same model, first occurrence winning).  Either way each job ends up
+  // with one pred list and an atomic remaining-count released to zero.
+  std::vector<std::vector<std::size_t>> preds(n);
   std::vector<std::vector<std::size_t>> succ(n);
   for (std::size_t i = 0; i < n; ++i) {
+    if (jobs[i].explicit_deps) {
+      for (const std::size_t d : jobs[i].deps) {
+        if (d >= n) {
+          throw std::invalid_argument("run: job depends on unknown job");
+        }
+      }
+      preds[i] = jobs[i].deps;
+      continue;
+    }
+    int pred = -1;
     for (std::size_t j = 0; j < n; ++j) {
       if (jobs[j].model_idx != jobs[i].model_idx) continue;
       if (jobs[j].seq_in_model >= jobs[i].seq_in_model) continue;
-      if (pred[i] < 0 ||
-          jobs[static_cast<std::size_t>(pred[i])].seq_in_model < jobs[j].seq_in_model) {
-        pred[i] = static_cast<int>(j);
+      if (pred < 0 ||
+          jobs[static_cast<std::size_t>(pred)].seq_in_model < jobs[j].seq_in_model) {
+        pred = static_cast<int>(j);
       }
     }
+    if (pred >= 0) preds[i].push_back(static_cast<std::size_t>(pred));
   }
+  const auto remaining = std::make_unique<std::atomic<std::size_t>[]>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (pred[i] >= 0) succ[static_cast<std::size_t>(pred[i])].push_back(i);
+    remaining[i].store(preds[i].size(), std::memory_order_relaxed);
+    for (const std::size_t p : preds[i]) succ[p].push_back(i);
   }
 
   std::vector<std::unique_ptr<WorkStealingDeque<std::size_t>>> deques;
@@ -81,7 +98,7 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
     inboxes.push_back(std::make_unique<Inbox>());
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (pred[i] < 0) inboxes[jobs[i].home_proc % num_procs_]->post(i);
+    if (preds[i].empty()) inboxes[jobs[i].home_proc % num_procs_]->post(i);
   }
 
   std::atomic<std::size_t> completed{0};
@@ -139,7 +156,10 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
       }
 
       for (std::size_t s : succ[i]) {
-        inboxes[jobs[s].home_proc % num_procs_]->post(s);
+        // Last-retiring predecessor releases the successor (join barrier).
+        if (remaining[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          inboxes[jobs[s].home_proc % num_procs_]->post(s);
+        }
       }
       completed.fetch_add(1, std::memory_order_release);
     }
@@ -169,6 +189,10 @@ std::vector<RuntimeJob> PipelineExecutor::jobs_from_compiled(
     job.seq_in_model = s.seq_in_model;
     job.home_proc = s.proc_idx;
     job.solo_ms = s.solo_ms();
+    // Slices map 1:1 onto jobs, so the global slice indices in `deps` are
+    // job indices verbatim.
+    job.explicit_deps = true;
+    job.deps = s.deps;
     jobs.push_back(job);
   }
   return jobs;

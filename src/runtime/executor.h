@@ -15,6 +15,13 @@ struct RuntimeJob {
   std::size_t seq_in_model = 0;
   std::size_t home_proc = 0;
   double solo_ms = 0.0;  // planned duration in simulated milliseconds
+
+  /// When set, `deps` lists the job indices that must ALL complete before
+  /// this job is released (fork/join plans; empty = a root).  When unset,
+  /// the legacy chain rule applies: wait for the same model's latest
+  /// smaller seq_in_model.
+  bool explicit_deps = false;
+  std::vector<std::size_t> deps;
 };
 
 /// Execution record produced by the threaded run.
@@ -43,9 +50,10 @@ struct RuntimeResult {
 ///
 /// Demonstrates the system side of Hetero2Pipe with real concurrency: each
 /// "processor" is a worker thread owning a Chase–Lev deque of ready jobs;
-/// chain precedence (slice k waits for slice k-1 of the same model) is
-/// enforced by dependency counters, and idle workers steal ready jobs from
-/// busy neighbours — the runtime analogue of the planner's Algorithm-3
+/// precedence — chain (slice k waits for slice k-1 of the same model) or
+/// explicit fork/join edges (`RuntimeJob::deps`) — is enforced by atomic
+/// dependency counters, and idle workers steal ready jobs from busy
+/// neighbours — the runtime analogue of the planner's Algorithm-3
 /// rebalancing.  Jobs burn real CPU via the synthetic kernels.
 class PipelineExecutor {
  public:

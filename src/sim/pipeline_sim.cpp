@@ -31,6 +31,13 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     if (t.proc_idx >= soc.num_processors()) {
       throw std::invalid_argument("simulate: task references unknown processor");
     }
+    if (t.explicit_deps) {
+      for (const std::size_t d : t.deps) {
+        if (d >= n) {
+          throw std::invalid_argument("simulate: dependency on unknown task");
+        }
+      }
+    }
     timeline.num_models = std::max(timeline.num_models, t.model_idx + 1);
   }
   if (n == 0) return timeline;
@@ -56,11 +63,14 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   // Chain predecessor resolution: latest smaller seq_in_model per model.
   // Bucketing by model then sorting each bucket replaces the O(n^2) scan;
   // ties on seq_in_model resolve to the lowest task index, matching the
-  // original first-wins linear scan.
+  // original first-wins linear scan.  Tasks carrying explicit edges are
+  // excluded: their readiness is governed by `deps` alone.
   std::vector<int> pred(n, -1);
   {
     std::vector<std::vector<std::size_t>> by_model(timeline.num_models);
-    for (std::size_t i = 0; i < n; ++i) by_model[tasks[i].model_idx].push_back(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!tasks[i].explicit_deps) by_model[tasks[i].model_idx].push_back(i);
+    }
     for (std::vector<std::size_t>& bucket : by_model) {
       std::sort(bucket.begin(), bucket.end(), [&](std::size_t a, std::size_t b) {
         if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
@@ -154,6 +164,12 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   auto task_ready = [&](std::size_t i) {
     if (started[i] || done[i]) return false;
     if (tasks[i].arrival_ms > now + eps) return false;
+    if (tasks[i].explicit_deps) {
+      for (const std::size_t d : tasks[i].deps) {
+        if (!done[d]) return false;  // a join waits on every branch tail
+      }
+      return true;
+    }
     if (pred[i] >= 0 && !done[static_cast<std::size_t>(pred[i])]) return false;
     return true;
   };
@@ -397,6 +413,10 @@ std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled) {
     t.solo_ms = s.solo_ms();
     t.sensitivity = s.sensitivity;
     t.intensity = s.intensity;
+    // Slice deps are already global slice indices, and slices map 1:1 onto
+    // tasks — carry the edges over verbatim.
+    t.explicit_deps = true;
+    t.deps = s.deps;
     if (with_alt) {
       t.alt.resize(fp);
       for (std::size_t q = 0; q < fp; ++q) {

@@ -13,9 +13,11 @@
 
 namespace h2p {
 
-/// One schedulable unit handed to the simulator.  Tasks of the same model
-/// form a chain ordered by `seq_in_model`; at most one task runs per
-/// processor at a time.
+/// One schedulable unit handed to the simulator.  By default tasks of the
+/// same model form a chain ordered by `seq_in_model`; tasks carrying
+/// explicit dependency edges (`explicit_deps`) instead wait on the listed
+/// tasks — the fork/join form DAG plans lower to.  At most one task runs
+/// per processor at a time.
 struct SimTask {
   std::size_t model_idx = 0;
   std::size_t seq_in_model = 0;
@@ -24,6 +26,14 @@ struct SimTask {
   double sensitivity = 0.0;   // memory-bound share (victim side)
   double intensity = 0.0;     // contention intensity (aggressor side)
   double arrival_ms = 0.0;    // earliest start (release time)
+
+  /// When set, `deps` lists the indices (into simulate()'s task vector)
+  /// that must ALL retire before this task may start, and the implicit
+  /// chain resolution skips this task entirely; empty deps = a root.  When
+  /// unset (hand-built task sets, historical behaviour), the task waits on
+  /// the first task of its model's previous distinct-seq group.
+  bool explicit_deps = false;
+  std::vector<std::size_t> deps;
 
   /// Cost of this task were it to run on processor q instead (the HiAI-style
   /// emergency fallback when `proc_idx` drops out permanently mid-run).  A
@@ -61,9 +71,10 @@ struct SimOptions {
 /// asynchronous ground truth the planner's static wavefront objective is
 /// validated against.
 ///
-/// Dispatch: a free processor picks, among its ready tasks (chain
-/// predecessor done, arrival passed), the lowest (model_idx, seq_in_model)
-/// — i.e., pipeline FIFO order.
+/// Dispatch: a free processor picks, among its ready tasks (predecessors
+/// done — the chain predecessor, or every explicit dep — and arrival
+/// passed), the lowest (model_idx, seq_in_model) — i.e., pipeline FIFO
+/// order.
 Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
                   const SimOptions& options = {});
 

@@ -39,10 +39,12 @@ QueueStats pipelined_queueing(const StaticEvaluator& eval,
   const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
   std::vector<SimTask> tasks = tasks_from_compiled(compiled);
 
-  // Release each model's first task at its arrival time.
+  // Release each model's root tasks at its arrival time (a DAG plan may
+  // have several roots; a chain has exactly its seq-0 task).
   for (SimTask& t : tasks) {
     const std::size_t original = compiled.original_index[t.model_idx];
-    if (t.seq_in_model == 0 && original < arrival_ms.size()) {
+    const bool root = t.explicit_deps ? t.deps.empty() : t.seq_in_model == 0;
+    if (root && original < arrival_ms.size()) {
       t.arrival_ms = arrival_ms[original];
     }
   }

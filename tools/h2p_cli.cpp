@@ -3,7 +3,14 @@
 //   h2p_cli socs [--export <name>]          list / dump device descriptions
 //   h2p_cli models                          list the model zoo
 //   h2p_cli plan --models a,b,c [options]   plan + simulate a sequence
-//        options: --soc <kirin990|snapdragon778g|snapdragon870>
+//        options: --graphs a,b        plan DAG models instead of (or next
+//                                     to) --models: each entry is a zoo
+//                                     graph name (inception_cell,
+//                                     two_head_neck) or a path to a
+//                                     graph JSON file (core/serialize
+//                                     graph_to_json format); branchy
+//                                     graphs may fork across processors
+//                 --soc <kirin990|snapdragon778g|snapdragon870>
 //                 --soc-json <file>   load a custom device description
 //                 --no-ct             disable contention mitigation + tail opt
 //                 --threads <n>       planner worker threads (default: the
@@ -51,6 +58,7 @@
 #include "baselines/mnn_serial.h"
 #include "baselines/pipeit.h"
 #include "baselines/ulayer.h"
+#include "core/graph_planner.h"
 #include "core/planner.h"
 #include "core/serialize.h"
 #include "exec/compiled_plan.h"
@@ -185,6 +193,47 @@ std::optional<std::vector<ModelId>> parse_models(const std::string& csv) {
   return ids;
 }
 
+/// Each CSV entry is a zoo graph name or a path to a graph JSON file.
+std::optional<std::vector<GraphModel>> parse_graphs(const std::string& csv) {
+  std::vector<GraphModel> graphs;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    bool found = false;
+    for (GraphId id : all_graph_ids()) {
+      if (token == to_string(id)) {
+        graphs.push_back(zoo_graph(id));
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    if (token.ends_with(".json")) {
+      std::ifstream f(token);
+      if (!f) {
+        std::fprintf(stderr, "cannot open graph file: %s\n", token.c_str());
+        return std::nullopt;
+      }
+      std::stringstream buf;
+      buf << f.rdbuf();
+      try {
+        graphs.push_back(graph_from_json(Json::parse(buf.str())));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad graph file %s: %s\n", token.c_str(), e.what());
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "unknown graph: %s\n", token.c_str());
+    return std::nullopt;
+  }
+  if (graphs.empty()) {
+    std::fprintf(stderr, "no graphs given\n");
+    return std::nullopt;
+  }
+  return graphs;
+}
+
 int cmd_socs(int argc, char** argv) {
   if (const auto name = arg_value(argc, argv, "--export")) {
     const auto soc = builtin_soc(*name);
@@ -217,15 +266,33 @@ int cmd_models() {
                    to_string(size_class(id))});
   }
   table.print();
+
+  Table graphs({"Graph", "Nodes", "GFLOPs", "Branch segments"});
+  for (GraphId id : all_graph_ids()) {
+    const GraphModel& g = zoo_graph(id);
+    std::size_t branchy = 0;
+    for (const auto& seg : g.decompose().segments) {
+      if (seg.branches.size() >= 2) ++branchy;
+    }
+    graphs.add_row({to_string(id), std::to_string(g.num_nodes()),
+                    Table::fmt(g.total_flops() / 1e9, 2),
+                    std::to_string(branchy)});
+  }
+  std::printf("\n");
+  graphs.print();
   return 0;
 }
 
 int cmd_plan(int argc, char** argv) {
   const auto soc = resolve_soc(argc, argv);
   const auto models_csv = arg_value(argc, argv, "--models");
-  if (!soc || !models_csv) return usage();
-  const auto ids = parse_models(*models_csv);
-  if (!ids) return 1;
+  const auto graphs_csv = arg_value(argc, argv, "--graphs");
+  if (!soc || (!models_csv && !graphs_csv)) return usage();
+  std::optional<std::vector<ModelId>> ids;
+  if (models_csv) {
+    ids = parse_models(*models_csv);
+    if (!ids) return 1;
+  }
 
   ObsFlags obs_flags;
   if (!setup_obs(argc, argv, &obs_flags)) return 1;
@@ -233,12 +300,70 @@ int cmd_plan(int argc, char** argv) {
   obs::Registry::global().set_enabled(true);
   if (obs_flags.trace_out) obs::Tracer::global().name_current_thread("planner");
 
-  std::vector<const Model*> models;
-  for (ModelId id : *ids) models.push_back(&zoo_model(id));
   const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
-  const StaticEvaluator eval(*soc, models, pool.get());
   const PlannerOptions opts =
       has_flag(argc, argv, "--no-ct") ? PlannerOptions::no_ct() : PlannerOptions{};
+
+  if (graphs_csv) {
+    // DAG path: zoo models (if any) ride along as chain graphs.
+    auto parsed = parse_graphs(*graphs_csv);
+    if (!parsed) return 1;
+    std::vector<GraphModel> owned;
+    if (ids) {
+      for (ModelId id : *ids) owned.push_back(GraphModel::from_chain(zoo_model(id)));
+    }
+    for (GraphModel& g : *parsed) owned.push_back(std::move(g));
+    std::vector<const GraphModel*> gptrs;
+    for (const GraphModel& g : owned) gptrs.push_back(&g);
+
+    const GraphPlanner planner(*soc, gptrs, opts, pool.get());
+    const GraphPlannerReport rep = planner.plan();
+    const Timeline timeline = simulate(planner.evaluator().soc(),
+                                       tasks_from_compiled(rep.compiled), {});
+
+    std::printf("%s\n", rep.chain_report.plan.to_string().c_str());
+    std::vector<std::string> names;
+    for (const Processor& p : soc->processors()) names.push_back(p.name);
+    std::printf("%s", timeline.gantt(names).c_str());
+    std::printf(
+        "\ndag: %s | offloaded branches %zu | DES chain %.2f ms -> final "
+        "%.2f ms\n",
+        rep.dag_accepted ? "accepted" : "chain fallback",
+        rep.offloaded_branches, rep.chain_des_ms, rep.final_des_ms);
+    std::printf("makespan %.2f ms | throughput %.2f inf/s | bubbles %.2f ms\n",
+                timeline.makespan_ms(), timeline.throughput_per_s(),
+                timeline.total_bubble_ms());
+    double peak_resident = 0.0;
+    for (double b : rep.compiled.resident_bytes) peak_resident += b;
+    std::printf("compiled: %zu slices | %.2f ms total solo | %.0f MB resident\n",
+                rep.compiled.slices.size(), rep.compiled.total_solo_ms(),
+                peak_resident / 1048576.0);
+
+    if (const auto out = arg_value(argc, argv, "--out")) {
+      std::ofstream f(*out);
+      f << plan_to_json(rep.chain_report.plan).dump();
+      std::printf("chain plan written to %s\n", out->c_str());
+    }
+    if (const auto trace = arg_value(argc, argv, "--trace")) {
+      write_chrome_trace(timeline, *soc, rep.compiled, *trace);
+      std::printf("chrome trace written to %s\n", trace->c_str());
+    }
+    if (obs_flags.trace_out) {
+      write_merged_chrome_trace(timeline, *soc, obs::Tracer::global(),
+                                *obs_flags.trace_out);
+      std::printf("merged trace written to %s\n", obs_flags.trace_out->c_str());
+    }
+    if (obs_flags.metrics_out) {
+      std::ofstream f(*obs_flags.metrics_out);
+      f << obs::Registry::global().snapshot().dump();
+      std::printf("metrics written to %s\n", obs_flags.metrics_out->c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const Model*> models;
+  for (ModelId id : *ids) models.push_back(&zoo_model(id));
+  const StaticEvaluator eval(*soc, models, pool.get());
   const PlannerReport report = Hetero2PipePlanner(eval, opts, pool.get()).plan();
   const exec::CompiledPlan compiled = exec::compile(report.plan, eval);
   const Timeline timeline =
