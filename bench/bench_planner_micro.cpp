@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "sim/online.h"
 #include "sim/pipeline_sim.h"
+#include "sim/pipeline_sim_reference.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -176,6 +177,86 @@ void BM_DagPlannerEndToEnd(benchmark::State& state) {
   state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
 }
 BENCHMARK(BM_DagPlannerEndToEnd)->ArgName("graphs")->Arg(1)->Arg(3)->Arg(6);
+
+// ---- planner throughput (plans/sec) -----------------------------------------
+
+/// The SoA campaign's headline metric: independent cold windows planned per
+/// second.  Unlike BM_PlannerEndToEnd (ONE planner fanning its candidate
+/// scoring out over a pool), each benchmark thread here runs a complete
+/// sequential planner on its own window — the serving-fleet shape, and the
+/// direct exercise of the thread-local TaskTable/SimScratch reuse: after
+/// each thread's first window, candidate DES scoring allocates nothing.
+/// items_per_second (summed across threads by google-benchmark) IS plans/sec;
+/// compare threads:1 against pre-PR BM_PlannerEndToEnd/threads:1 (same
+/// m=16 cold window, evaluator build included) for the speedup ratio.
+void BM_PlannerThroughput_Chain(benchmark::State& state) {
+  const std::size_t m = 16;
+  const Soc soc = Soc::kirin990();
+  const std::vector<const Model*> models = window_models(m);
+  for (auto _ : state) {
+    const StaticEvaluator eval(soc, models);
+    Hetero2PipePlanner planner(eval);
+    benchmark::DoNotOptimize(planner.plan());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlannerThroughput_Chain)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// DAG windows through the GraphPlanner cold path (chain baseline plan,
+/// branch offload candidates, DES arbitration) — the arbitration scorer is
+/// the simulate_compiled_makespan thread-local path.
+void BM_PlannerThroughput_Dag(benchmark::State& state) {
+  const Soc soc = Soc::kirin990();
+  std::vector<const GraphModel*> graphs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    graphs.push_back(&zoo_graph(all_graph_ids()[i % kNumZooGraphs]));
+  }
+  for (auto _ : state) {
+    GraphPlanner planner(soc, graphs);
+    benchmark::DoNotOptimize(planner.plan());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlannerThroughput_Dag)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---- DES scoring micro-bench ------------------------------------------------
+
+/// One plan-candidate DES scoring, the inner loop of the tail sweep /
+/// warm-start audition / arbitration.  `legacy` is the pre-SoA path kept
+/// frozen in pipeline_sim_reference (exec::compile -> AoS task vector ->
+/// by-value simulate); `soa` is simulate_plan_makespan (direct TaskTable
+/// lowering + reused SimScratch).  The ratio is the per-candidate speedup
+/// the planner-level benches integrate.
+void BM_DesScoring(benchmark::State& state, bool soa) {
+  const Soc soc = Soc::kirin990();
+  const std::vector<const Model*> models = window_models(8);
+  const StaticEvaluator eval(soc, models);
+  const PipelinePlan plan = Hetero2PipePlanner(eval).plan().plan;
+  if (soa) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(simulate_plan_makespan(plan, eval));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          sim::simulate_reference(eval.soc(), tasks_from_plan(plan, eval), {})
+              .makespan_ms());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_DesScoring, legacy, false);
+BENCHMARK_CAPTURE(BM_DesScoring, soa, true);
 
 // ---- online serving loop ----------------------------------------------------
 

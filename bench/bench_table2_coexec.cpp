@@ -105,7 +105,8 @@ int main() {
   b.solo_ms = a.solo_ms;  // equal-length co-run window
   b.sensitivity = 0.6;
   b.intensity = eval.table(1).intensity(cpu_b, 0, nb - 1);
-  const Timeline co = simulate(soc, {a, b}, {true});
+  const std::vector<SimTask> co_tasks{a, b};
+  const Timeline co = simulate(soc, co_tasks, {true});
   std::printf("CPU_B victim with NPU aggressor: %.2f%% slowdown (paper: 3-4.5%%)\n",
               (co.tasks[0].duration_ms() / a.solo_ms - 1.0) * 100.0);
   return 0;

@@ -76,7 +76,9 @@ GraphPlannerReport GraphPlanner::plan() const {
   const std::size_t K = chain.num_stages;
 
   const auto des_ms = [this](const exec::CompiledPlan& plan) {
-    return simulate(eval_.soc(), tasks_from_compiled(plan)).makespan_ms();
+    // Thread-local SoA lowering + scratch: arbitration runs allocation-free
+    // after the first evaluation on each pool thread.
+    return simulate_compiled_makespan(plan, eval_.soc());
   };
 
   // Per-slot chain slices in seq order (global indices into chain.slices).

@@ -6,6 +6,22 @@
 #include "contention/contention_model.h"
 
 namespace h2p {
+namespace {
+
+/// Candidate-row scratch shared by the const scoring entries.  score_with /
+/// des_lower_bound_with run concurrently from pooled planning threads, so
+/// the scratch is per-thread; capacities survive across calls, making the
+/// steady-state candidate evaluation allocation-free.
+struct RowScratch {
+  ModelPlan probe;
+};
+
+RowScratch& tls_scratch() {
+  thread_local RowScratch s;
+  return s;
+}
+
+}  // namespace
 
 IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
                                                  const PipelinePlan& plan)
@@ -13,20 +29,27 @@ IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
   model_index_.reserve(m_);
   for (const ModelPlan& mp : plan.models) model_index_.push_back(mp.model_index);
 
-  cells_.resize(m_);
+  cell_solo_.resize(m_ * K_);
+  cell_intensity_.resize(m_ * K_);
+  cell_sensitivity_.resize(m_ * K_);
+  cell_active_.resize(m_ * K_);
+  Row row;
   for (std::size_t i = 0; i < m_; ++i) {
-    fill_row_for(model_index_[i], plan.models[i].slices, cells_[i]);
+    fill_row_for(model_index_[i], plan.models[i].slices, row);
+    store_row(i, row);
   }
 
   proc_solo_.assign(K_, 0.0);
   for (std::size_t k = 0; k < K_; ++k) {
-    for (std::size_t i = 0; i < m_; ++i) proc_solo_[k] += cells_[i][k].solo;
+    for (std::size_t i = 0; i < m_; ++i) {
+      proc_solo_[k] += cell_solo_[i * K_ + k];
+    }
   }
 
   if (m_ == 0) return;
   const std::size_t num_cols = m_ + K_ - 1;
   colmax_.resize(num_cols);
-  const std::vector<Cell> no_override;
+  const Row no_override;
   for (std::size_t j = 0; j < num_cols; ++j) {
     // slot = m_ is out of range: every row comes from the cache.
     colmax_[j] = column_max(j, m_, no_override, m_);
@@ -37,53 +60,82 @@ IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
 
 void IncrementalStaticScorer::fill_row_for(std::size_t model_index,
                                            std::span<const Slice> slices,
-                                           std::vector<Cell>& row) const {
+                                           Row& row) const {
   assert(slices.size() == K_);
   // Route through the evaluator's own accessors so the cached values are
-  // the exact doubles the non-incremental scorer would see.
-  ModelPlan probe;
+  // the exact doubles the non-incremental scorer would see.  The probe plan
+  // is thread-local: its slices vector keeps its capacity across calls.
+  ModelPlan& probe = tls_scratch().probe;
   probe.model_index = model_index;
   probe.slices.assign(slices.begin(), slices.end());
   row.resize(K_);
   for (std::size_t k = 0; k < K_; ++k) {
-    row[k].solo = eval_->stage_solo_ms(probe, k);
-    row[k].intensity = eval_->stage_intensity(probe, k);
-    row[k].sensitivity = eval_->stage_sensitivity(probe, k);
-    row[k].active = !probe.slices[k].empty();
+    row.solo[k] = eval_->stage_solo_ms(probe, k);
+    row.intensity[k] = eval_->stage_intensity(probe, k);
+    row.sensitivity[k] = eval_->stage_sensitivity(probe, k);
+    row.active[k] = probe.slices[k].empty() ? 0 : 1;
   }
 }
 
-double IncrementalStaticScorer::column_max(
-    std::size_t j, std::size_t slot,
-    const std::vector<Cell>& row_override, std::size_t num_rows) const {
+void IncrementalStaticScorer::store_row(std::size_t slot, const Row& row) {
+  const std::size_t base = slot * K_;
+  for (std::size_t k = 0; k < K_; ++k) {
+    cell_solo_[base + k] = row.solo[k];
+    cell_intensity_[base + k] = row.intensity[k];
+    cell_sensitivity_[base + k] = row.sensitivity[k];
+    cell_active_[base + k] = row.active[k];
+  }
+}
+
+double IncrementalStaticScorer::column_max(std::size_t j, std::size_t slot,
+                                           const Row& row_override,
+                                           std::size_t num_rows) const {
   // Mirrors StaticEvaluator::stage_times for one column: members gathered
   // in ascending-stage order, every non-victim member aggresses, then the
-  // makespan loop's max over all valid cells.
+  // makespan loop's max over all valid cells.  K is small (the processor
+  // count), so the member set lives in fixed-capacity thread-local buffers.
   struct Member {
     std::size_t k;
-    const Cell* cell;
+    double solo;
+    double sensitivity;
   };
-  std::vector<Member> members;
-  std::vector<Aggressor> aggr;
+  thread_local std::vector<Member> members;
+  thread_local std::vector<Aggressor> aggr;
+  thread_local std::vector<Aggressor> others;
+  members.clear();
+  aggr.clear();
   members.reserve(K_);
   aggr.reserve(K_);
   for (std::size_t k = 0; k < K_; ++k) {
     if (j < k) continue;
     const std::size_t i = j - k;
     if (i >= num_rows) continue;
-    const Cell& c = i == slot ? row_override[k] : cells_[i][k];
-    if (!c.active) continue;
-    members.push_back(Member{k, &c});
-    aggr.push_back(Aggressor{k, c.intensity});
+    double solo, intensity, sensitivity;
+    bool active;
+    if (i == slot) {
+      solo = row_override.solo[k];
+      intensity = row_override.intensity[k];
+      sensitivity = row_override.sensitivity[k];
+      active = row_override.active[k] != 0;
+    } else {
+      const std::size_t idx = i * K_ + k;
+      solo = cell_solo_[idx];
+      intensity = cell_intensity_[idx];
+      sensitivity = cell_sensitivity_[idx];
+      active = cell_active_[idx] != 0;
+    }
+    if (!active) continue;
+    members.push_back(Member{k, solo, sensitivity});
+    aggr.push_back(Aggressor{k, intensity});
   }
 
   double colmax = 0.0;
   if (members.size() < 2) {
-    for (const Member& mem : members) colmax = std::max(colmax, mem.cell->solo);
+    for (const Member& mem : members) colmax = std::max(colmax, mem.solo);
     return colmax;
   }
   const ContentionModel& contention = eval_->contention();
-  std::vector<Aggressor> others;
+  others.clear();
   others.reserve(aggr.size() - 1);
   for (std::size_t idx = 0; idx < members.size(); ++idx) {
     others.clear();
@@ -91,8 +143,8 @@ double IncrementalStaticScorer::column_max(
       if (a != idx) others.push_back(aggr[a]);
     }
     const double factor = contention.slowdown(
-        members[idx].k, members[idx].cell->sensitivity, others);
-    colmax = std::max(colmax, members[idx].cell->solo * factor);
+        members[idx].k, members[idx].sensitivity, others);
+    colmax = std::max(colmax, members[idx].solo * factor);
   }
   return colmax;
 }
@@ -101,7 +153,7 @@ double IncrementalStaticScorer::score_with(std::size_t slot,
                                            std::span<const Slice> slices) const {
   if (m_ == 0) return 0.0;
   assert(slot < m_);
-  std::vector<Cell> row;
+  thread_local Row row;
   fill_row_for(model_index_[slot], slices, row);
 
   const std::size_t num_cols = m_ + K_ - 1;
@@ -118,7 +170,7 @@ double IncrementalStaticScorer::score_with(std::size_t slot,
 
 double IncrementalStaticScorer::score_appended(
     std::size_t model_index, std::span<const Slice> slices) const {
-  std::vector<Cell> row;
+  thread_local Row row;
   fill_row_for(model_index, slices, row);
   // Columns j < m_ have no member from the appended row and keep their
   // cached maxima; columns [m_, m_+K-1] are recomputed with the new row
@@ -133,15 +185,19 @@ double IncrementalStaticScorer::score_appended(
 
 void IncrementalStaticScorer::apply_appended(std::size_t model_index,
                                              std::span<const Slice> slices) {
-  std::vector<Cell> row;
+  Row row;
   fill_row_for(model_index, slices, row);
-  for (std::size_t k = 0; k < K_; ++k) proc_solo_[k] += row[k].solo;
+  for (std::size_t k = 0; k < K_; ++k) proc_solo_[k] += row.solo[k];
   model_index_.push_back(model_index);
-  cells_.push_back(std::move(row));
+  cell_solo_.resize((m_ + 1) * K_);
+  cell_intensity_.resize((m_ + 1) * K_);
+  cell_sensitivity_.resize((m_ + 1) * K_);
+  cell_active_.resize((m_ + 1) * K_);
+  store_row(m_, row);
   ++m_;
 
   colmax_.resize(m_ + K_ - 1);
-  const std::vector<Cell> no_override;
+  const Row no_override;
   for (std::size_t j = m_ - 1; j < m_ + K_ - 1; ++j) {
     colmax_[j] = column_max(j, m_, no_override, m_);
   }
@@ -153,11 +209,12 @@ double IncrementalStaticScorer::des_lower_bound_with(
     std::size_t slot, std::span<const Slice> slices) const {
   if (m_ == 0) return 0.0;
   assert(slot < m_);
-  std::vector<Cell> row;
+  thread_local Row row;
   fill_row_for(model_index_[slot], slices, row);
   double bound = 0.0;
   for (std::size_t k = 0; k < K_; ++k) {
-    bound = std::max(bound, proc_solo_[k] - cells_[slot][k].solo + row[k].solo);
+    bound = std::max(bound,
+                     proc_solo_[k] - cell_solo_[slot * K_ + k] + row.solo[k]);
   }
   return bound;
 }
@@ -166,16 +223,16 @@ void IncrementalStaticScorer::apply(std::size_t slot,
                                     std::span<const Slice> slices) {
   if (m_ == 0) return;
   assert(slot < m_);
-  std::vector<Cell> row;
+  Row row;
   fill_row_for(model_index_[slot], slices, row);
   for (std::size_t k = 0; k < K_; ++k) {
-    proc_solo_[k] += row[k].solo - cells_[slot][k].solo;
+    proc_solo_[k] += row.solo[k] - cell_solo_[slot * K_ + k];
   }
-  cells_[slot] = std::move(row);
+  store_row(slot, row);
 
   const std::size_t num_cols = m_ + K_ - 1;
   const std::size_t hi = std::min(slot + K_, num_cols);
-  const std::vector<Cell> no_override;
+  const Row no_override;
   for (std::size_t j = slot; j < hi; ++j) {
     colmax_[j] = column_max(j, m_, no_override, m_);
   }

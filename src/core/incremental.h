@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -69,32 +70,55 @@ class IncrementalStaticScorer {
   void apply(std::size_t slot, std::span<const Slice> slices);
 
  private:
-  struct Cell {
-    double solo = 0.0;
-    double intensity = 0.0;
-    double sensitivity = 0.0;
-    bool active = false;  // non-empty slice (contention-member criterion)
+  /// One model row's per-stage values in SoA form — the scratch a candidate
+  /// evaluation fills (thread-local in the .cpp, so concurrent score_with
+  /// calls from pooled planning threads allocate nothing after warm-up).
+  struct Row {
+    std::vector<double> solo;
+    std::vector<double> intensity;
+    std::vector<double> sensitivity;
+    std::vector<std::uint8_t> active;  // non-empty slice (member criterion)
+    void resize(std::size_t K) {
+      solo.resize(K);
+      intensity.resize(K);
+      sensitivity.resize(K);
+      active.resize(K);
+    }
   };
 
   /// Per-stage solo/intensity/sensitivity of `slices` for one model (by
   /// cost-table index, so appended rows need no pre-registered slot).
   void fill_row_for(std::size_t model_index, std::span<const Slice> slices,
-                    std::vector<Cell>& row) const;
+                    Row& row) const;
+
+  /// Copy a filled row into the flat cell arrays at `slot` (which must
+  /// already be within the arrays' extent).
+  void store_row(std::size_t slot, const Row& row);
 
   /// Contended maximum of wavefront column j, reading row `slot` from
-  /// `row_override` and every other row from the cache.  Reproduces
-  /// StaticEvaluator::stage_times + makespan_ms for that column exactly.
-  /// `num_rows` is the plan height (m_, or m_+1 when an appended row is
-  /// being evaluated as slot m_).
+  /// `row_override` and every other row from the flat cell cache.
+  /// Reproduces StaticEvaluator::stage_times + makespan_ms for that column
+  /// exactly — same k-ascending member enumeration, aggressor ordering and
+  /// reduction order.  `num_rows` is the plan height (m_, or m_+1 when an
+  /// appended row is being evaluated as slot m_).
   [[nodiscard]] double column_max(std::size_t j, std::size_t slot,
-                                  const std::vector<Cell>& row_override,
+                                  const Row& row_override,
                                   std::size_t num_rows) const;
 
   const StaticEvaluator* eval_;
   std::size_t m_ = 0;
   std::size_t K_ = 0;
   std::vector<std::size_t> model_index_;  // slot -> model table index
-  std::vector<std::vector<Cell>> cells_;  // [slot][stage]
+
+  // Flat SoA cell grid, slot-major: cell (slot i, stage k) lives at
+  // i * K_ + k.  Column j's members sit at (j-k)*K_ + k for ascending k — a
+  // fixed -(K_-1) stride, so the whole column spans one K_×K_ block of each
+  // array instead of K_ separately-allocated AoS rows.
+  std::vector<double> cell_solo_;
+  std::vector<double> cell_intensity_;
+  std::vector<double> cell_sensitivity_;
+  std::vector<std::uint8_t> cell_active_;
+
   std::vector<double> colmax_;            // [m+K-1] contended column maxima
   std::vector<double> proc_solo_;         // [K] total solo work per processor
   double base_score_ = 0.0;

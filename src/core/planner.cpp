@@ -66,7 +66,10 @@ PlannerReport Hetero2PipePlanner::plan() const {
   // parallelism (a collapsed model overlaps neighbouring columns in
   // reality), and the DES on a handful of tasks is cheap.
   const PlanScorer des_scorer = [this](const PipelinePlan& p) {
-    double score = simulate_plan(p, *eval_).makespan_ms();
+    // simulate_plan_makespan lowers straight into a thread-local SoA
+    // TaskTable and reuses a thread-local SimScratch: allocation-free per
+    // candidate after warm-up (the tail sweep scores hundreds per window).
+    double score = simulate_plan_makespan(p, *eval_);
     // Constraint (6): a layout whose concurrent residents overflow free
     // memory would swap on a real device ("substantial performance
     // slowdown", §VI-D) — penalize it so the local search prefers

@@ -227,7 +227,7 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_warm(
   int layers_stolen = 0;
   if (polish && !plan.models.empty()) {
     const PlanScorer des = [this](const PipelinePlan& p) {
-      double score = simulate_plan(p, *eval_).makespan_ms();
+      double score = simulate_plan_makespan(p, *eval_);  // thread-local SoA path
       if (!eval_->satisfies_memory(p)) score *= 1.5;  // constraint (6)
       return score;
     };
@@ -400,7 +400,7 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_degraded(
   const bool polish = opts_.work_stealing || opts_.tail_optimization;
   if (polish && !plan.models.empty()) {
     const PlanScorer des = [this](const PipelinePlan& p) {
-      double score = simulate_plan(p, *eval_).makespan_ms();
+      double score = simulate_plan_makespan(p, *eval_);  // thread-local SoA path
       if (!eval_->satisfies_memory(p)) score *= 1.5;  // constraint (6)
       return score;
     };

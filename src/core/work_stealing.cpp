@@ -210,7 +210,11 @@ bool optimize_tail(PipelinePlan& plan, const StaticEvaluator& eval,
       }
       parallel_for(pool, todo.size(), [&](std::size_t idx) {
         const std::size_t s = todo[idx];
-        PipelinePlan candidate = plan;
+        // Thread-local candidate: assignment reuses each worker's slice
+        // capacity across sweeps, so pooled workers never touch the shared
+        // plan AND stop re-allocating a full plan copy per candidate.
+        thread_local PipelinePlan candidate;
+        candidate = plan;
         std::fill(candidate.models[i].slices.begin(),
                   candidate.models[i].slices.end(), Slice{0, 0});
         candidate.models[i].slices[s] = Slice{0, n};

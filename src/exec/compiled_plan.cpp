@@ -197,6 +197,11 @@ CompiledPlan compile(const PipelinePlan& plan, const StaticEvaluator& eval) {
   cp.original_index.reserve(cp.num_models);
   cp.model_names.reserve(cp.num_models);
   cp.resident_bytes.reserve(cp.num_models);
+  std::size_t num_slices = 0;
+  for (const ModelPlan& mp : plan.models) {
+    for (const Slice& sl : mp.slices) num_slices += sl.empty() ? 0 : 1;
+  }
+  cp.slices.reserve(num_slices);
 
   for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
     const ModelPlan& mp = plan.models[slot];

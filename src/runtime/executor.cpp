@@ -62,8 +62,11 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
   // edges or falls back to the legacy chain rule (latest smaller seq of the
   // same model, first occurrence winning).  Either way each job ends up
   // with one pred list and an atomic remaining-count released to zero.
-  std::vector<std::vector<std::size_t>> preds(n);
-  std::vector<std::vector<std::size_t>> succ(n);
+  // Both edge sets are CSR-packed (two flat arrays instead of n per-job
+  // heap vectors); the successor fill iterates jobs in ascending order, so
+  // each job's successor run keeps the order the per-job vectors had.
+  std::vector<int> chain_pred(n, -1);
+  std::vector<std::size_t> pred_offsets(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
     if (jobs[i].explicit_deps) {
       for (const std::size_t d : jobs[i].deps) {
@@ -71,7 +74,7 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
           throw std::invalid_argument("run: job depends on unknown job");
         }
       }
-      preds[i] = jobs[i].deps;
+      pred_offsets[i + 1] = jobs[i].deps.size();
       continue;
     }
     int pred = -1;
@@ -83,12 +86,35 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
         pred = static_cast<int>(j);
       }
     }
-    if (pred >= 0) preds[i].push_back(static_cast<std::size_t>(pred));
+    chain_pred[i] = pred;
+    pred_offsets[i + 1] = pred >= 0 ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) pred_offsets[i + 1] += pred_offsets[i];
+  std::vector<std::size_t> pred_edges(pred_offsets[n]);
+  std::vector<std::size_t> succ_offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t w = pred_offsets[i];
+    if (jobs[i].explicit_deps) {
+      for (const std::size_t d : jobs[i].deps) pred_edges[w++] = d;
+    } else if (chain_pred[i] >= 0) {
+      pred_edges[w++] = static_cast<std::size_t>(chain_pred[i]);
+    }
+  }
+  for (const std::size_t p : pred_edges) ++succ_offsets[p + 1];
+  for (std::size_t i = 0; i < n; ++i) succ_offsets[i + 1] += succ_offsets[i];
+  std::vector<std::size_t> succ_edges(pred_edges.size());
+  {
+    std::vector<std::size_t> cursor(succ_offsets.begin(), succ_offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t e = pred_offsets[i]; e < pred_offsets[i + 1]; ++e) {
+        succ_edges[cursor[pred_edges[e]]++] = i;
+      }
+    }
   }
   const auto remaining = std::make_unique<std::atomic<std::size_t>[]>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    remaining[i].store(preds[i].size(), std::memory_order_relaxed);
-    for (const std::size_t p : preds[i]) succ[p].push_back(i);
+    remaining[i].store(pred_offsets[i + 1] - pred_offsets[i],
+                       std::memory_order_relaxed);
   }
 
   std::vector<std::unique_ptr<WorkStealingDeque<std::size_t>>> deques;
@@ -98,7 +124,9 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
     inboxes.push_back(std::make_unique<Inbox>());
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (preds[i].empty()) inboxes[jobs[i].home_proc % num_procs_]->post(i);
+    if (pred_offsets[i + 1] == pred_offsets[i]) {
+      inboxes[jobs[i].home_proc % num_procs_]->post(i);
+    }
   }
 
   std::atomic<std::size_t> completed{0};
@@ -155,7 +183,8 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
         c_steals.inc();
       }
 
-      for (std::size_t s : succ[i]) {
+      for (std::size_t e = succ_offsets[i]; e < succ_offsets[i + 1]; ++e) {
+        const std::size_t s = succ_edges[e];
         // Last-retiring predecessor releases the successor (join barrier).
         if (remaining[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           inboxes[jobs[s].home_proc % num_procs_]->post(s);

@@ -564,7 +564,7 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
 
   SimOptions sim_options;
   sim_options.faults = faults;
-  result.timeline = simulate(soc, std::move(all_tasks), sim_options);
+  result.timeline = simulate(soc, all_tasks, sim_options);
   // Latencies are reported per *request* (stream order), so invert the
   // slot -> request binding — it is a permutation within each window.
   for (std::size_t slot = 0; slot < next_slot; ++slot) {

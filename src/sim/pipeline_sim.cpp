@@ -13,34 +13,37 @@
 namespace h2p {
 namespace {
 
-struct Running {
-  std::size_t task_idx;
-  double remaining_solo_ms;
-  double start_ms;
-  double solo_ms;
+/// Thread-local lowering + scratch state: the compatibility wrappers and the
+/// makespan scoring entries route through one per-thread context, so pooled
+/// planning fan-out (tail sweeps, warm-start auditions, graph arbitration)
+/// runs allocation-free after each thread's first, largest evaluation.
+struct DesContext {
+  sim::TaskTable table;
+  sim::SimScratch scratch;
+  Timeline timeline;
 };
+
+DesContext& tls_ctx() {
+  thread_local DesContext ctx;
+  return ctx;
+}
 
 }  // namespace
 
-Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
-                  const SimOptions& options) {
-  Timeline timeline;
-  timeline.num_procs = soc.num_processors();
-  const std::size_t n = tasks.size();
-  for (const SimTask& t : tasks) {
-    if (t.proc_idx >= soc.num_processors()) {
+void simulate(const Soc& soc, const sim::TaskTable& table,
+              sim::SimScratch& scratch, Timeline& out,
+              const SimOptions& options) {
+  const std::size_t n = table.size();
+  const std::size_t P = soc.num_processors();
+  out.num_procs = P;
+  out.num_models = table.num_models;
+  out.tasks.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (table.proc_idx[i] >= P) {
       throw std::invalid_argument("simulate: task references unknown processor");
     }
-    if (t.explicit_deps) {
-      for (const std::size_t d : t.deps) {
-        if (d >= n) {
-          throw std::invalid_argument("simulate: dependency on unknown task");
-        }
-      }
-    }
-    timeline.num_models = std::max(timeline.num_models, t.model_idx + 1);
   }
-  if (n == 0) return timeline;
+  if (n == 0) return;
 
   static obs::Counter& c_tasks = obs::Registry::global().counter("des.tasks");
   static obs::Counter& c_migrations =
@@ -50,7 +53,6 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   des_span.arg("tasks", static_cast<double>(n));
 
   ContentionModel contention(soc);
-  const std::size_t P = soc.num_processors();
   const FaultScript* faults = options.faults;
   if (faults != nullptr && faults->empty()) faults = nullptr;
 
@@ -60,90 +62,27 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
   std::size_t fault_cursor = 0;
   if (faults != nullptr) fault_edges = faults->edges();
 
-  // Chain predecessor resolution: latest smaller seq_in_model per model.
-  // Bucketing by model then sorting each bucket replaces the O(n^2) scan;
-  // ties on seq_in_model resolve to the lowest task index, matching the
-  // original first-wins linear scan.  Tasks carrying explicit edges are
-  // excluded: their readiness is governed by `deps` alone.
-  std::vector<int> pred(n, -1);
-  {
-    std::vector<std::vector<std::size_t>> by_model(timeline.num_models);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!tasks[i].explicit_deps) by_model[tasks[i].model_idx].push_back(i);
-    }
-    for (std::vector<std::size_t>& bucket : by_model) {
-      std::sort(bucket.begin(), bucket.end(), [&](std::size_t a, std::size_t b) {
-        if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
-          return tasks[a].seq_in_model < tasks[b].seq_in_model;
-        }
-        return a < b;
-      });
-      // pred of every member = first task of the previous distinct-seq group.
-      std::size_t group_start = 0;
-      for (std::size_t q = 0; q < bucket.size(); ++q) {
-        if (tasks[bucket[q]].seq_in_model != tasks[bucket[group_start]].seq_in_model) {
-          group_start = q;
-        }
-        if (group_start > 0) {
-          // Find the first member of the group just before group_start.
-          std::size_t prev = group_start - 1;
-          while (prev > 0 && tasks[bucket[prev - 1]].seq_in_model ==
-                                 tasks[bucket[prev]].seq_in_model) {
-            --prev;
-          }
-          pred[bucket[q]] = static_cast<int>(bucket[prev]);
-        }
-      }
-    }
-  }
+  scratch.prepare(table, P);
+  out.tasks.resize(n);
 
-  std::vector<bool> done(n, false);
-  std::vector<bool> started(n, false);
-  std::vector<int> proc_running(P, -1);  // index into running
-  std::vector<Running> running;
-  running.reserve(P);
-  timeline.tasks.resize(n);
+  std::span<std::uint8_t> done = scratch.done;
+  std::span<std::uint8_t> started = scratch.started;
+  std::span<sim::SimScratch::Running> running = scratch.running;
+  std::size_t& running_size = scratch.running_size;
+  std::span<std::int32_t> proc_running = scratch.proc_running;
+  const std::size_t stride = scratch.queue_stride;
 
-  // Per-processor dispatch queues sorted by (model, seq, index): the first
-  // ready entry is exactly the min-(model, seq) task the original full scan
-  // selected.  `cursor` skips the done prefix.
-  std::vector<std::vector<std::size_t>> by_proc(P);
-  std::vector<std::size_t> proc_cursor(P, 0);
-  for (std::size_t i = 0; i < n; ++i) by_proc[tasks[i].proc_idx].push_back(i);
-  for (std::vector<std::size_t>& q : by_proc) {
-    std::sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
-      if (tasks[a].model_idx != tasks[b].model_idx) {
-        return tasks[a].model_idx < tasks[b].model_idx;
-      }
-      if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
-        return tasks[a].seq_in_model < tasks[b].seq_in_model;
-      }
-      return a < b;
-    });
-  }
-
-  // Strictly-future arrivals, sorted; `arrival_cursor` advances as `now`
-  // passes them.  Planner-produced task sets all arrive at t=0, so this is
-  // empty and the per-event arrival scans vanish.
-  std::vector<std::size_t> arrivals;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (tasks[i].arrival_ms > 0.0) arrivals.push_back(i);
-  }
-  std::sort(arrivals.begin(), arrivals.end(), [&](std::size_t a, std::size_t b) {
-    return tasks[a].arrival_ms < tasks[b].arrival_ms;
-  });
   std::size_t arrival_cursor = 0;
-
   double now = 0.0;
   std::size_t completed = 0;
   const double eps = 1e-9;
 
   // First pending strictly-future arrival, +inf when none.
   auto next_arrival_ms = [&]() -> double {
-    while (arrival_cursor < arrivals.size()) {
-      const std::size_t i = arrivals[arrival_cursor];
-      if (!started[i] && !done[i] && tasks[i].arrival_ms > now + eps) {
-        return tasks[i].arrival_ms;
+    while (arrival_cursor < table.arrival_order.size()) {
+      const std::size_t i = table.arrival_order[arrival_cursor];
+      if (!started[i] && !done[i] && table.arrival_ms[i] > now + eps) {
+        return table.arrival_ms[i];
       }
       ++arrival_cursor;
     }
@@ -163,39 +102,52 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
 
   auto task_ready = [&](std::size_t i) {
     if (started[i] || done[i]) return false;
-    if (tasks[i].arrival_ms > now + eps) return false;
-    if (tasks[i].explicit_deps) {
-      for (const std::size_t d : tasks[i].deps) {
+    if (table.arrival_ms[i] > now + eps) return false;
+    if (table.explicit_deps[i]) {
+      for (const std::uint32_t d : table.deps_of(i)) {
         if (!done[d]) return false;  // a join waits on every branch tail
       }
       return true;
     }
-    if (pred[i] >= 0 && !done[static_cast<std::size_t>(pred[i])]) return false;
+    const std::int32_t p = table.pred[i];
+    if (p >= 0 && !done[static_cast<std::size_t>(p)]) return false;
     return true;
+  };
+
+  auto queue_cmp = [&](std::uint32_t a, std::uint32_t b) {
+    if (table.model_idx[a] != table.model_idx[b]) {
+      return table.model_idx[a] < table.model_idx[b];
+    }
+    if (table.seq_in_model[a] != table.seq_in_model[b]) {
+      return table.seq_in_model[a] < table.seq_in_model[b];
+    }
+    return a < b;
   };
 
   // Permanent-drop-out handling: once a processor's drop-out is known to be
   // permanent, every pending task assigned to it (queued or running; a
   // running one loses its progress) migrates to its cheapest legal fallback
-  // per SimTask::alt, keeping its (model, seq) chain position.  Determinism:
-  // procs are swept in index order and targets break ties on the lowest
-  // index, so replays are bit-identical.
-  std::vector<bool> proc_dead(P, false);
+  // per the table's flattened alt costs, keeping its (model, seq) chain
+  // position.  Determinism: procs are swept in index order and targets break
+  // ties on the lowest index, so replays are bit-identical.  Migration
+  // mutates only the scratch copies — the table stays read-only.
   auto migrate_task = [&](std::size_t i) {
-    const SimTask& t = tasks[i];
     std::size_t best = P;
     double best_solo = std::numeric_limits<double>::infinity();
-    for (std::size_t q = 0; q < t.alt.size() && q < P; ++q) {
-      if (q == t.proc_idx || proc_dead[q]) continue;
+    for (std::size_t q = 0; q < table.alt_procs && q < P; ++q) {
+      if (q == scratch.proc[i] || scratch.proc_dead[q]) continue;
       if (faults->permanently_down(q, now)) continue;
-      if (!(t.alt[q].solo_ms < best_solo)) continue;
+      const double alt_solo = table.alt_solo_ms[i * table.alt_procs + q];
+      if (!(alt_solo < best_solo)) continue;
       best = q;
-      best_solo = t.alt[q].solo_ms;
+      best_solo = alt_solo;
     }
     if (best >= P) {
       obs::Log::global().error(
           "des.task_stranded",
-          {{"task", i}, {"proc", t.proc_idx}, {"t_ms", now}});
+          {{"task", i},
+           {"proc", static_cast<std::size_t>(scratch.proc[i])},
+           {"t_ms", now}});
       throw std::runtime_error(
           "simulate: task stranded on a permanently dropped processor with "
           "no usable fallback (SimTask::alt)");
@@ -203,33 +155,28 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     c_migrations.inc();
     obs::Tracer::global().instant(
         "des.migrate", {{"task", static_cast<double>(i)},
-                        {"from", static_cast<double>(t.proc_idx)},
+                        {"from", static_cast<double>(scratch.proc[i])},
                         {"to", static_cast<double>(best)}});
-    tasks[i].proc_idx = best;
-    tasks[i].solo_ms = t.alt[best].solo_ms;
-    tasks[i].sensitivity = t.alt[best].sensitivity;
-    tasks[i].intensity = t.alt[best].intensity;
-    started[i] = false;
-    std::vector<std::size_t>& q = by_proc[best];
-    const auto pos = std::lower_bound(
-        q.begin(), q.end(), i, [&](std::size_t a, std::size_t b) {
-          if (tasks[a].model_idx != tasks[b].model_idx) {
-            return tasks[a].model_idx < tasks[b].model_idx;
-          }
-          if (tasks[a].seq_in_model != tasks[b].seq_in_model) {
-            return tasks[a].seq_in_model < tasks[b].seq_in_model;
-          }
-          return a < b;
-        });
-    const auto idx = static_cast<std::size_t>(pos - q.begin());
-    q.insert(pos, i);
-    proc_cursor[best] = std::min(proc_cursor[best], idx);
+    scratch.proc[i] = static_cast<std::uint32_t>(best);
+    scratch.solo[i] = table.alt_solo_ms[i * table.alt_procs + best];
+    scratch.sens[i] = table.alt_sensitivity[i * table.alt_procs + best];
+    scratch.intens[i] = table.alt_intensity[i * table.alt_procs + best];
+    started[i] = 0;
+    std::uint32_t* qd = scratch.queue_data.data() + best * stride;
+    const std::uint32_t sz = scratch.queue_size[best];
+    std::uint32_t* pos =
+        std::lower_bound(qd, qd + sz, static_cast<std::uint32_t>(i), queue_cmp);
+    const auto idx = static_cast<std::uint32_t>(pos - qd);
+    std::move_backward(pos, qd + sz, qd + sz + 1);
+    *pos = static_cast<std::uint32_t>(i);
+    scratch.queue_size[best] = sz + 1;
+    scratch.queue_cursor[best] = std::min(scratch.queue_cursor[best], idx);
   };
   auto sweep_permanent_faults = [&] {
     if (faults == nullptr) return;
     for (std::size_t p = 0; p < P; ++p) {
-      if (proc_dead[p] || !faults->permanently_down(p, now)) continue;
-      proc_dead[p] = true;
+      if (scratch.proc_dead[p] || !faults->permanently_down(p, now)) continue;
+      scratch.proc_dead[p] = 1;
       obs::Log::global().warn("des.proc_permanently_down",
                               {{"proc", p}, {"t_ms", now}});
       obs::Tracer::global().instant("des.proc_permanently_down",
@@ -237,21 +184,28 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
       // Abort the running task first so it migrates like the queued ones.
       if (proc_running[p] >= 0) {
         const auto ri = static_cast<std::size_t>(proc_running[p]);
-        started[running[ri].task_idx] = false;
-        running.erase(running.begin() + static_cast<std::ptrdiff_t>(ri));
+        started[running[ri].task_idx] = 0;
+        for (std::size_t rj = ri; rj + 1 < running_size; ++rj) {
+          running[rj] = running[rj + 1];
+        }
+        --running_size;
         std::fill(proc_running.begin(), proc_running.end(), -1);
-        for (std::size_t rj = 0; rj < running.size(); ++rj) {
-          proc_running[tasks[running[rj].task_idx].proc_idx] =
-              static_cast<int>(rj);
+        for (std::size_t rj = 0; rj < running_size; ++rj) {
+          proc_running[scratch.proc[running[rj].task_idx]] =
+              static_cast<std::int32_t>(rj);
         }
       }
-      std::vector<std::size_t> pending;
-      for (std::size_t pos = proc_cursor[p]; pos < by_proc[p].size(); ++pos) {
-        if (!done[by_proc[p][pos]]) pending.push_back(by_proc[p][pos]);
+      std::size_t pending_n = 0;
+      const std::uint32_t* qd = scratch.queue_data.data() + p * stride;
+      for (std::uint32_t pos = scratch.queue_cursor[p];
+           pos < scratch.queue_size[p]; ++pos) {
+        if (!done[qd[pos]]) scratch.pending[pending_n++] = qd[pos];
       }
-      by_proc[p].clear();
-      proc_cursor[p] = 0;
-      for (const std::size_t i : pending) migrate_task(i);
+      scratch.queue_size[p] = 0;
+      scratch.queue_cursor[p] = 0;
+      for (std::size_t k = 0; k < pending_n; ++k) {
+        migrate_task(scratch.pending[k]);
+      }
     }
   };
 
@@ -259,46 +213,46 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     for (std::size_t p = 0; p < P; ++p) {
       if (proc_running[p] >= 0) continue;
       if (faults != nullptr && !faults->available(p, now)) continue;
-      const std::vector<std::size_t>& q = by_proc[p];
-      std::size_t& cur = proc_cursor[p];
-      while (cur < q.size() && done[q[cur]]) ++cur;
-      int best = -1;
-      for (std::size_t pos = cur; pos < q.size(); ++pos) {
-        if (task_ready(q[pos])) {
-          best = static_cast<int>(q[pos]);
+      const std::uint32_t* qd = scratch.queue_data.data() + p * stride;
+      std::uint32_t& cur = scratch.queue_cursor[p];
+      while (cur < scratch.queue_size[p] && done[qd[cur]]) ++cur;
+      std::int64_t best = -1;
+      for (std::uint32_t pos = cur; pos < scratch.queue_size[p]; ++pos) {
+        if (task_ready(qd[pos])) {
+          best = qd[pos];
           break;  // sorted: first ready is min (model, seq)
         }
       }
       if (best >= 0) {
         const auto bi = static_cast<std::size_t>(best);
-        started[bi] = true;
-        proc_running[p] = static_cast<int>(running.size());
-        running.push_back(Running{bi, std::max(tasks[bi].solo_ms, 0.0), now,
-                                  tasks[bi].solo_ms});
+        started[bi] = 1;
+        proc_running[p] = static_cast<std::int32_t>(running_size);
+        running[running_size++] = sim::SimScratch::Running{
+            bi, std::max(scratch.solo[bi], 0.0), now, scratch.solo[bi]};
       }
     }
   };
 
   // Per-event rates, computed once and reused for both the dt search and
-  // the advance (the original recomputed the identical value twice per
-  // running task, allocating an aggressor list each time).
-  std::vector<double> rates;
-  rates.reserve(P);
-  std::vector<Aggressor> others;
-  others.reserve(P);
+  // the advance.  `rates`/`others` are arena spans of capacity P — the
+  // aggressor list is rebuilt per running task into the same buffer, no
+  // allocation per event.
+  std::span<double> rates = scratch.rates;
+  std::span<Aggressor> others = scratch.others;
   auto compute_rates = [&] {
-    rates.assign(running.size(), 1.0);
+    for (std::size_t ri = 0; ri < running_size; ++ri) rates[ri] = 1.0;
     if (options.contention) {
-      for (std::size_t ri = 0; ri < running.size(); ++ri) {
-        const Running& r = running[ri];
-        others.clear();
-        for (const Running& o : running) {
-          if (o.task_idx == r.task_idx) continue;
-          others.push_back(
-              Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
+      for (std::size_t ri = 0; ri < running_size; ++ri) {
+        const sim::SimScratch::Running& r = running[ri];
+        std::size_t others_n = 0;
+        for (std::size_t rj = 0; rj < running_size; ++rj) {
+          const std::size_t o = running[rj].task_idx;
+          if (o == r.task_idx) continue;
+          others[others_n++] = Aggressor{scratch.proc[o], scratch.intens[o]};
         }
         const double factor = contention.slowdown(
-            tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
+            scratch.proc[r.task_idx], scratch.sens[r.task_idx],
+            std::span<const Aggressor>(others.data(), others_n));
         rates[ri] = 1.0 / factor;
       }
     }
@@ -306,8 +260,8 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
       // Fault state is constant over [now, now + dt): dt never crosses an
       // edge.  A transiently dropped processor freezes its running task
       // (rate 0, driver queue preserved); a slowed one derates it.
-      for (std::size_t ri = 0; ri < running.size(); ++ri) {
-        const std::size_t p = tasks[running[ri].task_idx].proc_idx;
+      for (std::size_t ri = 0; ri < running_size; ++ri) {
+        const std::size_t p = scratch.proc[running[ri].task_idx];
         if (!faults->available(p, now)) {
           rates[ri] = 0.0;
         } else {
@@ -326,7 +280,7 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     sweep_permanent_faults();
     start_eligible();
 
-    if (running.empty()) {
+    if (running_size == 0) {
       // Nothing runnable: jump to the next strictly-future arrival or fault
       // edge (a recovery can unblock a queue no arrival would).  Tasks that
       // have already arrived but are chain-blocked don't count — if only
@@ -343,7 +297,7 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     // current rates (frozen tasks never finish within the step).
     compute_rates();
     double dt = std::numeric_limits<double>::infinity();
-    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+    for (std::size_t ri = 0; ri < running_size; ++ri) {
       if (rates[ri] <= 0.0) continue;
       dt = std::min(dt, running[ri].remaining_solo_ms / std::max(rates[ri], 1e-9));
     }
@@ -354,14 +308,14 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     if (!std::isfinite(dt)) {
       obs::Log::global().error("des.frozen_forever",
                                {{"t_ms", now},
-                                {"running", running.size()}});
+                                {"running", running_size}});
       throw std::runtime_error(
           "simulate: every running task is frozen forever (permanent "
           "drop-out without migration?)");
     }
     dt = std::max(dt, 0.0);
 
-    for (std::size_t ri = 0; ri < running.size(); ++ri) {
+    for (std::size_t ri = 0; ri < running_size; ++ri) {
       running[ri].remaining_solo_ms -= rates[ri] * dt;
     }
     now += dt;
@@ -370,32 +324,58 @@ Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
     // aggressor enumeration order next event matches the rebuild-based
     // original exactly).
     std::size_t w = 0;
-    for (std::size_t ri = 0; ri < running.size(); ++ri) {
-      const Running& r = running[ri];
+    for (std::size_t ri = 0; ri < running_size; ++ri) {
+      const sim::SimScratch::Running& r = running[ri];
       if (r.remaining_solo_ms <= eps) {
         const std::size_t i = r.task_idx;
-        done[i] = true;
+        done[i] = 1;
         ++completed;
         TaskRecord rec;
-        rec.model_idx = tasks[i].model_idx;
-        rec.seq_in_model = tasks[i].seq_in_model;
-        rec.proc_idx = tasks[i].proc_idx;
+        rec.model_idx = table.model_idx[i];
+        rec.seq_in_model = table.seq_in_model[i];
+        rec.proc_idx = scratch.proc[i];
         rec.start_ms = r.start_ms;
         rec.end_ms = now;
         rec.solo_ms = r.solo_ms;
-        timeline.tasks[i] = rec;
+        out.tasks[i] = rec;
       } else {
         running[w++] = r;
       }
     }
-    running.resize(w);
+    running_size = w;
     std::fill(proc_running.begin(), proc_running.end(), -1);
-    for (std::size_t ri = 0; ri < running.size(); ++ri) {
-      proc_running[tasks[running[ri].task_idx].proc_idx] = static_cast<int>(ri);
+    for (std::size_t ri = 0; ri < running_size; ++ri) {
+      proc_running[scratch.proc[running[ri].task_idx]] =
+          static_cast<std::int32_t>(ri);
     }
   }
+}
 
-  return timeline;
+Timeline simulate(const Soc& soc, std::span<const SimTask> tasks,
+                  const SimOptions& options) {
+  DesContext& ctx = tls_ctx();
+  ctx.table.build_from_tasks(tasks, soc.num_processors());
+  Timeline out;
+  simulate(soc, ctx.table, ctx.scratch, out, options);
+  return out;
+}
+
+double simulate_plan_makespan(const PipelinePlan& plan,
+                              const StaticEvaluator& eval,
+                              const SimOptions& options) {
+  DesContext& ctx = tls_ctx();
+  ctx.table.build_from_plan(plan, eval);
+  simulate(eval.soc(), ctx.table, ctx.scratch, ctx.timeline, options);
+  return ctx.timeline.makespan_ms();
+}
+
+double simulate_compiled_makespan(const exec::CompiledPlan& compiled,
+                                  const Soc& soc,
+                                  const SimOptions& options) {
+  DesContext& ctx = tls_ctx();
+  ctx.table.build_from_compiled(compiled, soc.num_processors());
+  simulate(soc, ctx.table, ctx.scratch, ctx.timeline, options);
+  return ctx.timeline.makespan_ms();
 }
 
 std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled) {
@@ -416,6 +396,7 @@ std::vector<SimTask> tasks_from_compiled(const exec::CompiledPlan& compiled) {
     // Slice deps are already global slice indices, and slices map 1:1 onto
     // tasks — carry the edges over verbatim.
     t.explicit_deps = true;
+    t.deps.reserve(s.deps.size());
     t.deps = s.deps;
     if (with_alt) {
       t.alt.resize(fp);

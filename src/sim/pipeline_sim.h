@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "contention/contention_model.h"
@@ -8,6 +9,7 @@
 #include "core/plan.h"
 #include "exec/compiled_plan.h"
 #include "sim/fault_injector.h"
+#include "sim/task_table.h"
 #include "sim/trace.h"
 #include "soc/soc.h"
 
@@ -62,7 +64,7 @@ struct SimOptions {
   const FaultScript* faults = nullptr;
 };
 
-/// Rate-based discrete-event simulator.
+/// Rate-based discrete-event simulator — SoA core.
 ///
 /// A running task progresses at rate 1/slowdown, where the slowdown is the
 /// ContentionModel factor given the set of tasks currently running on other
@@ -75,8 +77,37 @@ struct SimOptions {
 /// done — the chain predecessor, or every explicit dep — and arrival
 /// passed), the lowest (model_idx, seq_in_model) — i.e., pipeline FIFO
 /// order.
-Timeline simulate(const Soc& soc, std::vector<SimTask> tasks,
+///
+/// The table is read-only (migration mutates scratch copies), so one table
+/// can be evaluated many times — or concurrently from several threads, each
+/// with its own scratch.  `out` is overwritten, reusing its capacity; with a
+/// warmed-up scratch the call performs no heap allocation.  Timelines are
+/// bit-identical to the legacy AoS simulator's (asserted in tests against
+/// the frozen reference in sim/pipeline_sim_reference.h).
+void simulate(const Soc& soc, const sim::TaskTable& table,
+              sim::SimScratch& scratch, Timeline& out,
+              const SimOptions& options = {});
+
+/// Compatibility entry: AoS task list by const reference (the historical
+/// by-value signature copied every per-task heap vector on each call).
+/// Builds a thread-local TaskTable/SimScratch and runs the SoA core.
+Timeline simulate(const Soc& soc, std::span<const SimTask> tasks,
                   const SimOptions& options = {});
+
+/// DES makespan of a pipeline plan, lowered straight into a thread-local
+/// TaskTable (no exec::compile, no AoS task vector) and simulated with a
+/// thread-local scratch + timeline — the allocation-free scoring entry the
+/// planner's tail sweeps, warm-start auditions and alignment arbitration
+/// use.  Value is bit-identical to simulate_plan(...).makespan_ms().
+double simulate_plan_makespan(const PipelinePlan& plan,
+                              const StaticEvaluator& eval,
+                              const SimOptions& options = {});
+
+/// DES makespan of a compiled plan via the same thread-local reuse path —
+/// the graph planner's arbitration scorer.
+double simulate_compiled_makespan(const exec::CompiledPlan& compiled,
+                                  const Soc& soc,
+                                  const SimOptions& options = {});
 
 /// Map a compiled plan's slices 1:1 onto simulator tasks (arrivals zeroed;
 /// set them afterwards for streaming workloads).

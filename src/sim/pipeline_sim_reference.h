@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/pipeline_sim.h"
+#include "sim/trace.h"
+#include "soc/soc.h"
+
+namespace h2p::sim {
+
+/// The pre-SoA AoS simulator, frozen verbatim (observability hooks stripped).
+///
+/// This is NOT a production entry point: it exists so tests can assert the
+/// SoA TaskTable/SimScratch core produces bit-identical timelines to the
+/// implementation every prior PR validated against the paper's semantics.
+/// Do not extend it — new simulator behaviour goes in simulate() and must
+/// keep the identity (or retire this reference together with its tests).
+Timeline simulate_reference(const Soc& soc, std::vector<SimTask> tasks,
+                            const SimOptions& options = {});
+
+}  // namespace h2p::sim

@@ -49,7 +49,7 @@ QueueStats pipelined_queueing(const StaticEvaluator& eval,
     }
   }
 
-  const Timeline timeline = simulate(eval.soc(), std::move(tasks), {});
+  const Timeline timeline = simulate(eval.soc(), tasks, {});
   stats.completion_ms.resize(m, 0.0);
   stats.queueing_ms.resize(m, 0.0);
   for (std::size_t slot = 0; slot < compiled.num_models; ++slot) {

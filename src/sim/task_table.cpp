@@ -1,0 +1,353 @@
+#include "sim/task_table.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/bubbles.h"
+#include "core/plan.h"
+#include "exec/compiled_plan.h"
+#include "sim/pipeline_sim.h"
+#include "soc/cost_model.h"
+
+namespace h2p::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void TaskTable::clear() {
+  model_idx.clear();
+  seq_in_model.clear();
+  proc_idx.clear();
+  solo_ms.clear();
+  sensitivity.clear();
+  intensity.clear();
+  arrival_ms.clear();
+  dram_bytes.clear();
+  explicit_deps.clear();
+  dep_offsets.clear();
+  dep_edges.clear();
+  alt_procs = 0;
+  alt_solo_ms.clear();
+  alt_sensitivity.clear();
+  alt_intensity.clear();
+  num_models = 0;
+  num_procs = 0;
+  pred.clear();
+  proc_offsets.clear();
+  proc_order.clear();
+  arrival_order.clear();
+}
+
+void TaskTable::finalize(std::size_t min_procs) {
+  const std::size_t n = size();
+  dep_offsets.resize(n + 1);  // builders fill; guard the empty-table case
+  if (n == 0 && dep_offsets[0] != 0) dep_offsets[0] = 0;
+
+  num_models = 0;
+  num_procs = min_procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    num_models = std::max<std::size_t>(num_models, model_idx[i] + 1);
+    num_procs = std::max<std::size_t>(num_procs, proc_idx[i] + 1);
+  }
+
+  // Validate explicit edges here so every entry path throws the same error
+  // the AoS simulator did.
+  for (const std::uint32_t d : dep_edges) {
+    if (d >= n) {
+      throw std::invalid_argument("simulate: dependency on unknown task");
+    }
+  }
+
+  // Chain predecessor resolution: latest smaller seq_in_model per model,
+  // ties on seq resolving to the lowest task index — the exact bucketed
+  // logic the AoS simulator used, run once per table instead of per run.
+  pred.assign(n, -1);
+  arrival_order.clear();
+  std::vector<std::uint32_t>& order = proc_order;  // reused below
+  order.clear();
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!explicit_deps[i]) order.push_back(static_cast<std::uint32_t>(i));
+    if (arrival_ms[i] > 0.0) {
+      arrival_order.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (model_idx[a] != model_idx[b]) return model_idx[a] < model_idx[b];
+    if (seq_in_model[a] != seq_in_model[b]) {
+      return seq_in_model[a] < seq_in_model[b];
+    }
+    return a < b;
+  });
+  for (std::size_t lo = 0; lo < order.size();) {
+    std::size_t hi = lo;
+    while (hi < order.size() && model_idx[order[hi]] == model_idx[order[lo]]) {
+      ++hi;
+    }
+    // pred of every member = first task of the previous distinct-seq group.
+    std::size_t group_start = lo;
+    for (std::size_t q = lo; q < hi; ++q) {
+      if (seq_in_model[order[q]] != seq_in_model[order[group_start]]) {
+        group_start = q;
+      }
+      if (group_start > lo) {
+        std::size_t prev = group_start - 1;
+        while (prev > lo &&
+               seq_in_model[order[prev - 1]] == seq_in_model[order[prev]]) {
+          --prev;
+        }
+        pred[order[q]] = static_cast<std::int32_t>(order[prev]);
+      }
+    }
+    lo = hi;
+  }
+
+  // Strictly-positive arrivals in ascending order (index tie-break: the
+  // returned next-arrival *time* is what the simulator consumes, so any
+  // deterministic order among equal arrivals is equivalent).
+  std::sort(arrival_order.begin(), arrival_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (arrival_ms[a] != arrival_ms[b]) {
+                return arrival_ms[a] < arrival_ms[b];
+              }
+              return a < b;
+            });
+
+  // Per-processor dispatch queues, (model, seq, index)-sorted: one global
+  // sort keyed on the processor first yields every per-proc queue in the
+  // same order the per-queue sorts produced.
+  order.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (proc_idx[a] != proc_idx[b]) return proc_idx[a] < proc_idx[b];
+    if (model_idx[a] != model_idx[b]) return model_idx[a] < model_idx[b];
+    if (seq_in_model[a] != seq_in_model[b]) {
+      return seq_in_model[a] < seq_in_model[b];
+    }
+    return a < b;
+  });
+  proc_offsets.assign(num_procs + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++proc_offsets[proc_idx[i] + 1];
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    proc_offsets[p + 1] += proc_offsets[p];
+  }
+}
+
+void TaskTable::build_from_tasks(std::span<const SimTask> tasks,
+                                 std::size_t min_procs) {
+  const std::size_t n = tasks.size();
+  clear();
+  model_idx.resize(n);
+  seq_in_model.resize(n);
+  proc_idx.resize(n);
+  solo_ms.resize(n);
+  sensitivity.resize(n);
+  intensity.resize(n);
+  arrival_ms.resize(n);
+  dram_bytes.assign(n, 0.0);
+  explicit_deps.resize(n);
+  dep_offsets.resize(n + 1);
+
+  std::size_t num_edges = 0;
+  std::size_t max_alt = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTask& t = tasks[i];
+    model_idx[i] = static_cast<std::uint32_t>(t.model_idx);
+    seq_in_model[i] = static_cast<std::uint32_t>(t.seq_in_model);
+    proc_idx[i] = static_cast<std::uint32_t>(t.proc_idx);
+    solo_ms[i] = t.solo_ms;
+    sensitivity[i] = t.sensitivity;
+    intensity[i] = t.intensity;
+    arrival_ms[i] = t.arrival_ms;
+    explicit_deps[i] = t.explicit_deps ? 1 : 0;
+    dep_offsets[i] = static_cast<std::uint32_t>(num_edges);
+    if (t.explicit_deps) num_edges += t.deps.size();
+    max_alt = std::max(max_alt, t.alt.size());
+  }
+  dep_offsets[n] = static_cast<std::uint32_t>(num_edges);
+  dep_edges.resize(num_edges);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!tasks[i].explicit_deps) continue;
+    for (const std::size_t d : tasks[i].deps) {
+      dep_edges[w++] = static_cast<std::uint32_t>(d);
+    }
+  }
+
+  if (max_alt > 0) {
+    // Per-task alt lists may have ragged lengths; pad with +inf solo (an
+    // illegal migration target, exactly what the AoS bound check skipped).
+    alt_procs = max_alt;
+    alt_solo_ms.assign(n * max_alt, kInf);
+    alt_sensitivity.assign(n * max_alt, 0.0);
+    alt_intensity.assign(n * max_alt, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t q = 0; q < tasks[i].alt.size(); ++q) {
+        alt_solo_ms[i * max_alt + q] = tasks[i].alt[q].solo_ms;
+        alt_sensitivity[i * max_alt + q] = tasks[i].alt[q].sensitivity;
+        alt_intensity[i * max_alt + q] = tasks[i].alt[q].intensity;
+      }
+    }
+  }
+  finalize(min_procs);
+}
+
+void TaskTable::build_from_compiled(const exec::CompiledPlan& compiled,
+                                    std::size_t min_procs) {
+  const std::size_t n = compiled.slices.size();
+  clear();
+  model_idx.resize(n);
+  seq_in_model.resize(n);
+  proc_idx.resize(n);
+  solo_ms.resize(n);
+  sensitivity.resize(n);
+  intensity.resize(n);
+  arrival_ms.assign(n, 0.0);
+  dram_bytes.resize(n);
+  explicit_deps.assign(n, 1);
+  dep_offsets.resize(n + 1);
+
+  std::size_t num_edges = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const exec::ScheduledSlice& s = compiled.slices[k];
+    model_idx[k] = static_cast<std::uint32_t>(s.model_idx);
+    seq_in_model[k] = static_cast<std::uint32_t>(s.seq_in_model);
+    proc_idx[k] = static_cast<std::uint32_t>(s.proc_idx);
+    solo_ms[k] = s.solo_ms();
+    sensitivity[k] = s.sensitivity;
+    intensity[k] = s.intensity;
+    dram_bytes[k] = s.dram_bytes;
+    dep_offsets[k] = static_cast<std::uint32_t>(num_edges);
+    num_edges += s.deps.size();
+  }
+  dep_offsets[n] = static_cast<std::uint32_t>(num_edges);
+  dep_edges.resize(num_edges);
+  std::size_t w = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (const std::size_t d : compiled.slices[k].deps) {
+      dep_edges[w++] = static_cast<std::uint32_t>(d);
+    }
+  }
+
+  const std::size_t fp = compiled.fallback_procs;
+  if (fp > 0 && compiled.fallback.size() == n * fp) {
+    alt_procs = fp;
+    alt_solo_ms.resize(n * fp);
+    alt_sensitivity.resize(n * fp);
+    alt_intensity.resize(n * fp);
+    for (std::size_t e = 0; e < n * fp; ++e) {
+      alt_solo_ms[e] = compiled.fallback[e].solo_ms;
+      alt_sensitivity[e] = compiled.fallback[e].sensitivity;
+      alt_intensity[e] = compiled.fallback[e].intensity;
+    }
+  }
+  finalize(min_procs);
+}
+
+void TaskTable::build_from_plan(const PipelinePlan& plan,
+                                const StaticEvaluator& eval) {
+  clear();
+  const std::size_t P = eval.soc().num_processors();
+  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
+    const ModelPlan& mp = plan.models[slot];
+    if (mp.model_index >= eval.num_models()) {
+      throw std::invalid_argument(
+          "compile: plan references model index beyond the evaluator's model "
+          "list (plan and model list disagree?)");
+    }
+    const CostTable& t = eval.table(mp.model_index);
+    const std::size_t num_layers = eval.model(mp.model_index).num_layers();
+    std::uint32_t seq = 0;
+    std::int64_t prev = -1;
+    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
+      const Slice& sl = mp.slices[k];
+      if (sl.empty()) continue;
+      if (k >= P) {
+        throw std::invalid_argument("lower_range: processor index out of range");
+      }
+      if (sl.end > num_layers) {
+        throw std::invalid_argument("lower_range: layer range exceeds model");
+      }
+      // Same cost-table reads, in the same order, as exec::lower_range —
+      // solo is exec + inbound copy, so every double matches the two-step
+      // compile + tasks_from_compiled lowering exactly.
+      const double exec = t.exec_ms(k, sl.begin, sl.end - 1);
+      const double copy = sl.begin > 0 ? t.boundary_copy_ms(k, sl.begin) : 0.0;
+      model_idx.push_back(static_cast<std::uint32_t>(slot));
+      seq_in_model.push_back(seq++);
+      proc_idx.push_back(static_cast<std::uint32_t>(k));
+      solo_ms.push_back(exec + copy);
+      sensitivity.push_back(t.mem_sensitivity(k, sl.begin, sl.end - 1));
+      intensity.push_back(t.intensity(k, sl.begin, sl.end - 1));
+      dram_bytes.push_back(t.dram_bytes(k, sl.begin, sl.end - 1));
+      arrival_ms.push_back(0.0);
+      explicit_deps.push_back(1);
+      dep_offsets.push_back(static_cast<std::uint32_t>(dep_edges.size()));
+      if (prev >= 0) dep_edges.push_back(static_cast<std::uint32_t>(prev));
+      prev = static_cast<std::int64_t>(model_idx.size()) - 1;
+    }
+  }
+  dep_offsets.push_back(static_cast<std::uint32_t>(dep_edges.size()));
+  finalize(P);
+}
+
+void SimScratch::prepare(const TaskTable& table, std::size_t P) {
+  const std::size_t n = table.size();
+  arena_.reset();
+  // One reservation covers the whole carve (plus per-span alignment slack),
+  // so spans never move mid-prepare and steady-state cycles reuse the block.
+  const std::size_t bytes =
+      n * (sizeof(std::uint32_t) + 3 * sizeof(double) + 2 * sizeof(std::uint8_t) +
+           sizeof(std::uint32_t)) +
+      P * n * sizeof(std::uint32_t) +
+      P * (3 * sizeof(std::uint32_t) + sizeof(Running) + sizeof(std::int32_t) +
+           sizeof(double) + sizeof(Aggressor) + sizeof(std::uint8_t)) +
+      16 * 16;
+  arena_.reserve(bytes);
+
+  solo = arena_.make_span<double>(n);
+  sens = arena_.make_span<double>(n);
+  intens = arena_.make_span<double>(n);
+  rates = arena_.make_span<double>(P);
+  running = arena_.make_span<Running>(P);
+  others = arena_.make_span<Aggressor>(P);
+  proc = arena_.make_span<std::uint32_t>(n);
+  queue_data = arena_.make_span<std::uint32_t>(P * n);
+  queue_size = arena_.make_span<std::uint32_t>(P);
+  queue_cursor = arena_.make_span<std::uint32_t>(P);
+  pending = arena_.make_span<std::uint32_t>(n);
+  proc_running = arena_.make_span<std::int32_t>(P);
+  done = arena_.make_span<std::uint8_t>(n);
+  started = arena_.make_span<std::uint8_t>(n);
+  proc_dead = arena_.make_span<std::uint8_t>(P);
+
+  std::copy(table.proc_idx.begin(), table.proc_idx.end(), proc.begin());
+  std::copy(table.solo_ms.begin(), table.solo_ms.end(), solo.begin());
+  std::copy(table.sensitivity.begin(), table.sensitivity.end(), sens.begin());
+  std::copy(table.intensity.begin(), table.intensity.end(), intens.begin());
+  std::fill(done.begin(), done.end(), std::uint8_t{0});
+  std::fill(started.begin(), started.end(), std::uint8_t{0});
+  std::fill(proc_dead.begin(), proc_dead.end(), std::uint8_t{0});
+  std::fill(proc_running.begin(), proc_running.end(), std::int32_t{-1});
+  std::fill(queue_cursor.begin(), queue_cursor.end(), std::uint32_t{0});
+
+  queue_stride = n;
+  running_size = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    if (p < table.num_procs) {
+      const std::uint32_t lo = table.proc_offsets[p];
+      const std::uint32_t hi = table.proc_offsets[p + 1];
+      queue_size[p] = hi - lo;
+      std::copy(table.proc_order.begin() + lo, table.proc_order.begin() + hi,
+                queue_data.begin() + static_cast<std::ptrdiff_t>(p * n));
+    } else {
+      queue_size[p] = 0;
+    }
+  }
+}
+
+}  // namespace h2p::sim

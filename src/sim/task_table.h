@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "contention/contention_model.h"
+#include "util/arena.h"
+
+namespace h2p {
+
+struct SimTask;
+struct PipelinePlan;
+class StaticEvaluator;
+
+namespace exec {
+struct CompiledPlan;
+}
+
+namespace sim {
+
+/// Structure-of-arrays task set for the discrete-event simulator.
+///
+/// The DES used to take a `std::vector<SimTask>` by value: an AoS copy
+/// whose per-task `deps`/`alt` vectors are separate heap blocks, rebuilt on
+/// every evaluation — and the tail sweep, warm-start auditions and graph
+/// arbitration call the DES thousands of times per planning window.  A
+/// TaskTable is the same task set laid out as contiguous columns plus
+/// CSR-packed edge lists, built **once per candidate set** with every
+/// derived structure the simulator needs precomputed:
+///
+///  - `pred`: the legacy chain predecessor per task (bucketed resolution,
+///    identical tie-breaking to the AoS path);
+///  - `proc_order`/`proc_offsets`: per-processor dispatch queues pre-sorted
+///    by (model, seq, index);
+///  - `arrival_order`: strictly-future arrivals in ascending order.
+///
+/// The `build_from_*` members reuse the columns' capacity, so a thread-local
+/// table re-lowered every candidate allocates nothing after warm-up.
+/// Columns are immutable during simulation — migration under faults mutates
+/// the *scratch* copies, never the table — so one table can back many
+/// concurrent simulations.
+class TaskTable {
+ public:
+  // ---- columns (all size() long) -------------------------------------------
+  std::vector<std::uint32_t> model_idx;
+  std::vector<std::uint32_t> seq_in_model;
+  std::vector<std::uint32_t> proc_idx;
+  std::vector<double> solo_ms;
+  std::vector<double> sensitivity;
+  std::vector<double> intensity;
+  std::vector<double> arrival_ms;
+  std::vector<double> dram_bytes;          // informational (memory accounting)
+  std::vector<std::uint8_t> explicit_deps;
+
+  // ---- CSR dependency edges ------------------------------------------------
+  std::vector<std::uint32_t> dep_offsets;  // size()+1; deps of task i are
+  std::vector<std::uint32_t> dep_edges;    //   dep_edges[dep_offsets[i] .. i+1)
+
+  // ---- flattened fallback costs (SimTask::alt); empty unless attached ------
+  std::size_t alt_procs = 0;               // stride; 0 = no fallback table
+  std::vector<double> alt_solo_ms;         // [task * alt_procs + q]
+  std::vector<double> alt_sensitivity;
+  std::vector<double> alt_intensity;
+
+  // ---- derived, computed by the build_* members ----------------------------
+  std::size_t num_models = 0;              // max model_idx + 1
+  std::size_t num_procs = 0;               // queue count (>= max proc_idx + 1)
+  std::vector<std::int32_t> pred;          // chain predecessor, -1 = root
+  std::vector<std::uint32_t> proc_offsets; // num_procs + 1
+  std::vector<std::uint32_t> proc_order;   // per-proc (model, seq, idx) order
+  std::vector<std::uint32_t> arrival_order;// tasks with arrival_ms > 0, sorted
+
+  [[nodiscard]] std::size_t size() const { return solo_ms.size(); }
+  [[nodiscard]] std::span<const std::uint32_t> deps_of(std::size_t i) const {
+    return {dep_edges.data() + dep_offsets[i],
+            dep_edges.data() + dep_offsets[i + 1]};
+  }
+
+  /// Transpose an AoS task list (the compatibility entry the legacy
+  /// simulate() wrappers use).  `min_procs` widens the queue array so a Soc
+  /// with more processors than the tasks reference still gets a queue per
+  /// processor.
+  void build_from_tasks(std::span<const SimTask> tasks, std::size_t min_procs);
+
+  /// Lower a compiled plan directly into columns — the SoA equivalent of
+  /// `tasks_from_compiled`, byte-identical values, no intermediate AoS
+  /// vector.
+  void build_from_compiled(const exec::CompiledPlan& compiled,
+                           std::size_t min_procs);
+
+  /// Lower a pipeline plan directly into columns — the SoA equivalent of
+  /// `tasks_from_plan` (exec::compile + tasks_from_compiled) for the
+  /// DES-scoring hot path.  Reads the same cost-table accessors in the same
+  /// order as exec::lower_range, so every double matches the two-step
+  /// lowering bit for bit; skips the CompiledPlan assembly (names,
+  /// footprints) a score-only evaluation never reads.
+  void build_from_plan(const PipelinePlan& plan, const StaticEvaluator& eval);
+
+  void clear();
+
+ private:
+  void finalize(std::size_t min_procs);
+};
+
+/// Every mutable buffer one DES evaluation needs, carved from a reusable
+/// monotonic arena: scratch prepared for run N+1 reuses run N's block, so
+/// pooled planning contexts (tail sweeps, warm-start auditions, graph
+/// arbitration) keep one thread-local SimScratch and run allocation-free
+/// after warm-up.  Reuse is bit-deterministic: prepare() fully re-initializes
+/// every span, so a reused scratch yields timelines identical to a fresh one
+/// (asserted in pipeline_sim_test).
+class SimScratch {
+ public:
+  /// Carve and initialize all per-run state for `table` on `P` processors
+  /// (P >= table.num_procs).
+  void prepare(const TaskTable& table, std::size_t P);
+
+  // Effective per-task state: starts as a copy of the table columns and is
+  // mutated only by permanent-drop-out migration.
+  std::span<std::uint32_t> proc;
+  std::span<double> solo;
+  std::span<double> sens;
+  std::span<double> intens;
+  std::span<std::uint8_t> done;
+  std::span<std::uint8_t> started;
+
+  // Per-processor dispatch queues: queue p occupies
+  // queue_data[p * stride .. p * stride + queue_size[p]), sorted by
+  // (model, seq, index); stride = n so migration inserts never overflow.
+  std::span<std::uint32_t> queue_data;
+  std::span<std::uint32_t> queue_size;
+  std::span<std::uint32_t> queue_cursor;
+  std::size_t queue_stride = 0;
+
+  struct Running {
+    std::size_t task_idx;
+    double remaining_solo_ms;
+    double start_ms;
+    double solo_ms;
+  };
+  std::span<Running> running;  // capacity P; running_size live entries
+  std::size_t running_size = 0;
+  std::span<std::int32_t> proc_running;
+  std::span<double> rates;
+  std::span<Aggressor> others;
+  std::span<std::uint8_t> proc_dead;
+  std::span<std::uint32_t> pending;  // migration staging, capacity n
+
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    return arena_.bytes_reserved();
+  }
+
+ private:
+  util::MonotonicArena arena_;
+};
+
+}  // namespace sim
+}  // namespace h2p

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+
+namespace h2p::util {
+
+/// Monotonic bump allocator backing reusable scratch state.
+///
+/// All allocations are carved from one contiguous block; `reset()` rewinds
+/// the bump pointer without releasing memory, so a consumer that carves the
+/// same (or smaller) working set every cycle performs **zero** heap
+/// allocations after its first, largest cycle.  When a cycle outgrows the
+/// block, the arena grows geometrically on the next `reserve()` — live spans
+/// from the *current* cycle stay valid because growth only ever happens
+/// between `reset()` and the first carve (see `reserve`).
+///
+/// Not thread-safe: one arena per thread (the DES scratch keeps
+/// thread-local instances in pooled contexts).
+class MonotonicArena {
+ public:
+  MonotonicArena() = default;
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Rewind to empty, retaining the underlying block.
+  void reset() { used_ = 0; }
+
+  /// Ensure the block can serve `bytes` without growing mid-cycle.  Must be
+  /// called while the arena is empty (right after `reset()`): growing
+  /// reallocates the block, which would invalidate spans carved earlier in
+  /// the same cycle.
+  void reserve(std::size_t bytes) {
+    if (bytes <= capacity_) return;
+    std::size_t grown = capacity_ ? capacity_ : 1024;
+    while (grown < bytes) grown *= 2;
+    block_ = std::make_unique<std::byte[]>(grown);
+    capacity_ = grown;
+    used_ = 0;
+  }
+
+  /// Carve `count` default-initialized (i.e. uninitialized for scalars)
+  /// elements of a trivially-destructible T.  The caller is responsible for
+  /// writing before reading; DES scratch buffers are fully re-initialized
+  /// every simulation, which is what keeps reuse bit-deterministic.
+  template <typename T>
+  std::span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    const std::size_t align = alignof(T);
+    std::size_t at = (used_ + align - 1) & ~(align - 1);
+    const std::size_t bytes = count * sizeof(T);
+    if (at + bytes > capacity_) {
+      // Mid-cycle growth fallback: legal only when nothing is live, which
+      // SimScratch guarantees by sizing the whole cycle via reserve() first.
+      reserve(at + bytes);
+      at = 0;
+    }
+    T* ptr = std::launder(reinterpret_cast<T*>(block_.get() + at));
+    used_ = at + bytes;
+    return std::span<T>(ptr, count);
+  }
+
+  [[nodiscard]] std::size_t bytes_reserved() const { return capacity_; }
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+
+ private:
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace h2p::util

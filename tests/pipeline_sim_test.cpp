@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/planner.h"
+#include "sim/fault_injector.h"
 #include "sim/pipeline_sim.h"
+#include "sim/pipeline_sim_reference.h"
+#include "sim/task_table.h"
 #include "test_helpers.h"
+#include "util/rng.h"
 
 namespace h2p {
 namespace {
@@ -161,6 +167,263 @@ TEST(Sim, ContentionOffMatchesSoloSums) {
     solo_total += fx.eval->stage_solo_ms(report.plan.models[0], k);
   }
   EXPECT_NEAR(t.makespan_ms(), solo_total, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// SoA TaskTable / SimScratch: bit-identity against the frozen AoS reference
+// and determinism of scratch reuse.
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact (bitwise) timeline equality — the SoA contract is bit-identity,
+/// not tolerance-level agreement.
+void expect_identical(const Timeline& a, const Timeline& b) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_EQ(a.num_procs, b.num_procs);
+  EXPECT_EQ(a.num_models, b.num_models);
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].model_idx, b.tasks[i].model_idx) << "task " << i;
+    EXPECT_EQ(a.tasks[i].seq_in_model, b.tasks[i].seq_in_model) << "task " << i;
+    EXPECT_EQ(a.tasks[i].proc_idx, b.tasks[i].proc_idx) << "task " << i;
+    EXPECT_EQ(a.tasks[i].start_ms, b.tasks[i].start_ms) << "task " << i;
+    EXPECT_EQ(a.tasks[i].end_ms, b.tasks[i].end_ms) << "task " << i;
+    EXPECT_EQ(a.tasks[i].solo_ms, b.tasks[i].solo_ms) << "task " << i;
+  }
+}
+
+std::vector<SimTask> random_chain_tasks(Rng& rng, std::size_t num_procs,
+                                        bool with_alt) {
+  const std::size_t num_models = 2 + rng.index(4);
+  std::vector<SimTask> tasks;
+  for (std::size_t m = 0; m < num_models; ++m) {
+    const std::size_t chain = 1 + rng.index(4);
+    for (std::size_t s = 0; s < chain; ++s) {
+      SimTask t;
+      t.model_idx = m;
+      t.seq_in_model = s;
+      t.proc_idx = rng.index(num_procs);
+      t.solo_ms = rng.uniform(0.5, 20.0);
+      t.sensitivity = rng.uniform(0.0, 1.0);
+      t.intensity = rng.uniform(0.0, 1.0);
+      t.arrival_ms = (s == 0) ? rng.uniform(0.0, 10.0) : 0.0;
+      if (with_alt) {
+        t.alt.resize(num_procs);
+        for (std::size_t q = 0; q < num_procs; ++q) {
+          t.alt[q] = SimTask::AltCost{rng.uniform(0.5, 30.0),
+                                      rng.uniform(0.0, 1.0),
+                                      rng.uniform(0.0, 1.0)};
+        }
+      }
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
+/// Fork/join DAG: per model a root, two parallel branches, a join.
+std::vector<SimTask> dag_tasks(std::size_t num_procs) {
+  std::vector<SimTask> tasks;
+  for (std::size_t m = 0; m < 3; ++m) {
+    const std::size_t base = tasks.size();
+    SimTask root{m, 0, (m + 0) % num_procs, 4.0 + m, 0.4, 0.5, 0.0};
+    root.explicit_deps = true;
+    SimTask left{m, 1, (m + 1) % num_procs, 6.0, 0.6, 0.7, 0.0};
+    left.explicit_deps = true;
+    left.deps = {base};
+    SimTask right{m, 1, (m + 2) % num_procs, 5.0, 0.5, 0.6, 0.0};
+    right.explicit_deps = true;
+    right.deps = {base};
+    SimTask join{m, 2, (m + 3) % num_procs, 3.0, 0.3, 0.4, 0.0};
+    join.explicit_deps = true;
+    join.deps = {base + 1, base + 2};
+    tasks.push_back(root);
+    tasks.push_back(left);
+    tasks.push_back(right);
+    tasks.push_back(join);
+  }
+  return tasks;
+}
+
+TEST(TaskTable, SoAMatchesLegacyReferenceOnRandomGraphs) {
+  const Soc soc = Soc::kirin990();
+  for (int seed = 0; seed < 25; ++seed) {
+    Rng rng(4200 + seed);
+    const std::vector<SimTask> tasks =
+        random_chain_tasks(rng, soc.num_processors(), /*with_alt=*/false);
+    for (const bool contention : {true, false}) {
+      SimOptions opt;
+      opt.contention = contention;
+      const Timeline soa = simulate(soc, tasks, opt);
+      const Timeline legacy = sim::simulate_reference(soc, tasks, opt);
+      expect_identical(soa, legacy);
+    }
+  }
+}
+
+TEST(TaskTable, SoAMatchesLegacyReferenceUnderFaults) {
+  const Soc soc = Soc::kirin990();
+  const FaultScript faults({
+      FaultEvent{FaultKind::kDropout, 1, 5.0, 12.0, 1.0},
+      FaultEvent{FaultKind::kSlowdown, 2, 2.0, 25.0, 0.5},
+      FaultEvent{FaultKind::kDropout, 0, 8.0, kInf, 1.0},  // permanent
+  });
+  SimOptions opt;
+  opt.faults = &faults;
+  for (int seed = 0; seed < 25; ++seed) {
+    Rng rng(5200 + seed);
+    const std::vector<SimTask> tasks =
+        random_chain_tasks(rng, soc.num_processors(), /*with_alt=*/true);
+    const Timeline soa = simulate(soc, tasks, opt);
+    const Timeline legacy = sim::simulate_reference(soc, tasks, opt);
+    expect_identical(soa, legacy);
+  }
+}
+
+TEST(TaskTable, FromPlanMatchesFromCompiled) {
+  Fixture fx(testing_util::mixed_six());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const exec::CompiledPlan compiled = exec::compile(report.plan, *fx.eval);
+
+  sim::TaskTable direct;
+  direct.build_from_plan(report.plan, *fx.eval);
+  sim::TaskTable via_compiled;
+  via_compiled.build_from_compiled(compiled, fx.eval->soc().num_processors());
+
+  ASSERT_EQ(direct.size(), via_compiled.size());
+  EXPECT_EQ(direct.model_idx, via_compiled.model_idx);
+  EXPECT_EQ(direct.seq_in_model, via_compiled.seq_in_model);
+  EXPECT_EQ(direct.proc_idx, via_compiled.proc_idx);
+  EXPECT_EQ(direct.solo_ms, via_compiled.solo_ms);        // bitwise doubles
+  EXPECT_EQ(direct.sensitivity, via_compiled.sensitivity);
+  EXPECT_EQ(direct.intensity, via_compiled.intensity);
+  EXPECT_EQ(direct.dram_bytes, via_compiled.dram_bytes);
+  EXPECT_EQ(direct.dep_offsets, via_compiled.dep_offsets);
+  EXPECT_EQ(direct.dep_edges, via_compiled.dep_edges);
+  EXPECT_EQ(direct.pred, via_compiled.pred);
+  EXPECT_EQ(direct.proc_offsets, via_compiled.proc_offsets);
+  EXPECT_EQ(direct.proc_order, via_compiled.proc_order);
+}
+
+TEST(TaskTable, PlanMakespanMatchesSimulatePlan) {
+  Fixture fx(testing_util::mixed_six());
+  const PlannerReport report = Hetero2PipePlanner(*fx.eval).plan();
+  const double fast = simulate_plan_makespan(report.plan, *fx.eval);
+  const double reference = simulate_plan(report.plan, *fx.eval).makespan_ms();
+  EXPECT_EQ(fast, reference);  // bitwise
+}
+
+TEST(TaskTable, UnknownDependencyThrows) {
+  const Soc soc = Soc::kirin990();
+  SimTask t{0, 0, 1, 5.0, 0.0, 0.0, 0.0};
+  t.explicit_deps = true;
+  t.deps = {7};  // out of range
+  const std::vector<SimTask> tasks{t};
+  EXPECT_THROW(simulate(soc, tasks, {}), std::invalid_argument);
+}
+
+TEST(SimScratchReuse, ChainRunsBitIdenticalToFreshScratch) {
+  const Soc soc = Soc::kirin990();
+  Rng rng(6200);
+  const std::vector<SimTask> tasks =
+      random_chain_tasks(rng, soc.num_processors(), /*with_alt=*/false);
+  sim::TaskTable table;
+  table.build_from_tasks(tasks, soc.num_processors());
+
+  sim::SimScratch reused;
+  Timeline first, second, fresh_out;
+  simulate(soc, table, reused, first, {});
+  simulate(soc, table, reused, second, {});  // same scratch, same timeline
+  sim::SimScratch fresh;
+  simulate(soc, table, fresh, fresh_out, {});
+  expect_identical(first, second);
+  expect_identical(first, fresh_out);
+}
+
+TEST(SimScratchReuse, AcrossFaultedAndUnfaultedRuns) {
+  const Soc soc = Soc::kirin990();
+  Rng rng(6300);
+  const std::vector<SimTask> tasks =
+      random_chain_tasks(rng, soc.num_processors(), /*with_alt=*/true);
+  sim::TaskTable table;
+  table.build_from_tasks(tasks, soc.num_processors());
+  const FaultScript faults({
+      FaultEvent{FaultKind::kDropout, 2, 3.0, kInf, 1.0},  // forces migration
+      FaultEvent{FaultKind::kSlowdown, 1, 1.0, 20.0, 0.5},
+  });
+  SimOptions faulted;
+  faulted.faults = &faults;
+
+  // Interleave healthy / faulted / healthy on ONE scratch: migration mutates
+  // the scratch copies, so a later healthy run only stays bit-identical if
+  // prepare() fully re-initializes them.
+  sim::SimScratch reused;
+  Timeline healthy1, faulted1, healthy2, faulted2;
+  simulate(soc, table, reused, healthy1, {});
+  simulate(soc, table, reused, faulted1, faulted);
+  simulate(soc, table, reused, healthy2, {});
+  simulate(soc, table, reused, faulted2, faulted);
+
+  sim::SimScratch fresh_a, fresh_b;
+  Timeline fresh_healthy, fresh_faulted;
+  simulate(soc, table, fresh_a, fresh_healthy, {});
+  simulate(soc, table, fresh_b, fresh_faulted, faulted);
+
+  expect_identical(healthy1, fresh_healthy);
+  expect_identical(healthy2, fresh_healthy);
+  expect_identical(faulted1, fresh_faulted);
+  expect_identical(faulted2, fresh_faulted);
+}
+
+TEST(SimScratchReuse, AcrossChainAndDagTables) {
+  const Soc soc = Soc::kirin990();
+  Rng rng(6400);
+  const std::vector<SimTask> chain =
+      random_chain_tasks(rng, soc.num_processors(), /*with_alt=*/false);
+  const std::vector<SimTask> dag = dag_tasks(soc.num_processors());
+  sim::TaskTable chain_table, dag_table;
+  chain_table.build_from_tasks(chain, soc.num_processors());
+  dag_table.build_from_tasks(dag, soc.num_processors());
+
+  // One scratch alternating between differently-shaped tables.
+  sim::SimScratch reused;
+  Timeline chain1, dag1, chain2, dag2;
+  simulate(soc, chain_table, reused, chain1, {});
+  simulate(soc, dag_table, reused, dag1, {});
+  simulate(soc, chain_table, reused, chain2, {});
+  simulate(soc, dag_table, reused, dag2, {});
+
+  sim::SimScratch fresh_a, fresh_b;
+  Timeline fresh_chain, fresh_dag;
+  simulate(soc, chain_table, fresh_a, fresh_chain, {});
+  simulate(soc, dag_table, fresh_b, fresh_dag, {});
+
+  expect_identical(chain1, fresh_chain);
+  expect_identical(chain2, fresh_chain);
+  expect_identical(dag1, fresh_dag);
+  expect_identical(dag2, fresh_dag);
+  // DAG semantics sanity: the join starts only after both branches.
+  for (std::size_t m = 0; m < 3; ++m) {
+    const TaskRecord& left = dag1.tasks[m * 4 + 1];
+    const TaskRecord& right = dag1.tasks[m * 4 + 2];
+    const TaskRecord& join = dag1.tasks[m * 4 + 3];
+    EXPECT_GE(join.start_ms, std::max(left.end_ms, right.end_ms) - 1e-9);
+  }
+}
+
+TEST(SimScratchReuse, ArenaStopsGrowingAfterWarmup) {
+  const Soc soc = Soc::kirin990();
+  Rng rng(6500);
+  const std::vector<SimTask> tasks =
+      random_chain_tasks(rng, soc.num_processors(), /*with_alt=*/false);
+  sim::TaskTable table;
+  table.build_from_tasks(tasks, soc.num_processors());
+  sim::SimScratch scratch;
+  Timeline out;
+  simulate(soc, table, scratch, out, {});
+  const std::size_t warm_bytes = scratch.bytes_reserved();
+  EXPECT_GT(warm_bytes, 0u);
+  for (int i = 0; i < 8; ++i) simulate(soc, table, scratch, out, {});
+  EXPECT_EQ(scratch.bytes_reserved(), warm_bytes);
 }
 
 }  // namespace
