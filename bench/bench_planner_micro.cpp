@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -21,8 +22,10 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "contention/contention_model.h"
 #include "core/graph_planner.h"
 #include "core/lap.h"
 #include "core/partition.h"
@@ -35,6 +38,7 @@
 #include "sim/pipeline_sim_reference.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -258,6 +262,81 @@ void BM_DesScoring(benchmark::State& state, bool soa) {
 BENCHMARK_CAPTURE(BM_DesScoring, legacy, false);
 BENCHMARK_CAPTURE(BM_DesScoring, soa, true);
 
+// ---- SIMD kernel micro-benches ----------------------------------------------
+
+// The three util/simd.h kernels the planning core leans on, measured bare on
+// workload-shaped buffers so the ISA-level trajectory (avx2/sse2/neon/scalar
+// across build flavours; see h2p_context.simd in the JSON snapshot) is
+// visible independently of planner-level effects.  items_per_second counts
+// kernel invocations.
+
+/// Wavefront column rescoring shape: per victim a coupling-row fixed_dot +
+/// slowdown, then a lane-wide max over the contended column times (the
+/// IncrementalStaticScorer::column_max inner loop).
+void BM_SimdKernels_Rescore(benchmark::State& state) {
+  constexpr std::size_t kVictims = 16;   // padded column height
+  constexpr std::size_t kProcs = 8;      // padded coupling-row width
+  Rng rng(7);
+  std::vector<double> coupling(kVictims * kProcs);
+  std::vector<double> intensity(kProcs);
+  std::vector<double> times(kVictims);
+  std::vector<double> sens(kVictims);
+  for (double& v : coupling) v = rng.uniform(0.0, 1.2);
+  for (double& v : intensity) v = rng.uniform(0.0, 1.0);
+  for (double& v : times) v = rng.uniform(0.5, 20.0);
+  for (double& v : sens) v = rng.uniform(0.0, 1.0);
+  std::vector<double> scratch(kVictims);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < kVictims; ++k) {
+      const double extra =
+          simd::fixed_dot(coupling.data() + k * kProcs, intensity.data(), kProcs);
+      scratch[k] =
+          times[k] * ContentionModel::slowdown_from_extra(extra, sens[k]);
+    }
+    benchmark::DoNotOptimize(simd::fixed_max(scratch.data(), kVictims, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimdKernels_Rescore)->Name("BM_SimdKernels/rescore");
+
+/// DES min-dt shape: masked min of remaining/rate over the padded running
+/// set (zero rates = frozen tasks / dead lanes).
+void BM_SimdKernels_Rates(benchmark::State& state) {
+  constexpr std::size_t kSlots = 64;
+  Rng rng(8);
+  std::vector<double> remaining(kSlots);
+  std::vector<double> rates(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    remaining[i] = rng.uniform(0.1, 30.0);
+    rates[i] = (i % 5 == 0) ? 0.0 : rng.uniform(0.2, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::min_positive_ratio(remaining.data(), rates.data(), kSlots, 1e-9));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimdKernels_Rates)->Name("BM_SimdKernels/rates");
+
+/// DES retirement advance shape: in-place x -= r * dt over the padded
+/// running set.
+void BM_SimdKernels_Advance(benchmark::State& state) {
+  constexpr std::size_t kSlots = 64;
+  Rng rng(9);
+  std::vector<double> remaining(kSlots);
+  std::vector<double> rates(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    remaining[i] = rng.uniform(1.0, 1e6);
+    rates[i] = rng.uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    simd::mul_sub_inplace(remaining.data(), rates.data(), 1e-6, kSlots);
+    benchmark::DoNotOptimize(remaining.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimdKernels_Advance)->Name("BM_SimdKernels/advance");
+
 // ---- online serving loop ----------------------------------------------------
 
 /// A cache-cold stream: `num_windows` windows of `per_window` requests, each
@@ -444,10 +523,48 @@ void annotate_bench_json(const std::string& path) {
     families[name] = summary_to_json(summarize(times));
   }
 
+  // threads:{1,2,4,8} scaling efficiency from BM_PlannerThroughput_Chain:
+  // efficiency(N) = plans_per_sec(N) / (N * plans_per_sec(1)).  1.0 is
+  // perfect linear scaling; on a 1-cpu host every N > 1 row just measures
+  // oversubscription and the table is noise (see the warning below).
+  std::map<int, double> chain_ips;
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    const Json& b = benches.at(i);
+    if (!b.contains("name") || !b.contains("items_per_second")) continue;
+    const std::string& name = b.at("name").as_string();
+    if (name.find("BM_PlannerThroughput_Chain") == std::string::npos) continue;
+    const std::size_t at = name.find("threads:");
+    if (at == std::string::npos) continue;
+    chain_ips[std::atoi(name.c_str() + at + 8)] =
+        b.at("items_per_second").as_number();
+  }
+  Json scaling = Json::object();
+  if (chain_ips.count(1) && chain_ips[1] > 0.0) {
+    for (const auto& [threads, ips] : chain_ips) {
+      Json row = Json::object();
+      row["plans_per_sec"] = Json::number(ips);
+      row["efficiency"] =
+          Json::number(ips / (static_cast<double>(threads) * chain_ips[1]));
+      scaling["threads:" + std::to_string(threads)] = std::move(row);
+    }
+  }
+
   Json context = Json::object();
   context["host"] = obs::host_info_json();
+  context["simd"] = Json::string(simd::active_isa());
   context["family_real_time"] = std::move(families);
+  context["thread_scaling"] = std::move(scaling);
   doc["h2p_context"] = std::move(context);
+
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(
+        stderr,
+        "\n*** WARNING: this host exposes only 1 CPU. ***\n"
+        "*** All threads:N rows in %s measure oversubscription, not   ***\n"
+        "*** scaling — re-record this snapshot on a multi-core host   ***\n"
+        "*** before comparing thread_scaling efficiencies.            ***\n\n",
+        path.c_str());
+  }
 
   std::ofstream out(path);
   if (!out) return;

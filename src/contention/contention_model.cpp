@@ -1,6 +1,7 @@
 #include "contention/contention_model.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace h2p {
 
@@ -11,14 +12,18 @@ double ContentionModel::slowdown(std::size_t victim_proc, double victim_sensitiv
     if (a.proc_idx == victim_proc) continue;
     extra += soc_->coupling(victim_proc, a.proc_idx) * a.intensity;
   }
-  // Vulnerability = floor + sensitivity term: even compute-bound victims
-  // lose cycles to LLC pollution and row-buffer conflicts (the floor), and
-  // memory-bound victims scale up from there (Table II magnitudes).
-  const double vulnerability =
-      kVulnerabilityFloor +
-      (1.0 - kVulnerabilityFloor) * std::clamp(victim_sensitivity, 0.0, 1.0);
-  const double factor = 1.0 + extra * vulnerability;
-  return std::min(factor, kMaxSlowdown);
+  return slowdown_from_extra(extra, victim_sensitivity);
+}
+
+void ContentionModel::fill_coupling_rows(std::span<double> rows,
+                                         std::size_t padded_procs) const {
+  const std::size_t P = soc_->num_processors();
+  assert(padded_procs >= P && rows.size() >= P * padded_procs);
+  for (std::size_t p = 0; p < P; ++p) {
+    double* row = rows.data() + p * padded_procs;
+    for (std::size_t q = 0; q < P; ++q) row[q] = soc_->coupling(p, q);
+    for (std::size_t q = P; q < padded_procs; ++q) row[q] = 0.0;
+  }
 }
 
 ContentionModel::PairResult ContentionModel::pairwise(std::size_t proc_a, double sens_a,

@@ -34,6 +34,38 @@ class ContentionModel {
   [[nodiscard]] double slowdown(std::size_t victim_proc, double victim_sensitivity,
                                 std::span<const Aggressor> aggressors) const;
 
+  /// The scalar tail of Eq. 2 once the aggressor sum is in hand: maps the
+  /// accumulated `extra = sum_q gamma(p, q) * I_q` to the capped
+  /// multiplicative factor.  The hot paths (DES rates, wavefront column
+  /// rescoring) compute `extra` as a dense fixed-order dot product over
+  /// per-processor intensity buffers (`util/simd.h`'s `fixed_dot`; the
+  /// diagonal gamma(p, p) == 0 excludes self-contention exactly) and share
+  /// this tail with the list-based `slowdown` above, so both formulations
+  /// apply the identical vulnerability/cap arithmetic.  Defined inline:
+  /// the DES prices every running task with it on every event, and an
+  /// out-of-line call was measurable there.
+  [[nodiscard]] static double slowdown_from_extra(double extra,
+                                                  double victim_sensitivity) {
+    // Vulnerability = floor + sensitivity term: even compute-bound victims
+    // lose cycles to LLC pollution and row-buffer conflicts (the floor), and
+    // memory-bound victims scale up from there (Table II magnitudes).
+    const double s = victim_sensitivity < 0.0
+                         ? 0.0
+                         : (victim_sensitivity > 1.0 ? 1.0 : victim_sensitivity);
+    const double vulnerability =
+        kVulnerabilityFloor + (1.0 - kVulnerabilityFloor) * s;
+    const double factor = 1.0 + extra * vulnerability;
+    return factor < kMaxSlowdown ? factor : kMaxSlowdown;
+  }
+
+  /// Fill `rows` (stride `padded_procs`, one row per victim processor) with
+  /// the Soc's coupling matrix: rows[p * padded_procs + q] = gamma(p, q) for
+  /// q < num_processors, 0.0 beyond (zero-padding keeps the fixed-order dot
+  /// product exact for any padded length).  The diagonal is 0 by Soc
+  /// construction, which is what makes the dense aggressor sum gather-free:
+  /// a victim's own intensity contributes gamma(p, p) * I_p = 0.
+  void fill_coupling_rows(std::span<double> rows, std::size_t padded_procs) const;
+
   /// Static full-overlap pairwise co-execution estimate used by Table II:
   /// returns {slowdown_a, slowdown_b}.
   struct PairResult {

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "soc/perf_counters.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace h2p {
@@ -39,6 +40,10 @@ StaticEvaluator::StaticEvaluator(const Soc& soc, std::vector<const Model*> model
   tables_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) tables_.push_back(std::move(*built[i]));
   model_intensity_ = std::move(intensity);
+
+  padded_procs_ = simd::padded_size(soc.num_processors());
+  coupling_rows_.assign(soc.num_processors() * padded_procs_, 0.0);
+  contention_.fill_coupling_rows(coupling_rows_, padded_procs_);
 }
 
 double StaticEvaluator::stage_solo_ms(const ModelPlan& mp, std::size_t k) const {
@@ -79,29 +84,32 @@ std::vector<std::vector<double>> StaticEvaluator::stage_times(
   if (!with_contention || m == 0) return times;
 
   // Apply co-execution slowdown column by column: column j holds the slices
-  // { (i, k) : i + k = j } that the wavefront runs concurrently.
+  // { (i, k) : i + k = j } that the wavefront runs concurrently.  The
+  // aggressor sum is the dense fixed-order Eq. 2 dot product (util/simd.h):
+  // stage k == processor k, every member deposits its intensity at index k
+  // of a zero-padded per-processor buffer, and a victim's own entry is
+  // excluded by the coupling diagonal being zero — the exact reduction the
+  // DES rate loop and the incremental scorer compute.
+  assert(K <= soc_->num_processors());
+  std::vector<std::pair<std::size_t, std::size_t>> members;  // (slot, stage)
+  std::vector<double> col_intensity(padded_procs_, 0.0);
   for (std::size_t j = 0; j + 1 <= m + K - 1; ++j) {
-    std::vector<std::pair<std::size_t, std::size_t>> members;  // (slot, stage)
-    std::vector<Aggressor> aggr;
+    members.clear();
+    std::fill(col_intensity.begin(), col_intensity.end(), 0.0);
     for (std::size_t k = 0; k < K; ++k) {
       if (j < k) continue;
       const std::size_t i = j - k;
       if (i >= m) continue;
       if (plan.models[i].slices[k].empty()) continue;
       members.emplace_back(i, k);
-      aggr.push_back(Aggressor{k, stage_intensity(plan.models[i], k)});
+      col_intensity[k] = stage_intensity(plan.models[i], k);
     }
     if (members.size() < 2) continue;
-    for (std::size_t idx = 0; idx < members.size(); ++idx) {
-      const auto [i, k] = members[idx];
-      // Everyone except the victim itself aggresses.
-      std::vector<Aggressor> others;
-      others.reserve(aggr.size() - 1);
-      for (std::size_t a = 0; a < aggr.size(); ++a) {
-        if (a != idx) others.push_back(aggr[a]);
-      }
-      const double factor =
-          contention_.slowdown(k, stage_sensitivity(plan.models[i], k), others);
+    for (const auto& [i, k] : members) {
+      const double extra =
+          simd::fixed_dot(coupling_row(k), col_intensity.data(), padded_procs_);
+      const double factor = ContentionModel::slowdown_from_extra(
+          extra, stage_sensitivity(plan.models[i], k));
       times[i][k] *= factor;
     }
   }

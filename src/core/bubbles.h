@@ -38,6 +38,15 @@ class StaticEvaluator {
   [[nodiscard]] const CostModel& cost_model() const { return cost_; }
   [[nodiscard]] const ContentionModel& contention() const { return contention_; }
 
+  /// Dense coupling row for victim processor `p`, zero-padded to
+  /// `padded_procs()` doubles (diagonal 0): the left operand of the
+  /// fixed-order Eq. 2 dot product used by `stage_times` and the
+  /// incremental scorer's column rescoring.
+  [[nodiscard]] const double* coupling_row(std::size_t p) const {
+    return coupling_rows_.data() + p * padded_procs_;
+  }
+  [[nodiscard]] std::size_t padded_procs() const { return padded_procs_; }
+
   /// Solo time of one stage of a model plan (exec + inbound copy; Eq. 2
   /// terms 1 + 2).  Empty slices cost zero.
   [[nodiscard]] double stage_solo_ms(const ModelPlan& mp, std::size_t k) const;
@@ -78,6 +87,8 @@ class StaticEvaluator {
   ContentionModel contention_;
   std::vector<CostTable> tables_;
   std::vector<double> model_intensity_;
+  std::vector<double> coupling_rows_;  // P x padded_procs_, diagonal 0
+  std::size_t padded_procs_ = 0;
 };
 
 /// Build the default horizontal plan: every model sliced by Algorithm 1 in

@@ -4,20 +4,55 @@
 #include <cassert>
 
 #include "contention/contention_model.h"
+#include "util/arena.h"
+#include "util/simd.h"
 
 namespace h2p {
 namespace {
 
 /// Candidate-row scratch shared by the const scoring entries.  score_with /
 /// des_lower_bound_with run concurrently from pooled planning threads, so
-/// the scratch is per-thread; capacities survive across calls, making the
-/// steady-state candidate evaluation allocation-free.
-struct RowScratch {
-  ModelPlan probe;
+/// the scratch is per-thread.  All per-stage buffers are carved from one
+/// monotonic arena sized on first use (re-carved only when a scorer with a
+/// different geometry shows up), so the steady-state candidate evaluation
+/// is allocation-free — including the tail sweep's rescore rows, which
+/// previously grew via std::vector::resize mid-scoring.
+struct ScorerWorkspace {
+  ModelPlan probe;  // vector-backed by API; capacity survives across calls
+
+  util::MonotonicArena arena;
+  std::span<double> row_solo;
+  std::span<double> row_intensity;
+  std::span<double> row_sensitivity;
+  std::span<std::uint8_t> row_active;
+  std::span<double> col_intensity;  // [padded_procs] dense aggressor buffer
+  std::span<double> col_times;      // [Kp] contended column times
+  std::span<double> col_sens;       // [Kp] member sensitivities by stage
+  std::span<double> lb_tmp;         // [Kp] lower-bound lane scratch
+  std::size_t kp = 0;
+  std::size_t pp = 0;
+
+  void prepare(std::size_t Kp, std::size_t Pp) {
+    if (kp == Kp && pp == Pp) return;
+    arena.reset();
+    arena.reserve(Kp * (6 * sizeof(double) + sizeof(std::uint8_t)) +
+                  Pp * sizeof(double) +
+                  9 * util::MonotonicArena::kAlignment);
+    row_solo = arena.make_span<double>(Kp);
+    row_intensity = arena.make_span<double>(Kp);
+    row_sensitivity = arena.make_span<double>(Kp);
+    row_active = arena.make_span<std::uint8_t>(Kp);
+    col_intensity = arena.make_span<double>(Pp);
+    col_times = arena.make_span<double>(Kp);
+    col_sens = arena.make_span<double>(Kp);
+    lb_tmp = arena.make_span<double>(Kp);
+    kp = Kp;
+    pp = Pp;
+  }
 };
 
-RowScratch& tls_scratch() {
-  thread_local RowScratch s;
+ScorerWorkspace& tls_workspace() {
+  thread_local ScorerWorkspace s;
   return s;
 }
 
@@ -25,31 +60,33 @@ RowScratch& tls_scratch() {
 
 IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
                                                  const PipelinePlan& plan)
-    : eval_(&eval), m_(plan.models.size()), K_(plan.num_stages) {
+    : eval_(&eval),
+      m_(plan.models.size()),
+      K_(plan.num_stages),
+      Kp_(simd::padded_size(plan.num_stages)) {
+  assert(K_ <= eval.soc().num_processors());
   model_index_.reserve(m_);
   for (const ModelPlan& mp : plan.models) model_index_.push_back(mp.model_index);
 
-  cell_solo_.resize(m_ * K_);
-  cell_intensity_.resize(m_ * K_);
-  cell_sensitivity_.resize(m_ * K_);
-  cell_active_.resize(m_ * K_);
-  Row row;
+  cell_solo_.assign(m_ * Kp_, 0.0);
+  cell_intensity_.assign(m_ * Kp_, 0.0);
+  cell_sensitivity_.assign(m_ * Kp_, 0.0);
+  cell_active_.assign(m_ * Kp_, 0);
   for (std::size_t i = 0; i < m_; ++i) {
-    fill_row_for(model_index_[i], plan.models[i].slices, row);
-    store_row(i, row);
+    store_row(i, fill_row(model_index_[i], plan.models[i].slices));
   }
 
-  proc_solo_.assign(K_, 0.0);
+  proc_solo_.assign(Kp_, 0.0);
   for (std::size_t k = 0; k < K_; ++k) {
     for (std::size_t i = 0; i < m_; ++i) {
-      proc_solo_[k] += cell_solo_[i * K_ + k];
+      proc_solo_[k] += cell_solo_[i * Kp_ + k];
     }
   }
 
   if (m_ == 0) return;
   const std::size_t num_cols = m_ + K_ - 1;
   colmax_.resize(num_cols);
-  const Row no_override;
+  const RowView no_override;
   for (std::size_t j = 0; j < num_cols; ++j) {
     // slot = m_ is out of range: every row comes from the cache.
     colmax_[j] = column_max(j, m_, no_override, m_);
@@ -58,28 +95,37 @@ IncrementalStaticScorer::IncrementalStaticScorer(const StaticEvaluator& eval,
   for (const double c : colmax_) base_score_ += c;
 }
 
-void IncrementalStaticScorer::fill_row_for(std::size_t model_index,
-                                           std::span<const Slice> slices,
-                                           Row& row) const {
+IncrementalStaticScorer::RowView IncrementalStaticScorer::fill_row(
+    std::size_t model_index, std::span<const Slice> slices) const {
   assert(slices.size() == K_);
   // Route through the evaluator's own accessors so the cached values are
-  // the exact doubles the non-incremental scorer would see.  The probe plan
-  // is thread-local: its slices vector keeps its capacity across calls.
-  ModelPlan& probe = tls_scratch().probe;
+  // the exact doubles the non-incremental scorer would see.  The workspace
+  // is thread-local; the row spans are arena-backed and zero-padded to Kp_
+  // so row-wide lane kernels read exact zeros past K_.
+  ScorerWorkspace& ws = tls_workspace();
+  ws.prepare(Kp_, eval_->padded_procs());
+  ModelPlan& probe = ws.probe;
   probe.model_index = model_index;
   probe.slices.assign(slices.begin(), slices.end());
-  row.resize(K_);
   for (std::size_t k = 0; k < K_; ++k) {
-    row.solo[k] = eval_->stage_solo_ms(probe, k);
-    row.intensity[k] = eval_->stage_intensity(probe, k);
-    row.sensitivity[k] = eval_->stage_sensitivity(probe, k);
-    row.active[k] = probe.slices[k].empty() ? 0 : 1;
+    ws.row_solo[k] = eval_->stage_solo_ms(probe, k);
+    ws.row_intensity[k] = eval_->stage_intensity(probe, k);
+    ws.row_sensitivity[k] = eval_->stage_sensitivity(probe, k);
+    ws.row_active[k] = probe.slices[k].empty() ? 0 : 1;
   }
+  for (std::size_t k = K_; k < Kp_; ++k) {
+    ws.row_solo[k] = 0.0;
+    ws.row_intensity[k] = 0.0;
+    ws.row_sensitivity[k] = 0.0;
+    ws.row_active[k] = 0;
+  }
+  return RowView{ws.row_solo.data(), ws.row_intensity.data(),
+                 ws.row_sensitivity.data(), ws.row_active.data()};
 }
 
-void IncrementalStaticScorer::store_row(std::size_t slot, const Row& row) {
-  const std::size_t base = slot * K_;
-  for (std::size_t k = 0; k < K_; ++k) {
+void IncrementalStaticScorer::store_row(std::size_t slot, const RowView& row) {
+  const std::size_t base = slot * Kp_;
+  for (std::size_t k = 0; k < Kp_; ++k) {
     cell_solo_[base + k] = row.solo[k];
     cell_intensity_[base + k] = row.intensity[k];
     cell_sensitivity_[base + k] = row.sensitivity[k];
@@ -88,24 +134,25 @@ void IncrementalStaticScorer::store_row(std::size_t slot, const Row& row) {
 }
 
 double IncrementalStaticScorer::column_max(std::size_t j, std::size_t slot,
-                                           const Row& row_override,
+                                           const RowView& row_override,
                                            std::size_t num_rows) const {
   // Mirrors StaticEvaluator::stage_times for one column: members gathered
-  // in ascending-stage order, every non-victim member aggresses, then the
-  // makespan loop's max over all valid cells.  K is small (the processor
-  // count), so the member set lives in fixed-capacity thread-local buffers.
-  struct Member {
-    std::size_t k;
-    double solo;
-    double sensitivity;
-  };
-  thread_local std::vector<Member> members;
-  thread_local std::vector<Aggressor> aggr;
-  thread_local std::vector<Aggressor> others;
-  members.clear();
-  aggr.clear();
-  members.reserve(K_);
-  aggr.reserve(K_);
+  // in ascending-stage order deposit their intensity into the dense
+  // per-processor buffer, each victim's Eq. 2 sum is the fixed-order dot
+  // product against its coupling row (the zero diagonal excludes the victim
+  // itself), and the column max is a lane-wide reduction over the contended
+  // times.  K is small (<= the processor count), so the member metadata
+  // lives in the thread-local arena workspace.
+  ScorerWorkspace& ws = tls_workspace();
+  ws.prepare(Kp_, eval_->padded_procs());
+  const std::size_t Pp = ws.pp;
+  double* coli = ws.col_intensity.data();
+  double* colt = ws.col_times.data();
+  for (std::size_t q = 0; q < Pp; ++q) coli[q] = 0.0;
+  for (std::size_t q = 0; q < Kp_; ++q) colt[q] = 0.0;
+
+  std::size_t num_members = 0;
+  std::size_t solo_k = 0;  // the member's stage when num_members == 1
   for (std::size_t k = 0; k < K_; ++k) {
     if (j < k) continue;
     const std::size_t i = j - k;
@@ -118,43 +165,45 @@ double IncrementalStaticScorer::column_max(std::size_t j, std::size_t slot,
       sensitivity = row_override.sensitivity[k];
       active = row_override.active[k] != 0;
     } else {
-      const std::size_t idx = i * K_ + k;
+      const std::size_t idx = i * Kp_ + k;
       solo = cell_solo_[idx];
       intensity = cell_intensity_[idx];
       sensitivity = cell_sensitivity_[idx];
       active = cell_active_[idx] != 0;
     }
     if (!active) continue;
-    members.push_back(Member{k, solo, sensitivity});
-    aggr.push_back(Aggressor{k, intensity});
+    coli[k] = intensity;
+    colt[k] = solo;
+    ws.col_sens[k] = sensitivity;
+    ++num_members;
+    solo_k = k;
   }
 
-  double colmax = 0.0;
-  if (members.size() < 2) {
-    for (const Member& mem : members) colmax = std::max(colmax, mem.solo);
-    return colmax;
+  if (num_members == 0) return 0.0;
+  if (num_members < 2) {
+    // Single member: its dense Eq. 2 sum is gamma(k, k) * I_k = 0 exactly,
+    // so the contended factor is min(1 + 0, cap) = 1.0 and solo * 1.0 is
+    // bit-identical to skipping contention — the old early-out, kept as a
+    // pure fast path.
+    return colt[solo_k];
   }
-  const ContentionModel& contention = eval_->contention();
-  others.clear();
-  others.reserve(aggr.size() - 1);
-  for (std::size_t idx = 0; idx < members.size(); ++idx) {
-    others.clear();
-    for (std::size_t a = 0; a < aggr.size(); ++a) {
-      if (a != idx) others.push_back(aggr[a]);
-    }
-    const double factor = contention.slowdown(
-        members[idx].k, members[idx].sensitivity, others);
-    colmax = std::max(colmax, members[idx].solo * factor);
+  for (std::size_t k = 0; k <= j && k < K_; ++k) {
+    // Members with zero solo time stay zero under any factor and can't win
+    // the max; stages with no member are zero by construction.
+    if (colt[k] == 0.0) continue;
+    const double extra = simd::fixed_dot(eval_->coupling_row(k), coli, Pp);
+    const double factor =
+        ContentionModel::slowdown_from_extra(extra, ws.col_sens[k]);
+    colt[k] *= factor;
   }
-  return colmax;
+  return simd::fixed_max(colt, Kp_, 0.0);
 }
 
 double IncrementalStaticScorer::score_with(std::size_t slot,
                                            std::span<const Slice> slices) const {
   if (m_ == 0) return 0.0;
   assert(slot < m_);
-  thread_local Row row;
-  fill_row_for(model_index_[slot], slices, row);
+  const RowView row = fill_row(model_index_[slot], slices);
 
   const std::size_t num_cols = m_ + K_ - 1;
   const std::size_t lo = slot;
@@ -170,8 +219,7 @@ double IncrementalStaticScorer::score_with(std::size_t slot,
 
 double IncrementalStaticScorer::score_appended(
     std::size_t model_index, std::span<const Slice> slices) const {
-  thread_local Row row;
-  fill_row_for(model_index, slices, row);
+  const RowView row = fill_row(model_index, slices);
   // Columns j < m_ have no member from the appended row and keep their
   // cached maxima; columns [m_, m_+K-1] are recomputed with the new row
   // participating as slot m_ of an (m_+1)-row plan.
@@ -185,19 +233,18 @@ double IncrementalStaticScorer::score_appended(
 
 void IncrementalStaticScorer::apply_appended(std::size_t model_index,
                                              std::span<const Slice> slices) {
-  Row row;
-  fill_row_for(model_index, slices, row);
+  const RowView row = fill_row(model_index, slices);
   for (std::size_t k = 0; k < K_; ++k) proc_solo_[k] += row.solo[k];
   model_index_.push_back(model_index);
-  cell_solo_.resize((m_ + 1) * K_);
-  cell_intensity_.resize((m_ + 1) * K_);
-  cell_sensitivity_.resize((m_ + 1) * K_);
-  cell_active_.resize((m_ + 1) * K_);
+  cell_solo_.resize((m_ + 1) * Kp_, 0.0);
+  cell_intensity_.resize((m_ + 1) * Kp_, 0.0);
+  cell_sensitivity_.resize((m_ + 1) * Kp_, 0.0);
+  cell_active_.resize((m_ + 1) * Kp_, 0);
   store_row(m_, row);
   ++m_;
 
   colmax_.resize(m_ + K_ - 1);
-  const Row no_override;
+  const RowView no_override;
   for (std::size_t j = m_ - 1; j < m_ + K_ - 1; ++j) {
     colmax_[j] = column_max(j, m_, no_override, m_);
   }
@@ -209,30 +256,36 @@ double IncrementalStaticScorer::des_lower_bound_with(
     std::size_t slot, std::span<const Slice> slices) const {
   if (m_ == 0) return 0.0;
   assert(slot < m_);
-  thread_local Row row;
-  fill_row_for(model_index_[slot], slices, row);
-  double bound = 0.0;
-  for (std::size_t k = 0; k < K_; ++k) {
-    bound = std::max(bound,
-                     proc_solo_[k] - cell_solo_[slot * K_ + k] + row.solo[k]);
+  const RowView row = fill_row(model_index_[slot], slices);
+  // Lanewise (proc_solo - cell_row + candidate_row), then a lane max with
+  // baseline 0.  All three arrays are zero past K_, so padding lanes
+  // contribute an exact 0.0 and never win; elementwise arithmetic keeps
+  // each lane's value bit-identical to the old scalar loop.
+  ScorerWorkspace& ws = tls_workspace();
+  double* tmp = ws.lb_tmp.data();
+  const double* ps = proc_solo_.data();
+  const double* cs = cell_solo_.data() + slot * Kp_;
+  for (std::size_t k = 0; k < Kp_; k += simd::kLanes) {
+    ((simd::Vec4d::load(ps + k) - simd::Vec4d::load(cs + k)) +
+     simd::Vec4d::load(row.solo + k))
+        .store(tmp + k);
   }
-  return bound;
+  return simd::fixed_max(tmp, Kp_, 0.0);
 }
 
 void IncrementalStaticScorer::apply(std::size_t slot,
                                     std::span<const Slice> slices) {
   if (m_ == 0) return;
   assert(slot < m_);
-  Row row;
-  fill_row_for(model_index_[slot], slices, row);
+  const RowView row = fill_row(model_index_[slot], slices);
   for (std::size_t k = 0; k < K_; ++k) {
-    proc_solo_[k] += row.solo[k] - cell_solo_[slot * K_ + k];
+    proc_solo_[k] += row.solo[k] - cell_solo_[slot * Kp_ + k];
   }
   store_row(slot, row);
 
   const std::size_t num_cols = m_ + K_ - 1;
   const std::size_t hi = std::min(slot + K_, num_cols);
-  const Row no_override;
+  const RowView no_override;
   for (std::size_t j = slot; j < hi; ++j) {
     colmax_[j] = column_max(j, m_, no_override, m_);
   }

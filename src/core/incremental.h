@@ -70,57 +70,58 @@ class IncrementalStaticScorer {
   void apply(std::size_t slot, std::span<const Slice> slices);
 
  private:
-  /// One model row's per-stage values in SoA form — the scratch a candidate
-  /// evaluation fills (thread-local in the .cpp, so concurrent score_with
-  /// calls from pooled planning threads allocate nothing after warm-up).
-  struct Row {
-    std::vector<double> solo;
-    std::vector<double> intensity;
-    std::vector<double> sensitivity;
-    std::vector<std::uint8_t> active;  // non-empty slice (member criterion)
-    void resize(std::size_t K) {
-      solo.resize(K);
-      intensity.resize(K);
-      sensitivity.resize(K);
-      active.resize(K);
-    }
+  /// One model row's per-stage values, viewed as raw per-stage arrays of
+  /// `Kp_` entries (stages K_..Kp_-1 are zero padding).  The storage lives
+  /// in a thread-local arena workspace in the .cpp, so concurrent
+  /// score_with calls from pooled planning threads never touch the heap —
+  /// the old std::vector-backed rows could still `resize` mid-scoring on a
+  /// thread's first call.
+  struct RowView {
+    const double* solo = nullptr;
+    const double* intensity = nullptr;
+    const double* sensitivity = nullptr;
+    const std::uint8_t* active = nullptr;  // non-empty slice (member criterion)
   };
 
   /// Per-stage solo/intensity/sensitivity of `slices` for one model (by
-  /// cost-table index, so appended rows need no pre-registered slot).
-  void fill_row_for(std::size_t model_index, std::span<const Slice> slices,
-                    Row& row) const;
+  /// cost-table index, so appended rows need no pre-registered slot),
+  /// written into the calling thread's workspace row.
+  RowView fill_row(std::size_t model_index, std::span<const Slice> slices) const;
 
   /// Copy a filled row into the flat cell arrays at `slot` (which must
   /// already be within the arrays' extent).
-  void store_row(std::size_t slot, const Row& row);
+  void store_row(std::size_t slot, const RowView& row);
 
   /// Contended maximum of wavefront column j, reading row `slot` from
   /// `row_override` and every other row from the flat cell cache.
   /// Reproduces StaticEvaluator::stage_times + makespan_ms for that column
-  /// exactly — same k-ascending member enumeration, aggressor ordering and
-  /// reduction order.  `num_rows` is the plan height (m_, or m_+1 when an
-  /// appended row is being evaluated as slot m_).
+  /// exactly: same k-ascending member enumeration, the same dense
+  /// fixed-order Eq. 2 dot product (util/simd.h), and a lane-wide max over
+  /// the contended column times.  `num_rows` is the plan height (m_, or
+  /// m_+1 when an appended row is being evaluated as slot m_).
   [[nodiscard]] double column_max(std::size_t j, std::size_t slot,
-                                  const Row& row_override,
+                                  const RowView& row_override,
                                   std::size_t num_rows) const;
 
   const StaticEvaluator* eval_;
   std::size_t m_ = 0;
   std::size_t K_ = 0;
+  std::size_t Kp_ = 0;  // K_ padded to the SIMD lane multiple (row stride)
   std::vector<std::size_t> model_index_;  // slot -> model table index
 
-  // Flat SoA cell grid, slot-major: cell (slot i, stage k) lives at
-  // i * K_ + k.  Column j's members sit at (j-k)*K_ + k for ascending k — a
-  // fixed -(K_-1) stride, so the whole column spans one K_×K_ block of each
-  // array instead of K_ separately-allocated AoS rows.
+  // Flat SoA cell grid, slot-major with stride Kp_: cell (slot i, stage k)
+  // lives at i * Kp_ + k; entries k >= K_ are zero padding so row-wide
+  // vector kernels (the DES lower bound) never read garbage.  Column j's
+  // members sit at (j-k)*Kp_ + k for ascending k — a fixed stride, so the
+  // whole column spans one K_×Kp_ block of each array instead of K_
+  // separately-allocated AoS rows.
   std::vector<double> cell_solo_;
   std::vector<double> cell_intensity_;
   std::vector<double> cell_sensitivity_;
   std::vector<std::uint8_t> cell_active_;
 
   std::vector<double> colmax_;            // [m+K-1] contended column maxima
-  std::vector<double> proc_solo_;         // [K] total solo work per processor
+  std::vector<double> proc_solo_;         // [Kp_] solo work per processor (0-padded)
   double base_score_ = 0.0;
 };
 

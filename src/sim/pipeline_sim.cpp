@@ -9,6 +9,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 
 namespace h2p {
 namespace {
@@ -37,13 +38,14 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
   const std::size_t P = soc.num_processors();
   out.num_procs = P;
   out.num_models = table.num_models;
-  out.tasks.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (table.proc_idx[i] >= P) {
-      throw std::invalid_argument("simulate: task references unknown processor");
-    }
+  if (n > 0 && table.max_proc_idx >= P) {
+    out.tasks.clear();
+    throw std::invalid_argument("simulate: task references unknown processor");
   }
-  if (n == 0) return;
+  if (n == 0) {
+    out.tasks.clear();
+    return;
+  }
 
   static obs::Counter& c_tasks = obs::Registry::global().counter("des.tasks");
   static obs::Counter& c_migrations =
@@ -62,15 +64,51 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
   std::size_t fault_cursor = 0;
   if (faults != nullptr) fault_edges = faults->edges();
 
-  scratch.prepare(table, P);
+  // Without a fault script nothing can migrate, so the scratch views the
+  // table's columns and queues directly instead of copying them.
+  scratch.prepare(table, P, /*alias_columns=*/faults == nullptr);
+  // resize, not clear-then-resize: every slot [0, n) is overwritten at its
+  // task's retirement before the function returns, and skipping the
+  // clear makes the steady-state reuse a no-op size compare instead of a
+  // value-initializing re-append of the whole record array.
   out.tasks.resize(n);
 
   std::span<std::uint8_t> done = scratch.done;
   std::span<std::uint8_t> started = scratch.started;
-  std::span<sim::SimScratch::Running> running = scratch.running;
+  std::span<std::uint32_t> run_task = scratch.run_task;
+  std::span<double> run_remaining = scratch.run_remaining;
+  std::span<double> run_start = scratch.run_start;
+  std::span<double> run_solo = scratch.run_solo;
   std::size_t& running_size = scratch.running_size;
   std::span<std::int32_t> proc_running = scratch.proc_running;
-  const std::size_t stride = scratch.queue_stride;
+  const std::size_t Pp = scratch.padded_procs;
+
+  // Dense Eq. 2 operands: one coupling row per victim processor,
+  // zero-padded and zero-diagonal, against a per-event aggressor intensity
+  // buffer indexed by processor.  gamma depends only on processor kinds, so
+  // the rows are refilled only when the kind signature or the carve address
+  // changes (see SimScratch::coupling_sig) — steady-state scoring sweeps
+  // reuse the previous run's rows.
+  if (options.contention) {
+    std::uint64_t sig = (static_cast<std::uint64_t>(P) << 8) | 1u;
+    for (std::size_t p = 0; p < P; ++p) {
+      sig = sig * 131u + static_cast<std::uint64_t>(soc.processor(p).kind);
+    }
+    if (sig != scratch.coupling_sig ||
+        scratch.coupling.data() != scratch.coupling_ptr) {
+      contention.fill_coupling_rows(scratch.coupling, Pp);
+      // Column-major mirror for the all-victims matvec; victim rows past P
+      // don't exist and contribute exact zeros.
+      for (std::size_t q = 0; q < Pp; ++q) {
+        for (std::size_t v = 0; v < Pp; ++v) {
+          scratch.coupling_t[q * Pp + v] =
+              v < P ? scratch.coupling[v * Pp + q] : 0.0;
+        }
+      }
+      scratch.coupling_sig = sig;
+      scratch.coupling_ptr = scratch.coupling.data();
+    }
+  }
 
   std::size_t arrival_cursor = 0;
   double now = 0.0;
@@ -100,9 +138,16 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
                : std::numeric_limits<double>::infinity();
   };
 
+  // Plan/compiled lowerings release everything at t=0; skip the per-task
+  // arrival compare when no strictly-positive arrival exists at all.
+  const bool has_arrivals = !table.arrival_order.empty();
+  // With arrivals or faults in play, readiness can change without a
+  // retirement (a clock jump, a recovery edge) — re-arm every processor's
+  // start scan each event instead of relying on retirement wakes.
+  const bool conservative_wake = has_arrivals || faults != nullptr;
   auto task_ready = [&](std::size_t i) {
     if (started[i] || done[i]) return false;
-    if (table.arrival_ms[i] > now + eps) return false;
+    if (has_arrivals && table.arrival_ms[i] > now + eps) return false;
     if (table.explicit_deps[i]) {
       for (const std::uint32_t d : table.deps_of(i)) {
         if (!done[d]) return false;  // a join waits on every branch tail
@@ -162,7 +207,7 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
     scratch.sens[i] = table.alt_sensitivity[i * table.alt_procs + best];
     scratch.intens[i] = table.alt_intensity[i * table.alt_procs + best];
     started[i] = 0;
-    std::uint32_t* qd = scratch.queue_data.data() + best * stride;
+    std::uint32_t* qd = scratch.queue_data.data() + scratch.queue_base[best];
     const std::uint32_t sz = scratch.queue_size[best];
     std::uint32_t* pos =
         std::lower_bound(qd, qd + sz, static_cast<std::uint32_t>(i), queue_cmp);
@@ -171,6 +216,7 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
     *pos = static_cast<std::uint32_t>(i);
     scratch.queue_size[best] = sz + 1;
     scratch.queue_cursor[best] = std::min(scratch.queue_cursor[best], idx);
+    scratch.proc_startable[best] = 1;
   };
   auto sweep_permanent_faults = [&] {
     if (faults == nullptr) return;
@@ -182,21 +228,26 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
       obs::Tracer::global().instant("des.proc_permanently_down",
                                     {{"proc", static_cast<double>(p)}});
       // Abort the running task first so it migrates like the queued ones.
+      // proc_running holds the task index, so find its running slot by
+      // scanning (cold path — permanent drop-outs are rare by design).
       if (proc_running[p] >= 0) {
-        const auto ri = static_cast<std::size_t>(proc_running[p]);
-        started[running[ri].task_idx] = 0;
+        const auto t = static_cast<std::uint32_t>(proc_running[p]);
+        std::size_t ri = 0;
+        while (ri < running_size && run_task[ri] != t) ++ri;
+        started[t] = 0;
         for (std::size_t rj = ri; rj + 1 < running_size; ++rj) {
-          running[rj] = running[rj + 1];
+          run_task[rj] = run_task[rj + 1];
+          run_remaining[rj] = run_remaining[rj + 1];
+          run_start[rj] = run_start[rj + 1];
+          run_solo[rj] = run_solo[rj + 1];
         }
         --running_size;
-        std::fill(proc_running.begin(), proc_running.end(), -1);
-        for (std::size_t rj = 0; rj < running_size; ++rj) {
-          proc_running[scratch.proc[running[rj].task_idx]] =
-              static_cast<std::int32_t>(rj);
-        }
+        // Keep the padded tail an exact 0.0 for the masked lane kernels.
+        run_remaining[running_size] = 0.0;
+        proc_running[p] = -1;
       }
       std::size_t pending_n = 0;
-      const std::uint32_t* qd = scratch.queue_data.data() + p * stride;
+      const std::uint32_t* qd = scratch.queue_data.data() + scratch.queue_base[p];
       for (std::uint32_t pos = scratch.queue_cursor[p];
            pos < scratch.queue_size[p]; ++pos) {
         if (!done[qd[pos]]) scratch.pending[pending_n++] = qd[pos];
@@ -212,8 +263,9 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
   auto start_eligible = [&] {
     for (std::size_t p = 0; p < P; ++p) {
       if (proc_running[p] >= 0) continue;
+      if (!scratch.proc_startable[p]) continue;
       if (faults != nullptr && !faults->available(p, now)) continue;
-      const std::uint32_t* qd = scratch.queue_data.data() + p * stride;
+      const std::uint32_t* qd = scratch.queue_data.data() + scratch.queue_base[p];
       std::uint32_t& cur = scratch.queue_cursor[p];
       while (cur < scratch.queue_size[p] && done[qd[cur]]) ++cur;
       std::int64_t best = -1;
@@ -223,37 +275,54 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
           break;  // sorted: first ready is min (model, seq)
         }
       }
-      if (best >= 0) {
+      if (best < 0) {
+        // Nothing startable here until a retirement wakes this queue again.
+        scratch.proc_startable[p] = 0;
+      } else {
         const auto bi = static_cast<std::size_t>(best);
         started[bi] = 1;
-        proc_running[p] = static_cast<std::int32_t>(running_size);
-        running[running_size++] = sim::SimScratch::Running{
-            bi, std::max(scratch.solo[bi], 0.0), now, scratch.solo[bi]};
+        proc_running[p] = static_cast<std::int32_t>(bi);
+        run_task[running_size] = static_cast<std::uint32_t>(bi);
+        run_remaining[running_size] = std::max(scratch.solo[bi], 0.0);
+        run_start[running_size] = now;
+        run_solo[running_size] = scratch.solo[bi];
+        ++running_size;
       }
     }
   };
 
   // Per-event rates, computed once and reused for both the dt search and
-  // the advance.  `rates`/`others` are arena spans of capacity P — the
-  // aggressor list is rebuilt per running task into the same buffer, no
-  // allocation per event.
+  // the advance.  Gather-free dense Eq. 2: every processor carries at most
+  // one running task, so the aggressor set *is* a per-processor intensity
+  // vector — scatter each running task's intensity to its processor slot,
+  // then ONE vertical matvec over the transposed coupling matrix prices
+  // every victim processor at once (each row is diagonal-zero, so the sum
+  // self-excludes exactly).  Bit-identical to the old per-victim
+  // aggressor-list walk: fixed_matvec_cols replays fixed_dot's term order
+  // per victim (see util/simd.h), the list enumerated aggressors in the
+  // same ascending processor order, and the skipped self entry contributes
+  // gamma(p,p) * I = 0 exactly.
   std::span<double> rates = scratch.rates;
-  std::span<Aggressor> others = scratch.others;
+  std::span<double> proc_intensity = scratch.proc_intensity;
+  std::span<double> extra_by_proc = scratch.extra_by_proc;
+  const double* coupling_t = scratch.coupling_t.data();
   auto compute_rates = [&] {
+    // Keep padded tail slots [running_size, Pp) at an exact 0.0 so the
+    // masked min-dt lane kernel blends them out.
+    for (std::size_t q = 0; q < Pp; ++q) rates[q] = 0.0;
     for (std::size_t ri = 0; ri < running_size; ++ri) rates[ri] = 1.0;
-    if (options.contention) {
+    if (options.contention && running_size > 1) {
+      for (std::size_t q = 0; q < Pp; ++q) proc_intensity[q] = 0.0;
       for (std::size_t ri = 0; ri < running_size; ++ri) {
-        const sim::SimScratch::Running& r = running[ri];
-        std::size_t others_n = 0;
-        for (std::size_t rj = 0; rj < running_size; ++rj) {
-          const std::size_t o = running[rj].task_idx;
-          if (o == r.task_idx) continue;
-          others[others_n++] = Aggressor{scratch.proc[o], scratch.intens[o]};
-        }
-        const double factor = contention.slowdown(
-            scratch.proc[r.task_idx], scratch.sens[r.task_idx],
-            std::span<const Aggressor>(others.data(), others_n));
-        rates[ri] = 1.0 / factor;
+        const std::size_t t = run_task[ri];
+        proc_intensity[scratch.proc[t]] = scratch.intens[t];
+      }
+      simd::fixed_matvec_cols(coupling_t, proc_intensity.data(),
+                              extra_by_proc.data(), Pp);
+      for (std::size_t ri = 0; ri < running_size; ++ri) {
+        const std::size_t t = run_task[ri];
+        rates[ri] = 1.0 / ContentionModel::slowdown_from_extra(
+                              extra_by_proc[scratch.proc[t]], scratch.sens[t]);
       }
     }
     if (faults != nullptr) {
@@ -261,7 +330,7 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
       // edge.  A transiently dropped processor freezes its running task
       // (rate 0, driver queue preserved); a slowed one derates it.
       for (std::size_t ri = 0; ri < running_size; ++ri) {
-        const std::size_t p = scratch.proc[running[ri].task_idx];
+        const std::size_t p = scratch.proc[run_task[ri]];
         if (!faults->available(p, now)) {
           rates[ri] = 0.0;
         } else {
@@ -276,6 +345,10 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
   while (completed < n) {
     if (++guard > guard_max + n * n) {
       throw std::runtime_error("simulate: no progress (dependency cycle?)");
+    }
+    if (conservative_wake) {
+      std::fill(scratch.proc_startable.begin(), scratch.proc_startable.end(),
+                std::uint8_t{1});
     }
     sweep_permanent_faults();
     start_eligible();
@@ -296,11 +369,12 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
     // Advance to the earliest completion, next arrival or fault edge under
     // current rates (frozen tasks never finish within the step).
     compute_rates();
-    double dt = std::numeric_limits<double>::infinity();
-    for (std::size_t ri = 0; ri < running_size; ++ri) {
-      if (rates[ri] <= 0.0) continue;
-      dt = std::min(dt, running[ri].remaining_solo_ms / std::max(rates[ri], 1e-9));
-    }
+    // Masked lane reduction over the padded running set: frozen tasks
+    // (rate <= 0) and the zeroed tail slots blend to +inf before the
+    // horizontal min.  min/max are order-independent over finite doubles,
+    // so the lane kernel matches the old slot-order scan bit for bit.
+    double dt = simd::min_positive_ratio(run_remaining.data(), rates.data(),
+                                         Pp, 1e-9);
     const double upcoming = next_arrival_ms();
     if (std::isfinite(upcoming)) dt = std::min(dt, upcoming - now);
     const double fault_edge = next_fault_edge_ms();
@@ -315,9 +389,8 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
     }
     dt = std::max(dt, 0.0);
 
-    for (std::size_t ri = 0; ri < running_size; ++ri) {
-      running[ri].remaining_solo_ms -= rates[ri] * dt;
-    }
+    // In-place lane-wide advance; tail slots stay 0 - 0*dt = 0 exactly.
+    simd::mul_sub_inplace(run_remaining.data(), rates.data(), dt, Pp);
     now += dt;
 
     // Retire finished tasks, compacting `running` in place (stable, so the
@@ -325,29 +398,37 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
     // original exactly).
     std::size_t w = 0;
     for (std::size_t ri = 0; ri < running_size; ++ri) {
-      const sim::SimScratch::Running& r = running[ri];
-      if (r.remaining_solo_ms <= eps) {
-        const std::size_t i = r.task_idx;
+      if (run_remaining[ri] <= eps) {
+        const std::size_t i = run_task[ri];
         done[i] = 1;
+        proc_running[scratch.proc[i]] = -1;
+        // Wake the freed processor and every processor holding a dependent.
+        scratch.proc_startable[scratch.proc[i]] = 1;
+        for (const std::uint32_t s : table.succs_of(i)) {
+          scratch.proc_startable[scratch.proc[s]] = 1;
+        }
         ++completed;
         TaskRecord rec;
         rec.model_idx = table.model_idx[i];
         rec.seq_in_model = table.seq_in_model[i];
         rec.proc_idx = scratch.proc[i];
-        rec.start_ms = r.start_ms;
+        rec.start_ms = run_start[ri];
         rec.end_ms = now;
-        rec.solo_ms = r.solo_ms;
+        rec.solo_ms = run_solo[ri];
         out.tasks[i] = rec;
       } else {
-        running[w++] = r;
+        run_task[w] = run_task[ri];
+        run_remaining[w] = run_remaining[ri];
+        run_start[w] = run_start[ri];
+        run_solo[w] = run_solo[ri];
+        ++w;
       }
     }
+    // Re-zero the vacated tail so next event's masked kernels see exact 0s.
+    // proc_running needs no rebuild: it maps processors to task indices
+    // (cleared at retirement above), which compaction doesn't disturb.
+    for (std::size_t ri = w; ri < running_size; ++ri) run_remaining[ri] = 0.0;
     running_size = w;
-    std::fill(proc_running.begin(), proc_running.end(), -1);
-    for (std::size_t ri = 0; ri < running_size; ++ri) {
-      proc_running[scratch.proc[running[ri].task_idx]] =
-          static_cast<std::int32_t>(ri);
-    }
   }
 }
 

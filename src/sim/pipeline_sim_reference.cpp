@@ -2,6 +2,17 @@
 // TaskTable/SimScratch rewrite, minus the observability instrumentation.
 // Kept only as the bit-identity oracle for pipeline_sim_test; see the
 // header for the contract.
+//
+// Re-frozen alongside the SIMD rate kernels: the per-event Eq. 2 extra
+// contention is now the *dense fixed-order* reduction documented in
+// util/simd.h — aggressor intensities scattered into a per-processor
+// vector, term q accumulated into accumulator q % 4 in ascending q, halves
+// combined as (a0 + a1) + (a2 + a3) — hand-coded here with no simd.h
+// dependency so the oracle stays independent of the code under test.  The
+// old form walked an aggressor list in running-slot order, which is a
+// different summation order for 3+ co-running tasks; keeping the oracle on
+// that order would break the bit-identity contract against the vectorized
+// DES for reasons that are pure reduction-order, not behaviour.
 
 #include "sim/pipeline_sim_reference.h"
 
@@ -42,7 +53,6 @@ Timeline simulate_reference(const Soc& soc, std::vector<SimTask> tasks,
   }
   if (n == 0) return timeline;
 
-  ContentionModel contention(soc);
   const std::size_t P = soc.num_processors();
   const FaultScript* faults = options.faults;
   if (faults != nullptr && faults->empty()) faults = nullptr;
@@ -239,22 +249,44 @@ Timeline simulate_reference(const Soc& soc, std::vector<SimTask> tasks,
 
   std::vector<double> rates;
   rates.reserve(P);
-  std::vector<Aggressor> others;
-  others.reserve(P);
+  // Dense fixed-order Eq. 2 operands: zero-diagonal coupling rows padded to
+  // a multiple of four, and a per-processor aggressor intensity vector
+  // (every processor runs at most one task, so scattering is exact).  The
+  // diagonal zero makes the dot product self-excluding, replacing the old
+  // explicit skip.
+  const std::size_t Pp = (P + 3) & ~static_cast<std::size_t>(3);
+  std::vector<double> proc_intensity(Pp, 0.0);
+  std::vector<double> coupling_rows(P * Pp, 0.0);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t q = 0; q < P; ++q) {
+      coupling_rows[p * Pp + q] = soc.coupling(p, q);
+    }
+  }
+  // Hand-coded simd::fixed_dot: term q into accumulator q % 4 ascending,
+  // halves combined (a0 + a1) + (a2 + a3), multiplies left unfused.
+  auto fixed_extra = [&](std::size_t victim_proc) {
+    const double* row = coupling_rows.data() + victim_proc * Pp;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t q = 0; q + 4 <= Pp; q += 4) {
+      a0 += row[q] * proc_intensity[q];
+      a1 += row[q + 1] * proc_intensity[q + 1];
+      a2 += row[q + 2] * proc_intensity[q + 2];
+      a3 += row[q + 3] * proc_intensity[q + 3];
+    }
+    return (a0 + a1) + (a2 + a3);
+  };
   auto compute_rates = [&] {
     rates.assign(running.size(), 1.0);
-    if (options.contention) {
+    if (options.contention && running.size() > 1) {
+      std::fill(proc_intensity.begin(), proc_intensity.end(), 0.0);
+      for (const Running& o : running) {
+        proc_intensity[tasks[o.task_idx].proc_idx] = tasks[o.task_idx].intensity;
+      }
       for (std::size_t ri = 0; ri < running.size(); ++ri) {
         const Running& r = running[ri];
-        others.clear();
-        for (const Running& o : running) {
-          if (o.task_idx == r.task_idx) continue;
-          others.push_back(
-              Aggressor{tasks[o.task_idx].proc_idx, tasks[o.task_idx].intensity});
-        }
-        const double factor = contention.slowdown(
-            tasks[r.task_idx].proc_idx, tasks[r.task_idx].sensitivity, others);
-        rates[ri] = 1.0 / factor;
+        const double extra = fixed_extra(tasks[r.task_idx].proc_idx);
+        rates[ri] = 1.0 / ContentionModel::slowdown_from_extra(
+                              extra, tasks[r.task_idx].sensitivity);
       }
     }
     if (faults != nullptr) {

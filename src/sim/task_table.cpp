@@ -9,6 +9,7 @@
 #include "exec/compiled_plan.h"
 #include "sim/pipeline_sim.h"
 #include "soc/cost_model.h"
+#include "util/simd.h"
 
 namespace h2p::sim {
 
@@ -17,6 +18,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 void TaskTable::clear() {
+  n_ = 0;
+  max_proc_idx = 0;
+  plan_structure_ = false;
+  finalized_min_procs_ = 0;
   model_idx.clear();
   seq_in_model.clear();
   proc_idx.clear();
@@ -38,26 +43,42 @@ void TaskTable::clear() {
   proc_offsets.clear();
   proc_order.clear();
   arrival_order.clear();
+  succ_offsets.clear();
+  succ_edges.clear();
 }
 
-void TaskTable::finalize(std::size_t min_procs) {
-  const std::size_t n = size();
+void TaskTable::finalize(std::size_t min_procs, std::size_t n_logical) {
+  // Builders pass the logical task count (build_from_plan pre-pads its
+  // double columns, so solo_ms.size() is not it); everything below reads
+  // n_, and the double columns gain zero padding at the very end.
+  n_ = n_logical;
+  const std::size_t n = n_;
+  // Structure-reuse bookkeeping: build_from_plan re-sets plan_structure_
+  // after this returns; any other builder leaves it cleared.
+  plan_structure_ = false;
+  finalized_min_procs_ = min_procs;
   dep_offsets.resize(n + 1);  // builders fill; guard the empty-table case
   if (n == 0 && dep_offsets[0] != 0) dep_offsets[0] = 0;
 
   num_models = 0;
   num_procs = min_procs;
+  max_proc_idx = 0;
   for (std::size_t i = 0; i < n; ++i) {
     num_models = std::max<std::size_t>(num_models, model_idx[i] + 1);
     num_procs = std::max<std::size_t>(num_procs, proc_idx[i] + 1);
+    max_proc_idx = std::max<std::size_t>(max_proc_idx, proc_idx[i]);
   }
 
   // Validate explicit edges here so every entry path throws the same error
-  // the AoS simulator did.
+  // the AoS simulator did; the same walk counts each task's dependents for
+  // the forward adjacency (dep_edges holds explicit edges only, so no
+  // per-task filtering is needed).
+  succ_offsets.assign(n + 1, 0);
   for (const std::uint32_t d : dep_edges) {
     if (d >= n) {
       throw std::invalid_argument("simulate: dependency on unknown task");
     }
+    ++succ_offsets[d + 1];
   }
 
   // Chain predecessor resolution: latest smaller seq_in_model per model,
@@ -74,13 +95,18 @@ void TaskTable::finalize(std::size_t min_procs) {
       arrival_order.push_back(static_cast<std::uint32_t>(i));
     }
   }
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    if (model_idx[a] != model_idx[b]) return model_idx[a] < model_idx[b];
-    if (seq_in_model[a] != seq_in_model[b]) {
-      return seq_in_model[a] < seq_in_model[b];
-    }
-    return a < b;
-  });
+  if (!order.empty()) {
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (model_idx[a] != model_idx[b]) {
+                  return model_idx[a] < model_idx[b];
+                }
+                if (seq_in_model[a] != seq_in_model[b]) {
+                  return seq_in_model[a] < seq_in_model[b];
+                }
+                return a < b;
+              });
+  }
   for (std::size_t lo = 0; lo < order.size();) {
     std::size_t hi = lo;
     while (hi < order.size() && model_idx[order[hi]] == model_idx[order[lo]]) {
@@ -104,37 +130,99 @@ void TaskTable::finalize(std::size_t min_procs) {
     lo = hi;
   }
 
+  // Forward adjacency: dependents by explicit edge, chain successors by
+  // pred (chain links exist only for the non-explicit tasks still listed in
+  // `order`).  Built with the usual in-place counting-sort cursor trick;
+  // the DES uses it to wake only the processors a retirement could unblock.
+  for (const std::uint32_t j : order) {
+    if (pred[j] >= 0) ++succ_offsets[static_cast<std::size_t>(pred[j]) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) succ_offsets[i + 1] += succ_offsets[i];
+  succ_edges.resize(n == 0 ? 0 : succ_offsets[n]);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::uint32_t e = dep_offsets[j]; e < dep_offsets[j + 1]; ++e) {
+      succ_edges[succ_offsets[dep_edges[e]]++] = static_cast<std::uint32_t>(j);
+    }
+  }
+  for (const std::uint32_t j : order) {
+    if (pred[j] >= 0) {
+      succ_edges[succ_offsets[static_cast<std::size_t>(pred[j])]++] =
+          static_cast<std::uint32_t>(j);
+    }
+  }
+  for (std::size_t i = n; i > 0; --i) succ_offsets[i] = succ_offsets[i - 1];
+  succ_offsets[0] = 0;
+
   // Strictly-positive arrivals in ascending order (index tie-break: the
   // returned next-arrival *time* is what the simulator consumes, so any
   // deterministic order among equal arrivals is equivalent).
-  std::sort(arrival_order.begin(), arrival_order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              if (arrival_ms[a] != arrival_ms[b]) {
-                return arrival_ms[a] < arrival_ms[b];
-              }
-              return a < b;
-            });
-
-  // Per-processor dispatch queues, (model, seq, index)-sorted: one global
-  // sort keyed on the processor first yields every per-proc queue in the
-  // same order the per-queue sorts produced.
-  order.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    order[i] = static_cast<std::uint32_t>(i);
+  if (!arrival_order.empty()) {
+    std::sort(arrival_order.begin(), arrival_order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (arrival_ms[a] != arrival_ms[b]) {
+                  return arrival_ms[a] < arrival_ms[b];
+                }
+                return a < b;
+              });
   }
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    if (proc_idx[a] != proc_idx[b]) return proc_idx[a] < proc_idx[b];
-    if (model_idx[a] != model_idx[b]) return model_idx[a] < model_idx[b];
-    if (seq_in_model[a] != seq_in_model[b]) {
-      return seq_in_model[a] < seq_in_model[b];
-    }
-    return a < b;
-  });
+
+  // Per-processor dispatch queues, (model, seq, index)-sorted.  The plan /
+  // compiled-plan lowerings emit tasks model-major with ascending seq, so
+  // ascending task index already IS (model, seq, idx) order; a stable
+  // counting sort by processor then yields exactly what the comparator sort
+  // produced, at O(n + P) with no allocation — finalize runs per scored
+  // candidate, and the two sorts were its dominant cost.  Arbitrary AoS
+  // inputs (build_from_tasks) fall back to the comparator sort.
   proc_offsets.assign(num_procs + 1, 0);
   for (std::size_t i = 0; i < n; ++i) ++proc_offsets[proc_idx[i] + 1];
   for (std::size_t p = 0; p < num_procs; ++p) {
     proc_offsets[p + 1] += proc_offsets[p];
   }
+  bool index_sorted = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (model_idx[i - 1] > model_idx[i] ||
+        (model_idx[i - 1] == model_idx[i] &&
+         seq_in_model[i - 1] > seq_in_model[i])) {
+      index_sorted = false;
+      break;
+    }
+  }
+  order.assign(n, 0);
+  if (index_sorted) {
+    // proc_offsets doubles as the bucket cursor, then shifts back in place.
+    for (std::size_t i = 0; i < n; ++i) {
+      order[proc_offsets[proc_idx[i]]++] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t p = num_procs; p > 0; --p) {
+      proc_offsets[p] = proc_offsets[p - 1];
+    }
+    proc_offsets[0] = 0;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (proc_idx[a] != proc_idx[b]) return proc_idx[a] < proc_idx[b];
+                if (model_idx[a] != model_idx[b]) {
+                  return model_idx[a] < model_idx[b];
+                }
+                if (seq_in_model[a] != seq_in_model[b]) {
+                  return seq_in_model[a] < seq_in_model[b];
+                }
+                return a < b;
+              });
+  }
+
+  // Zero-pad the double columns to a lane multiple (vector kernels sweep
+  // whole lanes; the padding is dead weight the logical accessors never
+  // expose).  Last step: everything above reads the logical extent.
+  const std::size_t np = simd::padded_size(n);
+  solo_ms.resize(np, 0.0);
+  sensitivity.resize(np, 0.0);
+  intensity.resize(np, 0.0);
+  arrival_ms.resize(np, 0.0);
+  dram_bytes.resize(np, 0.0);
 }
 
 void TaskTable::build_from_tasks(std::span<const SimTask> tasks,
@@ -193,7 +281,7 @@ void TaskTable::build_from_tasks(std::span<const SimTask> tasks,
       }
     }
   }
-  finalize(min_procs);
+  finalize(min_procs, n);
 }
 
 void TaskTable::build_from_compiled(const exec::CompiledPlan& compiled,
@@ -245,13 +333,20 @@ void TaskTable::build_from_compiled(const exec::CompiledPlan& compiled,
       alt_intensity[e] = compiled.fallback[e].intensity;
     }
   }
-  finalize(min_procs);
+  finalize(min_procs, n);
 }
 
 void TaskTable::build_from_plan(const PipelinePlan& plan,
                                 const StaticEvaluator& eval) {
-  clear();
   const std::size_t P = eval.soc().num_processors();
+
+  // Count-and-validate pass first (same checks, same order, so the first
+  // error thrown is identical to the old incremental build), then size every
+  // column once and fill through direct indexing — this runs once per scored
+  // candidate, and ~10 interleaved push_backs per task kept reloading each
+  // vector's end pointer.
+  std::size_t n = 0;
+  std::size_t num_edges = 0;
   for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
     const ModelPlan& mp = plan.models[slot];
     if (mp.model_index >= eval.num_models()) {
@@ -259,10 +354,8 @@ void TaskTable::build_from_plan(const PipelinePlan& plan,
           "compile: plan references model index beyond the evaluator's model "
           "list (plan and model list disagree?)");
     }
-    const CostTable& t = eval.table(mp.model_index);
     const std::size_t num_layers = eval.model(mp.model_index).num_layers();
-    std::uint32_t seq = 0;
-    std::int64_t prev = -1;
+    std::size_t model_tasks = 0;
     for (std::size_t k = 0; k < mp.slices.size(); ++k) {
       const Slice& sl = mp.slices[k];
       if (sl.empty()) continue;
@@ -272,82 +365,226 @@ void TaskTable::build_from_plan(const PipelinePlan& plan,
       if (sl.end > num_layers) {
         throw std::invalid_argument("lower_range: layer range exceeds model");
       }
-      // Same cost-table reads, in the same order, as exec::lower_range —
+      ++model_tasks;
+    }
+    n += model_tasks;
+    if (model_tasks > 0) num_edges += model_tasks - 1;
+  }
+
+  // No clear(): every cell in [0, n) is overwritten below and the double
+  // columns are sized straight to the padded extent with the tail re-zeroed
+  // by hand, so in the steady state (a rescoring sweep re-lowering
+  // same-shaped candidates) every resize here and in finalize() is a no-op
+  // size compare instead of a libstdc++ default-append memset — those
+  // fifteen-odd calls per build were a measurable slice of the scoring
+  // path.  The alt fallback table is detached by stride: stale alt columns
+  // from a previous build_from_tasks are never indexed once alt_procs is 0.
+  const std::size_t np = simd::padded_size(n);
+  alt_procs = 0;
+  // Rescoring sweeps mutate slice *boundaries*, not slot-to-processor
+  // assignments, so successive candidates usually share the exact task
+  // structure — and every derived structure finalize() rebuilds (preds,
+  // queues, forward adjacency, arrival order) depends only on the
+  // structural columns.  `maybe_same` gates a per-cell verification in the
+  // fill loop below: if the previous build was a plan lowering with the
+  // same n and P, and every (model, proc) cell verifies unchanged, the
+  // finalize() call is skipped outright.  Verification is exact equality,
+  // not a hash — a single differing cell falls back to the full rebuild.
+  const bool maybe_same =
+      plan_structure_ && n == n_ && P == finalized_min_procs_;
+  bool same = maybe_same;
+  model_idx.resize(n);
+  seq_in_model.resize(n);
+  proc_idx.resize(n);
+  solo_ms.resize(np);
+  sensitivity.resize(np);
+  intensity.resize(np);
+  arrival_ms.resize(np);
+  dram_bytes.resize(np);
+  // A previous plan lowering left explicit_deps all-ones at this exact
+  // size; anything else gets the fill.
+  if (!maybe_same) explicit_deps.assign(n, 1);
+  dep_offsets.resize(n + 1);
+  dep_edges.resize(num_edges);
+  for (std::size_t i = n; i < np; ++i) {
+    solo_ms[i] = 0.0;
+    sensitivity[i] = 0.0;
+    intensity[i] = 0.0;
+    arrival_ms[i] = 0.0;
+    dram_bytes[i] = 0.0;
+  }
+
+  std::size_t w = 0;
+  std::size_t e = 0;
+  for (std::size_t slot = 0; slot < plan.models.size(); ++slot) {
+    const ModelPlan& mp = plan.models[slot];
+    const CostTable& t = eval.table(mp.model_index);
+    std::uint32_t seq = 0;
+    for (std::size_t k = 0; k < mp.slices.size(); ++k) {
+      const Slice& sl = mp.slices[k];
+      if (sl.empty()) continue;
+      // Same cost-table numbers, in the same order, as exec::lower_range —
       // solo is exec + inbound copy, so every double matches the two-step
-      // compile + tasks_from_compiled lowering exactly.
-      const double exec = t.exec_ms(k, sl.begin, sl.end - 1);
+      // compile + tasks_from_compiled lowering exactly.  The fused accessor
+      // collapses the four standalone reads (six slice_cost walks) into one;
+      // its fields are bit-identical to exec_ms / mem_sensitivity /
+      // intensity / dram_bytes.
+      const CostTable::SliceSimCosts sc =
+          t.slice_sim_costs(k, sl.begin, sl.end - 1);
       const double copy = sl.begin > 0 ? t.boundary_copy_ms(k, sl.begin) : 0.0;
-      model_idx.push_back(static_cast<std::uint32_t>(slot));
-      seq_in_model.push_back(seq++);
-      proc_idx.push_back(static_cast<std::uint32_t>(k));
-      solo_ms.push_back(exec + copy);
-      sensitivity.push_back(t.mem_sensitivity(k, sl.begin, sl.end - 1));
-      intensity.push_back(t.intensity(k, sl.begin, sl.end - 1));
-      dram_bytes.push_back(t.dram_bytes(k, sl.begin, sl.end - 1));
-      arrival_ms.push_back(0.0);
-      explicit_deps.push_back(1);
-      dep_offsets.push_back(static_cast<std::uint32_t>(dep_edges.size()));
-      if (prev >= 0) dep_edges.push_back(static_cast<std::uint32_t>(prev));
-      prev = static_cast<std::int64_t>(model_idx.size()) - 1;
+      const auto mi = static_cast<std::uint32_t>(slot);
+      const auto pi = static_cast<std::uint32_t>(k);
+      // The (model, proc) pair determines every other structural cell for a
+      // plan lowering (seq counts within the slot, deps chain within the
+      // model), so these two compares verify the whole row.
+      same = same && model_idx[w] == mi && proc_idx[w] == pi;
+      model_idx[w] = mi;
+      seq_in_model[w] = seq;
+      proc_idx[w] = pi;
+      solo_ms[w] = sc.exec_ms + copy;
+      sensitivity[w] = sc.sensitivity;
+      intensity[w] = sc.intensity;
+      arrival_ms[w] = 0.0;  // stale slots may hold a prior table's arrivals
+      dram_bytes[w] = sc.dram_bytes;
+      dep_offsets[w] = static_cast<std::uint32_t>(e);
+      if (seq > 0) dep_edges[e++] = static_cast<std::uint32_t>(w - 1);
+      ++seq;
+      ++w;
     }
   }
-  dep_offsets.push_back(static_cast<std::uint32_t>(dep_edges.size()));
-  finalize(P);
+  dep_offsets[n] = static_cast<std::uint32_t>(e);
+  if (same) return;  // derived structures from the previous build still hold
+  finalize(P, n);
+  plan_structure_ = true;
 }
 
-void SimScratch::prepare(const TaskTable& table, std::size_t P) {
+void SimScratch::prepare(const TaskTable& table, std::size_t P,
+                         bool alias_columns) {
   const std::size_t n = table.size();
-  arena_.reset();
-  // One reservation covers the whole carve (plus per-span alignment slack),
-  // so spans never move mid-prepare and steady-state cycles reuse the block.
+  const std::size_t Pp = simd::padded_size(P);
+  // One reservation covers the whole carve (plus per-span alignment slack —
+  // every carve rounds up to the arena's 64-byte boundary), so spans never
+  // move mid-prepare and steady-state cycles reuse the block.  The aliased
+  // mode carves less, but reserving the private-copy footprint keeps one
+  // arena block serving both modes.
   const std::size_t bytes =
-      n * (sizeof(std::uint32_t) + 3 * sizeof(double) + 2 * sizeof(std::uint8_t) +
-           sizeof(std::uint32_t)) +
+      n * (2 * sizeof(std::uint32_t) + 3 * sizeof(double) +
+           2 * sizeof(std::uint8_t)) +
       P * n * sizeof(std::uint32_t) +
-      P * (3 * sizeof(std::uint32_t) + sizeof(Running) + sizeof(std::int32_t) +
-           sizeof(double) + sizeof(Aggressor) + sizeof(std::uint8_t)) +
-      16 * 16;
-  arena_.reserve(bytes);
+      P * (4 * sizeof(std::uint32_t) + sizeof(std::int32_t) +
+           2 * sizeof(std::uint8_t)) +
+      Pp * (4 * sizeof(double) + sizeof(std::uint32_t)) +
+      P * Pp * sizeof(double) + (Pp * Pp + 2 * Pp) * sizeof(double) +
+      24 * util::MonotonicArena::kAlignment;
+  // Same (n, P) as the previous prepare -> every arena span is already
+  // carved at the same address (the carve is deterministic), so skip the
+  // reserve + twenty-odd bump allocations and go straight to
+  // re-initialization.  The per-run fills below always run: they are what
+  // makes a reused scratch bit-identical to a fresh one.
+  const bool carved = prepared_n_ == n && prepared_P_ == P;
+  if (!carved) {
+    arena_.reset();
+    arena_.reserve(bytes);
+    rates = arena_.make_span<double>(Pp);
+    run_task = arena_.make_span<std::uint32_t>(Pp);
+    run_remaining = arena_.make_span<double>(Pp);
+    run_start = arena_.make_span<double>(Pp);
+    run_solo = arena_.make_span<double>(Pp);
+    coupling = arena_.make_span<double>(P * Pp);
+    proc_intensity = arena_.make_span<double>(Pp);
+    coupling_t = arena_.make_span<double>(Pp * Pp);
+    extra_by_proc = arena_.make_span<double>(Pp);
+    queue_base = arena_.make_span<std::uint32_t>(P);
+    queue_size = arena_.make_span<std::uint32_t>(P);
+    queue_cursor = arena_.make_span<std::uint32_t>(P);
+    pending = arena_.make_span<std::uint32_t>(n);
+    proc_running = arena_.make_span<std::int32_t>(P);
+    done = arena_.make_span<std::uint8_t>(n);
+    started = arena_.make_span<std::uint8_t>(n);
+    proc_dead = arena_.make_span<std::uint8_t>(P);
+    proc_startable = arena_.make_span<std::uint8_t>(P);
+    prepared_n_ = n;
+    prepared_P_ = P;
+    prepared_private_ = false;
+  }
+  padded_procs = Pp;
 
-  solo = arena_.make_span<double>(n);
-  sens = arena_.make_span<double>(n);
-  intens = arena_.make_span<double>(n);
-  rates = arena_.make_span<double>(P);
-  running = arena_.make_span<Running>(P);
-  others = arena_.make_span<Aggressor>(P);
-  proc = arena_.make_span<std::uint32_t>(n);
-  queue_data = arena_.make_span<std::uint32_t>(P * n);
-  queue_size = arena_.make_span<std::uint32_t>(P);
-  queue_cursor = arena_.make_span<std::uint32_t>(P);
-  pending = arena_.make_span<std::uint32_t>(n);
-  proc_running = arena_.make_span<std::int32_t>(P);
-  done = arena_.make_span<std::uint8_t>(n);
-  started = arena_.make_span<std::uint8_t>(n);
-  proc_dead = arena_.make_span<std::uint8_t>(P);
+  if (alias_columns) {
+    // No-fault run: nothing ever writes the per-task columns or the queue
+    // contents (migration is the only writer and it requires a fault
+    // script), so view the table directly and skip four column copies plus
+    // the per-queue scatter.  const_cast is confined to building the view;
+    // the invariant is documented on the member declarations.
+    proc = {const_cast<std::uint32_t*>(table.proc_idx.data()), n};
+    solo = {const_cast<double*>(table.solo_ms.data()), n};
+    sens = {const_cast<double*>(table.sensitivity.data()), n};
+    intens = {const_cast<double*>(table.intensity.data()), n};
+    queue_data = {const_cast<std::uint32_t*>(table.proc_order.data()),
+                  table.proc_order.size()};
+    queue_stride = 0;
+    for (std::size_t p = 0; p < P; ++p) {
+      if (p < table.num_procs) {
+        queue_base[p] = table.proc_offsets[p];
+        queue_size[p] = table.proc_offsets[p + 1] - table.proc_offsets[p];
+      } else {
+        queue_base[p] = 0;
+        queue_size[p] = 0;
+      }
+    }
+  } else {
+    // Lazy private carve: the reserve budget above always includes the
+    // column copies, so the first copy-mode prepare at this geometry can
+    // carve them even if an aliasing prepare came first.
+    if (!prepared_private_) {
+      priv_solo_ = arena_.make_span<double>(n);
+      priv_sens_ = arena_.make_span<double>(n);
+      priv_intens_ = arena_.make_span<double>(n);
+      priv_proc_ = arena_.make_span<std::uint32_t>(n);
+      priv_queue_ = arena_.make_span<std::uint32_t>(P * n);
+      prepared_private_ = true;
+    }
+    solo = priv_solo_;
+    sens = priv_sens_;
+    intens = priv_intens_;
+    proc = priv_proc_;
+    queue_data = priv_queue_;
+    std::copy(table.proc_idx.begin(), table.proc_idx.end(), proc.begin());
+    std::copy(table.solo_ms.begin(), table.solo_ms.begin() + n, solo.begin());
+    std::copy(table.sensitivity.begin(), table.sensitivity.begin() + n,
+              sens.begin());
+    std::copy(table.intensity.begin(), table.intensity.begin() + n,
+              intens.begin());
+    queue_stride = n;
+    for (std::size_t p = 0; p < P; ++p) {
+      queue_base[p] = static_cast<std::uint32_t>(p * n);
+      if (p < table.num_procs) {
+        const std::uint32_t lo = table.proc_offsets[p];
+        const std::uint32_t hi = table.proc_offsets[p + 1];
+        queue_size[p] = hi - lo;
+        std::copy(table.proc_order.begin() + lo, table.proc_order.begin() + hi,
+                  queue_data.begin() + static_cast<std::ptrdiff_t>(p * n));
+      } else {
+        queue_size[p] = 0;
+      }
+    }
+  }
 
-  std::copy(table.proc_idx.begin(), table.proc_idx.end(), proc.begin());
-  std::copy(table.solo_ms.begin(), table.solo_ms.end(), solo.begin());
-  std::copy(table.sensitivity.begin(), table.sensitivity.end(), sens.begin());
-  std::copy(table.intensity.begin(), table.intensity.end(), intens.begin());
   std::fill(done.begin(), done.end(), std::uint8_t{0});
   std::fill(started.begin(), started.end(), std::uint8_t{0});
   std::fill(proc_dead.begin(), proc_dead.end(), std::uint8_t{0});
+  std::fill(proc_startable.begin(), proc_startable.end(), std::uint8_t{1});
   std::fill(proc_running.begin(), proc_running.end(), std::int32_t{-1});
   std::fill(queue_cursor.begin(), queue_cursor.end(), std::uint32_t{0});
+  // The masked lane kernels read whole padded spans: keep the dead slots at
+  // exact zeros so they never contribute.
+  std::fill(rates.begin(), rates.end(), 0.0);
+  std::fill(run_remaining.begin(), run_remaining.end(), 0.0);
+  std::fill(run_start.begin(), run_start.end(), 0.0);
+  std::fill(run_solo.begin(), run_solo.end(), 0.0);
+  std::fill(run_task.begin(), run_task.end(), std::uint32_t{0});
+  std::fill(proc_intensity.begin(), proc_intensity.end(), 0.0);
 
-  queue_stride = n;
   running_size = 0;
-  for (std::size_t p = 0; p < P; ++p) {
-    if (p < table.num_procs) {
-      const std::uint32_t lo = table.proc_offsets[p];
-      const std::uint32_t hi = table.proc_offsets[p + 1];
-      queue_size[p] = hi - lo;
-      std::copy(table.proc_order.begin() + lo, table.proc_order.begin() + hi,
-                queue_data.begin() + static_cast<std::ptrdiff_t>(p * n));
-    } else {
-      queue_size[p] = 0;
-    }
-  }
 }
 
 }  // namespace h2p::sim

@@ -43,7 +43,11 @@ namespace sim {
 /// concurrent simulations.
 class TaskTable {
  public:
-  // ---- columns (all size() long) -------------------------------------------
+  // ---- columns -------------------------------------------------------------
+  // Logically size() entries each; the double columns are physically padded
+  // with zeros to a util/simd.h lane multiple so vector kernels can sweep
+  // them without tail handling.  Both build paths pad identically, keeping
+  // whole-column comparisons between them exact.
   std::vector<std::uint32_t> model_idx;
   std::vector<std::uint32_t> seq_in_model;
   std::vector<std::uint32_t> proc_idx;
@@ -67,12 +71,23 @@ class TaskTable {
   // ---- derived, computed by the build_* members ----------------------------
   std::size_t num_models = 0;              // max model_idx + 1
   std::size_t num_procs = 0;               // queue count (>= max proc_idx + 1)
+  std::size_t max_proc_idx = 0;            // max proc_idx over tasks (0 if none)
   std::vector<std::int32_t> pred;          // chain predecessor, -1 = root
   std::vector<std::uint32_t> proc_offsets; // num_procs + 1
   std::vector<std::uint32_t> proc_order;   // per-proc (model, seq, idx) order
   std::vector<std::uint32_t> arrival_order;// tasks with arrival_ms > 0, sorted
+  // Forward adjacency (CSR): tasks whose readiness can change when i
+  // completes — explicit dependents plus chain successors.  The DES start
+  // scan uses it to wake only the processors a retirement could unblock.
+  std::vector<std::uint32_t> succ_offsets; // size()+1
+  std::vector<std::uint32_t> succ_edges;
 
-  [[nodiscard]] std::size_t size() const { return solo_ms.size(); }
+  [[nodiscard]] std::span<const std::uint32_t> succs_of(std::size_t i) const {
+    return {succ_edges.data() + succ_offsets[i],
+            succ_edges.data() + succ_offsets[i + 1]};
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] std::span<const std::uint32_t> deps_of(std::size_t i) const {
     return {dep_edges.data() + dep_offsets[i],
             dep_edges.data() + dep_offsets[i + 1]};
@@ -101,7 +116,14 @@ class TaskTable {
   void clear();
 
  private:
-  void finalize(std::size_t min_procs);
+  void finalize(std::size_t min_procs, std::size_t n_logical);
+
+  std::size_t n_ = 0;  // logical task count (columns are padded beyond it)
+  // True iff the current derived structures came from a build_from_plan
+  // finalize; lets the next plan lowering skip finalize() when its verified
+  // structural columns are unchanged (see build_from_plan).
+  bool plan_structure_ = false;
+  std::size_t finalized_min_procs_ = 0;
 };
 
 /// Every mutable buffer one DES evaluation needs, carved from a reusable
@@ -114,11 +136,17 @@ class TaskTable {
 class SimScratch {
  public:
   /// Carve and initialize all per-run state for `table` on `P` processors
-  /// (P >= table.num_procs).
-  void prepare(const TaskTable& table, std::size_t P);
+  /// (P >= table.num_procs).  With `alias_columns` set (the no-fault scoring
+  /// path) the per-task columns and dispatch queues alias the table directly
+  /// instead of being copied: only permanent-drop-out migration ever writes
+  /// them, and migration requires a fault script — callers running with
+  /// faults MUST pass false to get private copies.
+  void prepare(const TaskTable& table, std::size_t P,
+               bool alias_columns = false);
 
-  // Effective per-task state: starts as a copy of the table columns and is
-  // mutated only by permanent-drop-out migration.
+  // Effective per-task state: a copy of the table columns (or a read-only
+  // alias of them under `alias_columns`), mutated only by permanent
+  // drop-out migration.
   std::span<std::uint32_t> proc;
   std::span<double> solo;
   std::span<double> sens;
@@ -127,26 +155,62 @@ class SimScratch {
   std::span<std::uint8_t> started;
 
   // Per-processor dispatch queues: queue p occupies
-  // queue_data[p * stride .. p * stride + queue_size[p]), sorted by
-  // (model, seq, index); stride = n so migration inserts never overflow.
+  // queue_data[queue_base[p] .. queue_base[p] + queue_size[p]), sorted by
+  // (model, seq, index).  Private copies use base p * stride with
+  // stride = n so migration inserts never overflow; aliased queues reuse
+  // the table's packed proc_order with base proc_offsets[p].
   std::span<std::uint32_t> queue_data;
+  std::span<std::uint32_t> queue_base;
   std::span<std::uint32_t> queue_size;
   std::span<std::uint32_t> queue_cursor;
   std::size_t queue_stride = 0;
 
-  struct Running {
-    std::size_t task_idx;
-    double remaining_solo_ms;
-    double start_ms;
-    double solo_ms;
-  };
-  std::span<Running> running;  // capacity P; running_size live entries
+  // The running set, SoA with capacity padded_procs so the per-event rate /
+  // min-dt / advance kernels (util/simd.h) sweep whole lanes: entries
+  // [running_size, padded_procs) of run_remaining and rates are kept at an
+  // exact 0.0, which the masked kernels blend out.
+  std::span<std::uint32_t> run_task;     // task index per running slot
+  std::span<double> run_remaining;       // remaining solo work, ms
+  std::span<double> run_start;           // start timestamp, ms
+  std::span<double> run_solo;            // solo_ms at start (for the record)
   std::size_t running_size = 0;
+  // Task index running on each processor, -1 when idle.  Indexed by task —
+  // not running slot — so retirement compaction never invalidates it.
   std::span<std::int32_t> proc_running;
-  std::span<double> rates;
-  std::span<Aggressor> others;
+  std::span<double> rates;               // per running slot, padded
   std::span<std::uint8_t> proc_dead;
-  std::span<std::uint32_t> pending;  // migration staging, capacity n
+  // Start-scan gate: 1 when the processor's queue may hold a newly ready
+  // task.  Retirements mark the retiring task's processor and every
+  // successor's processor; a fruitless scan clears the flag.  Tables with
+  // positive arrivals or an active fault script re-arm every processor each
+  // event (readiness there can change without a retirement).
+  std::span<std::uint8_t> proc_startable;
+  std::span<std::uint32_t> pending;      // migration staging, capacity n
+
+  // Dense Eq. 2 operands: `coupling` holds P rows of padded_procs doubles
+  // (diagonal 0, zero tails; filled from the Soc when the cache below
+  // misses), and `proc_intensity` is the per-event aggressor intensity by
+  // processor.
+  std::span<double> coupling;
+  std::span<double> proc_intensity;
+  // Column-major mirror of `coupling` (padded_procs x padded_procs; column
+  // q starts at q * padded_procs) for simd::fixed_matvec_cols, which prices
+  // every victim processor per event in one vertical sweep.  `extra_by_proc`
+  // receives that sweep's output.  Both refill with `coupling`.
+  std::span<double> coupling_t;
+  std::span<double> extra_by_proc;
+  std::size_t padded_procs = 0;
+
+  // Coupling-row cache tag.  gamma(p, q) depends only on the two
+  // processors' kinds, so simulate() skips the refill when the kind
+  // signature matches AND the span still points at the same carve (prepare
+  // re-carves deterministically: same n and P -> same addresses with
+  // contents intact; a different table shape or an arena regrow moves the
+  // span and invalidates the tag).  Keyed on kinds, not the Soc's address —
+  // distinct Socs can reuse a stack address, but equal-kind Socs have equal
+  // coupling rows by construction.  0 is never a valid signature.
+  std::uint64_t coupling_sig = 0;
+  const double* coupling_ptr = nullptr;
 
   [[nodiscard]] std::size_t bytes_reserved() const {
     return arena_.bytes_reserved();
@@ -154,6 +218,20 @@ class SimScratch {
 
  private:
   util::MonotonicArena arena_;
+  // Carve cache: when prepare() sees the same (n, P) geometry it skips the
+  // arena reset/reserve and the span carving entirely — the spans from the
+  // previous call are still valid (the carve is deterministic).  The
+  // private-mode column copies are carved lazily on the first non-aliasing
+  // prepare at a geometry (the reserve budget always includes them).
+  // SIZE_MAX forces a carve on first use.
+  std::size_t prepared_n_ = static_cast<std::size_t>(-1);
+  std::size_t prepared_P_ = static_cast<std::size_t>(-1);
+  bool prepared_private_ = false;
+  // The private-mode carves, kept here so an aliasing prepare (which points
+  // the public spans at the table) doesn't lose them for the next
+  // copy-mode prepare at the same geometry.
+  std::span<double> priv_solo_, priv_sens_, priv_intens_;
+  std::span<std::uint32_t> priv_proc_, priv_queue_;
 };
 
 }  // namespace sim

@@ -200,6 +200,35 @@ double CostTable::dram_bytes(std::size_t k, std::size_t i, std::size_t j) const 
   return slice_cost(k, i, j).dram_bytes;
 }
 
+CostTable::SliceSimCosts CostTable::slice_sim_costs(std::size_t k, std::size_t i,
+                                                    std::size_t j) const {
+  SliceSimCosts out;
+  if (j < i || j >= num_layers()) return out;
+  const SliceCost c = slice_cost(k, i, j);
+  out.exec_ms = c.total_ms;
+  out.dram_bytes = c.dram_bytes;
+  // avg_miss_fraction(k, i, j), evaluated once against the same SliceCost
+  // (slice_cost is deterministic, so reusing `c` is exact).
+  double miss = 0.0;
+  const auto& pp = per_proc_[k];
+  const double acts = range(pp.prefix_acts, i, j);
+  if (acts > 0.0) {
+    const double weights = range(pp.prefix_weights, i, j);
+    miss = std::clamp((c.dram_bytes - weights) / acts, 0.0, 1.0);
+  }
+  if (c.total_ms > 0.0) {
+    const double mem_share = std::clamp(c.memory_ms / c.total_ms, 0.0, 1.0);
+    out.sensitivity = std::clamp(0.45 * mem_share + 0.55 * miss, 0.0, 1.0);
+    const double demand_gbps = c.dram_bytes / (c.total_ms * 1.0e6);
+    const double bw_term =
+        std::clamp(demand_gbps / (CostModel::kBusContentionOnset *
+                                  cost_->soc().bus_bw_gbps()),
+                   0.0, 1.0);
+    out.intensity = std::clamp(0.6 * bw_term + 0.4 * miss, 0.0, 1.0);
+  }
+  return out;
+}
+
 double CostTable::intensity(std::size_t k, std::size_t i, std::size_t j) const {
   const SliceCost c = slice_cost(k, i, j);
   if (c.total_ms <= 0.0) return 0.0;

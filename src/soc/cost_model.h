@@ -115,6 +115,24 @@ class CostTable {
   /// Full breakdown (exposes NPU-fallback details).
   [[nodiscard]] SliceCost slice_cost(std::size_t k, std::size_t i, std::size_t j) const;
 
+  /// The four per-slice fields the DES lowering consumes, from ONE
+  /// slice_cost evaluation.  exec_ms / mem_sensitivity / intensity /
+  /// dram_bytes each recompute slice_cost (and the two blends re-derive
+  /// avg_miss_fraction on top), so the four-accessor sequence costs six
+  /// prefix-sum walks per slice; table building is the front half of every
+  /// plan-candidate score, making that the dominant lowering cost.  This
+  /// fused accessor applies the identical arithmetic to one shared
+  /// SliceCost, so every field is bit-identical to its standalone
+  /// counterpart.
+  struct SliceSimCosts {
+    double exec_ms = 0.0;
+    double sensitivity = 0.0;
+    double intensity = 0.0;
+    double dram_bytes = 0.0;
+  };
+  [[nodiscard]] SliceSimCosts slice_sim_costs(std::size_t k, std::size_t i,
+                                              std::size_t j) const;
+
   /// Copy cost of handing the boundary tensor at layer i to processor k.
   [[nodiscard]] double boundary_copy_ms(std::size_t k, std::size_t i) const;
 

@@ -19,10 +19,23 @@ namespace h2p::util {
 /// from the *current* cycle stay valid because growth only ever happens
 /// between `reset()` and the first carve (see `reserve`).
 ///
+/// Every carve starts on a `kAlignment` (64-byte) boundary: one cache line,
+/// and enough for any vector ISA the `util/simd.h` kernels compile to — so
+/// `SimScratch` / scorer spans are always safe targets for aligned vector
+/// loads, and distinct spans never share a cache line (no false sharing
+/// between a span's tail and the next span's head).  Callers budgeting a
+/// cycle with `reserve()` must allow `kAlignment` slack per carve.
+///
 /// Not thread-safe: one arena per thread (the DES scratch keeps
 /// thread-local instances in pooled contexts).
 class MonotonicArena {
  public:
+  /// Carve alignment guarantee.  static_assert-able by consumers that
+  /// require a minimum (the SIMD kernels need 32, a cache line is 64).
+  static constexpr std::size_t kAlignment = 64;
+  static_assert((kAlignment & (kAlignment - 1)) == 0,
+                "alignment must be a power of two");
+
   MonotonicArena() = default;
   MonotonicArena(const MonotonicArena&) = delete;
   MonotonicArena& operator=(const MonotonicArena&) = delete;
@@ -38,21 +51,28 @@ class MonotonicArena {
     if (bytes <= capacity_) return;
     std::size_t grown = capacity_ ? capacity_ : 1024;
     while (grown < bytes) grown *= 2;
-    block_ = std::make_unique<std::byte[]>(grown);
+    // Over-allocate so the first carve can start on a kAlignment boundary
+    // even when operator new returns a less-aligned block.
+    block_ = std::make_unique<std::byte[]>(grown + kAlignment);
+    const auto raw = reinterpret_cast<std::uintptr_t>(block_.get());
+    const std::uintptr_t aligned = (raw + kAlignment - 1) & ~(kAlignment - 1);
+    base_ = block_.get() + (aligned - raw);
     capacity_ = grown;
     used_ = 0;
   }
 
   /// Carve `count` default-initialized (i.e. uninitialized for scalars)
-  /// elements of a trivially-destructible T.  The caller is responsible for
-  /// writing before reading; DES scratch buffers are fully re-initialized
-  /// every simulation, which is what keeps reuse bit-deterministic.
+  /// elements of a trivially-destructible T, starting on a kAlignment
+  /// boundary.  The caller is responsible for writing before reading; DES
+  /// scratch buffers are fully re-initialized every simulation, which is
+  /// what keeps reuse bit-deterministic.
   template <typename T>
   std::span<T> make_span(std::size_t count) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena never runs destructors");
-    const std::size_t align = alignof(T);
-    std::size_t at = (used_ + align - 1) & ~(align - 1);
+    static_assert(alignof(T) <= kAlignment,
+                  "carve alignment below the type's requirement");
+    std::size_t at = (used_ + kAlignment - 1) & ~(kAlignment - 1);
     const std::size_t bytes = count * sizeof(T);
     if (at + bytes > capacity_) {
       // Mid-cycle growth fallback: legal only when nothing is live, which
@@ -60,7 +80,7 @@ class MonotonicArena {
       reserve(at + bytes);
       at = 0;
     }
-    T* ptr = std::launder(reinterpret_cast<T*>(block_.get() + at));
+    T* ptr = std::launder(reinterpret_cast<T*>(base_ + at));
     used_ = at + bytes;
     return std::span<T>(ptr, count);
   }
@@ -70,6 +90,7 @@ class MonotonicArena {
 
  private:
   std::unique_ptr<std::byte[]> block_;
+  std::byte* base_ = nullptr;  // first kAlignment-aligned byte of block_
   std::size_t capacity_ = 0;
   std::size_t used_ = 0;
 };
