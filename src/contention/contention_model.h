@@ -58,6 +58,32 @@ class ContentionModel {
     return factor < kMaxSlowdown ? factor : kMaxSlowdown;
   }
 
+  /// Slowdown from a *degraded shared bus* (FaultKind::kBusDegrade): when
+  /// the bus delivers only `bus_factor` of its bandwidth, a victim's
+  /// memory-bound share stretches by 1/bus_factor while its compute-bound
+  /// share is untouched — through the same vulnerability lens as Eq. 2, so
+  /// compute-bound victims still pay the floor (LLC pollution does not
+  /// care why the bus is busy) and the same kMaxSlowdown cap applies:
+  ///
+  ///   slowdown = 1 + vulnerability * (1/bus_factor - 1)
+  ///
+  /// Returns exactly 1.0 for a healthy bus (factor >= 1).  Scalar, inline,
+  /// and shared verbatim by the SoA DES, the frozen reference simulator and
+  /// the timeline verifier, so bus-degraded runs stay bit-identical across
+  /// SIMD/scalar and serial/async builds.
+  [[nodiscard]] static double bus_degrade_slowdown(double bus_factor,
+                                                   double victim_sensitivity) {
+    if (bus_factor >= 1.0) return 1.0;
+    const double f = bus_factor < 0.05 ? 0.05 : bus_factor;
+    const double s = victim_sensitivity < 0.0
+                         ? 0.0
+                         : (victim_sensitivity > 1.0 ? 1.0 : victim_sensitivity);
+    const double vulnerability =
+        kVulnerabilityFloor + (1.0 - kVulnerabilityFloor) * s;
+    const double factor = 1.0 + vulnerability * (1.0 / f - 1.0);
+    return factor < kMaxSlowdown ? factor : kMaxSlowdown;
+  }
+
   /// Fill `rows` (stride `padded_procs`, one row per victim processor) with
   /// the Soc's coupling matrix: rows[p * padded_procs + q] = gamma(p, q) for
   /// q < num_processors, 0.0 beyond (zero-padding keeps the fixed-order dot

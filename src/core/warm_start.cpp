@@ -286,7 +286,11 @@ std::optional<PlannerReport> Hetero2PipePlanner::plan_degraded(
 
   const std::size_t K =
       opts_.num_stages ? opts_.num_stages : eval_->soc().num_processors();
-  if (K == 0 || kept_procs.size() != K || seed.num_stages <= K) {
+  // seed.num_stages == K is the identity projection: every processor
+  // survived but the environment moved (a degraded shared bus, a thermal
+  // bucket change) and the boundaries re-settle against this evaluator's
+  // cost tables.
+  if (K == 0 || kept_procs.size() != K || seed.num_stages < K) {
     return std::nullopt;
   }
   for (std::size_t k = 0; k < K; ++k) {

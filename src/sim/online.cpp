@@ -5,9 +5,11 @@
 #include <deque>
 #include <future>
 #include <limits>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -17,6 +19,7 @@
 #include "obs/trace.h"
 #include "sim/pipeline_sim.h"
 #include "soc/cost_model.h"
+#include "soc/thermal.h"
 #include "util/thread_pool.h"
 
 namespace h2p {
@@ -50,7 +53,12 @@ struct SocView {
   std::vector<std::size_t> kept;  // degraded stage k -> full processor index
 };
 
-SocView make_view(const Soc& full, std::uint64_t mask) {
+/// `bus_centi` is the observed shared-bus bandwidth fraction in percent
+/// (100 = healthy): the view's bus term is scaled by it, so the planner's
+/// cost tables — and the Soc fingerprint inside the plan-cache key — see
+/// the degraded bus.  Quantized to centi on purpose: the cache must not
+/// treat every float wiggle of the bus factor as a new environment.
+SocView make_view(const Soc& full, std::uint64_t mask, int bus_centi) {
   std::vector<Processor> procs;
   std::vector<std::size_t> kept;
   for (std::size_t p = 0; p < full.num_processors(); ++p) {
@@ -59,9 +67,10 @@ SocView make_view(const Soc& full, std::uint64_t mask) {
       kept.push_back(p);
     }
   }
-  return SocView{Soc(full.name(), std::move(procs), full.bus_bw_gbps(),
-                     full.mem_capacity_bytes(), full.available_bytes(),
-                     full.mem_states()),
+  const double bus_scale = static_cast<double>(bus_centi) / 100.0;
+  return SocView{Soc(full.name(), std::move(procs),
+                     full.bus_bw_gbps() * bus_scale, full.mem_capacity_bytes(),
+                     full.available_bytes(), full.mem_states()),
                  std::move(kept)};
 }
 
@@ -102,8 +111,12 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   static obs::Counter& c_deferred = reg.counter("online.deferred_requests");
   static obs::Counter& c_misses = reg.counter("online.deadline_misses");
   static obs::Counter& c_discarded = reg.counter("online.prefetch_discarded");
+  static obs::Counter& c_bucket_trans = reg.counter("online.bucket_transitions");
+  static obs::Counter& c_weather = reg.counter("online.weather_onsets");
+  static obs::Counter& c_bus_windows = reg.counter("online.bus_degraded_windows");
   static obs::Histogram& h_window_ms = reg.histogram("online.window_resolve_ms");
   obs::Log& log = obs::Log::global();
+  obs::Tracer& tracer = obs::Tracer::global();
 
   OnlineResult result;
   const std::size_t P = soc.num_processors();
@@ -132,11 +145,31 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   for (std::size_t i = 0; i < stream.size(); ++i) pending.push_back(i);
   std::vector<std::size_t> defer_count(stream.size(), 0);
 
-  // Degraded SoC views by availability mask, built once each.
-  std::unordered_map<std::uint64_t, SocView> views;
-  const auto view_for = [&](std::uint64_t mask) -> const SocView& {
-    auto it = views.find(mask);
-    if (it == views.end()) it = views.emplace(mask, make_view(soc, mask)).first;
+  // The SoC each thermal bucket stands for, built once per bucket reached.
+  // thermally_derated_bucket is a pure function of (soc, bucket), so a
+  // bucket revisited later sees the identical base — and identical plans.
+  std::unordered_map<std::size_t, Soc> bucket_socs;
+  const auto base_soc = [&](std::size_t bucket) -> const Soc& {
+    if (bucket == 0) return soc;
+    auto it = bucket_socs.find(bucket);
+    if (it == bucket_socs.end()) {
+      it = bucket_socs.emplace(bucket, thermally_derated_bucket(soc, bucket))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Planner-facing SoC views by (availability mask, thermal bucket,
+  // observed bus centi-factor), built once each.
+  std::map<std::tuple<std::uint64_t, std::size_t, int>, SocView> views;
+  const auto view_for = [&](std::uint64_t mask, std::size_t bucket,
+                            int bus_centi) -> const SocView& {
+    const auto key = std::make_tuple(mask, bucket, bus_centi);
+    auto it = views.find(key);
+    if (it == views.end()) {
+      it = views.emplace(key, make_view(base_soc(bucket), mask, bus_centi))
+               .first;
+    }
     return it->second;
   };
 
@@ -145,15 +178,25 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   // dilate, so completion >= sum of per-layer best solo times (the
   // IncrementalStaticScorer::des_lower_bound_with solo-work argument,
   // per-request).  +inf when some layer has no surviving processor at all.
-  const CostModel lb_cost(soc);
-  const auto chain_lower_bound_ms = [&](const Model& model,
-                                        std::uint64_t mask) -> double {
+  // Priced on the current bucket's *derated* SoC: a throttled chip slows
+  // every layer, so admission must not promise deadlines the derated
+  // hardware cannot keep.  (The shared-bus factor only dilates further, so
+  // leaving it out keeps this a valid lower bound.)
+  std::unordered_map<std::size_t, CostModel> bucket_costs;
+  const auto chain_lower_bound_ms = [&](const Model& model, std::uint64_t mask,
+                                        std::size_t bucket) -> double {
+    auto it = bucket_costs.find(bucket);
+    if (it == bucket_costs.end()) {
+      it = bucket_costs.emplace(bucket, CostModel(base_soc(bucket))).first;
+    }
+    const CostModel& lb_cost = it->second;
+    const Soc& priced = base_soc(bucket);
     double total = 0.0;
     for (const Layer& layer : model.layers()) {
       double best = kInf;
       for (std::size_t p = 0; p < P; ++p) {
         if (((mask >> p) & 1ull) == 0) continue;
-        const Processor& proc = soc.processor(p);
+        const Processor& proc = priced.processor(p);
         if (!proc.supports(layer.kind)) continue;
         best = std::min(best, lb_cost.layer_time_ms(layer, proc));
       }
@@ -173,12 +216,22 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   // from cache state identical to a serial run's.
   std::unordered_map<std::string, std::future<exec::CompiledPlan>> inflight;
   std::uint64_t believed_mask = full_mask;
+  // The thermal bucket the loop currently serves in.  Static by default;
+  // with `thermal_loop` it follows the live models (with hysteresis).
+  std::size_t bucket = options.thermal_bucket;
+  // Shared-bus factor observed at the last probe, quantized to centi.
+  int believed_bus_centi = 100;
   const auto pump_prefetch = [&] {
     if (!async) return;
     obs::Span span("online.prefetch_pump");
     std::size_t submitted = 0;
-    const SocView& view = view_for(believed_mask);
-    const exec::PlanCache::PlanEnv env{believed_mask, options.thermal_bucket};
+    // Keys are predicted under the full believed environment — mask AND the
+    // (now dynamic) thermal bucket AND bus factor.  A prefetched plan whose
+    // environment moved before consumption simply misses its key and is
+    // discarded; keying on the mask alone used to let a bucket change
+    // consume a plan laid out for the wrong thermal state.
+    const SocView& view = view_for(believed_mask, bucket, believed_bus_centi);
+    const exec::PlanCache::PlanEnv env{believed_mask, bucket};
     std::size_t offset = 0;
     for (std::size_t ahead = 0; ahead <= options.prefetch_depth; ++ahead) {
       if (offset >= pending.size()) break;
@@ -215,6 +268,23 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
   std::vector<std::size_t> slot_base_of_window;
   std::vector<std::size_t> slot_count_of_window;
   double prev_plan_finish_ms = 0.0;
+
+  // Closed-thermal-loop state: one RC model per processor, advanced after
+  // each window by the modeled release delta at the window plan's
+  // utilization.  Everything here is scalar arithmetic on modeled times, so
+  // serial and async runs derive the identical bucket sequence.
+  std::vector<ThermalModel> therm;
+  if (options.thermal_loop) {
+    therm.reserve(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      therm.emplace_back(soc.processor(p), options.thermal.ambient_c);
+    }
+  }
+  double last_thermal_ms = 0.0;
+  // Weather onsets surface in the obs stream the first time a probe runs at
+  // or after their begin (the loop observes the present, never the future).
+  std::vector<bool> weather_seen(
+      faults != nullptr ? faults->weather().size() : 0, false);
 
   while (!pending.empty()) {
     pump_prefetch();
@@ -285,6 +355,30 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     }
     believed_mask = mask;
 
+    // ---- 2b. Observe shared-bus and weather state at planning time ------
+    int bus_centi = 100;
+    if (faults != nullptr && faults->has_bus_degrade()) {
+      bus_centi = static_cast<int>(std::lround(faults->bus_factor(t) * 100.0));
+      bus_centi = std::clamp(bus_centi, 5, 100);
+    }
+    believed_bus_centi = bus_centi;
+    if (faults != nullptr) {
+      for (std::size_t w = 0; w < weather_seen.size(); ++w) {
+        const WeatherEvent& we = faults->weather()[w];
+        if (weather_seen[w] || we.begin_ms > t) continue;
+        weather_seen[w] = true;
+        ++result.weather_onsets;
+        c_weather.inc();
+        tracer.instant("online.weather_onset",
+                       {{"weather", static_cast<double>(w)},
+                        {"kind", static_cast<double>(we.kind)},
+                        {"severity", we.severity}});
+        log.info("online.weather_onset", {{"kind", to_string(we.kind)},
+                                          {"t_ms", t},
+                                          {"severity", we.severity}});
+      }
+    }
+
     // ---- 3. Deadline admission -----------------------------------------
     std::vector<std::size_t> admitted;
     std::vector<std::size_t> deferred;
@@ -299,17 +393,20 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
           continue;
         }
         const double start_lb = std::max(stream[i].arrival_ms, t);
-        if (start_lb + chain_lower_bound_ms(*stream[i].model, mask) <=
+        if (start_lb + chain_lower_bound_ms(*stream[i].model, mask, bucket) <=
             deadline + 1e-9) {
           admitted.push_back(i);
           continue;
         }
         // Provably late under current capacity.  Defer only when a
-        // recovery could still save it: meetable on the healthy SoC, defer
-        // budget left.
+        // recovery could still save it: meetable on the healthy SoC (with
+        // the thermal loop on, "healthy" includes a cooled-down bucket 0 —
+        // waiting can also let the die cool), defer budget left.
+        const std::size_t healthy_bucket = options.thermal_loop ? 0 : bucket;
         if (options.deadline_policy == DeadlinePolicy::kDefer &&
             defer_count[i] < options.max_defers &&
-            start_lb + chain_lower_bound_ms(*stream[i].model, full_mask) <=
+            start_lb + chain_lower_bound_ms(*stream[i].model, full_mask,
+                                            healthy_bucket) <=
                 deadline + 1e-9) {
           ++defer_count[i];
           ++result.deferred_requests;
@@ -349,8 +446,8 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     models.reserve(admitted.size());
     for (const std::size_t i : admitted) models.push_back(stream[i].model);
 
-    const SocView& view = view_for(mask);
-    const exec::PlanCache::PlanEnv env{mask, options.thermal_bucket};
+    const SocView& view = view_for(mask, bucket, bus_centi);
+    const exec::PlanCache::PlanEnv env{mask, bucket};
     const std::string key =
         exec::PlanCache::make_key(view.soc, models, options.planner, env);
 
@@ -360,6 +457,15 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     ws.backoff_wait_ms = t - t0;
     ws.shed = shed_here;
     ws.deferred = deferred.size();
+    ws.thermal_bucket = bucket;
+    ws.bus_factor = static_cast<double>(bus_centi) / 100.0;
+    if (bus_centi < 100) {
+      ++result.bus_degraded_windows;
+      c_bus_windows.inc();
+      tracer.instant("online.bus_degraded_window",
+                     {{"window", static_cast<double>(result.windows.size())},
+                      {"bus_factor", ws.bus_factor}});
+    }
 
     // ---- 4. Resolve the window's plan ----------------------------------
     const obs::ScopedLatency window_latency(h_window_ms);
@@ -402,12 +508,16 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
         }
       }
     }
-    if (compiled == nullptr && caching && mask != full_mask) {
+    if (compiled == nullptr && caching &&
+        (mask != full_mask || bus_centi < 100)) {
       // Degraded warm start: the same window planned while the SoC was
-      // healthy seeds a cheap replan on the survivors.
+      // healthy (same thermal bucket, full mask, clean bus) seeds a cheap
+      // replan on the survivors.  A pure bus degrade keeps every processor
+      // (identity projection) and just re-settles the boundaries against
+      // the bus-scaled cost tables.
       const std::string healthy_key = exec::PlanCache::make_key(
-          soc, models, options.planner,
-          exec::PlanCache::PlanEnv{full_mask, options.thermal_bucket});
+          view_for(full_mask, bucket, 100).soc, models, options.planner,
+          exec::PlanCache::PlanEnv{full_mask, bucket});
       if (const exec::CompiledPlan* seed = cache->peek(healthy_key)) {
         const StaticEvaluator eval(view.soc, models, options.pool);
         const Hetero2PipePlanner planner(eval, options.planner, options.pool);
@@ -545,7 +655,52 @@ OnlineResult run_online(const Soc& soc, const std::vector<OnlineRequest>& stream
     next_slot += m;
     result.windows.push_back(ws);
     c_windows.inc();
+
+    // ---- 6. Advance the closed thermal loop -----------------------------
+    // The RC models integrate the modeled release delta at this window's
+    // per-processor utilization (busy solo time, normalized so the
+    // bottleneck processor runs flat out); the worst throttle factor then
+    // derives the next window's bucket through the hysteresis band.
+    if (options.thermal_loop) {
+      std::vector<double> busy(P, 0.0);
+      for (std::size_t k = all_tasks.size() - compiled->slices.size();
+           k < all_tasks.size(); ++k) {
+        busy[all_tasks[k].proc_idx] += all_tasks[k].solo_ms;
+      }
+      double max_busy = 0.0;
+      for (std::size_t p = 0; p < P; ++p) {
+        max_busy = std::max(max_busy, busy[p]);
+      }
+      const double dt_s = (ws.release_ms - last_thermal_ms) * 1e-3 *
+                          options.thermal.time_scale;
+      last_thermal_ms = ws.release_ms;
+      double worst = 1.0;
+      for (std::size_t p = 0; p < P; ++p) {
+        const double util = max_busy > 0.0 ? busy[p] / max_busy : 0.0;
+        therm[p].step(dt_s, util);
+        worst = std::min(worst, therm[p].throttle_factor());
+      }
+      const std::size_t next_bucket = std::min(
+          thermal_bucket_with_hysteresis(bucket, worst,
+                                         options.thermal.hysteresis),
+          options.thermal.max_bucket);
+      if (next_bucket != bucket) {
+        ++result.bucket_transitions;
+        c_bucket_trans.inc();
+        tracer.instant("online.thermal_bucket",
+                       {{"from", static_cast<double>(bucket)},
+                        {"to", static_cast<double>(next_bucket)},
+                        {"worst_factor", worst}});
+        log.info("online.thermal_bucket_changed",
+                 {{"from", bucket},
+                  {"to", next_bucket},
+                  {"worst_factor", worst},
+                  {"t_ms", ws.release_ms}});
+        bucket = next_bucket;
+      }
+    }
   }
+  result.final_thermal_bucket = bucket;
 
   // Drain discarded prefetches before the captured state goes away; a
   // throwing job is of no further interest (but is logged — a silently

@@ -45,6 +45,25 @@ enum class DeadlinePolicy {
   kDefer,
 };
 
+/// Closed thermal feedback loop (soc/thermal.h): the serving loop advances
+/// one first-order RC ThermalModel per processor from the utilization of
+/// each window's executed plan, derives the coarse thermal bucket with
+/// hysteresis, and plans the next window against the bucket's derated SoC.
+struct ThermalLoopOptions {
+  double ambient_c = 25.0;
+  /// Hysteresis margin (in derate units) handed to
+  /// thermal_bucket_with_hysteresis: a bucket boundary must be cleared by
+  /// this much before the bucket — and with it every PlanCache key — moves.
+  double hysteresis = 0.03;
+  /// Accelerated aging: modeled stream milliseconds are scaled by this
+  /// before driving the RC models, whose time constants are tens of
+  /// seconds.  1.0 = real time; tests and the CLI use large values so a
+  /// millisecond-scale stream actually heats the die.
+  double time_scale = 1.0;
+  /// Upper clamp on the derived bucket (each bucket derates another 10%).
+  std::size_t max_bucket = 4;
+};
+
 /// Reaction policy to processor faults observed by the serving loop.
 struct FaultToleranceOptions {
   /// First wait when a processor probes unavailable at planning time.
@@ -139,9 +158,18 @@ struct OnlineOptions {
   std::size_t max_defers = 4;
 
   /// Coarse thermal-state bucket (soc/thermal.h coarse_thermal_bucket) the
-  /// device is serving in; keys the plan cache so plans laid out for a cool
-  /// chip are not replayed on a throttled one.
+  /// device is serving in.  Every window plans against the bucket's derated
+  /// SoC (thermally_derated_bucket) — cost tables, deadline admission lower
+  /// bounds, warm/degraded replans and the plan-cache key all see the
+  /// derated costs.  With `thermal_loop` on this is only the *initial*
+  /// bucket; the loop then drives it from the live thermal models.
   std::size_t thermal_bucket = 0;
+
+  /// Close the thermal loop: advance a live per-processor ThermalModel from
+  /// each executed window's utilization and derive `thermal_bucket`
+  /// automatically (with hysteresis, so PlanCache keys don't flap).
+  bool thermal_loop = false;
+  ThermalLoopOptions thermal;
 
   /// Test-only: invoked inside every speculative prefetch job, on the pool
   /// thread, before it plans.  A throwing hook exercises the loop's
@@ -180,6 +208,11 @@ struct WindowStats {
   std::size_t deferred = 0;
   /// Admitted requests of this window that still finished past deadline.
   std::size_t deadline_misses = 0;
+  /// Thermal bucket the window planned under (static or loop-derived).
+  std::size_t thermal_bucket = 0;
+  /// Shared-bus bandwidth fraction observed at planning time (quantized to
+  /// centi so plan-cache keys stay stable); 1.0 = healthy bus.
+  double bus_factor = 1.0;
 };
 
 struct OnlineResult {
@@ -210,6 +243,14 @@ struct OnlineResult {
   /// Per processor: modeled time at which the loop declared it dead after
   /// exhausting backoff retries; -1 = never declared.
   std::vector<double> declared_dead_ms;
+  /// Closed-thermal-loop accounting: how often the derived bucket moved,
+  /// and where it ended up.
+  std::size_t bucket_transitions = 0;
+  std::size_t final_thermal_bucket = 0;
+  /// Windows that planned under an active shared-bus degradation / after a
+  /// correlated weather onset first became visible.
+  std::size_t bus_degraded_windows = 0;
+  std::size_t weather_onsets = 0;
   /// One entry per executed window, in stream order (windows whose every
   /// request was shed or deferred do not execute and leave no entry).
   std::vector<WindowStats> windows;

@@ -328,13 +328,24 @@ void simulate(const Soc& soc, const sim::TaskTable& table,
     if (faults != nullptr) {
       // Fault state is constant over [now, now + dt): dt never crosses an
       // edge.  A transiently dropped processor freezes its running task
-      // (rate 0, driver queue preserved); a slowed one derates it.
+      // (rate 0, driver queue preserved); a slowed one derates it.  A
+      // degraded shared bus derates EVERY available task through the same
+      // scalar bus_degrade_slowdown the reference simulator and the
+      // verifier use — one query per event, applied in lane order, so
+      // SIMD/scalar and SoA/reference stay bit-identical.
+      const double bus =
+          faults->has_bus_degrade() ? faults->bus_factor(now) : 1.0;
       for (std::size_t ri = 0; ri < running_size; ++ri) {
-        const std::size_t p = scratch.proc[run_task[ri]];
+        const std::size_t t = run_task[ri];
+        const std::size_t p = scratch.proc[t];
         if (!faults->available(p, now)) {
           rates[ri] = 0.0;
         } else {
           rates[ri] *= faults->slowdown(p, now);
+          if (bus < 1.0) {
+            rates[ri] /= ContentionModel::bus_degrade_slowdown(
+                bus, scratch.sens[t]);
+          }
         }
       }
     }

@@ -290,12 +290,21 @@ Timeline simulate_reference(const Soc& soc, std::vector<SimTask> tasks,
       }
     }
     if (faults != nullptr) {
+      // Mirror of the SoA kernel's fault block, same scalar arithmetic in
+      // the same lane order (bit-identity contract).
+      const double bus =
+          faults->has_bus_degrade() ? faults->bus_factor(now) : 1.0;
       for (std::size_t ri = 0; ri < running.size(); ++ri) {
-        const std::size_t p = tasks[running[ri].task_idx].proc_idx;
+        const SimTask& t = tasks[running[ri].task_idx];
+        const std::size_t p = t.proc_idx;
         if (!faults->available(p, now)) {
           rates[ri] = 0.0;
         } else {
           rates[ri] *= faults->slowdown(p, now);
+          if (bus < 1.0) {
+            rates[ri] /= ContentionModel::bus_degrade_slowdown(
+                bus, t.sensitivity);
+          }
         }
       }
     }

@@ -1,6 +1,7 @@
 #include "soc/thermal.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace h2p {
 
@@ -41,10 +42,17 @@ ThermalModel::ThermalModel(const Processor& proc, double ambient_c)
 
 double ThermalModel::step(double dt_s, double utilization) {
   utilization = std::clamp(utilization, 0.0, 1.0);
-  const double p_in = power_watts_ * utilization;
-  const double dT = (p_in - (temp_c_ - ambient_c_) / resistance_c_per_w_) /
-                    capacitance_j_per_c_;
-  temp_c_ += dT * dt_s;
+  // Exact solution of the linear RC node over [0, dt]: the temperature
+  // relaxes toward the utilization's steady state with time constant
+  // tau = R*C.  Unconditionally stable for ANY dt — the closed serving
+  // loop integrates release deltas scaled by thousands (accelerated
+  // aging), where explicit Euler overshoots past critical and then slams
+  // back below ambient, flapping the derived bucket every window.
+  const double t_ss =
+      ambient_c_ + power_watts_ * utilization * resistance_c_per_w_;
+  const double tau_s = resistance_c_per_w_ * capacitance_j_per_c_;
+  const double dt = dt_s < 0.0 ? 0.0 : dt_s;
+  temp_c_ += (t_ss - temp_c_) * -std::expm1(-dt / tau_s);
   temp_c_ = std::max(temp_c_, ambient_c_);
   return temp_c_;
 }
@@ -94,6 +102,38 @@ std::size_t coarse_thermal_bucket(const Soc& soc, double utilization) {
     worst = std::min(worst, ThermalModel(p).steady_state_throttle(utilization));
   }
   return coarse_thermal_bucket(worst);
+}
+
+Soc thermally_derated_bucket(const Soc& soc, std::size_t bucket) {
+  if (bucket == 0) return soc;
+  const double worst = std::max(1.0 - 0.1 * static_cast<double>(bucket), 0.0);
+  std::vector<Processor> procs;
+  procs.reserve(soc.num_processors());
+  for (const Processor& p : soc.processors()) {
+    Processor derated = p;
+    derated.peak_gflops *= std::max(worst, ThermalModel(p).min_factor());
+    procs.push_back(std::move(derated));
+  }
+  return Soc(soc.name() + "@thermal-b" + std::to_string(bucket),
+             std::move(procs), soc.bus_bw_gbps(), soc.mem_capacity_bytes(),
+             soc.available_bytes(), soc.mem_states());
+}
+
+std::size_t thermal_bucket_with_hysteresis(std::size_t current,
+                                           double worst_throttle_factor,
+                                           double margin) {
+  const double derate = 1.0 - std::clamp(worst_throttle_factor, 0.0, 1.0);
+  // Fully cooled is always allowed home — without this, the +margin guard
+  // below would pin the bucket at 1 forever once it had ever throttled.
+  if (derate <= 0.0) return 0;
+  // Raise only when the derate clears the next boundary by `margin`...
+  const std::size_t up = coarse_thermal_bucket(worst_throttle_factor + margin);
+  if (up > current) return up;
+  // ...and lower only when it clears the boundary below by `margin`.
+  const std::size_t down =
+      coarse_thermal_bucket(worst_throttle_factor - margin);
+  if (down < current) return down;
+  return current;
 }
 
 }  // namespace h2p

@@ -37,6 +37,11 @@ class ThermalModel {
 
   [[nodiscard]] double throttle_start_c() const { return throttle_start_c_; }
 
+  /// Floor of the derating curve (factor at/above critical temperature);
+  /// the deepest throttle this processor kind ever reaches.  Weather
+  /// expansion scales thermal-storm slowdowns toward it.
+  [[nodiscard]] double min_factor() const { return min_factor_; }
+
  private:
   double ambient_c_;
   double temp_c_;
@@ -65,5 +70,27 @@ std::size_t coarse_thermal_bucket(double worst_throttle_factor);
 /// Convenience: the bucket the whole SoC is in at a sustained utilization —
 /// the worst (lowest) steady-state throttle factor across processors.
 std::size_t coarse_thermal_bucket(const Soc& soc, double utilization);
+
+/// The SoC a given coarse bucket stands for: every processor's peak
+/// throughput derated by the bucket's worst-case factor (1 - 0.1 * bucket),
+/// floored at that processor kind's own derating floor (the NPU never
+/// throttles as deep as the big cluster).  A *pure function* of
+/// (soc, bucket) — the same bucket always yields the same derated SoC, so
+/// `exec::PlanCache` keys stay stable and a cached plan is exactly the plan
+/// a cold planner would produce for that bucket.  Bucket 0 returns the SoC
+/// unchanged (same name, same fingerprint); other buckets get a
+/// "@thermal-b<bucket>" name suffix so their cost-model views fingerprint
+/// apart.
+Soc thermally_derated_bucket(const Soc& soc, std::size_t bucket);
+
+/// Coarse bucket with hysteresis, for the closed thermal loop: maps the
+/// live worst-case throttle factor to a bucket without flapping the plan
+/// cache when the factor oscillates around a bucket boundary.  Raises only
+/// when the derate clears the boundary by `margin`; lowers only when it
+/// clears the boundary below by `margin`; a fully cooled SoC (factor >= 1)
+/// always returns home to bucket 0.
+std::size_t thermal_bucket_with_hysteresis(std::size_t current,
+                                           double worst_throttle_factor,
+                                           double margin = 0.03);
 
 }  // namespace h2p

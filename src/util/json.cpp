@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -117,8 +119,15 @@ std::string Json::dump() const {
       if (number_ == std::floor(number_) && std::fabs(number_) < 1e15) {
         out << static_cast<long long>(number_);
       } else {
-        out.precision(12);
-        out << number_;
+        // Shortest representation that parses back to the exact double:
+        // fault scripts and results must replay bit-identically through a
+        // dump/parse cycle, so lossy fixed precision is not an option.
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.15g", number_);
+        if (std::strtod(buf, nullptr) != number_) {
+          std::snprintf(buf, sizeof buf, "%.17g", number_);
+        }
+        out << buf;
       }
       break;
     }

@@ -45,6 +45,16 @@ TEST(Json, ParseWhitespaceTolerant) {
   EXPECT_EQ(j.at("k").size(), 0u);
 }
 
+TEST(Json, DoubleDumpIsValueExact) {
+  // dump -> parse must reproduce the exact double, not an approximation:
+  // fault scripts and serving results replay bit-identically through JSON.
+  for (const double v :
+       {0.1, 1.0 / 3.0, 1084.61088268754321, 2.0 / 0.3, 1e-9,
+        3.141592653589793, 0.30000000000000004}) {
+    EXPECT_EQ(Json::parse(Json::number(v).dump()).as_number(), v) << v;
+  }
+}
+
 TEST(Json, RoundTripThroughDump) {
   Json j = Json::object();
   j["pi"] = Json::number(3.14159);

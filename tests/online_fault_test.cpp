@@ -77,9 +77,15 @@ void expect_identical(const OnlineResult& a, const OnlineResult& b) {
     EXPECT_EQ(a.windows[w].deadline_misses, b.windows[w].deadline_misses);
     EXPECT_EQ(a.windows[w].hidden_ms, b.windows[w].hidden_ms);
     EXPECT_EQ(a.windows[w].charged_ms, b.windows[w].charged_ms);
+    EXPECT_EQ(a.windows[w].thermal_bucket, b.windows[w].thermal_bucket);
+    EXPECT_EQ(a.windows[w].bus_factor, b.windows[w].bus_factor);
   }
   EXPECT_EQ(a.planning_hidden_ms, b.planning_hidden_ms);
   EXPECT_EQ(a.planning_charged_ms, b.planning_charged_ms);
+  EXPECT_EQ(a.bucket_transitions, b.bucket_transitions);
+  EXPECT_EQ(a.final_thermal_bucket, b.final_thermal_bucket);
+  EXPECT_EQ(a.bus_degraded_windows, b.bus_degraded_windows);
+  EXPECT_EQ(a.weather_onsets, b.weather_onsets);
 }
 
 void expect_safe(const OnlineResult& r, const FaultScript& faults) {

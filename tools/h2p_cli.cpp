@@ -33,6 +33,19 @@
 //                                     sim/fault_injector.h for the schema)
 //                 --fault-seed <n>    sample a deterministic random fault
 //                                     script instead (ignored with --faults)
+//                 --weather           sample correlated fault weather
+//                                     (thermal storms, background bursts,
+//                                     driver cascades) on top of --faults /
+//                                     --fault-seed; seeded + replayable
+//                 --weather-seed <n>  weather sampling seed (default 1)
+//                 --faults-out <f>    write the effective fault script
+//                                     (events + weather) as JSON; feeding
+//                                     it back via --faults replays the run
+//                 --thermal-loop      close the thermal loop: live per-
+//                 processor RC models drive the plan bucket w/ hysteresis
+//                 --thermal-scale <x> accelerated thermal aging factor
+//                                     (default 5000; the RC constants are
+//                                     tens of seconds, streams are ms)
 //                 --deadline <ms>     per-request deadline: arrival + ms
 //                 --deadline-policy <none|shed|defer>   admission control
 //                 plus --soc/--soc-json/--no-ct as for `plan`
@@ -44,6 +57,7 @@
 //                                     cache decisions, window steps)
 //                 --log-level <l>     debug|info|warn|error|off (def. warn)
 //                 --log-out <f>       JSONL event log file (def. stderr)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -519,7 +533,8 @@ int cmd_online(int argc, char** argv) {
     }
   }
 
-  // Fault environment: a scripted JSON file, or a seed-sampled script.
+  // Fault environment: a scripted JSON file, or a seed-sampled script —
+  // optionally with correlated weather sampled on top (--weather).
   FaultScript faults;
   bool with_faults = false;
   if (const auto file = arg_value(argc, argv, "--faults")) {
@@ -537,6 +552,35 @@ int cmd_online(int argc, char** argv) {
         *soc, static_cast<std::uint64_t>(std::strtoull(seed->c_str(), nullptr, 10)));
     with_faults = true;
   }
+  if (has_flag(argc, argv, "--weather")) {
+    const std::uint64_t wseed = static_cast<std::uint64_t>(
+        int_arg(argc, argv, "--weather-seed", 1));
+    // Sample over the stream's own span so the storms actually overlap the
+    // serving run instead of landing after the last request.
+    double horizon = 50.0;
+    for (const OnlineRequest& req : stream) {
+      horizon = std::max(horizon, req.arrival_ms + 50.0);
+    }
+    FaultSamplerOptions wopts;
+    wopts.per_proc_faults = false;  // pure weather; base events come via
+                                    // --faults / --fault-seed
+    wopts.mean_weather_gap_ms = horizon / 4.0;
+    wopts.mean_weather_duration_ms = horizon / 5.0;
+    wopts.horizon_ms = horizon;
+    const FaultScript weather = FaultScript::sample(*soc, wseed, wopts);
+    faults = FaultScript::with_weather(
+        *soc, std::vector<WeatherEvent>(weather.weather()),
+        std::vector<FaultEvent>(faults.events()));
+    with_faults = true;
+  }
+  if (const auto file = arg_value(argc, argv, "--faults-out")) {
+    std::ofstream f(*file);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", file->c_str());
+      return 1;
+    }
+    f << fault_script_to_json(faults).dump();
+  }
 
   const std::unique_ptr<ThreadPool> pool = make_pool(argc, argv);
   OnlineOptions opts;
@@ -550,6 +594,11 @@ int cmd_online(int argc, char** argv) {
       static_cast<std::size_t>(int_arg(argc, argv, "--prefetch", 2));
   opts.warm_start = has_flag(argc, argv, "--warm-start");
   if (with_faults) opts.faults = &faults;
+  if (has_flag(argc, argv, "--thermal-loop")) {
+    opts.thermal_loop = true;
+    opts.thermal.time_scale =
+        static_cast<double>(int_arg(argc, argv, "--thermal-scale", 5000));
+  }
   if (const auto policy = arg_value(argc, argv, "--deadline-policy")) {
     if (*policy == "none") {
       opts.deadline_policy = DeadlinePolicy::kNone;
@@ -599,6 +648,14 @@ int cmd_online(int argc, char** argv) {
   out["shed_requests"] = Json::number(static_cast<double>(result.shed_requests));
   out["deferred_requests"] =
       Json::number(static_cast<double>(result.deferred_requests));
+  out["bucket_transitions"] =
+      Json::number(static_cast<double>(result.bucket_transitions));
+  out["final_thermal_bucket"] =
+      Json::number(static_cast<double>(result.final_thermal_bucket));
+  out["weather_onsets"] =
+      Json::number(static_cast<double>(result.weather_onsets));
+  out["bus_degraded_windows"] =
+      Json::number(static_cast<double>(result.bus_degraded_windows));
   Json dead = Json::array();
   for (std::size_t p = 0; p < result.declared_dead_ms.size(); ++p) {
     if (result.declared_dead_ms[p] >= 0.0) {
@@ -621,7 +678,9 @@ int cmd_online(int argc, char** argv) {
     if (with_faults) {
       w["avail_mask"] = Json::number(static_cast<double>(ws.avail_mask));
       w["backoff_wait_ms"] = Json::number(ws.backoff_wait_ms);
+      w["bus_factor"] = Json::number(ws.bus_factor);
     }
+    w["thermal_bucket"] = Json::number(static_cast<double>(ws.thermal_bucket));
     if (opts.deadline_policy != DeadlinePolicy::kNone) {
       w["shed"] = Json::number(static_cast<double>(ws.shed));
       w["deferred"] = Json::number(static_cast<double>(ws.deferred));
