@@ -432,6 +432,29 @@ void BM_OnlineNpuDropout(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineNpuDropout)->UseRealTime();
 
+/// Prediction-drift observability overhead: the BM_OnlineLoop cache-cold
+/// stream with drift tracking off vs on.  Off is the zero-cost contract (one
+/// bool branch per window); on adds one window-isolated DES per window plus
+/// the post-hoc residual pass — both bounded far under the planner's own DES
+/// fan-out, so the two curves must stay within ~2% of each other in
+/// BENCH_planner.json.  `drift_slices` documents how many residuals the
+/// enabled run actually scored.
+void BM_DriftTracking(benchmark::State& state, bool enabled) {
+  const Soc soc = Soc::kirin990();
+  const std::vector<OnlineRequest> stream = cold_stream(8, 4);
+  OnlineOptions opts;
+  opts.drift_tracking = enabled;
+  double slices = 0.0;
+  for (auto _ : state) {
+    const OnlineResult r = run_online(soc, stream, opts);
+    slices = static_cast<double>(r.slice_records.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["drift_slices"] = slices;
+}
+BENCHMARK_CAPTURE(BM_DriftTracking, off, false)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DriftTracking, on, true)->UseRealTime();
+
 // ---- warm-start replanning --------------------------------------------------
 
 /// Cold vs warm replan of a window one model away from a cached one.  The

@@ -210,4 +210,67 @@ Json timeline_to_json(const Timeline& timeline) {
   return j;
 }
 
+Json calibration_report_to_json(const obs::CalibrationReport& report) {
+  Json j = Json::object();
+  j["schema"] = Json::string("h2p.drift/v1");
+  j["records"] = Json::number(static_cast<double>(report.records));
+  j["skipped"] = Json::number(static_cast<double>(report.skipped));
+  j["alerts"] = Json::number(static_cast<double>(report.alerts));
+  j["ewma_abs_rel_err"] = Json::number(report.ewma_abs_rel_err);
+  j["mean_abs_rel_err"] = Json::number(report.mean_abs_rel_err());
+  j["min_samples"] = Json::number(static_cast<double>(report.min_samples));
+  Json cells = Json::array();
+  for (const obs::DriftCell& cell : report.cells) {
+    Json cj = Json::object();
+    cj["proc"] = Json::number(static_cast<double>(cell.proc));
+    cj["kind"] = Json::string(obs::to_string(cell.kind));
+    cj["thermal_bucket"] =
+        Json::number(static_cast<double>(cell.thermal_bucket));
+    cj["count"] = Json::number(static_cast<double>(cell.count));
+    cj["sum_predicted_ms"] = Json::number(cell.sum_predicted_ms);
+    cj["sum_executed_ms"] = Json::number(cell.sum_executed_ms);
+    cj["sum_rel_err"] = Json::number(cell.sum_rel_err);
+    cj["sum_abs_rel_err"] = Json::number(cell.sum_abs_rel_err);
+    cj["max_abs_rel_err"] = Json::number(cell.max_abs_rel_err);
+    cj["correction"] = Json::number(cell.correction());
+    cj["confidence"] = Json::number(cell.confidence(report.min_samples));
+    cj["mean_rel_err"] = Json::number(cell.mean_rel_err());
+    cj["mean_abs_rel_err"] = Json::number(cell.mean_abs_rel_err());
+    cells.push_back(std::move(cj));
+  }
+  j["cells"] = std::move(cells);
+  return j;
+}
+
+obs::CalibrationReport calibration_report_from_json(const Json& j) {
+  if (j.contains("schema") && j.at("schema").as_string() != "h2p.drift/v1") {
+    throw std::runtime_error("calibration_report_from_json: unknown schema " +
+                             j.at("schema").as_string());
+  }
+  obs::CalibrationReport report;
+  report.records = static_cast<std::uint64_t>(j.at("records").as_number());
+  report.skipped = static_cast<std::uint64_t>(j.at("skipped").as_number());
+  report.alerts = static_cast<std::uint64_t>(j.at("alerts").as_number());
+  report.ewma_abs_rel_err = j.at("ewma_abs_rel_err").as_number();
+  report.min_samples =
+      static_cast<std::size_t>(j.at("min_samples").as_number());
+  const Json& cells = j.at("cells");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Json& cj = cells.at(i);
+    obs::DriftCell cell;
+    cell.proc = static_cast<std::size_t>(cj.at("proc").as_number());
+    cell.kind = obs::parse_slice_kind(cj.at("kind").as_string());
+    cell.thermal_bucket =
+        static_cast<std::size_t>(cj.at("thermal_bucket").as_number());
+    cell.count = static_cast<std::uint64_t>(cj.at("count").as_number());
+    cell.sum_predicted_ms = cj.at("sum_predicted_ms").as_number();
+    cell.sum_executed_ms = cj.at("sum_executed_ms").as_number();
+    cell.sum_rel_err = cj.at("sum_rel_err").as_number();
+    cell.sum_abs_rel_err = cj.at("sum_abs_rel_err").as_number();
+    cell.max_abs_rel_err = cj.at("max_abs_rel_err").as_number();
+    report.cells.push_back(cell);
+  }
+  return report;
+}
+
 }  // namespace h2p

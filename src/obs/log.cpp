@@ -87,10 +87,13 @@ void Log::emit(LogLevel level, std::string_view event,
                            std::chrono::steady_clock::now() - epoch_)
                            .count() /
                        1.0e6;
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
   std::string line;
   line.reserve(96);
   line += "{\"ts_ms\":";
   append_number(line, ts_ms);
+  line += ",\"seq\":";
+  append_number(line, static_cast<double>(seq));
   line += ",\"level\":\"";
   line += to_string(level);
   line += "\",\"event\":";

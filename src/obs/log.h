@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <initializer_list>
 #include <mutex>
@@ -53,12 +54,15 @@ struct LogField {
 };
 
 /// Structured JSONL event log.  One line per record:
-///   {"ts_ms":12.345,"level":"warn","event":"online.prefetch_failed",...}
-/// `ts_ms` is wall milliseconds since the Log's construction.  Records at
-/// or above the current level go to the sink (stderr by default, a file via
-/// `set_sink_file`); everything else is a relaxed load and a branch.
-/// Thread-safe: each record is formatted privately and written under one
-/// lock, so lines never interleave.
+///   {"ts_ms":12.345,"seq":7,"level":"warn","event":"online.prefetch_failed",...}
+/// `ts_ms` is wall milliseconds since the Log's construction; `seq` is a
+/// monotonic per-Log sequence number so records merged across files and
+/// threads during fleet aggregation have a total order even when ts_ms
+/// ties (lines are seq-unique, and sorting on seq recovers emission order).
+/// Records at or above the current level go to the sink (stderr by default,
+/// a file via `set_sink_file`); everything else is a relaxed load and a
+/// branch.  Thread-safe: each record is formatted privately and written
+/// under one lock, so lines never interleave.
 ///
 /// This replaces the library's previous silent-failure paths (swallowed
 /// prefetch exceptions, unexplained fault reactions) — nothing here feeds
@@ -112,6 +116,8 @@ class Log {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
+  /// Next record's sequence number; claimed with one relaxed fetch_add.
+  std::atomic<std::uint64_t> seq_{0};
   /// Default kWarn: warnings and errors surface, chatter does not.
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
   std::mutex mu_;  // guards the sink

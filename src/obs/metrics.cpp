@@ -58,23 +58,29 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 Summary Histogram::summary() const {
-  Summary s;
-  s.count = count();
-  if (s.count == 0) return s;
-  s.mean = sum() / static_cast<double>(s.count);
   double mn = std::numeric_limits<double>::infinity();
   double mx = -std::numeric_limits<double>::infinity();
   for (const Scalars& sc : scalars_) {
     mn = std::min(mn, sc.min.load(std::memory_order_relaxed));
     mx = std::max(mx, sc.max.load(std::memory_order_relaxed));
   }
+  return summary_from_buckets(bounds_, bucket_counts(), count(), sum(), mn,
+                              mx);
+}
+
+Summary summary_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             std::uint64_t count, double sum, double min,
+                             double max) {
+  Summary s;
+  s.count = count;
+  if (s.count == 0) return s;
+  s.mean = sum / static_cast<double>(s.count);
+  const double mn = min;
+  const double mx = max;
   s.min = mn;
   s.max = mx;
 
-  // Percentiles interpolated inside the bucket containing the rank; the
-  // first bucket interpolates from 0 (or the observed min when tighter) and
-  // the overflow bucket is pinned to the observed max.
-  const std::vector<std::uint64_t> counts = bucket_counts();
   const auto pct = [&](double q) {
     const double rank = q * static_cast<double>(s.count);
     double below = 0.0;
@@ -82,8 +88,8 @@ Summary Histogram::summary() const {
       const double here = static_cast<double>(counts[b]);
       if (below + here >= rank && here > 0.0) {
         if (b == counts.size() - 1) return mx;
-        const double hi = bounds_[b];
-        double lo = b == 0 ? std::min(0.0, mn) : bounds_[b - 1];
+        const double hi = bounds[b];
+        double lo = b == 0 ? std::min(0.0, mn) : bounds[b - 1];
         lo = std::max(lo, mn);
         const double frac = std::clamp((rank - below) / here, 0.0, 1.0);
         return std::clamp(lo + (hi - lo) * frac, mn, mx);
@@ -94,6 +100,7 @@ Summary Histogram::summary() const {
   };
   s.p50 = pct(0.50);
   s.p90 = pct(0.90);
+  s.p95 = pct(0.95);
   s.p99 = pct(0.99);
   // stddev is not recoverable from (count, sum, buckets); left 0.
   return s;

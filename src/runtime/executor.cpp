@@ -131,6 +131,26 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
 
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> steals{0};
+
+  // Drift capture: the per-model chain tail, for slice-kind classification
+  // on the workers without a scan per job.
+  const obs::DriftCapture* drift =
+      options_.drift != nullptr && options_.drift->buffer != nullptr
+          ? options_.drift
+          : nullptr;
+  std::vector<std::size_t> drift_last_seq;
+  if (drift != nullptr) {
+    std::size_t num_models = 0;
+    for (const RuntimeJob& j : jobs) {
+      num_models = std::max(num_models, j.model_idx + 1);
+    }
+    drift_last_seq.assign(num_models, 0);
+    for (const RuntimeJob& j : jobs) {
+      drift_last_seq[j.model_idx] =
+          std::max(drift_last_seq[j.model_idx], j.seq_in_model);
+    }
+  }
+
   const auto t0 = Clock::now();
 
   auto worker_fn = [&](std::size_t me) {
@@ -181,6 +201,23 @@ RuntimeResult PipelineExecutor::run(const std::vector<RuntimeJob>& jobs) const {
         static obs::Counter& c_steals =
             obs::Registry::global().counter("rt.steals");
         c_steals.inc();
+      }
+      if (drift != nullptr && i < drift->predicted.size()) {
+        obs::SliceRecord srec;
+        srec.window = drift->window;
+        srec.model_idx = jobs[i].model_idx;
+        srec.seq_in_model = jobs[i].seq_in_model;
+        srec.proc = jobs[i].home_proc % num_procs_;
+        srec.kind = obs::classify_slice(jobs[i].seq_in_model,
+                                        drift_last_seq[jobs[i].model_idx]);
+        srec.thermal_bucket = drift->thermal_bucket;
+        srec.bus_factor = drift->bus_factor;
+        srec.predicted_start_ms = drift->predicted[i].start_ms;
+        srec.predicted_finish_ms = drift->predicted[i].finish_ms;
+        srec.executed_start_ms = rec.start_ms * drift->wall_ms_to_model;
+        srec.executed_finish_ms = rec.end_ms * drift->wall_ms_to_model;
+        srec.migrated = rec.stolen;
+        drift->buffer->push(srec);
       }
 
       for (std::size_t e = succ_offsets[i]; e < succ_offsets[i + 1]; ++e) {

@@ -6,6 +6,7 @@
 #include "core/bubbles.h"
 #include "core/plan.h"
 #include "exec/compiled_plan.h"
+#include "obs/drift.h"
 
 namespace h2p {
 
@@ -38,6 +39,14 @@ struct ExecutorOptions {
   /// millisecond (keeps tests fast while exercising true concurrency).
   double us_per_sim_ms = 20.0;
   bool allow_stealing = true;
+  /// Prediction-drift capture (obs/drift.h): when set, each completed job
+  /// pushes one SliceRecord — the arbitrating DES's predicted start/finish
+  /// for that job against the executed wall times rescaled to modeled
+  /// milliseconds — into the capture's lock-free per-thread buffer.  The
+  /// worker-side cost is one branch and one buffer push; null (the default)
+  /// costs one pointer compare.  The capture must outlive `run`; drain the
+  /// buffer (obs::DriftTracker::drain) after run returns.
+  const obs::DriftCapture* drift = nullptr;
 };
 
 struct RuntimeResult {

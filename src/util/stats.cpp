@@ -50,6 +50,7 @@ Summary summarize(std::span<const double> xs) {
   s.max = maximum(xs);
   s.p50 = percentile(xs, 0.50);
   s.p90 = percentile(xs, 0.90);
+  s.p95 = percentile(xs, 0.95);
   s.p99 = percentile(xs, 0.99);
   return s;
 }
@@ -87,6 +88,7 @@ Json summary_to_json(const Summary& s) {
   out["max"] = num(s.max);
   out["p50"] = num(s.p50);
   out["p90"] = num(s.p90);
+  out["p95"] = num(s.p95);
   out["p99"] = num(s.p99);
   return out;
 }

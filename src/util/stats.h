@@ -17,6 +17,7 @@ struct Summary {
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
 };
 
@@ -34,7 +35,7 @@ Summary summarize(std::span<const double> xs);
 /// consumer (metrics snapshots, bench headers) instead of hand-rolled
 /// field-by-field copies:
 ///   {"count":n,"mean":..,"stddev":..,"min":..,"max":..,
-///    "p50":..,"p90":..,"p99":..}
+///    "p50":..,"p90":..,"p95":..,"p99":..}
 /// Non-finite values (an empty histogram's min/max) serialize as null.
 Json summary_to_json(const Summary& s);
 

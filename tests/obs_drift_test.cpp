@@ -1,0 +1,546 @@
+// Prediction-drift observability (obs/drift.h): residual math on synthetic
+// timelines, the lock-free capture buffer, the EWMA alert detector, the
+// executor capture hook, run_online integration, and fleet snapshot merging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.h"
+#include "models/model_zoo.h"
+#include "obs/drift.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/executor.h"
+#include "sim/fault_injector.h"
+#include "sim/online.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace h2p {
+namespace {
+
+using obs::SliceKind;
+using obs::SliceRecord;
+
+/// A record whose predicted duration is `pred` and executed duration `exec`
+/// (both starting at 0), in the given cell.
+SliceRecord make_record(double pred, double exec, std::size_t proc = 0,
+                        SliceKind kind = SliceKind::kSolo,
+                        std::size_t bucket = 0) {
+  SliceRecord rec;
+  rec.proc = proc;
+  rec.kind = kind;
+  rec.thermal_bucket = bucket;
+  rec.predicted_start_ms = 0.0;
+  rec.predicted_finish_ms = pred;
+  rec.executed_start_ms = 0.0;
+  rec.executed_finish_ms = exec;
+  return rec;
+}
+
+TEST(ObsDrift, ClassifyAndKindStrings) {
+  EXPECT_EQ(obs::classify_slice(0, 0), SliceKind::kSolo);
+  EXPECT_EQ(obs::classify_slice(0, 3), SliceKind::kLead);
+  EXPECT_EQ(obs::classify_slice(1, 3), SliceKind::kInterior);
+  EXPECT_EQ(obs::classify_slice(2, 3), SliceKind::kInterior);
+  EXPECT_EQ(obs::classify_slice(3, 3), SliceKind::kTail);
+  for (SliceKind k : {SliceKind::kLead, SliceKind::kInterior, SliceKind::kTail,
+                      SliceKind::kSolo}) {
+    EXPECT_EQ(obs::parse_slice_kind(obs::to_string(k)), k);
+  }
+  EXPECT_THROW(obs::parse_slice_kind("sideways"), std::invalid_argument);
+}
+
+TEST(ObsDrift, CalibrationReportExactRatios) {
+  // Exact arithmetic: a cell's correction is literally
+  // sum(executed) / sum(predicted) over its records.
+  std::vector<SliceRecord> records;
+  records.push_back(make_record(10.0, 12.0));  // rel_err +0.2
+  {
+    SliceRecord r = make_record(0.0, 0.0);  // second solo slice, offset times
+    r.predicted_start_ms = 10.0;
+    r.predicted_finish_ms = 30.0;  // duration 20
+    r.executed_start_ms = 12.0;
+    r.executed_finish_ms = 36.0;  // duration 24, rel_err +0.2
+    records.push_back(r);
+  }
+  records.push_back(
+      make_record(8.0, 6.0, /*proc=*/1, SliceKind::kLead));  // rel_err -0.25
+  records.push_back(make_record(0.0, 5.0));                  // skipped: pred 0
+
+  obs::DriftOptions opts;
+  opts.min_samples = 2;
+  const obs::CalibrationReport rep = calibration_report(records, opts);
+  EXPECT_EQ(rep.records, 3u);
+  EXPECT_EQ(rep.skipped, 1u);
+  EXPECT_EQ(rep.alerts, 0u);
+  ASSERT_EQ(rep.cells.size(), 2u);
+
+  // Cells are sorted by (proc, kind, thermal_bucket).
+  const obs::DriftCell& solo = rep.cells[0];
+  EXPECT_EQ(solo.proc, 0u);
+  EXPECT_EQ(solo.kind, SliceKind::kSolo);
+  EXPECT_EQ(solo.count, 2u);
+  EXPECT_DOUBLE_EQ(solo.sum_predicted_ms, 30.0);
+  EXPECT_DOUBLE_EQ(solo.sum_executed_ms, 36.0);
+  EXPECT_DOUBLE_EQ(solo.correction(), 1.2);  // 36 / 30, exact
+  EXPECT_DOUBLE_EQ(solo.mean_rel_err(), 0.2);
+  EXPECT_DOUBLE_EQ(solo.mean_abs_rel_err(), 0.2);
+  EXPECT_DOUBLE_EQ(solo.max_abs_rel_err, 0.2);
+  EXPECT_DOUBLE_EQ(solo.confidence(rep.min_samples), 0.5);  // 2 / (2 + 2)
+
+  const obs::DriftCell& lead = rep.cells[1];
+  EXPECT_EQ(lead.proc, 1u);
+  EXPECT_EQ(lead.kind, SliceKind::kLead);
+  EXPECT_DOUBLE_EQ(lead.correction(), 0.75);  // 6 / 8, exact
+  EXPECT_DOUBLE_EQ(lead.mean_rel_err(), -0.25);
+  EXPECT_DOUBLE_EQ(lead.confidence(rep.min_samples), 1.0 / 3.0);
+
+  // Run-level mean |rel_err| = (0.2 + 0.2 + 0.25) / 3.
+  EXPECT_DOUBLE_EQ(rep.mean_abs_rel_err(), 0.65 / 3.0);
+}
+
+TEST(ObsDrift, SliceBufferConcurrentPushDrain) {
+  obs::SliceBuffer buffer;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 600;  // forces chunk rollover (cap 256)
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        SliceRecord rec;
+        rec.window = t;
+        rec.seq_in_model = i;
+        buffer.push(rec);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(buffer.size(), kThreads * kPerThread);
+  const std::vector<SliceRecord> drained = buffer.drain();
+  ASSERT_EQ(drained.size(), kThreads * kPerThread);
+  // Per-thread push order is preserved: each thread's records appear with
+  // strictly ascending seq.
+  std::vector<std::size_t> next(kThreads, 0);
+  for (const SliceRecord& rec : drained) {
+    ASSERT_LT(rec.window, kThreads);
+    EXPECT_EQ(rec.seq_in_model, next[rec.window]++);
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(next[t], kPerThread);
+
+  // drain resets: the buffer is reusable afterwards.
+  EXPECT_EQ(buffer.size(), 0u);
+  buffer.push(SliceRecord{});
+  EXPECT_EQ(buffer.drain().size(), 1u);
+}
+
+TEST(ObsDrift, TrackerAlertFiresOnceAndRearmsWithHysteresis) {
+  obs::Registry registry;
+  registry.set_enabled(true);
+  obs::Log log;
+  std::ostringstream sink;
+  log.set_sink_stream(&sink);  // default level warn: alerts pass
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+
+  obs::DriftOptions opts;
+  opts.ewma_alpha = 1.0;  // EWMA == current |rel_err|: exact thresholds
+  opts.alert_threshold = 0.25;
+  opts.rearm_ratio = 0.8;  // re-arm below 0.2
+  opts.min_samples = 2;
+  obs::DriftTracker tracker(opts, &registry, &log, &tracer);
+
+  tracker.observe_always(make_record(10.0, 15.0));  // |0.5| but records < min
+  EXPECT_EQ(tracker.alerts(), 0u);
+  tracker.observe_always(make_record(10.0, 15.0));  // fires
+  EXPECT_EQ(tracker.alerts(), 1u);
+  tracker.observe_always(make_record(10.0, 15.0));  // latched: no storm
+  EXPECT_EQ(tracker.alerts(), 1u);
+  tracker.observe_always(make_record(10.0, 11.0));  // |0.1| < 0.2: re-arms
+  EXPECT_EQ(tracker.alerts(), 1u);
+  tracker.observe_always(make_record(10.0, 15.0));  // fires again
+  EXPECT_EQ(tracker.alerts(), 2u);
+
+  EXPECT_EQ(tracker.records(), 5u);
+  EXPECT_DOUBLE_EQ(tracker.ewma_abs_rel_err(), 0.5);
+  EXPECT_EQ(registry.counter("drift.alerts").value(), 2u);
+  EXPECT_EQ(registry.counter("drift.records").value(), 5u);
+  EXPECT_DOUBLE_EQ(registry.gauge("drift.ewma_abs_rel_err").value(), 0.5);
+
+  log.set_sink_stream(nullptr);
+  std::size_t warn_lines = 0;
+  std::string line;
+  std::istringstream in(sink.str());
+  while (std::getline(in, line)) {
+    if (line.find("drift.alert") != std::string::npos) ++warn_lines;
+  }
+  EXPECT_EQ(warn_lines, 2u);
+  std::size_t instants = 0;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.instant && e.name == "online.drift_alert") ++instants;
+  }
+  EXPECT_EQ(instants, 2u);
+
+  tracker.reset();
+  EXPECT_EQ(tracker.records(), 0u);
+  EXPECT_EQ(tracker.alerts(), 0u);
+  EXPECT_TRUE(tracker.cells().empty());
+}
+
+TEST(ObsDrift, TrackerDisabledGateAndDrainOrder) {
+  obs::Registry registry;  // disabled: metric writes are no-ops, cells still
+  registry.set_enabled(false);
+  obs::Log log;
+  obs::Tracer tracer;
+  obs::DriftTracker tracker({}, &registry, &log, &tracer);
+
+  EXPECT_FALSE(tracker.enabled());
+  tracker.observe(make_record(10.0, 12.0));  // gated off
+  EXPECT_EQ(tracker.records(), 0u);
+  tracker.set_enabled(true);
+  tracker.observe(make_record(10.0, 12.0));
+  EXPECT_EQ(tracker.records(), 1u);
+
+  // drain sorts by (window, model, seq) for a deterministic alert sequence.
+  obs::SliceBuffer buffer;
+  SliceRecord a = make_record(10.0, 12.0);
+  a.window = 1;
+  SliceRecord b = make_record(10.0, 12.0);
+  b.window = 0;
+  buffer.push(a);
+  buffer.push(b);
+  tracker.drain(buffer);
+  EXPECT_EQ(tracker.records(), 3u);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(ObsDrift, PredictedFromTimeline) {
+  Timeline tl;
+  TaskRecord t0;
+  t0.start_ms = 1.5;
+  t0.end_ms = 4.0;
+  TaskRecord t1;
+  t1.start_ms = 4.0;
+  t1.end_ms = 9.25;
+  tl.tasks = {t0, t1};
+  const std::vector<obs::PredictedSlice> pred =
+      obs::predicted_from_timeline(tl);
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_DOUBLE_EQ(pred[0].start_ms, 1.5);
+  EXPECT_DOUBLE_EQ(pred[0].finish_ms, 4.0);
+  EXPECT_DOUBLE_EQ(pred[1].start_ms, 4.0);
+  EXPECT_DOUBLE_EQ(pred[1].finish_ms, 9.25);
+}
+
+TEST(ObsDrift, ExecutorCapturesSliceRecords) {
+  // Two 2-slice chains on two workers; every completed job must push one
+  // record with the planned context stamped on and wall times rescaled.
+  std::vector<RuntimeJob> jobs;
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      RuntimeJob job;
+      job.model_idx = m;
+      job.seq_in_model = s;
+      job.home_proc = m;
+      job.solo_ms = 2.0;
+      jobs.push_back(job);
+    }
+  }
+
+  obs::SliceBuffer buffer;
+  obs::DriftCapture capture;
+  capture.buffer = &buffer;
+  capture.predicted = {{0.0, 2.0}, {2.0, 4.0}, {0.0, 2.0}, {2.0, 4.0}};
+  capture.window = 7;
+  capture.thermal_bucket = 1;
+  capture.bus_factor = 0.5;
+
+  ExecutorOptions opts;
+  opts.us_per_sim_ms = 50.0;
+  capture.wall_ms_to_model = 1000.0 / opts.us_per_sim_ms;
+  opts.drift = &capture;
+  const PipelineExecutor ex(2, opts);
+  const RuntimeResult result = ex.run(jobs);
+  ASSERT_EQ(result.records.size(), jobs.size());
+
+  std::vector<SliceRecord> recs = buffer.drain();
+  ASSERT_EQ(recs.size(), jobs.size());
+  std::sort(recs.begin(), recs.end(),
+            [](const SliceRecord& x, const SliceRecord& y) {
+              return std::tie(x.model_idx, x.seq_in_model) <
+                     std::tie(y.model_idx, y.seq_in_model);
+            });
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const SliceRecord& rec = recs[i];
+    EXPECT_EQ(rec.window, 7u);
+    EXPECT_EQ(rec.thermal_bucket, 1u);
+    EXPECT_DOUBLE_EQ(rec.bus_factor, 0.5);
+    EXPECT_EQ(rec.kind, rec.seq_in_model == 0 ? SliceKind::kLead
+                                              : SliceKind::kTail);
+    EXPECT_DOUBLE_EQ(rec.predicted_ms(), 2.0);
+    EXPECT_GT(rec.executed_ms(), 0.0);
+    EXPECT_GE(rec.executed_start_ms, 0.0);
+  }
+  // A tail never starts before its lead finished (modeled clock, both
+  // rescaled by the same factor).
+  EXPECT_GE(recs[1].executed_start_ms, recs[0].executed_finish_ms);
+  EXPECT_GE(recs[3].executed_start_ms, recs[2].executed_finish_ms);
+}
+
+TEST(ObsDrift, CalibrationJsonRoundTrip) {
+  std::vector<SliceRecord> records = {make_record(10.0, 12.0),
+                                      make_record(8.0, 6.0, 1, SliceKind::kLead),
+                                      make_record(0.0, 1.0)};
+  const obs::CalibrationReport rep = calibration_report(records);
+  const Json j = calibration_report_to_json(rep);
+  EXPECT_EQ(j.at("schema").as_string(), "h2p.drift/v1");
+  EXPECT_EQ(j.at("records").as_number(), 2.0);
+  EXPECT_EQ(j.at("skipped").as_number(), 1.0);
+
+  const obs::CalibrationReport back = calibration_report_from_json(j);
+  // Re-serialization is byte-identical: the sums are authoritative and the
+  // derived fields are pure functions of them.
+  EXPECT_EQ(calibration_report_to_json(back).dump(), j.dump());
+
+  Json bad = j;
+  bad["schema"] = Json::string("h2p.drift/v99");
+  EXPECT_THROW(calibration_report_from_json(bad), std::runtime_error);
+}
+
+std::vector<OnlineRequest> drift_stream() {
+  std::vector<OnlineRequest> stream;
+  for (ModelId id : {ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet,
+                     ModelId::kMobileNetV2, ModelId::kGoogLeNet,
+                     ModelId::kAlexNet}) {
+    stream.push_back({&zoo_model(id), static_cast<double>(stream.size()) * 5.0});
+  }
+  return stream;
+}
+
+TEST(ObsDrift, OnlineRecordsAlignWithTimeline) {
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.drift_tracking = true;
+  const OnlineResult r = run_online(Soc::kirin990(), drift_stream(), opts);
+
+  ASSERT_EQ(r.slice_records.size(), r.timeline.tasks.size());
+  std::size_t windowed = 0;
+  for (std::size_t i = 0; i < r.slice_records.size(); ++i) {
+    const SliceRecord& rec = r.slice_records[i];
+    const TaskRecord& task = r.timeline.tasks[i];
+    EXPECT_EQ(rec.model_idx, task.model_idx);
+    EXPECT_EQ(rec.seq_in_model, task.seq_in_model);
+    EXPECT_EQ(rec.executed_start_ms, task.start_ms);
+    EXPECT_EQ(rec.executed_finish_ms, task.end_ms);
+    EXPECT_EQ(rec.migrated, rec.proc != task.proc_idx);
+    EXPECT_EQ(rec.weather_idx, -1);  // fault-free stream
+    ASSERT_LT(rec.window, r.windows.size());
+  }
+  for (const WindowStats& ws : r.windows) {
+    EXPECT_GT(ws.predicted_makespan_ms, 0.0);
+    windowed += ws.drift_slices;
+  }
+  EXPECT_EQ(windowed, r.slice_records.size());
+  EXPECT_EQ(r.drift_report.records + r.drift_report.skipped,
+            r.slice_records.size());
+  EXPECT_DOUBLE_EQ(r.drift_mean_abs_rel_err,
+                   r.drift_report.mean_abs_rel_err());
+}
+
+TEST(ObsDrift, OnlineSerialAndAsyncSliceRecordsIdentical) {
+  OnlineOptions serial;
+  serial.replan_window = 3;
+  serial.drift_tracking = true;
+  const OnlineResult a = run_online(Soc::kirin990(), drift_stream(), serial);
+
+  ThreadPool pool(2);
+  OnlineOptions async = serial;
+  async.pool = &pool;
+  async.async_planning = true;
+  const OnlineResult b = run_online(Soc::kirin990(), drift_stream(), async);
+
+  ASSERT_EQ(a.slice_records.size(), b.slice_records.size());
+  for (std::size_t i = 0; i < a.slice_records.size(); ++i) {
+    const SliceRecord& ra = a.slice_records[i];
+    const SliceRecord& rb = b.slice_records[i];
+    EXPECT_EQ(ra.proc, rb.proc);
+    EXPECT_EQ(ra.kind, rb.kind);
+    EXPECT_EQ(ra.predicted_start_ms, rb.predicted_start_ms);  // bit-identical
+    EXPECT_EQ(ra.predicted_finish_ms, rb.predicted_finish_ms);
+    EXPECT_EQ(ra.executed_start_ms, rb.executed_start_ms);
+    EXPECT_EQ(ra.executed_finish_ms, rb.executed_finish_ms);
+  }
+  EXPECT_EQ(a.drift_alerts, b.drift_alerts);
+  EXPECT_EQ(calibration_report_to_json(a.drift_report).dump(),
+            calibration_report_to_json(b.drift_report).dump());
+}
+
+TEST(ObsDrift, ThermalStormTriggersDriftAlert) {
+  // A thermal storm slows the executed timeline against the fault-free
+  // window-isolated prediction: positive residuals that a low-threshold
+  // detector must flag, with the storm's provenance on the records.
+  const Soc soc = Soc::kirin990();
+  WeatherEvent storm;
+  storm.kind = WeatherKind::kThermalStorm;
+  storm.begin_ms = 0.0;
+  storm.duration_ms = 1e7;  // covers the whole stream
+  storm.severity = 0.9;
+  const FaultScript script = FaultScript::with_weather(soc, {storm});
+
+  std::vector<OnlineRequest> stream;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (ModelId id :
+         {ModelId::kResNet50, ModelId::kBERT, ModelId::kSqueezeNet}) {
+      stream.push_back({&zoo_model(id), 0.0});
+    }
+  }
+  OnlineOptions opts;
+  opts.replan_window = 3;
+  opts.faults = &script;
+  opts.drift_tracking = true;
+  opts.drift.alert_threshold = 0.05;
+  opts.drift.min_samples = 4;
+  const OnlineResult r = run_online(soc, stream, opts);
+
+  EXPECT_GE(r.drift_alerts, 1u);
+  EXPECT_EQ(r.drift_alerts, r.drift_report.alerts);
+  EXPECT_GT(r.drift_mean_abs_rel_err, 0.0);
+  ASSERT_FALSE(r.slice_records.empty());
+  std::size_t covered = 0;
+  for (const SliceRecord& rec : r.slice_records) {
+    if (rec.weather_idx == 0) ++covered;
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+// ---- fleet snapshot aggregation --------------------------------------------
+
+TEST(FleetMerge, RegistrySnapshotsSumCountersAndHistograms) {
+  obs::Registry a;
+  a.set_enabled(true);
+  a.counter("online.windows").inc(3);
+  a.gauge("pool.threads").set(2.0);
+  obs::Histogram& ha = a.histogram("plan.latency_ms", {1.0, 2.0, 4.0});
+  ha.observe(0.5);
+  ha.observe(1.5);
+
+  obs::Registry b;
+  b.set_enabled(true);
+  b.counter("online.windows").inc(4);
+  b.counter("online.replans").inc(1);
+  b.gauge("pool.threads").set(8.0);
+  obs::Histogram& hb = b.histogram("plan.latency_ms", {1.0, 2.0, 4.0});
+  hb.observe(3.0);
+  hb.observe(100.0);  // overflow bucket
+
+  const std::vector<Json> snaps = {a.snapshot(), b.snapshot()};
+  const Json merged = obs::merge_snapshots(snaps);
+
+  EXPECT_EQ(merged.at("fleet").at("snapshots").as_number(), 2.0);
+  EXPECT_EQ(merged.at("counters").at("online.windows").as_number(), 7.0);
+  EXPECT_EQ(merged.at("counters").at("online.replans").as_number(), 1.0);
+  EXPECT_EQ(merged.at("gauges").at("pool.threads").as_number(), 8.0);  // last
+
+  const Json& hist = merged.at("histograms").at("plan.latency_ms");
+  const Json& buckets = hist.at("buckets");
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets.at(0).at("count").as_number(), 1.0);  // 0.5
+  EXPECT_EQ(buckets.at(1).at("count").as_number(), 1.0);  // 1.5
+  EXPECT_EQ(buckets.at(2).at("count").as_number(), 1.0);  // 3.0
+  EXPECT_EQ(buckets.at(3).at("count").as_number(), 1.0);  // 100.0
+  const Json& summary = hist.at("summary");
+  EXPECT_EQ(summary.at("count").as_number(), 4.0);
+  ASSERT_TRUE(summary.contains("p95"));
+  EXPECT_GE(summary.at("p95").as_number(), summary.at("p50").as_number());
+  EXPECT_LE(summary.at("p99").as_number(), 100.0);  // overflow pinned to max
+}
+
+TEST(FleetMerge, HistogramSummaryHasInterpolatedPercentiles) {
+  // Satellite (a): Registry::snapshot must expose interpolated p50/p95/p99
+  // per histogram via the shared util/stats summary path.
+  obs::Registry reg;
+  reg.set_enabled(true);
+  obs::Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i % 8));
+  const Json snap = reg.snapshot();
+  const Json& summary = snap.at("histograms").at("lat").at("summary");
+  for (const char* key : {"p50", "p90", "p95", "p99"}) {
+    ASSERT_TRUE(summary.contains(key)) << key;
+  }
+  EXPECT_LE(summary.at("p50").as_number(), summary.at("p95").as_number());
+  EXPECT_LE(summary.at("p95").as_number(), summary.at("p99").as_number());
+}
+
+TEST(FleetMerge, MergesCalibrationReportsExactly) {
+  // Two shards of the same fleet: the merged correction must equal what one
+  // tracker over the union of records would compute.
+  std::vector<SliceRecord> ra = {make_record(10.0, 12.0),
+                                 make_record(20.0, 24.0)};
+  std::vector<SliceRecord> rb = {make_record(10.0, 8.0)};
+  const Json ja = calibration_report_to_json(calibration_report(ra));
+  const Json jb = calibration_report_to_json(calibration_report(rb));
+  const std::vector<Json> snaps = {ja, jb};
+  const Json merged = obs::merge_snapshots(snaps);
+
+  const Json& cal = merged.at("calibration");
+  EXPECT_EQ(cal.at("schema").as_string(), "h2p.drift/v1");
+  EXPECT_EQ(cal.at("records").as_number(), 3.0);
+  ASSERT_EQ(cal.at("cells").size(), 1u);
+  const Json& cell = cal.at("cells").at(0);
+  EXPECT_DOUBLE_EQ(cell.at("sum_predicted_ms").as_number(), 40.0);
+  EXPECT_DOUBLE_EQ(cell.at("sum_executed_ms").as_number(), 44.0);
+  EXPECT_DOUBLE_EQ(cell.at("correction").as_number(), 1.1);  // 44 / 40
+
+  std::vector<SliceRecord> all = ra;
+  all.insert(all.end(), rb.begin(), rb.end());
+  const obs::CalibrationReport whole = calibration_report(all);
+  EXPECT_DOUBLE_EQ(cell.at("correction").as_number(),
+                   whole.cells[0].correction());
+}
+
+TEST(FleetMerge, MergeIsAssociative) {
+  // merge(A, merge(B, C)) == merge(merge(A, B), C), byte for byte.  Dyadic
+  // values keep double addition exact, so dump comparison is fair.
+  auto report_doc = [](double pred, double exec, std::size_t proc) {
+    std::vector<SliceRecord> recs = {make_record(pred, exec, proc)};
+    return calibration_report_to_json(calibration_report(recs));
+  };
+  const Json a = report_doc(8.0, 10.0, 0);
+  const Json b = report_doc(4.0, 3.0, 1);
+  const Json c = report_doc(16.0, 20.0, 0);
+
+  const std::vector<Json> bc = {b, c};
+  const std::vector<Json> left_in = {a, obs::merge_snapshots(bc)};
+  const Json left = obs::merge_snapshots(left_in);
+
+  const std::vector<Json> ab = {a, b};
+  const std::vector<Json> right_in = {obs::merge_snapshots(ab), c};
+  const Json right = obs::merge_snapshots(right_in);
+
+  EXPECT_EQ(left.dump(), right.dump());
+  EXPECT_EQ(left.at("fleet").at("snapshots").as_number(), 3.0);
+}
+
+TEST(FleetMerge, MismatchedHistogramBoundsThrow) {
+  obs::Registry a;
+  a.set_enabled(true);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  obs::Registry b;
+  b.set_enabled(true);
+  b.histogram("h", {1.0, 4.0}).observe(0.5);
+  const std::vector<Json> snaps = {a.snapshot(), b.snapshot()};
+  EXPECT_THROW({ (void)obs::merge_snapshots(snaps); }, std::runtime_error);
+  const std::vector<Json> empty;
+  EXPECT_THROW({ (void)obs::merge_snapshots(empty); }, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace h2p

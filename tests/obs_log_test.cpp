@@ -102,6 +102,26 @@ TEST(ObsLog, EscapesEventAndTextFields) {
   EXPECT_EQ(rec.at("what").as_string(), "line\nbreak \\ \"quote\"");
 }
 
+TEST(ObsLog, SequenceNumbersAreMonotonicPerEmittedLine) {
+  // Each emitted line carries a monotonic per-logger sequence number, so
+  // interleaved or merged JSONL files can be re-ordered exactly by `seq`.
+  obs::Log log;  // default level warn
+  std::ostringstream out;
+  log.set_sink_stream(&out);
+  log.warn("a");
+  log.debug("filtered");  // must not consume a sequence number
+  log.error("b");
+  log.warn("c");
+  log.set_sink_stream(nullptr);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(Json::parse(lines[i]).at("seq").as_number(),
+              static_cast<double>(i));
+  }
+}
+
 TEST(ObsLog, FileSinkFailureThrows) {
   obs::Log log;
   EXPECT_THROW(log.set_sink_file("/nonexistent-dir-h2p/obs.log"),

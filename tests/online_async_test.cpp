@@ -253,9 +253,10 @@ TEST(OnlineAsync, WindowStatsInvariants) {
 }
 
 TEST(OnlineAsync, InstrumentationDoesNotPerturbResults) {
-  // The tentpole's determinism contract: metrics, tracing and debug logging
-  // are strictly observational — an async serving run with everything
-  // enabled is bit-identical to the same run with everything disabled.
+  // The tentpole's determinism contract: metrics, tracing, debug logging and
+  // drift tracking are strictly observational — an async serving run with
+  // everything enabled is bit-identical to the same run with everything
+  // disabled.
   const Soc soc = Soc::kirin990();
   const auto stream = mixed_stream();
   OnlineOptions serial;
@@ -275,6 +276,7 @@ TEST(OnlineAsync, InstrumentationDoesNotPerturbResults) {
   OnlineOptions async = serial;
   async.pool = &pool;
   async.async_planning = true;
+  async.drift_tracking = true;
   const OnlineResult instrumented = run_online(soc, stream, async);
 
   obs::Log::global().set_level(obs::LogLevel::kWarn);
@@ -284,6 +286,9 @@ TEST(OnlineAsync, InstrumentationDoesNotPerturbResults) {
 
   expect_identical(expected, instrumented);
   // The instrumentation did observe the run.
+  EXPECT_EQ(instrumented.slice_records.size(),
+            instrumented.timeline.tasks.size());
+  EXPECT_FALSE(instrumented.slice_records.empty());
   EXPECT_EQ(obs::Registry::global().counter("online.windows").value(),
             instrumented.windows.size());
   bool saw_plan_span = false;

@@ -48,6 +48,13 @@
 //                                     tens of seconds, streams are ms)
 //                 --deadline <ms>     per-request deadline: arrival + ms
 //                 --deadline-policy <none|shed|defer>   admission control
+//                 --drift-out <f>     enable prediction-drift tracking and
+//                                     write the calibration scorecard JSON
+//                                     (schema h2p.drift/v1: per-(proc ×
+//                                     slice-kind × thermal-bucket)
+//                                     correction factors with confidence);
+//                                     adds a "drift" block + per-window
+//                                     drift stats to the result JSON
 //                 plus --soc/--soc-json/--no-ct as for `plan`
 //        telemetry (plan and online):
 //                 --metrics-out <f>   write the obs::Registry snapshot JSON
@@ -57,6 +64,13 @@
 //                                     cache decisions, window steps)
 //                 --log-level <l>     debug|info|warn|error|off (def. warn)
 //                 --log-out <f>       JSONL event log file (def. stderr)
+//   h2p_cli fleet-merge [--out <f>] snap1.json snap2.json [...]
+//        merge N registry/drift snapshots (--metrics-out / --drift-out
+//        files, or previous fleet-merge outputs) into one fleet report:
+//        counters sum, gauges last-write, histogram buckets sum with
+//        percentiles recomputed, calibration cells join on (proc, kind,
+//        bucket).  Associative: partial merges compose.  --out omitted
+//        prints to stdout.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -93,7 +107,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: h2p_cli <socs|models|plan|simulate|compare|online> "
+               "usage: h2p_cli "
+               "<socs|models|plan|simulate|compare|online|fleet-merge> "
                "[options]\n"
                "see the header of tools/h2p_cli.cpp for details\n");
   return 2;
@@ -611,6 +626,8 @@ int cmd_online(int argc, char** argv) {
       return 1;
     }
   }
+  const auto drift_out = arg_value(argc, argv, "--drift-out");
+  if (drift_out) opts.drift_tracking = true;
 
   const OnlineResult result = run_online(*soc, stream, opts);
   if (with_faults) {
@@ -686,9 +703,23 @@ int cmd_online(int argc, char** argv) {
       w["deferred"] = Json::number(static_cast<double>(ws.deferred));
     }
     w["deadline_misses"] = Json::number(static_cast<double>(ws.deadline_misses));
+    if (opts.drift_tracking) {
+      w["predicted_makespan_ms"] = Json::number(ws.predicted_makespan_ms);
+      w["drift_abs_rel_err"] = Json::number(ws.drift_abs_rel_err);
+      w["drift_slices"] = Json::number(static_cast<double>(ws.drift_slices));
+    }
     windows.push_back(std::move(w));
   }
   out["windows"] = std::move(windows);
+
+  if (opts.drift_tracking) {
+    Json dr = Json::object();
+    dr["slices"] =
+        Json::number(static_cast<double>(result.slice_records.size()));
+    dr["alerts"] = Json::number(static_cast<double>(result.drift_alerts));
+    dr["mean_abs_rel_err"] = Json::number(result.drift_mean_abs_rel_err);
+    out["drift"] = std::move(dr);
+  }
 
   // Plan-cache counters come straight from the metrics registry — the same
   // counters the cache increments — so this block cannot drift from the
@@ -715,7 +746,61 @@ int cmd_online(int argc, char** argv) {
     std::ofstream f(*obs_flags.metrics_out);
     f << obs::Registry::global().snapshot().dump();
   }
+  if (drift_out) {
+    std::ofstream f(*drift_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", drift_out->c_str());
+      return 1;
+    }
+    f << calibration_report_to_json(result.drift_report).dump();
+  }
   std::printf("%s\n", out.dump().c_str());
+  return 0;
+}
+
+int cmd_fleet_merge(int argc, char** argv) {
+  const auto out_file = arg_value(argc, argv, "--out");
+  std::vector<Json> snapshots;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      ++i;  // skip the value
+      continue;
+    }
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      snapshots.push_back(Json::parse(buf.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      return 1;
+    }
+  }
+  if (snapshots.empty()) {
+    std::fprintf(stderr, "fleet-merge: no snapshot files given\n");
+    return usage();
+  }
+  Json merged;
+  try {
+    merged = obs::merge_snapshots(snapshots);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet-merge: %s\n", e.what());
+    return 1;
+  }
+  if (out_file) {
+    std::ofstream f(*out_file);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", out_file->c_str());
+      return 1;
+    }
+    f << merged.dump();
+  } else {
+    std::printf("%s\n", merged.dump().c_str());
+  }
   return 0;
 }
 
@@ -730,5 +815,6 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
   if (cmd == "compare") return cmd_compare(argc - 2, argv + 2);
   if (cmd == "online") return cmd_online(argc - 2, argv + 2);
+  if (cmd == "fleet-merge") return cmd_fleet_merge(argc - 2, argv + 2);
   return usage();
 }
